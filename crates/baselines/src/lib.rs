@@ -1,0 +1,22 @@
+//! # apex-baselines — comparators and ablations
+//!
+//! Design-choice ablations for the agreement protocol and the crafted
+//! adversaries behind the stress experiments (E11):
+//!
+//! * [`linear`] — cycles with *linear* frontier search instead of binary
+//!   search: isolates the `log log n` factor of Theorem 1;
+//! * [`stampless`] — bins without timestamps: shows phase reuse breaks
+//!   without them (the paper's stamping is load-bearing);
+//! * [`adversary`] — resonant sleepers, gun volleys, and the Fig.-3
+//!   oscillation interleaving, all oblivious by construction.
+//!
+//! The *scheme-level* comparators (classical-style scan consensus and the
+//! ideal-CAS cheat) live in `apex-scheme` as [`apex_scheme::SchemeKind`]
+//! variants, since they are execution schemes sharing the same harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversary;
+pub mod linear;
+pub mod stampless;

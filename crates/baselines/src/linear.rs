@@ -1,0 +1,166 @@
+//! Ablation: linear-scan frontier search.
+//!
+//! The paper's cycle uses *binary search* to find the first empty cell,
+//! which is what makes a cycle cost ω = Θ(log log n) and the whole phase
+//! `O(n log n · log log n)`. This variant replaces it with a linear scan
+//! from cell 0 (cost Θ(frontier) = Θ(log n) amortized over a fill), turning
+//! cycles into ω_lin = Θ(log n) and phases into `Θ(n log² n)` — experiment
+//! E11 measures the gap, isolating the contribution of the binary search.
+
+use std::rc::Rc;
+
+use apex_clock::PhaseClock;
+use apex_core::{AgreementConfig, BinLayout, CycleAction, ValueSource};
+use apex_sim::{Ctx, Stamped};
+
+/// Cycle length for the linear variant: worst case scans the whole bin.
+pub fn omega_linear(cfg: &AgreementConfig) -> u64 {
+    1 + cfg.cells_per_bin as u64 + (cfg.eval_cost + 1).max(2)
+}
+
+/// One linear-search cycle: identical to Fig. 2 except line 2 scans
+/// sequentially. Padded to exactly [`omega_linear`] ops.
+pub async fn run_linear_cycle(
+    ctx: &Ctx,
+    cfg: &AgreementConfig,
+    bins: &BinLayout,
+    source: &Rc<dyn ValueSource>,
+    phase: u64,
+) -> CycleAction {
+    let start_ops = ctx.ops();
+    let bin = ctx.rand_below(bins.n() as u64).await as usize;
+
+    // Linear frontier search; remembers the previous cell's value so the
+    // copy needs no re-read (the scan itself is the previous read).
+    let mut j = bins.cells_per_bin();
+    let mut prev: Option<Stamped> = None;
+    for c in 0..bins.cells_per_bin() {
+        let cell = ctx.read(bins.cell_addr(bin, c)).await;
+        if !BinLayout::is_filled(cell, phase) {
+            j = c;
+            break;
+        }
+        prev = Some(cell);
+    }
+
+    let stamp = BinLayout::stamp_for(phase);
+    let action = if j == 0 {
+        let value = source.eval(ctx, phase, bin).await;
+        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, stamp)).await;
+        CycleAction::Evaluated { value }
+    } else if j < bins.cells_per_bin() {
+        // `prev` was read during the scan and is filled by construction.
+        let value = prev.expect("scan passed cell j-1").value;
+        ctx.write(bins.cell_addr(bin, j), Stamped::new(value, stamp)).await;
+        CycleAction::Copied { to: j, value }
+    } else {
+        CycleAction::BinFull
+    };
+
+    let used = ctx.ops() - start_ops;
+    let budget = omega_linear(cfg);
+    assert!(used <= budget, "linear cycle used {used} > {budget}");
+    for _ in used..budget {
+        ctx.nop().await;
+    }
+    action
+}
+
+/// Participant main loop for the linear variant (same cadence as the
+/// standard driver).
+pub async fn run_linear_participant(
+    ctx: Ctx,
+    cfg: AgreementConfig,
+    bins: BinLayout,
+    clock: PhaseClock,
+    source: Rc<dyn ValueSource>,
+) {
+    let mut phase = clock.read(&ctx).await;
+    let mut since_read: u64 = 0;
+    let mut since_update: u64 = 0;
+    loop {
+        run_linear_cycle(&ctx, &cfg, &bins, &source, phase).await;
+        since_read += 1;
+        since_update += 1;
+        if since_update >= cfg.update_period {
+            clock.update(&ctx).await;
+            since_update = 0;
+        }
+        if since_read >= cfg.clock_read_period {
+            phase = phase.max(clock.read(&ctx).await);
+            since_read = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_core::KeyedSource;
+    use apex_sim::{MachineBuilder, RegionAllocator, ScheduleKind};
+
+    #[test]
+    fn linear_cycles_fill_bins_with_the_agreed_value() {
+        let n = 8;
+        let cfg = AgreementConfig::for_n(n, 1);
+        let mut alloc = RegionAllocator::new();
+        let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
+        let mut m = MachineBuilder::new(1, alloc.total()).seed(2).build(move |ctx| async move {
+            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+            for _ in 0..2000 {
+                run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
+            }
+        });
+        m.run_to_completion(100_000_000).unwrap();
+        m.with_mem(|mem| {
+            for b in 0..n {
+                assert_eq!(
+                    bins.oracle_value(mem, b, 0),
+                    Some(KeyedSource::expected(0, b)),
+                    "bin {b}"
+                );
+                assert_eq!(bins.oracle_frontier(mem, b, 0), cfg.cells_per_bin);
+            }
+        });
+    }
+
+    #[test]
+    fn linear_cycle_cost_is_fixed_and_larger_than_binary() {
+        let n = 64;
+        let cfg = AgreementConfig::for_n(n, 1);
+        assert!(omega_linear(&cfg) > cfg.omega * 2, "linear ω must dominate");
+        let mut alloc = RegionAllocator::new();
+        let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
+        let mut m = MachineBuilder::new(1, alloc.total()).seed(3).build(move |ctx| async move {
+            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+            for _ in 0..50 {
+                let before = ctx.ops();
+                run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
+                assert_eq!(ctx.ops() - before, omega_linear(&cfg));
+            }
+        });
+        m.run_to_completion(10_000_000).unwrap();
+    }
+
+    #[test]
+    fn linear_participants_complete_phases() {
+        let n = 8;
+        let cfg = AgreementConfig::for_n(n, 1);
+        let mut alloc = RegionAllocator::new();
+        let clock = PhaseClock::new(&mut alloc, n);
+        let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
+        let mut m = MachineBuilder::new(n, alloc.total())
+            .seed(4)
+            .schedule_kind(&ScheduleKind::Uniform)
+            .build(move |ctx| {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                run_linear_participant(ctx, cfg, bins, clock, source)
+            });
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1).expect("phase");
+        m.with_mem(|mem| {
+            for b in 0..n {
+                assert_eq!(bins.oracle_value(mem, b, 0), Some(KeyedSource::expected(0, b)));
+            }
+        });
+    }
+}

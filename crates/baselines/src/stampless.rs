@@ -1,0 +1,161 @@
+//! Ablation: bins without timestamps.
+//!
+//! "In order to distinguish between current and obsolete values, each write
+//! is time stamped with the current phase number" (§3). This variant drops
+//! the stamps — a cell is *filled* iff it was ever written — so the bin
+//! array cannot be reused across phases: from phase 1 onward every bin
+//! looks complete and still holds phase-0 values. E11 uses it to show the
+//! timestamps are load-bearing, not an optimization.
+
+use std::rc::Rc;
+
+use apex_clock::PhaseClock;
+use apex_core::{AgreementConfig, BinLayout, CycleAction, ValueSource};
+use apex_sim::{Ctx, SharedMemory, Stamped, Value};
+
+/// Stampless notion of "filled": ever written (stamp ≠ 0; the variant
+/// writes stamp 1 unconditionally).
+fn filled(cell: Stamped) -> bool {
+    cell.stamp != 0
+}
+
+/// One stampless cycle: Fig. 2 with the phase filter removed.
+pub async fn run_stampless_cycle(
+    ctx: &Ctx,
+    cfg: &AgreementConfig,
+    bins: &BinLayout,
+    source: &Rc<dyn ValueSource>,
+    phase: u64,
+) -> CycleAction {
+    let start_ops = ctx.ops();
+    let bin = ctx.rand_below(bins.n() as u64).await as usize;
+
+    // Binary search with the stampless filter.
+    let mut lo = 0usize;
+    let mut hi = bins.cells_per_bin();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let cell = ctx.read(bins.cell_addr(bin, mid)).await;
+        if filled(cell) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let j = lo;
+
+    let action = if j == 0 {
+        let value = source.eval(ctx, phase, bin).await;
+        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, 1)).await;
+        CycleAction::Evaluated { value }
+    } else if j < bins.cells_per_bin() {
+        let prev = ctx.read(bins.cell_addr(bin, j - 1)).await;
+        if filled(prev) {
+            ctx.write(bins.cell_addr(bin, j), Stamped::new(prev.value, 1)).await;
+            CycleAction::Copied { to: j, value: prev.value }
+        } else {
+            CycleAction::HoleSkip { at: j }
+        }
+    } else {
+        CycleAction::BinFull
+    };
+
+    let used = ctx.ops() - start_ops;
+    assert!(used <= cfg.omega);
+    for _ in used..cfg.omega {
+        ctx.nop().await;
+    }
+    action
+}
+
+/// Participant loop for the stampless variant.
+pub async fn run_stampless_participant(
+    ctx: Ctx,
+    cfg: AgreementConfig,
+    bins: BinLayout,
+    clock: PhaseClock,
+    source: Rc<dyn ValueSource>,
+) {
+    let mut phase = clock.read(&ctx).await;
+    let mut since_read: u64 = 0;
+    let mut since_update: u64 = 0;
+    loop {
+        run_stampless_cycle(&ctx, &cfg, &bins, &source, phase).await;
+        since_read += 1;
+        since_update += 1;
+        if since_update >= cfg.update_period {
+            clock.update(&ctx).await;
+            since_update = 0;
+        }
+        if since_read >= cfg.clock_read_period {
+            phase = phase.max(clock.read(&ctx).await);
+            since_read = 0;
+        }
+    }
+}
+
+/// Observer: fraction of bins whose upper half holds any value produced for
+/// `phase` (stampless cells can't be filtered, so the caller supplies a
+/// predicate on values, e.g. the [`apex_core::KeyedSource`] expectation).
+pub fn fraction_matching(
+    mem: &SharedMemory,
+    bins: &BinLayout,
+    expected: impl Fn(usize) -> Value,
+) -> f64 {
+    let mut ok = 0usize;
+    for b in 0..bins.n() {
+        let half = bins.upper_half_start();
+        let val = (half..bins.cells_per_bin())
+            .map(|j| mem.peek(bins.cell_addr(b, j)))
+            .find(|c| c.stamp != 0)
+            .map(|c| c.value);
+        if val == Some(expected(b)) {
+            ok += 1;
+        }
+    }
+    ok as f64 / bins.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_core::KeyedSource;
+    use apex_sim::{MachineBuilder, RegionAllocator, ScheduleKind};
+
+    fn machine(n: usize) -> (apex_sim::Machine, BinLayout, PhaseClock, AgreementConfig) {
+        let cfg = AgreementConfig::for_n(n, 1);
+        let mut alloc = RegionAllocator::new();
+        let clock = PhaseClock::new(&mut alloc, n);
+        let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
+        let m = MachineBuilder::new(n, alloc.total())
+            .seed(6)
+            .schedule_kind(&ScheduleKind::Uniform)
+            .build(move |ctx| {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                run_stampless_participant(ctx, cfg, bins, clock, source)
+            });
+        (m, bins, clock, cfg)
+    }
+
+    #[test]
+    fn phase_zero_works_but_later_phases_are_garbage() {
+        let n = 8;
+        let (mut m, bins, clock, _cfg) = machine(n);
+        // Phase 0 behaves like the real protocol (empty memory = empty bins).
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1).expect("phase 0");
+        let frac0 = m.with_mem(|mem| {
+            fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b))
+        });
+        assert!(frac0 >= 0.9, "phase 0 should fill correctly: {frac0}");
+        // Phase 1: bins look full, values are stale phase-0 values.
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 2).expect("phase 1");
+        let frac1 = m.with_mem(|mem| {
+            fraction_matching(mem, &bins, |b| KeyedSource::expected(1, b))
+        });
+        assert_eq!(frac1, 0.0, "stampless bins must fail to produce phase-1 values");
+        let still0 = m.with_mem(|mem| {
+            fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b))
+        });
+        assert!(still0 >= 0.9, "stale phase-0 values linger: {still0}");
+    }
+}

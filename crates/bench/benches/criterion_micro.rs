@@ -1,0 +1,92 @@
+//! E12 — wall-clock micro-benchmarks (engineering, not a paper claim).
+//!
+//! Criterion timings for the simulator's hot paths: tick dispatch, one
+//! agreement cycle, clock read/update, and a full small phase. These guard
+//! against performance regressions of the harness itself; all paper
+//! experiments use model work units, not wall time.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use apex_core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+use apex_sim::{MachineBuilder, ScheduleKind, Stamped};
+
+fn bench_tick_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("ticks_10k_uniform_n64", |b| {
+        b.iter_batched(
+            || {
+                MachineBuilder::new(64, 64)
+                    .seed(1)
+                    .schedule_kind(&ScheduleKind::Uniform)
+                    .build(|ctx| async move {
+                        let me = ctx.id().0;
+                        loop {
+                            let v = ctx.read(me).await;
+                            ctx.write(me, Stamped::new(v.value + 1, 0)).await;
+                        }
+                    })
+            },
+            |mut m| {
+                m.run_ticks(10_000);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_agreement_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agreement");
+    g.sample_size(10);
+    g.bench_function("one_phase_n32", |b| {
+        b.iter(|| {
+            let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
+            let mut run = AgreementRun::with_default_config(
+                32,
+                7,
+                &ScheduleKind::Uniform,
+                source,
+                InstrumentOpts::default(),
+            );
+            run.run_phase()
+        })
+    });
+    g.finish();
+}
+
+fn bench_clock_ops(c: &mut Criterion) {
+    use apex_clock::PhaseClock;
+    use apex_sim::RegionAllocator;
+    let mut g = c.benchmark_group("clock");
+    g.sample_size(10);
+    g.bench_function("update_heavy_100k_ticks_n256", |b| {
+        b.iter_batched(
+            || {
+                let mut alloc = RegionAllocator::new();
+                let clock = PhaseClock::new(&mut alloc, 256);
+                MachineBuilder::new(256, alloc.total())
+                    .seed(3)
+                    .schedule_kind(&ScheduleKind::Uniform)
+                    .build(move |ctx| async move {
+                        loop {
+                            clock.update(&ctx).await;
+                        }
+                    })
+            },
+            |mut m| {
+                m.run_ticks(100_000);
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick_throughput, bench_agreement_phase, bench_clock_ops);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Measurement helpers for the clock contract (experiment E9).
+
+use apex_sim::{MachineBuilder, ScheduleKind, RegionAllocator};
+
+use crate::proto::PhaseClock;
+use crate::config::ClockConfig;
+
+/// Statistics of clock advances under a pure update workload.
+#[derive(Clone, Debug)]
+pub struct AdvanceStats {
+    /// Processor count.
+    pub n: usize,
+    /// Counter cells m.
+    pub cells: usize,
+    /// Updates issued between consecutive advances (one entry per level).
+    pub updates_per_advance: Vec<u64>,
+    /// Realized α₁ estimate: min updates-per-advance / n.
+    pub alpha1: f64,
+    /// Realized α₂ estimate: max updates-per-advance / n.
+    pub alpha2: f64,
+    /// Mean updates per advance / n.
+    pub alpha_mean: f64,
+}
+
+/// Run `n` processors that do nothing but `Update-Clock`, under `kind`,
+/// and record how many updates each of the first `levels` advances took.
+///
+/// This is the direct empirical test of the paper's contract: "at least α₁·n
+/// invocations … are necessary and α₂·n are sufficient to advance the clock
+/// from one integral value to the next".
+pub fn measure_advances(n: usize, levels: u64, kind: &ScheduleKind, seed: u64) -> AdvanceStats {
+    let mut alloc = RegionAllocator::new();
+    let clock = PhaseClock::new(&mut alloc, n);
+    let mut machine = MachineBuilder::new(n, alloc.total())
+        .seed(seed)
+        .schedule_kind(kind)
+        .build(move |ctx| async move {
+            loop {
+                clock.update(&ctx).await;
+            }
+        });
+
+    let mut updates_per_advance = Vec::with_capacity(levels as usize);
+    let mut last_updates = 0u64;
+    let mut level = 0u64;
+    let cap_ticks = levels
+        .saturating_mul(ClockConfig::update_cost())
+        .saturating_mul(clock.config().nominal_updates_per_advance())
+        .saturating_mul(20)
+        .max(1_000_000);
+    while level < levels {
+        machine.run_ticks(n as u64);
+        let v = machine.with_mem(|mem| clock.oracle(mem));
+        if v > level {
+            let updates_now = machine.work() / ClockConfig::update_cost();
+            // Attribute updates evenly if several levels were crossed in one
+            // observation window (rare for small windows).
+            let crossed = v - level;
+            let per = (updates_now - last_updates) / crossed.max(1);
+            for _ in 0..crossed {
+                updates_per_advance.push(per);
+            }
+            last_updates = updates_now;
+            level = v;
+        }
+        assert!(machine.ticks() < cap_ticks, "clock stalled measuring advances");
+    }
+
+    let nn = n as f64;
+    let min = *updates_per_advance.iter().min().unwrap_or(&0) as f64;
+    let max = *updates_per_advance.iter().max().unwrap_or(&0) as f64;
+    let mean =
+        updates_per_advance.iter().sum::<u64>() as f64 / updates_per_advance.len().max(1) as f64;
+    AdvanceStats {
+        n,
+        cells: clock.config().cells,
+        updates_per_advance,
+        alpha1: min / nn,
+        alpha2: max / nn,
+        alpha_mean: mean / nn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_bounds_hold_under_uniform_schedule() {
+        let stats = measure_advances(64, 8, &ScheduleKind::Uniform, 3);
+        assert_eq!(stats.updates_per_advance.len(), 8);
+        let t = ClockConfig::DEFAULT_THRESHOLD as f64;
+        // Each level needs ≈ T·m updates; bound per-level below by T·m/2.
+        let per_level_min =
+            *stats.updates_per_advance.iter().min().unwrap() as f64 / stats.n as f64;
+        assert!(per_level_min >= t / 2.0, "α₁ too small: {per_level_min} (T = {t})");
+        assert!(stats.alpha2 <= 2.5 * t, "α₂ too large: {} (T = {t})", stats.alpha2);
+        assert!(stats.alpha_mean >= 0.5 * t && stats.alpha_mean <= 2.0 * t);
+    }
+
+    #[test]
+    fn alpha_is_schedule_independent_in_order() {
+        let a = measure_advances(32, 6, &ScheduleKind::Uniform, 1);
+        let b = measure_advances(32, 6, &ScheduleKind::Zipf { s: 1.5 }, 1);
+        // The contract is "regardless of which processors invoke": the mean
+        // updates-per-advance should be within a small constant factor.
+        let ratio = a.alpha_mean / b.alpha_mean;
+        assert!((0.25..4.0).contains(&ratio), "ratio {ratio}");
+    }
+}

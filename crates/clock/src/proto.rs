@@ -1,0 +1,302 @@
+//! The clock protocol: `Update-Clock` and `Read-Clock`.
+
+use apex_sim::{Ctx, Region, RegionAllocator, SharedMemory, Stamped};
+
+use crate::config::ClockConfig;
+
+/// A phase clock living in a region of shared memory.
+///
+/// All processors share one `PhaseClock` value (it is `Copy` and contains
+/// only the layout); the counters themselves live in the machine's shared
+/// memory. See [`ClockConfig`] for the construction and its contract.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseClock {
+    region: Region,
+    cfg: ClockConfig,
+}
+
+impl PhaseClock {
+    /// Allocate the clock's counter region for an `n`-processor machine.
+    pub fn new(alloc: &mut RegionAllocator, n: usize) -> Self {
+        Self::with_config(alloc, ClockConfig::for_n(n))
+    }
+
+    /// Allocate with explicit parameters.
+    pub fn with_config(alloc: &mut RegionAllocator, cfg: ClockConfig) -> Self {
+        let region = alloc.alloc(cfg.cells);
+        PhaseClock { region, cfg }
+    }
+
+    /// The clock's parameters.
+    pub fn config(&self) -> &ClockConfig {
+        &self.cfg
+    }
+
+    /// The clock's memory region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// `Update-Clock`: one O(1) contribution toward advancing the clock.
+    ///
+    /// Exactly [`ClockConfig::update_cost`] atomic operations: two random
+    /// draws, two reads, one write. The write either performs the two-choice
+    /// *increment of the minimum* (the normal trickle that paces the clock),
+    /// or — when the two counters differ by more than one threshold, which
+    /// only happens after a stale write by a tardy processor — *jump-repairs*
+    /// the laggard up to its partner's value so one sleeper cannot hold a
+    /// counter down for many levels.
+    pub async fn update(&self, ctx: &Ctx) {
+        let m = self.cfg.cells as u64;
+        let j = ctx.rand_below(m).await as usize;
+        let k = ctx.rand_below(m).await as usize;
+        let vj = ctx.read(self.region.addr(j)).await.value;
+        let vk = ctx.read(self.region.addr(k)).await.value;
+        let (target, lo, hi) = if vj <= vk { (j, vj, vk) } else { (k, vk, vj) };
+        let new = if hi - lo > self.cfg.threshold { hi } else { lo + 1 };
+        ctx.write(self.region.addr(target), Stamped::new(new, 0)).await;
+    }
+
+    /// `Read-Clock`: the current integral clock value (level).
+    ///
+    /// Exactly [`ClockConfig::read_cost`] atomic operations: samples
+    /// `read_samples` random counters and returns `max(samples)/T`.
+    ///
+    /// Max-sampling makes the collective phase transition *sharp*: once the
+    /// first counters cross a level boundary, the probability a reader
+    /// misses all of them decays as `(1-q)^s`. Callers keep their own
+    /// monotone guard (`phase = max(phase, read)`), mirroring a processor
+    /// register, so an unlucky low sample never moves a processor backward.
+    pub async fn read(&self, ctx: &Ctx) -> u64 {
+        let m = self.cfg.cells as u64;
+        let s = self.cfg.read_samples;
+        let mut best = 0u64;
+        for _ in 0..s {
+            let i = ctx.rand_below(m).await as usize;
+            let v = ctx.read(self.region.addr(i)).await.value;
+            best = best.max(v);
+            ctx.compute().await;
+        }
+        ctx.compute().await;
+        best / self.cfg.threshold
+    }
+
+    /// Observer-level exact clock value: `max(counters)/T`. Instrumentation
+    /// only (experiments, termination predicates); costs no work and is
+    /// never available to protocol code.
+    pub fn oracle(&self, mem: &SharedMemory) -> u64 {
+        self.oracle_raw_max(mem) / self.cfg.threshold
+    }
+
+    /// Observer-level maximum raw counter value.
+    pub fn oracle_raw_max(&self, mem: &SharedMemory) -> u64 {
+        mem.region_values(self.region).max().unwrap_or(0)
+    }
+
+    /// Observer-level raw counter spread `(min, median, max)` for
+    /// diagnostics.
+    pub fn oracle_spread(&self, mem: &SharedMemory) -> (u64, u64, u64) {
+        let mut vals: Vec<u64> = mem.region_values(self.region).collect();
+        vals.sort_unstable();
+        (vals[0], vals[vals.len() / 2], vals[vals.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::{MachineBuilder, RegionAllocator, ScheduleKind};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn clock_machine(
+        n: usize,
+        seed: u64,
+        kind: &ScheduleKind,
+    ) -> (apex_sim::Machine, PhaseClock) {
+        let mut alloc = RegionAllocator::new();
+        let clock = PhaseClock::new(&mut alloc, n);
+        let m = MachineBuilder::new(n, alloc.total())
+            .seed(seed)
+            .schedule_kind(kind)
+            .build(move |ctx| async move {
+                loop {
+                    clock.update(&ctx).await;
+                }
+            });
+        (m, clock)
+    }
+
+    #[test]
+    fn update_costs_exactly_five_ops() {
+        let mut alloc = RegionAllocator::new();
+        let clock = PhaseClock::new(&mut alloc, 8);
+        let mut m = MachineBuilder::new(1, alloc.total()).build(move |ctx| async move {
+            let before = ctx.ops();
+            clock.update(&ctx).await;
+            assert_eq!(ctx.ops() - before, ClockConfig::update_cost());
+        });
+        m.run_to_completion(100).unwrap();
+    }
+
+    #[test]
+    fn read_costs_exactly_the_formula() {
+        let mut alloc = RegionAllocator::new();
+        let clock = PhaseClock::new(&mut alloc, 64);
+        let mut m = MachineBuilder::new(1, alloc.total()).build(move |ctx| async move {
+            let before = ctx.ops();
+            let _ = clock.read(&ctx).await;
+            assert_eq!(ctx.ops() - before, clock.config().read_cost());
+        });
+        m.run_to_completion(1000).unwrap();
+    }
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let (mut m, clock) = clock_machine(16, 5, &ScheduleKind::Uniform);
+        assert_eq!(m.with_mem(|mem| clock.oracle(mem)), 0);
+        // One level ≈ T·m updates ≈ 64·16 · 5 ops = 5120 ticks; run plenty.
+        m.run_ticks(200_000);
+        let v = m.with_mem(|mem| clock.oracle(mem));
+        assert!(v >= 4, "clock should have advanced several levels, got {v}");
+    }
+
+    #[test]
+    fn advance_needs_theta_threshold_times_m_updates() {
+        let (mut m, clock) = clock_machine(32, 7, &ScheduleKind::Uniform);
+        let cfg = *clock.config();
+        let target = 8u64;
+        let mut ticks = 0u64;
+        while m.with_mem(|mem| clock.oracle(mem)) < target {
+            m.run_ticks(1000);
+            ticks += 1000;
+            assert!(ticks < 100_000_000, "clock stalled");
+        }
+        let updates = m.work() / ClockConfig::update_cost();
+        let min_needed = target * cfg.min_updates_per_advance();
+        assert!(
+            updates >= min_needed,
+            "α₁ violated: {updates} updates advanced the clock {target} levels \
+             (needs ≥ {min_needed})"
+        );
+        // α₂: within 2× of the nominal T·m per level.
+        let max_expected = target * 2 * cfg.nominal_updates_per_advance();
+        assert!(
+            updates <= max_expected,
+            "α₂ blown: {updates} updates for {target} levels (cap {max_expected})"
+        );
+    }
+
+    #[test]
+    fn counters_stay_concentrated_two_choice() {
+        let (mut m, clock) = clock_machine(64, 11, &ScheduleKind::Uniform);
+        m.run_ticks(500_000);
+        let (min, _med, max) = m.with_mem(|mem| clock.oracle_spread(mem));
+        assert!(max >= 64, "should have climbed at least a level");
+        assert!(max - min <= 10, "two-choice spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn transition_band_is_a_small_fraction_of_a_level() {
+        // Sharpness: measure the work between the oracle crossing a level
+        // and *every* counter crossing it; compare with the level duration.
+        let (mut m, clock) = clock_machine(32, 3, &ScheduleKind::Uniform);
+        let t = clock.config().threshold;
+        // Let the clock reach level 2 to skip warmup.
+        while m.with_mem(|mem| clock.oracle(mem)) < 2 {
+            m.run_ticks(500);
+        }
+        let start = m.work();
+        // Wait until the *minimum* counter crosses level 2's boundary.
+        while m.with_mem(|mem| clock.oracle_spread(mem).0) < 2 * t {
+            m.run_ticks(100);
+        }
+        let band = m.work() - start;
+        // Then measure a full level: oracle 2 → 3.
+        while m.with_mem(|mem| clock.oracle(mem)) < 3 {
+            m.run_ticks(500);
+        }
+        let level = m.work() - start;
+        assert!(
+            band * 5 <= level,
+            "transition band {band} should be ≤ 20% of level duration {level}"
+        );
+    }
+
+    #[test]
+    fn read_matches_oracle_level() {
+        for seed in 0..8 {
+            let mut alloc = RegionAllocator::new();
+            let clock = PhaseClock::new(&mut alloc, 64);
+            let result = Rc::new(Cell::new(u64::MAX));
+            let result2 = result.clone();
+            let mut m = MachineBuilder::new(1, alloc.total())
+                .seed(seed)
+                .build(move |ctx| {
+                    let result = result2.clone();
+                    async move {
+                        let v = clock.read(&ctx).await;
+                        result.set(v);
+                    }
+                });
+            // Concentrated counters around 40 + 64·3 = level 3.
+            for i in 0..clock.config().cells {
+                let v = 3 * 64 + 40 + ((i * 7 + seed as usize) % 3) as u64;
+                m.poke(clock.region().addr(i), Stamped::new(v, 0));
+            }
+            m.run_to_completion(10_000).unwrap();
+            let oracle = m.with_mem(|mem| clock.oracle(mem));
+            assert_eq!(oracle, 3);
+            assert_eq!(result.get(), 3, "seed {seed}: read disagrees with oracle");
+        }
+    }
+
+    #[test]
+    fn advances_under_every_gallery_adversary() {
+        for kind in ScheduleKind::gallery() {
+            let (mut m, clock) = clock_machine(16, 3, &kind);
+            m.run_ticks(400_000);
+            let v = m.with_mem(|mem| clock.oracle(mem));
+            assert!(v >= 2, "clock stalled under {}: value {v}", kind.label());
+        }
+    }
+
+    #[test]
+    fn oracle_is_monotone_and_robust_under_sleepers() {
+        let kind = ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 200, asleep: 2000 };
+        let (mut m, clock) = clock_machine(32, 13, &kind);
+        let mut last = 0u64;
+        for _ in 0..300 {
+            m.run_ticks(2000);
+            let v = m.with_mem(|mem| clock.oracle(mem));
+            assert!(v >= last, "max-based oracle regressed from {last} to {v}");
+            last = v;
+        }
+        assert!(last >= 2, "clock should advance despite sleepers, got {last}");
+    }
+
+    #[test]
+    fn jump_repair_rescues_a_stale_lowered_counter() {
+        let (mut m, clock) = clock_machine(8, 17, &ScheduleKind::Uniform);
+        m.run_ticks(30_000);
+        let before = m.with_mem(|mem| clock.oracle_spread(mem));
+        // Simulate a tardy processor's stale write: smash one counter down.
+        m.poke(clock.region().addr(3), Stamped::new(1, 0));
+        m.run_ticks(30_000);
+        let after = m.with_mem(|mem| clock.oracle_spread(mem));
+        assert!(
+            after.0 + 16 >= before.0,
+            "lowered counter must be jump-repaired: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn updates_from_any_processor_subset_advance_the_clock() {
+        // Contract: "regardless of which processors invoke the procedure".
+        let kind = ScheduleKind::Zipf { s: 2.0 };
+        let (mut m, clock) = clock_machine(32, 17, &kind);
+        m.run_ticks(2_000_000);
+        let v = m.with_mem(|mem| clock.oracle(mem));
+        assert!(v >= 2, "clock stalled under skew: {v}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Protocol instrumentation: cycle records, evaluation log, clobber counter.
+//!
+//! Everything here is observer-level (no work is charged); it exists so the
+//! experiments can measure exactly the quantities the paper's lemmas are
+//! about — cycle intervals `S[C], D[C], F[C]` (§4.1), evaluations of
+//! `f_i^{(π)}` (for Theorem 1's *correctness* and Claim 8), and clobbers
+//! (Lemma 1).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use apex_sim::{ProcId, SharedMemory, Value};
+
+use crate::layout::BinLayout;
+
+/// What a cycle did after its binary search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleAction {
+    /// Found `Bin_i[0]` empty, evaluated `f_i^{(π)}` and wrote cell 0.
+    Evaluated {
+        /// The value computed.
+        value: Value,
+    },
+    /// Copied the value of cell `to-1` into cell `to`.
+    Copied {
+        /// Destination cell index.
+        to: usize,
+        /// The value copied.
+        value: Value,
+    },
+    /// The search landed on a hole (previous cell empty); nothing written.
+    HoleSkip {
+        /// The cell the search returned.
+        at: usize,
+    },
+    /// Every probed cell was filled: the bin looks complete; nothing
+    /// written.
+    BinFull,
+}
+
+/// One cycle execution `C` with the paper's three instants: start `S[C]`,
+/// decision point `D[C]` (after the binary search, before the write), and
+/// finish `F[C]`, all in global work units.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleRecord {
+    /// Executing processor.
+    pub proc: ProcId,
+    /// The phase the cycle believes it is working on.
+    pub phase: u64,
+    /// The bin chosen in line 1.
+    pub bin: usize,
+    /// `S[C]`.
+    pub start_work: u64,
+    /// `D[C]`.
+    pub decide_work: u64,
+    /// `F[C]`.
+    pub finish_work: u64,
+    /// Outcome.
+    pub action: CycleAction,
+}
+
+impl CycleRecord {
+    /// Whether the cycle wrote a cell, and which.
+    pub fn wrote_cell(&self) -> Option<usize> {
+        match self.action {
+            CycleAction::Evaluated { .. } => Some(0),
+            CycleAction::Copied { to, .. } => Some(to),
+            _ => None,
+        }
+    }
+}
+
+/// Accumulated protocol events.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// Every cycle execution, in completion order.
+    pub cycles: Vec<CycleRecord>,
+    /// Every evaluation of some `f_i^{(π)}`: `(phase, i, value)`.
+    pub evals: Vec<(u64, usize, Value)>,
+}
+
+impl EventLog {
+    /// Values produced by evaluations of `f_i^{(π)}` — the reference set for
+    /// Theorem 1's *correctness* (`v_i ∈ f_i^{(π)}`).
+    pub fn eval_values(&self, phase: u64, i: usize) -> Vec<Value> {
+        self.evals
+            .iter()
+            .filter(|(p, b, _)| *p == phase && *b == i)
+            .map(|(_, _, v)| *v)
+            .collect()
+    }
+
+    /// Cycles belonging to a phase.
+    pub fn cycles_of_phase(&self, phase: u64) -> impl Iterator<Item = &CycleRecord> {
+        self.cycles.iter().filter(move |c| c.phase == phase)
+    }
+
+    /// Drop all records (between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.cycles.clear();
+        self.evals.clear();
+    }
+}
+
+/// Shared handle to an [`EventLog`]; cloned into every participant.
+pub type EventSink = Rc<RefCell<EventLog>>;
+
+/// Create an empty sink.
+pub fn new_sink() -> EventSink {
+    Rc::new(RefCell::new(EventLog::default()))
+}
+
+/// Counts clobbers per bin via a shared-memory write hook.
+///
+/// Lemma 1: *"for a given phase π, a cell is clobbered if it is overwritten
+/// by a cycle associated with a previous phase."* The counter compares the
+/// stamp carried by each bin write against the true current phase, which the
+/// harness publishes into `current_phase` whenever the clock oracle
+/// advances.
+#[derive(Clone)]
+pub struct ClobberCounter {
+    counts: Rc<RefCell<Vec<u64>>>,
+    current_phase: Rc<Cell<u64>>,
+}
+
+impl ClobberCounter {
+    /// Create a counter for `layout` and install its hook on `mem`.
+    pub fn install(mem: &mut SharedMemory, layout: BinLayout) -> Self {
+        let counts = Rc::new(RefCell::new(vec![0u64; layout.n()]));
+        let current_phase = Rc::new(Cell::new(0u64));
+        let c2 = counts.clone();
+        let p2 = current_phase.clone();
+        mem.add_write_hook(Box::new(move |ev| {
+            if let Some((bin, _cell)) = layout.bin_of_addr(ev.addr) {
+                if let Some(writer_phase) = BinLayout::phase_of_stamp(ev.new.stamp) {
+                    if writer_phase < p2.get() {
+                        c2.borrow_mut()[bin] += 1;
+                    }
+                }
+            }
+        }));
+        ClobberCounter { counts, current_phase }
+    }
+
+    /// Publish the true phase (harness calls this when the oracle advances).
+    pub fn set_phase(&self, phase: u64) {
+        self.current_phase.set(phase);
+    }
+
+    /// Clobbers per bin accumulated since the last [`Self::take`].
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counts.borrow().clone()
+    }
+
+    /// Read out and reset the per-bin counters (at a phase boundary).
+    pub fn take(&self) -> Vec<u64> {
+        let mut c = self.counts.borrow_mut();
+        let out = c.clone();
+        c.iter_mut().for_each(|x| *x = 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::{RegionAllocator, Stamped};
+
+    #[test]
+    fn eval_log_filters_by_phase_and_bin() {
+        let mut log = EventLog::default();
+        log.evals.push((0, 1, 10));
+        log.evals.push((0, 1, 11));
+        log.evals.push((1, 1, 12));
+        log.evals.push((0, 2, 13));
+        assert_eq!(log.eval_values(0, 1), vec![10, 11]);
+        assert_eq!(log.eval_values(1, 1), vec![12]);
+        assert!(log.eval_values(2, 0).is_empty());
+        log.clear();
+        assert!(log.evals.is_empty());
+    }
+
+    #[test]
+    fn wrote_cell_reflects_action() {
+        let mk = |action| CycleRecord {
+            proc: ProcId(0),
+            phase: 0,
+            bin: 0,
+            start_work: 0,
+            decide_work: 0,
+            finish_work: 0,
+            action,
+        };
+        assert_eq!(mk(CycleAction::Evaluated { value: 5 }).wrote_cell(), Some(0));
+        assert_eq!(mk(CycleAction::Copied { to: 3, value: 5 }).wrote_cell(), Some(3));
+        assert_eq!(mk(CycleAction::HoleSkip { at: 2 }).wrote_cell(), None);
+        assert_eq!(mk(CycleAction::BinFull).wrote_cell(), None);
+    }
+
+    #[test]
+    fn clobber_counter_counts_only_stale_bin_writes() {
+        let mut alloc = RegionAllocator::new();
+        let layout = BinLayout::new(&mut alloc, 2, 4);
+        let outside = alloc.alloc(1);
+        let mut mem = SharedMemory::new(alloc.total());
+        let counter = ClobberCounter::install(&mut mem, layout);
+        counter.set_phase(5);
+
+        // Current-phase write: not a clobber.
+        mem.poke_observed(layout.cell_addr(0, 0), Stamped::new(1, BinLayout::stamp_for(5)), ProcId(0));
+        // Stale write (phase 3 < 5): clobber in bin 1.
+        mem.poke_observed(layout.cell_addr(1, 2), Stamped::new(1, BinLayout::stamp_for(3)), ProcId(0));
+        // Write outside the bins: ignored.
+        mem.poke_observed(outside.addr(0), Stamped::new(1, 1), ProcId(0));
+        // Fresh-memory stamp 0 has no phase: ignored.
+        mem.poke_observed(layout.cell_addr(1, 3), Stamped::new(1, 0), ProcId(0));
+
+        assert_eq!(counter.snapshot(), vec![0, 1]);
+        assert_eq!(counter.take(), vec![0, 1]);
+        assert_eq!(counter.snapshot(), vec![0, 0], "take resets");
+    }
+
+    #[test]
+    fn future_phase_writes_are_not_clobbers() {
+        // A processor slightly *ahead* (read the clock early) is not a
+        // clobberer under Lemma 1's definition.
+        let mut alloc = RegionAllocator::new();
+        let layout = BinLayout::new(&mut alloc, 1, 4);
+        let mut mem = SharedMemory::new(alloc.total());
+        let counter = ClobberCounter::install(&mut mem, layout);
+        counter.set_phase(2);
+        mem.poke_observed(layout.cell_addr(0, 0), Stamped::new(1, BinLayout::stamp_for(3)), ProcId(0));
+        assert_eq!(counter.snapshot(), vec![0]);
+    }
+}

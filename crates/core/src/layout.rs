@@ -1,0 +1,179 @@
+//! The bin array in shared memory.
+//!
+//! "The structure consists of an array of n bins corresponding to the n
+//! consensus values to be agreed upon. Each bin consists of β log n cells."
+//! (§3). Every write is stamped with the writer's current phase number; a
+//! cell is *filled* for phase π iff its stamp equals π's stamp, *empty*
+//! otherwise. The same array is reused across all phases — stamps are what
+//! keep slow processors from corrupting later phases undetectably.
+
+use apex_sim::{Region, RegionAllocator, SharedMemory, Stamp, Stamped, Value};
+
+/// Address calculation for the `n × cells_per_bin` bin array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinLayout {
+    region: Region,
+    n: usize,
+    cells_per_bin: usize,
+}
+
+impl BinLayout {
+    /// Allocate the bin array.
+    pub fn new(alloc: &mut RegionAllocator, n: usize, cells_per_bin: usize) -> Self {
+        assert!(n > 0 && cells_per_bin > 0);
+        let region = alloc.alloc(n * cells_per_bin);
+        BinLayout { region, n, cells_per_bin }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cells per bin (`β log n`).
+    pub fn cells_per_bin(&self) -> usize {
+        self.cells_per_bin
+    }
+
+    /// Whole-array region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Address of `Bin_i[j]` (0-indexed cell `j` of bin `i`).
+    #[inline]
+    pub fn cell_addr(&self, bin: usize, j: usize) -> usize {
+        assert!(bin < self.n, "bin {bin} out of range");
+        assert!(j < self.cells_per_bin, "cell {j} out of range");
+        self.region.base + bin * self.cells_per_bin + j
+    }
+
+    /// Region of one bin.
+    pub fn bin_region(&self, bin: usize) -> Region {
+        Region::new(self.cell_addr(bin, 0), self.cells_per_bin)
+    }
+
+    /// Which bin an address belongs to, if any (used by write hooks).
+    pub fn bin_of_addr(&self, addr: usize) -> Option<(usize, usize)> {
+        if !self.region.contains(addr) {
+            return None;
+        }
+        let off = addr - self.region.base;
+        Some((off / self.cells_per_bin, off % self.cells_per_bin))
+    }
+
+    /// First cell of the upper half, from which agreement values are read.
+    pub fn upper_half_start(&self) -> usize {
+        self.cells_per_bin / 2
+    }
+
+    /// The stamp that marks a cell *filled* for `phase`. Phase numbering
+    /// starts at 0 but fresh memory has stamp 0, so filled-stamps are offset
+    /// by one.
+    #[inline]
+    pub fn stamp_for(phase: u64) -> Stamp {
+        phase + 1
+    }
+
+    /// Whether a cell value is filled for `phase`.
+    #[inline]
+    pub fn is_filled(cell: Stamped, phase: u64) -> bool {
+        cell.stamp == Self::stamp_for(phase)
+    }
+
+    /// The phase a stamp belongs to (`None` for the fresh-memory stamp 0).
+    #[inline]
+    pub fn phase_of_stamp(stamp: Stamp) -> Option<u64> {
+        stamp.checked_sub(1)
+    }
+
+    /// Observer-level frontier of `Bin_i` for `phase`: the lowest-indexed
+    /// cell never written in the current phase (§4.1). Instrumentation.
+    pub fn oracle_frontier(&self, mem: &SharedMemory, bin: usize, phase: u64) -> usize {
+        for j in 0..self.cells_per_bin {
+            if !Self::is_filled(mem.peek(self.cell_addr(bin, j)), phase) {
+                return j;
+            }
+        }
+        self.cells_per_bin
+    }
+
+    /// Observer-level agreement value for `Bin_i`: any filled upper-half
+    /// cell's value (§3, "Obtaining the agreement values"). Instrumentation
+    /// twin of [`crate::reader::read_value`].
+    pub fn oracle_value(&self, mem: &SharedMemory, bin: usize, phase: u64) -> Option<Value> {
+        for j in self.upper_half_start()..self.cells_per_bin {
+            let c = mem.peek(self.cell_addr(bin, j));
+            if Self::is_filled(c, phase) {
+                return Some(c.value);
+            }
+        }
+        None
+    }
+
+    /// Observer-level count of filled upper-half cells.
+    pub fn oracle_filled_upper(&self, mem: &SharedMemory, bin: usize, phase: u64) -> usize {
+        (self.upper_half_start()..self.cells_per_bin)
+            .filter(|&j| Self::is_filled(mem.peek(self.cell_addr(bin, j)), phase))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_disjoint_per_bin() {
+        let mut alloc = RegionAllocator::new();
+        let _pre = alloc.alloc(10); // bins need not start at 0
+        let l = BinLayout::new(&mut alloc, 4, 8);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..4 {
+            for j in 0..8 {
+                assert!(seen.insert(l.cell_addr(b, j)), "duplicate address");
+            }
+        }
+        assert_eq!(seen.len(), 32);
+        assert_eq!(l.region().len, 32);
+        assert_eq!(l.region().base, 10);
+    }
+
+    #[test]
+    fn bin_of_addr_inverts_cell_addr() {
+        let mut alloc = RegionAllocator::new();
+        let l = BinLayout::new(&mut alloc, 3, 5);
+        for b in 0..3 {
+            for j in 0..5 {
+                assert_eq!(l.bin_of_addr(l.cell_addr(b, j)), Some((b, j)));
+            }
+        }
+        assert_eq!(l.bin_of_addr(15), None);
+    }
+
+    #[test]
+    fn stamps_distinguish_phases_and_fresh_memory() {
+        assert!(!BinLayout::is_filled(Stamped::ZERO, 0), "fresh memory is empty");
+        let w = Stamped::new(9, BinLayout::stamp_for(0));
+        assert!(BinLayout::is_filled(w, 0));
+        assert!(!BinLayout::is_filled(w, 1));
+        assert_eq!(BinLayout::phase_of_stamp(w.stamp), Some(0));
+        assert_eq!(BinLayout::phase_of_stamp(0), None);
+    }
+
+    #[test]
+    fn oracle_frontier_and_value() {
+        let mut alloc = RegionAllocator::new();
+        let l = BinLayout::new(&mut alloc, 2, 8);
+        let mut mem = SharedMemory::new(alloc.total());
+        let phase = 3;
+        for j in 0..5 {
+            mem.poke(l.cell_addr(1, j), Stamped::new(42, BinLayout::stamp_for(phase)));
+        }
+        assert_eq!(l.oracle_frontier(&mem, 1, phase), 5);
+        assert_eq!(l.oracle_frontier(&mem, 0, phase), 0);
+        assert_eq!(l.oracle_value(&mem, 1, phase), Some(42), "cell 4 is in the upper half");
+        assert_eq!(l.oracle_value(&mem, 0, phase), None);
+        assert_eq!(l.oracle_filled_upper(&mem, 1, phase), 1);
+    }
+}

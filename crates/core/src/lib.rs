@@ -1,0 +1,60 @@
+//! # apex-core — the bin-array agreement protocol
+//!
+//! The primary contribution of Aumann, Bender & Zhang (SPAA'96): a protocol
+//! letting `n` asynchronous processors agree on `n` word-sized values in
+//! **O(n log n log log n)** total work under the oblivious adversary
+//! scheduler — fast enough to run once per simulated PRAM step, which is
+//! what makes the execution of *nondeterministic* programs possible at all
+//! (classical consensus would cost Θ(n²) per value and wreck the overhead).
+//!
+//! ## Structure (paper §3)
+//!
+//! * [`BinLayout`] — n bins × β log n timestamped cells ([`mod@layout`]);
+//! * [`cycle::run_cycle`] — Fig. 2: pick a random bin, binary-search for
+//!   the first empty cell ([`search`]), evaluate `f_i^{(π)}` into cell 0 or
+//!   copy the previous cell forward, all padded to exactly ω = Θ(log log n)
+//!   steps;
+//! * [`Participant`] — the per-processor driver interleaving cycles with
+//!   phase-clock reads (every log n cycles) and updates;
+//! * [`reader::read_value`] — obtain `NewVal[i]` from the upper half of
+//!   `Bin_i`;
+//! * [`validate`] / [`stages`] — observer-level checkers for Theorem 1 and
+//!   the stage/stabilizing-structure analysis of §4;
+//! * [`AgreementRun`] — a phase-at-a-time harness used by the tests and by
+//!   experiments E1–E7.
+//!
+//! ```
+//! use std::rc::Rc;
+//! use apex_core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+//! use apex_sim::ScheduleKind;
+//!
+//! // 16 processors agree on 16 random words per phase.
+//! let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 32));
+//! let mut run = AgreementRun::with_default_config(
+//!     16, 0xC0FFEE, &ScheduleKind::Uniform, source, InstrumentOpts::default());
+//! let outcome = run.run_phase();
+//! assert!(outcome.report.all_hold());           // Theorem 1 (1),(3),(4)
+//! assert_eq!(outcome.stability_violations, 0);  // Theorem 1 (2)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+pub mod cycle;
+mod driver;
+mod events;
+mod harness;
+mod layout;
+pub mod reader;
+pub mod search;
+mod source;
+pub mod stages;
+pub mod validate;
+
+pub use config::AgreementConfig;
+pub use driver::Participant;
+pub use events::{new_sink, ClobberCounter, CycleAction, CycleRecord, EventLog, EventSink};
+pub use harness::{AgreementRun, InstrumentOpts, PhaseOutcome};
+pub use layout::BinLayout;
+pub use source::{CoinSource, KeyedSource, LocalBoxFuture, RandomSource, ValueSource};

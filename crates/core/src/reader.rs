@@ -1,0 +1,93 @@
+//! Obtaining the agreement values (§3).
+//!
+//! "A processor obtains the i-th agreement value `NewVal[i]` by reading the
+//! cells in `Bin_i` between `Bin_i[β log n / 2]` and `Bin_i[β log n]`. Any
+//! value appearing in a filled cell in this range is a valid value."
+//!
+//! After Theorem 1 holds, at least half of the upper-half cells are filled
+//! (*accessibility*) and all filled ones agree (*uniqueness*), so a scan
+//! from a random offset finds the value in O(1) expected reads.
+
+use apex_sim::{Ctx, Value};
+
+use crate::layout::BinLayout;
+
+/// Read `NewVal[i]` for `phase`: scan the upper half of `Bin_i` from a
+/// random start, wrapping once. Returns `None` if no upper-half cell is
+/// filled (the phase has not reached accessibility — callers retry or, in
+/// the execution scheme, simply abandon the task).
+///
+/// Cost: 1 random draw + between 1 and `B/2` reads; O(1) expected once
+/// accessibility holds.
+pub async fn read_value(ctx: &Ctx, bins: &BinLayout, bin: usize, phase: u64) -> Option<Value> {
+    let half = bins.upper_half_start();
+    let span = bins.cells_per_bin() - half;
+    let start = ctx.rand_below(span as u64).await as usize;
+    for k in 0..span {
+        let j = half + (start + k) % span;
+        let cell = ctx.read(bins.cell_addr(bin, j)).await;
+        if BinLayout::is_filled(cell, phase) {
+            return Some(cell.value);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::{MachineBuilder, RegionAllocator, Stamped};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn read_with(fill: &[(usize, u64, u64)], phase: u64, seed: u64) -> (Option<Value>, u64) {
+        let mut alloc = RegionAllocator::new();
+        let bins = BinLayout::new(&mut alloc, 1, 8);
+        let out = Rc::new(Cell::new((None, 0u64)));
+        let o2 = out.clone();
+        let mut m = MachineBuilder::new(1, alloc.total()).seed(seed).build(move |ctx| {
+            let out = o2.clone();
+            async move {
+                let before = ctx.ops();
+                let v = read_value(&ctx, &bins, 0, phase).await;
+                out.set((v, ctx.ops() - before));
+            }
+        });
+        for &(j, value, p) in fill {
+            m.poke(bins.region().addr(j), Stamped::new(value, BinLayout::stamp_for(p)));
+        }
+        m.run_to_completion(10_000).unwrap();
+        out.get()
+    }
+
+    #[test]
+    fn reads_any_filled_upper_cell() {
+        // 8-cell bin: upper half is cells 4..8. Fill cell 6 for phase 2.
+        let (v, _) = read_with(&[(6, 55, 2)], 2, 1);
+        assert_eq!(v, Some(55));
+    }
+
+    #[test]
+    fn ignores_lower_half_and_stale_stamps() {
+        // Lower-half fill and a stale upper-half fill must both be invisible.
+        let (v, cost) = read_with(&[(1, 99, 2), (5, 77, 1)], 2, 2);
+        assert_eq!(v, None);
+        assert_eq!(cost, 1 + 4, "exhaustive scan of the 4 upper cells");
+    }
+
+    #[test]
+    fn fully_accessible_bin_costs_o1() {
+        let fill: Vec<(usize, u64, u64)> = (4..8).map(|j| (j, 7, 0)).collect();
+        let (v, cost) = read_with(&fill, 0, 3);
+        assert_eq!(v, Some(7));
+        assert_eq!(cost, 2, "1 rand + 1 read when everything is filled");
+    }
+
+    #[test]
+    fn wrapping_scan_finds_isolated_fill_from_any_start() {
+        for seed in 0..16 {
+            let (v, _) = read_with(&[(4, 13, 5)], 5, seed);
+            assert_eq!(v, Some(13), "seed {seed} must find the single filled cell");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Binary search for the first empty cell of a bin (Fig. 2, line 2).
+//!
+//! Cells of a bin are written in increasing order, so in the absence of
+//! clobbers the filled cells of the current phase form a prefix and
+//! bisection finds the frontier in `O(log(β log n)) = O(log log n)` probes.
+//! Clobbers can punch *holes* below the frontier; the paper notes that
+//! "holes may prevent the binary search from finding the true frontier"
+//! (§4.1) — the search then returns some position whose probes were
+//! consistent, and the cycle's subsequent previous-cell check (line ~8)
+//! safely turns such cycles into no-ops. Correctness never depends on the
+//! search being exact; only progress does, and the stage analysis (Lemma 3)
+//! accounts for hole-induced waste.
+
+use apex_sim::Ctx;
+
+use crate::layout::BinLayout;
+
+/// Bisect for the first cell of `bin` not filled for `phase`.
+///
+/// Returns `cells_per_bin` if every probed cell was filled. Charges exactly
+/// `⌈log₂(B+1)⌉` read ops for a `B`-cell bin
+/// ([`crate::AgreementConfig::search_probes`]).
+pub async fn find_first_empty(ctx: &Ctx, bins: &BinLayout, bin: usize, phase: u64) -> usize {
+    let mut lo = 0usize;
+    let mut hi = bins.cells_per_bin();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let cell = ctx.read(bins.cell_addr(bin, mid)).await;
+        if BinLayout::is_filled(cell, phase) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Number of probes `find_first_empty` performs for a `cells`-cell bin —
+/// the same on every path, since bisection always halves `[0, cells]`.
+pub fn probe_count(cells: usize) -> u64 {
+    crate::AgreementConfig::search_probes(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::{MachineBuilder, RegionAllocator, Stamped};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// Fill the given cells with `fill_phase`'s stamp, then search for the
+    /// first cell empty for `search_phase`.
+    fn search_phases(
+        bin_cells: usize,
+        filled: &[usize],
+        fill_phase: u64,
+        search_phase: u64,
+    ) -> (usize, u64) {
+        let mut alloc = RegionAllocator::new();
+        let layout = BinLayout::new(&mut alloc, 1, bin_cells);
+        let result = Rc::new(Cell::new((usize::MAX, 0u64)));
+        let r2 = result.clone();
+        let mut m = MachineBuilder::new(1, alloc.total()).build(move |ctx| {
+            let r = r2.clone();
+            async move {
+                let before = ctx.ops();
+                let j = find_first_empty(&ctx, &layout, 0, search_phase).await;
+                r.set((j, ctx.ops() - before));
+            }
+        });
+        for &j in filled {
+            m.poke(layout.cell_addr(0, j), Stamped::new(7, BinLayout::stamp_for(fill_phase)));
+        }
+        m.run_to_completion(10_000).unwrap();
+        result.get()
+    }
+
+    fn search_with(bin_cells: usize, filled: &[usize], phase: u64) -> (usize, u64) {
+        search_phases(bin_cells, filled, phase, phase)
+    }
+
+    #[test]
+    fn finds_frontier_of_clean_prefix() {
+        for frontier in 0..=16usize {
+            let filled: Vec<usize> = (0..frontier).collect();
+            let (j, _) = search_with(16, &filled, 2);
+            assert_eq!(j, frontier);
+        }
+    }
+
+    #[test]
+    fn probe_cost_is_bounded_by_the_declared_maximum() {
+        // Leftmost-empty bisection splits [lo, hi) into ⌈·/2⌉ and ⌊·/2⌋−ish
+        // halves, so path lengths vary by at most one probe; the declared
+        // probe_count is the maximum, and the ω padding absorbs the spread.
+        for cells in [8usize, 16, 30, 80] {
+            let mut min_cost = u64::MAX;
+            let mut max_cost = 0u64;
+            for frontier in 0..=cells {
+                let filled: Vec<usize> = (0..frontier).collect();
+                let (_, cost) = search_with(cells, &filled, 0);
+                min_cost = min_cost.min(cost);
+                max_cost = max_cost.max(cost);
+            }
+            assert_eq!(max_cost, probe_count(cells), "cells={cells}");
+            assert!(max_cost - min_cost <= 1, "cells={cells}: spread > 1");
+        }
+    }
+
+    #[test]
+    fn full_bin_returns_len() {
+        let filled: Vec<usize> = (0..8).collect();
+        let (j, _) = search_with(8, &filled, 1);
+        assert_eq!(j, 8);
+    }
+
+    #[test]
+    fn stale_stamps_read_as_empty() {
+        // Cells filled for phase 3 are a prefix for phase 3 …
+        let filled: Vec<usize> = (0..5).collect();
+        let (j, _) = search_phases(8, &filled, 3, 3);
+        assert_eq!(j, 5);
+        // … but count as empty when searching for phase 4: the bin is reused.
+        let (j, _) = search_phases(8, &filled, 3, 4);
+        assert_eq!(j, 0);
+    }
+
+    #[test]
+    fn holes_yield_a_consistent_position() {
+        // Prefix 0..6 filled with a hole at 3: bisection of [0,8] probes 4
+        // (filled ⇒ lo=5), then 6 (filled ⇒ lo=7), then 7 (empty ⇒ hi=7):
+        // returns 7 — a position, not the true frontier 3. The cycle's
+        // previous-cell check handles this.
+        let filled = [0, 1, 2, 4, 5, 6];
+        let (j, _) = search_with(8, &filled, 0);
+        assert_eq!(j, 7);
+    }
+}

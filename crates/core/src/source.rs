@@ -1,0 +1,193 @@
+//! Nondeterministic value sources: the `f_i^{(π)}` of the paper.
+//!
+//! Associated with each phase π there are n nondeterministic functions
+//! `f_1^{(π)}, …, f_n^{(π)}` (§2.2). A [`ValueSource`] evaluates
+//! `f_i^{(π)}` on demand; evaluation may consult the executing processor's
+//! private random source and read shared memory, and must charge at most
+//! [`ValueSource::max_cost`] atomic ops (the cycle's fixed ω budget accounts
+//! for it).
+
+use std::future::Future;
+use std::pin::Pin;
+
+use apex_sim::{Ctx, Value};
+
+/// A boxed local future (the protocol runs on a single-threaded executor).
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// Evaluator for the phase functions `f_i^{(π)}`.
+pub trait ValueSource {
+    /// Evaluate `f_i^{(π)}` as the executing processor. Implementations
+    /// must charge at most [`ValueSource::max_cost`] ops per call.
+    fn eval<'a>(&'a self, ctx: &'a Ctx, phase: u64, i: usize) -> LocalBoxFuture<'a, Value>;
+
+    /// Worst-case ops charged by one evaluation.
+    fn max_cost(&self) -> u64;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        "value-source".into()
+    }
+}
+
+/// `f_i^{(π)}` = a fresh uniform draw from `[0, bound)` — the canonical
+/// *randomized* instruction. Different evaluations of the same `(π, i)`
+/// yield different values, which is exactly the situation the agreement
+/// protocol exists to resolve.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSource {
+    /// Exclusive upper bound of the drawn values.
+    pub bound: u64,
+}
+
+impl RandomSource {
+    /// Uniform draws below `bound`.
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0);
+        RandomSource { bound }
+    }
+}
+
+impl ValueSource for RandomSource {
+    fn eval<'a>(&'a self, ctx: &'a Ctx, _phase: u64, _i: usize) -> LocalBoxFuture<'a, Value> {
+        let bound = self.bound;
+        Box::pin(async move { ctx.rand_below(bound).await })
+    }
+
+    fn max_cost(&self) -> u64 {
+        1
+    }
+
+    fn describe(&self) -> String {
+        format!("uniform-random(bound={})", self.bound)
+    }
+}
+
+/// Biased coin: `f_i^{(π)} = 1` with probability `num/den`, else `0`.
+/// Used by the Claim-8 distribution-preservation experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct CoinSource {
+    /// Probability numerator.
+    pub num: u64,
+    /// Probability denominator.
+    pub den: u64,
+}
+
+impl CoinSource {
+    /// A coin with success probability `num/den`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den > 0 && num <= den);
+        CoinSource { num, den }
+    }
+}
+
+impl ValueSource for CoinSource {
+    fn eval<'a>(&'a self, ctx: &'a Ctx, _phase: u64, _i: usize) -> LocalBoxFuture<'a, Value> {
+        let (num, den) = (self.num, self.den);
+        Box::pin(async move { u64::from(ctx.rand_below(den).await < num) })
+    }
+
+    fn max_cost(&self) -> u64 {
+        1
+    }
+
+    fn describe(&self) -> String {
+        format!("coin(p={}/{})", self.num, self.den)
+    }
+}
+
+/// Deterministic source: `f_i^{(π)} = mix(π, i)`. With a deterministic
+/// source every evaluation agrees, which turns the agreement protocol into
+/// a pure coverage exercise — useful for isolating bin mechanics in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeyedSource;
+
+impl KeyedSource {
+    /// The value every evaluation of `(phase, i)` returns.
+    pub fn expected(phase: u64, i: usize) -> Value {
+        let mut s = phase
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64);
+        apex_sim::rng::splitmix64(&mut s)
+    }
+}
+
+impl ValueSource for KeyedSource {
+    fn eval<'a>(&'a self, ctx: &'a Ctx, phase: u64, i: usize) -> LocalBoxFuture<'a, Value> {
+        Box::pin(async move {
+            ctx.compute().await;
+            Self::expected(phase, i)
+        })
+    }
+
+    fn max_cost(&self) -> u64 {
+        1
+    }
+
+    fn describe(&self) -> String {
+        "keyed-deterministic".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::MachineBuilder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn eval_many<S: ValueSource + Copy + 'static>(src: S, k: usize) -> Vec<Value> {
+        let out: Rc<RefCell<Vec<Value>>> = Rc::new(RefCell::new(vec![]));
+        let out2 = out.clone();
+        let mut m = MachineBuilder::new(1, 1).seed(9).build(move |ctx| {
+            let out = out2.clone();
+            async move {
+                for t in 0..k {
+                    let v = src.eval(&ctx, 0, t % 4).await;
+                    out.borrow_mut().push(v);
+                }
+            }
+        });
+        m.run_to_completion(100_000).unwrap();
+        Rc::try_unwrap(out).unwrap().into_inner()
+    }
+
+    #[test]
+    fn random_source_varies_across_evaluations() {
+        let vals = eval_many(RandomSource::new(1_000_000), 16);
+        let distinct: std::collections::HashSet<_> = vals.iter().collect();
+        assert!(distinct.len() > 8, "random source should vary: {vals:?}");
+    }
+
+    #[test]
+    fn coin_source_is_zero_one_with_roughly_right_bias() {
+        let vals = eval_many(CoinSource::new(1, 4), 4000);
+        assert!(vals.iter().all(|v| *v <= 1));
+        let ones: u64 = vals.iter().sum();
+        let p = ones as f64 / vals.len() as f64;
+        assert!((0.18..0.32).contains(&p), "p̂ = {p}");
+    }
+
+    #[test]
+    fn keyed_source_is_deterministic() {
+        let vals = eval_many(KeyedSource, 8);
+        for (t, v) in vals.iter().enumerate() {
+            assert_eq!(*v, KeyedSource::expected(0, t % 4));
+        }
+    }
+
+    #[test]
+    fn sources_respect_their_cost_declaration() {
+        let mut m = MachineBuilder::new(1, 1).build(move |ctx| async move {
+            let src = RandomSource::new(10);
+            let before = ctx.ops();
+            let _ = src.eval(&ctx, 0, 0).await;
+            assert!(ctx.ops() - before <= src.max_cost());
+            let src = KeyedSource;
+            let before = ctx.ops();
+            let _ = src.eval(&ctx, 3, 1).await;
+            assert!(ctx.ops() - before <= src.max_cost());
+        });
+        m.run_to_completion(1000).unwrap();
+    }
+}

@@ -1,0 +1,293 @@
+//! Theorem 1 validators.
+//!
+//! Theorem 1: for sufficiently large β and any phase π, after
+//! `O(n log n log log n)` work units w.h.p., for each `i`:
+//!
+//! 1. **Uniqueness** — one value `v_i` such that every filled upper-half
+//!    cell (`j ≥ β log n / 2`) stores `v_i`;
+//! 2. **Stability** — `v_i` does not change until the next phase begins;
+//! 3. **Accessibility** — at least half the upper-half cells are filled;
+//! 4. **Correctness** — `v_i ∈ f_i^{(π)}` (it was produced by some actual
+//!    evaluation of `f_i^{(π)}`).
+//!
+//! The checkers here are observer-level: they see the true memory without
+//! charging work, which is exactly what a proof-of-correctness predicate is
+//! allowed to see.
+
+use std::collections::HashMap;
+
+use apex_sim::{SharedMemory, Value};
+
+use crate::events::EventLog;
+use crate::layout::BinLayout;
+
+/// Per-bin check results for one phase.
+#[derive(Clone, Debug)]
+pub struct BinCheck {
+    /// Bin index `i`.
+    pub bin: usize,
+    /// The candidate agreed value `v_i` (first filled upper-half cell).
+    pub value: Option<Value>,
+    /// Filled upper-half cells.
+    pub filled_upper: usize,
+    /// Total upper-half cells.
+    pub upper_cells: usize,
+    /// Property 1: all filled upper-half cells agree.
+    pub unique: bool,
+    /// Property 3: `filled_upper ≥ upper_cells/2`.
+    pub accessible: bool,
+    /// Property 4, when an evaluation log is supplied.
+    pub correct: Option<bool>,
+}
+
+/// Whole-array check results for one phase.
+#[derive(Clone, Debug)]
+pub struct TheoremOneReport {
+    /// The phase checked.
+    pub phase: u64,
+    /// Per-bin results.
+    pub bins: Vec<BinCheck>,
+}
+
+impl TheoremOneReport {
+    /// Bins satisfying uniqueness.
+    pub fn n_unique(&self) -> usize {
+        self.bins.iter().filter(|b| b.unique).count()
+    }
+
+    /// Bins satisfying accessibility.
+    pub fn n_accessible(&self) -> usize {
+        self.bins.iter().filter(|b| b.accessible).count()
+    }
+
+    /// Bins satisfying correctness (when checkable).
+    pub fn n_correct(&self) -> usize {
+        self.bins.iter().filter(|b| b.correct == Some(true)).count()
+    }
+
+    /// Uniqueness + accessibility hold for every bin (the static half of
+    /// Theorem 1; stability is temporal and tracked separately).
+    pub fn all_hold(&self) -> bool {
+        self.bins.iter().all(|b| b.unique && b.accessible && b.correct != Some(false))
+    }
+
+    /// The agreed values `NewVal[1..n]`.
+    pub fn agreed_values(&self) -> Vec<Option<Value>> {
+        self.bins.iter().map(|b| b.value).collect()
+    }
+
+    /// Mean filled fraction of the upper halves (experiment E4).
+    pub fn mean_filled_fraction(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .map(|b| b.filled_upper as f64 / b.upper_cells.max(1) as f64)
+            .sum::<f64>()
+            / self.bins.len() as f64
+    }
+}
+
+/// Check properties 1, 3 (and 4, if `log` is given) for `phase`.
+pub fn check_theorem_one(
+    mem: &SharedMemory,
+    bins: &BinLayout,
+    phase: u64,
+    log: Option<&EventLog>,
+) -> TheoremOneReport {
+    let half = bins.upper_half_start();
+    let checks = (0..bins.n())
+        .map(|bin| {
+            let mut value: Option<Value> = None;
+            let mut unique = true;
+            let mut filled = 0usize;
+            for j in half..bins.cells_per_bin() {
+                let c = mem.peek(bins.cell_addr(bin, j));
+                if BinLayout::is_filled(c, phase) {
+                    filled += 1;
+                    match value {
+                        None => value = Some(c.value),
+                        Some(v) if v != c.value => unique = false,
+                        _ => {}
+                    }
+                }
+            }
+            let upper_cells = bins.cells_per_bin() - half;
+            let accessible = filled * 2 >= upper_cells;
+            let correct = log.map(|l| match value {
+                Some(v) => l.eval_values(phase, bin).contains(&v),
+                None => false,
+            });
+            BinCheck { bin, value, filled_upper: filled, upper_cells, unique, accessible, correct }
+        })
+        .collect();
+    TheoremOneReport { phase, bins: checks }
+}
+
+/// Temporal tracker for property 2 (**stability**): "the value of `v_i`
+/// does not change (until the next phase begins)". The harness feeds it a
+/// snapshot whenever it observes the memory; any change of an agreed value
+/// within the same phase is a violation.
+#[derive(Debug, Default)]
+pub struct StabilityTracker {
+    seen: HashMap<(u64, usize), Value>,
+    /// `(phase, bin, first_value, later_value)` for every observed change.
+    pub violations: Vec<(u64, usize, Value, Value)>,
+}
+
+impl StabilityTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe the current agreed values of `phase`.
+    pub fn observe(&mut self, mem: &SharedMemory, bins: &BinLayout, phase: u64) {
+        for bin in 0..bins.n() {
+            if let Some(v) = bins.oracle_value(mem, bin, phase) {
+                match self.seen.entry((phase, bin)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != v {
+                            self.violations.push((phase, bin, *e.get(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any instability was observed.
+    pub fn is_stable(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// First value observed for `(phase, bin)`, if any.
+    pub fn first_value(&self, phase: u64, bin: usize) -> Option<Value> {
+        self.seen.get(&(phase, bin)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::{RegionAllocator, Stamped};
+
+    fn layout(n: usize, cells: usize) -> (BinLayout, SharedMemory) {
+        let mut alloc = RegionAllocator::new();
+        let l = BinLayout::new(&mut alloc, n, cells);
+        let m = SharedMemory::new(alloc.total());
+        (l, m)
+    }
+
+    fn fill(mem: &mut SharedMemory, l: &BinLayout, bin: usize, j: usize, v: Value, phase: u64) {
+        mem.poke(l.cell_addr(bin, j), Stamped::new(v, BinLayout::stamp_for(phase)));
+    }
+
+    #[test]
+    fn unique_accessible_bin_passes() {
+        let (l, mut mem) = layout(2, 8);
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 42, 0);
+            fill(&mut mem, &l, 1, j, 17, 0);
+        }
+        let r = check_theorem_one(&mem, &l, 0, None);
+        assert!(r.all_hold());
+        assert_eq!(r.agreed_values(), vec![Some(42), Some(17)]);
+        assert_eq!(r.mean_filled_fraction(), 1.0);
+    }
+
+    #[test]
+    fn conflicting_upper_values_fail_uniqueness() {
+        let (l, mut mem) = layout(1, 8);
+        fill(&mut mem, &l, 0, 4, 1, 0);
+        fill(&mut mem, &l, 0, 5, 1, 0);
+        fill(&mut mem, &l, 0, 6, 2, 0);
+        let r = check_theorem_one(&mem, &l, 0, None);
+        assert!(!r.bins[0].unique);
+        assert!(!r.all_hold());
+        assert_eq!(r.n_unique(), 0);
+    }
+
+    #[test]
+    fn sparse_upper_half_fails_accessibility() {
+        let (l, mut mem) = layout(1, 8);
+        fill(&mut mem, &l, 0, 4, 9, 0);
+        let r = check_theorem_one(&mem, &l, 0, None);
+        assert!(r.bins[0].unique, "one filled cell is trivially unique");
+        assert!(!r.bins[0].accessible, "1 of 4 < half");
+        assert_eq!(r.bins[0].filled_upper, 1);
+    }
+
+    #[test]
+    fn lower_half_disagreement_does_not_affect_uniqueness() {
+        // Theorem 1's uniqueness is about cells j ≥ B/2 only.
+        let (l, mut mem) = layout(1, 8);
+        fill(&mut mem, &l, 0, 0, 1, 0);
+        fill(&mut mem, &l, 0, 1, 2, 0);
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 3, 0);
+        }
+        let r = check_theorem_one(&mem, &l, 0, None);
+        assert!(r.bins[0].unique && r.bins[0].accessible);
+    }
+
+    #[test]
+    fn correctness_requires_an_actual_evaluation() {
+        let (l, mut mem) = layout(1, 8);
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 5, 1);
+        }
+        let mut log = EventLog::default();
+        log.evals.push((1, 0, 5));
+        let r = check_theorem_one(&mem, &l, 1, Some(&log));
+        assert_eq!(r.bins[0].correct, Some(true));
+        assert_eq!(r.n_correct(), 1);
+
+        let mut bad_log = EventLog::default();
+        bad_log.evals.push((1, 0, 6)); // 5 was never evaluated
+        let r = check_theorem_one(&mem, &l, 1, Some(&bad_log));
+        assert_eq!(r.bins[0].correct, Some(false));
+        assert!(!r.all_hold());
+    }
+
+    #[test]
+    fn stability_tracker_flags_value_changes() {
+        let (l, mut mem) = layout(1, 8);
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 5, 0);
+        }
+        let mut t = StabilityTracker::new();
+        t.observe(&mem, &l, 0);
+        assert!(t.is_stable());
+        assert_eq!(t.first_value(0, 0), Some(5));
+        // The agreed value flips (all upper cells rewritten to 6).
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 6, 0);
+        }
+        t.observe(&mem, &l, 0);
+        assert!(!t.is_stable());
+        assert_eq!(t.violations[0], (0, 0, 5, 6));
+    }
+
+    #[test]
+    fn stability_is_per_phase() {
+        let (l, mut mem) = layout(1, 8);
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 5, 0);
+        }
+        let mut t = StabilityTracker::new();
+        t.observe(&mem, &l, 0);
+        // A *new phase* may establish a different value without violating
+        // stability of the old one.
+        for j in 4..8 {
+            fill(&mut mem, &l, 0, j, 6, 1);
+        }
+        t.observe(&mem, &l, 1);
+        assert!(t.is_stable());
+        assert_eq!(t.first_value(1, 0), Some(6));
+    }
+}

@@ -1,0 +1,155 @@
+//! Fluent construction of PRAM programs.
+
+use crate::instr::{Instr, Operand, VarId};
+use crate::op::{Op, Value};
+use crate::program::Program;
+
+/// Builder accumulating variables and steps; `build` validates the result.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    n_threads: usize,
+    init: Vec<Value>,
+    steps: Vec<Vec<Option<Instr>>>,
+}
+
+/// A contiguous block of program variables.
+#[derive(Clone, Copy, Debug)]
+pub struct VarBlock {
+    /// First variable id.
+    pub base: VarId,
+    /// Number of variables.
+    pub len: usize,
+}
+
+impl VarBlock {
+    /// The `i`-th variable of the block.
+    pub fn at(&self, i: usize) -> VarId {
+        assert!(i < self.len, "variable index {i} out of block (len {})", self.len);
+        self.base + i
+    }
+}
+
+impl ProgramBuilder {
+    /// New builder for an `n_threads`-thread program.
+    pub fn new(name: impl Into<String>, n_threads: usize) -> Self {
+        assert!(n_threads > 0);
+        ProgramBuilder { name: name.into(), n_threads, init: Vec::new(), steps: Vec::new() }
+    }
+
+    /// Allocate `len` variables initialized to `v`.
+    pub fn alloc(&mut self, len: usize, v: Value) -> VarBlock {
+        let base = self.init.len();
+        self.init.extend(std::iter::repeat(v).take(len));
+        VarBlock { base, len }
+    }
+
+    /// Allocate variables initialized from a slice.
+    pub fn alloc_init(&mut self, vals: &[Value]) -> VarBlock {
+        let base = self.init.len();
+        self.init.extend_from_slice(vals);
+        VarBlock { base, len: vals.len() }
+    }
+
+    /// Open a new synchronous step; emit instructions through the returned
+    /// handle. Steps execute in the order they are opened.
+    pub fn step(&mut self) -> StepBuilder<'_> {
+        self.steps.push(vec![None; self.n_threads]);
+        StepBuilder { builder: self }
+    }
+
+    /// Number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Finish and validate.
+    ///
+    /// # Panics
+    /// If the program violates bounds or the strict EREW discipline — these
+    /// are programming errors in the library, not runtime conditions.
+    pub fn build(self) -> Program {
+        let mem_size = self.init.len();
+        let p = Program {
+            name: self.name,
+            n_threads: self.n_threads,
+            mem_size,
+            init: self.init,
+            steps: self.steps,
+        };
+        if let Err(e) = p.validate() {
+            panic!("invalid program '{}': {e}", p.name);
+        }
+        p
+    }
+}
+
+/// Emits instructions into one step.
+pub struct StepBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+}
+
+impl StepBuilder<'_> {
+    /// `thread`: `dst ← op(a, b)`.
+    pub fn emit(&mut self, thread: usize, dst: VarId, op: Op, a: Operand, b: Operand) -> &mut Self {
+        assert!(thread < self.builder.n_threads, "thread {thread} out of range");
+        let slot = &mut self.builder.steps.last_mut().expect("open step")[thread];
+        assert!(slot.is_none(), "thread {thread} already has an instruction this step");
+        *slot = Some(Instr::new(dst, op, a, b));
+        self
+    }
+
+    /// Shorthand: `dst ← Mov(src)`.
+    pub fn mov(&mut self, thread: usize, dst: VarId, src: Operand) -> &mut Self {
+        self.emit(thread, dst, Op::Mov, src, Operand::Const(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_a_valid_program() {
+        let mut b = ProgramBuilder::new("t", 2);
+        let x = b.alloc_init(&[10, 20]);
+        let y = b.alloc(1, 0);
+        b.step()
+            .emit(0, y.at(0), Op::Add, Operand::Var(x.at(0)), Operand::Var(x.at(1)));
+        b.step().mov(1, x.at(1), Operand::Const(5));
+        let p = b.build();
+        assert_eq!(p.n_steps(), 2);
+        assert_eq!(p.mem_size, 3);
+        assert_eq!(p.init, vec![10, 20, 0]);
+        assert_eq!(p.instr(0, 0).unwrap().dst, y.at(0));
+        assert!(p.instr(0, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "EREW violation")]
+    fn builder_rejects_erew_conflicts_at_build() {
+        let mut b = ProgramBuilder::new("bad", 2);
+        let x = b.alloc(1, 0);
+        let o = b.alloc(2, 0);
+        b.step()
+            .mov(0, o.at(0), Operand::Var(x.at(0)))
+            .mov(1, o.at(1), Operand::Var(x.at(0)));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an instruction")]
+    fn one_instruction_per_thread_per_step() {
+        let mut b = ProgramBuilder::new("bad", 1);
+        let x = b.alloc(2, 0);
+        b.step().mov(0, x.at(0), Operand::Const(1)).mov(0, x.at(1), Operand::Const(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of block")]
+    fn var_block_bounds_checked() {
+        let mut b = ProgramBuilder::new("t", 1);
+        let x = b.alloc(2, 0);
+        let _ = x.at(2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # apex-pram — the synchronous EREW PRAM program model
+//!
+//! The programs the execution scheme runs: `n`-thread straight-line EREW
+//! PRAM programs in the paper's formal model (§2.1) — at each step π thread
+//! `i` performs one instruction `z ← f(x, y)` over shared variables with
+//! *static* addresses, and nondeterminism enters only through randomized
+//! basic operations.
+//!
+//! * [`Op`] / [`Instr`] — the basic operations and instructions;
+//! * [`Program`] — validated instruction streams with a strict-EREW checker
+//!   and the static **last-write table** the scheme's stamp validation uses;
+//! * [`ProgramBuilder`] — fluent construction;
+//! * [`refexec`] — the ideal synchronous executor, with seeded or
+//!   *injected* nondeterminism (the verifier replays agreed values);
+//! * [`library`] — reductions, Blelloch scan, odd–even sort, Jacobi stencil,
+//!   and the randomized workloads (coin sums, random walks, leader
+//!   election).
+//!
+//! ```
+//! use apex_pram::library::tree_reduce;
+//! use apex_pram::refexec::{execute, Choices};
+//! use apex_pram::Op;
+//!
+//! let built = tree_reduce(Op::Add, &[1, 2, 3, 4]);
+//! let out = execute(&built.program, &Choices::Seeded(0));
+//! assert_eq!(out.memory[built.outputs.at(0)], 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+mod instr;
+pub mod library;
+mod op;
+mod program;
+pub mod refexec;
+
+pub use builder::{ProgramBuilder, StepBuilder, VarBlock};
+pub use instr::{Instr, Operand, VarId};
+pub use op::{Op, Value};
+pub use program::{LastWriteTable, Program, ProgramError};

@@ -1,0 +1,85 @@
+//! Hypercube all-reduce (butterfly).
+//!
+//! After `log₂ n` exchange rounds along hypercube dimensions, *every*
+//! thread holds the reduction of all inputs. The butterfly's natural form
+//! has partners reading each other's cells concurrently; the EREW staging
+//! serializes each round into four steps — the partner with the lower id
+//! reads the pair first, then the higher one (the cells are unmodified in
+//! between), then both write back their combined values to distinct cells.
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// All-reduce `values` with the associative deterministic `op`; output
+/// block has `n` entries, all equal to the reduction.
+pub fn hypercube_allreduce(op: Op, values: &[u64]) -> Built {
+    let n = values.len();
+    assert_pow2(n);
+    assert!(op.is_deterministic());
+    let mut b = ProgramBuilder::new(format!("allreduce-{op:?}-n{n}"), n);
+    let inputs = b.alloc_init(values);
+    let v = b.alloc_init(values); // working/output copy
+    let lo = b.alloc(n / 2, 0); // combined value computed by the low partner
+    let hi = b.alloc(n / 2, 0); // combined value computed by the high partner
+
+    let mut d = 1usize;
+    while d < n {
+        // Pairs (i, i^d) with i < i^d; pair index = rank among low partners.
+        let pairs: Vec<(usize, usize)> = (0..n).filter(|i| i & d == 0).map(|i| (i, i | d)).collect();
+        let mut s1 = b.step();
+        for (k, &(a, bb)) in pairs.iter().enumerate() {
+            s1.emit(a, lo.at(k), op, Operand::Var(v.at(a)), Operand::Var(v.at(bb)));
+        }
+        drop(s1);
+        let mut s2 = b.step();
+        for (k, &(a, bb)) in pairs.iter().enumerate() {
+            s2.emit(bb, hi.at(k), op, Operand::Var(v.at(a)), Operand::Var(v.at(bb)));
+        }
+        drop(s2);
+        let mut s3 = b.step();
+        for (k, &(a, bb)) in pairs.iter().enumerate() {
+            s3.mov(a, v.at(a), Operand::Var(lo.at(k)));
+            s3.mov(bb, v.at(bb), Operand::Var(hi.at(k)));
+        }
+        drop(s3);
+        d *= 2;
+    }
+
+    Built { program: b.build(), inputs, outputs: v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    #[test]
+    fn every_thread_ends_with_the_total() {
+        let vals: Vec<u64> = (1..=8).collect();
+        let built = hypercube_allreduce(Op::Add, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        for i in 0..8 {
+            assert_eq!(out.memory[built.outputs.at(i)], 36, "thread {i}");
+        }
+    }
+
+    #[test]
+    fn works_for_max_and_min() {
+        let vals = [4u64, 9, 1, 7];
+        let built = hypercube_allreduce(Op::Max, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert!((0..4).all(|i| out.memory[built.outputs.at(i)] == 9));
+        let built = hypercube_allreduce(Op::Min, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert!((0..4).all(|i| out.memory[built.outputs.at(i)] == 1));
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let built = hypercube_allreduce(Op::Add, &[1; 16]);
+        assert_eq!(built.program.n_steps(), 3 * 4, "3 steps × log₂ 16 rounds");
+    }
+}

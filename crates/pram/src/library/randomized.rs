@@ -1,0 +1,266 @@
+//! Randomized programs — the workloads the paper's scheme exists for.
+//!
+//! Each uses `RandBit`/`RandBelow` drawn from the executing processor's
+//! private random source. Under a deterministic execution scheme these
+//! programs break (re-executed tasks recompute *different* values); under
+//! the paper's agreement-augmented scheme every re-execution converges on
+//! one agreed value per `(step, thread)` (Claim 8 keeps the distribution
+//! intact).
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// Each thread draws a uniform value below `bound`; a tree sum aggregates
+/// them. The output block holds the total (a one-line Monte-Carlo
+/// estimator: `E[total] = n·(bound−1)/2`).
+pub fn coin_sum(n: usize, bound: u64) -> Built {
+    assert_pow2(n);
+    assert!(bound >= 1);
+    let mut b = ProgramBuilder::new(format!("coin-sum-n{n}-b{bound}"), n);
+    let r = b.alloc(n, 0);
+    let mut s = b.step();
+    for i in 0..n {
+        s.emit(i, r.at(i), Op::RandBelow, Operand::Const(bound), Operand::Const(0));
+    }
+    drop(s);
+    // Tree sum of the draws.
+    let mut level = r;
+    while level.len > 1 {
+        let next = b.alloc(level.len / 2, 0);
+        let mut step = b.step();
+        for i in 0..next.len {
+            step.emit(
+                i,
+                next.at(i),
+                Op::Add,
+                Operand::Var(level.at(2 * i)),
+                Operand::Var(level.at(2 * i + 1)),
+            );
+        }
+        drop(step);
+        level = next;
+    }
+    Built { program: b.build(), inputs: r, outputs: level }
+}
+
+/// `n` independent ±1 random walks for `rounds` steps, starting from
+/// `starts`. Entirely thread-local: `pos[i] += 2·RandBit − 1` (wrapping).
+pub fn random_walks(starts: &[u64], rounds: usize) -> Built {
+    let n = starts.len();
+    assert_pow2(n);
+    let mut b = ProgramBuilder::new(format!("random-walks-n{n}-r{rounds}"), n);
+    let pos = b.alloc_init(starts);
+    let c = b.alloc(n, 0);
+    let t = b.alloc(n, 0);
+    for _ in 0..rounds {
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, c.at(i), Op::RandBit, Operand::Const(0), Operand::Const(0));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, t.at(i), Op::Add, Operand::Var(c.at(i)), Operand::Var(c.at(i)));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, t.at(i), Op::Sub, Operand::Var(t.at(i)), Operand::Const(1));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, pos.at(i), Op::Add, Operand::Var(pos.at(i)), Operand::Var(t.at(i)));
+        }
+        drop(s);
+    }
+    Built { program: b.build(), inputs: pos, outputs: pos }
+}
+
+/// Randomized leader election by repeated coin battles.
+///
+/// Every round, each still-active candidate flips a coin; if *any* active
+/// candidate flipped 1, candidates that flipped 0 drop out (otherwise the
+/// round is void and everyone stays). The global OR is computed by a
+/// `Max`-tree and redistributed by a doubling broadcast — both strictly
+/// EREW — and the conditional update is branchless:
+/// `active' = active · (1 + any·(coin−1))`.
+///
+/// The output block is the activity bitmap after `rounds` rounds (w.h.p. a
+/// single 1 after Θ(log n) rounds; never all-zero).
+pub fn leader_election(n: usize, rounds: usize) -> Built {
+    assert_pow2(n);
+    let mut b = ProgramBuilder::new(format!("leader-election-n{n}-r{rounds}"), n);
+    let active = b.alloc(n, 1);
+    let c = b.alloc(n, 0);
+    let bb = b.alloc(n, 0);
+    // OR-tree levels (reused every round).
+    let mut tree_blocks = Vec::new();
+    let mut len = n / 2;
+    while len >= 1 {
+        tree_blocks.push(b.alloc(len, 0));
+        if len == 1 {
+            break;
+        }
+        len /= 2;
+    }
+    let bcast = b.alloc(n, 0);
+    let t1 = b.alloc(n, 0);
+
+    for _ in 0..rounds {
+        // Flip.
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, c.at(i), Op::RandBit, Operand::Const(0), Operand::Const(0));
+        }
+        drop(s);
+        // Mask by activity.
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, bb.at(i), Op::Mul, Operand::Var(active.at(i)), Operand::Var(c.at(i)));
+        }
+        drop(s);
+        // OR-tree (Max) over bb.
+        let mut level_vars: Vec<usize> = (0..n).map(|i| bb.at(i)).collect();
+        for block in &tree_blocks {
+            let mut s = b.step();
+            for i in 0..block.len {
+                s.emit(
+                    i,
+                    block.at(i),
+                    Op::Max,
+                    Operand::Var(level_vars[2 * i]),
+                    Operand::Var(level_vars[2 * i + 1]),
+                );
+            }
+            drop(s);
+            level_vars = (0..block.len).map(|i| block.at(i)).collect();
+        }
+        let any = level_vars[0];
+        // Doubling broadcast of `any` into bcast[0..n].
+        b.step().mov(0, bcast.at(0), Operand::Var(any));
+        let mut have = 1usize;
+        while have < n {
+            let mut s = b.step();
+            for i in have..(2 * have).min(n) {
+                s.mov(i, bcast.at(i), Operand::Var(bcast.at(i - have)));
+            }
+            drop(s);
+            have *= 2;
+        }
+        // Branchless update: active *= 1 + any·(c−1).
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, t1.at(i), Op::Sub, Operand::Var(c.at(i)), Operand::Const(1));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, t1.at(i), Op::Mul, Operand::Var(t1.at(i)), Operand::Var(bcast.at(i)));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, t1.at(i), Op::Add, Operand::Const(1), Operand::Var(t1.at(i)));
+        }
+        drop(s);
+        let mut s = b.step();
+        for i in 0..n {
+            s.emit(i, active.at(i), Op::Mul, Operand::Var(active.at(i)), Operand::Var(t1.at(i)));
+        }
+        drop(s);
+    }
+
+    Built { program: b.build(), inputs: active, outputs: active }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    #[test]
+    fn coin_sum_total_is_in_range_and_seed_sensitive() {
+        let built = coin_sum(16, 10);
+        let a = execute(&built.program, &Choices::Seeded(1));
+        let b2 = execute(&built.program, &Choices::Seeded(2));
+        let total_a = a.memory[built.outputs.at(0)];
+        let total_b = b2.memory[built.outputs.at(0)];
+        assert!(total_a <= 16 * 9);
+        assert!(total_b <= 16 * 9);
+        assert_ne!(total_a, total_b, "different seeds should differ (w.h.p.)");
+        // The total equals the sum of the individual draws.
+        let draws: u64 = (0..16).map(|i| a.memory[built.inputs.at(i)]).sum();
+        assert_eq!(total_a, draws);
+    }
+
+    #[test]
+    fn random_walks_move_by_exactly_one_per_round() {
+        let starts = [1000u64; 8];
+        let built = random_walks(&starts, 1);
+        let out = execute(&built.program, &Choices::Seeded(7));
+        for i in 0..8 {
+            let p = out.memory[built.outputs.at(i)];
+            assert!(p == 999 || p == 1001, "walker {i} at {p}");
+        }
+    }
+
+    #[test]
+    fn random_walk_parity_after_r_rounds() {
+        let starts = [0u64; 4];
+        let built = random_walks(&starts, 5);
+        let out = execute(&built.program, &Choices::Seeded(3));
+        for i in 0..4 {
+            let p = out.memory[built.outputs.at(i)] as i64;
+            assert_eq!(p.rem_euclid(2), 1, "5 odd steps ⇒ odd displacement");
+        }
+    }
+
+    #[test]
+    fn leader_election_never_eliminates_everyone() {
+        for seed in 0..10u64 {
+            let built = leader_election(8, 6);
+            let out = execute(&built.program, &Choices::Seeded(seed));
+            let actives: Vec<u64> =
+                (0..8).map(|i| out.memory[built.outputs.at(i)]).collect();
+            assert!(actives.iter().all(|a| *a <= 1), "bitmap: {actives:?}");
+            assert!(actives.iter().sum::<u64>() >= 1, "seed {seed}: everyone eliminated");
+        }
+    }
+
+    #[test]
+    fn leader_election_usually_converges_to_one() {
+        let mut singles = 0;
+        for seed in 0..20u64 {
+            let built = leader_election(16, 10);
+            let out = execute(&built.program, &Choices::Seeded(seed));
+            let count: u64 = (0..16).map(|i| out.memory[built.outputs.at(i)]).sum();
+            if count == 1 {
+                singles += 1;
+            }
+        }
+        assert!(singles >= 12, "only {singles}/20 runs elected a unique leader");
+    }
+
+    #[test]
+    fn forced_coins_drive_the_election_deterministically() {
+        // Inject coins: thread 3 flips 1, everyone else 0, every round.
+        let built = leader_election(4, 2);
+        let mut map = std::collections::HashMap::new();
+        for (step, row) in built.program.steps.iter().enumerate() {
+            for (thread, slot) in row.iter().enumerate() {
+                if let Some(instr) = slot {
+                    if instr.is_nondeterministic() {
+                        map.insert((step as u64, thread), u64::from(thread == 3));
+                    }
+                }
+            }
+        }
+        let out = execute(&built.program, &Choices::Injected(map));
+        let actives: Vec<u64> = (0..4).map(|i| out.memory[built.outputs.at(i)]).collect();
+        assert_eq!(actives, vec![0, 0, 0, 1]);
+    }
+}

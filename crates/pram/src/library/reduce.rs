@@ -1,0 +1,77 @@
+//! Tree reductions (sum, max, …): the canonical EREW workload.
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// Reduce `values` with the associative `op` over a binary tree:
+/// `log₂ n` steps, level `d` combining pairs of level-`d−1` partials into a
+/// fresh block (separate levels keep the program strictly EREW). The output
+/// block holds the single result.
+pub fn tree_reduce(op: Op, values: &[u64]) -> Built {
+    let n = values.len();
+    assert_pow2(n);
+    assert!(op.is_deterministic(), "reduction needs a deterministic op");
+    let mut b = ProgramBuilder::new(format!("tree-reduce-{op:?}-n{n}"), n);
+    let inputs = b.alloc_init(values);
+
+    let mut level = inputs;
+    while level.len > 1 {
+        let next = b.alloc(level.len / 2, 0);
+        let mut step = b.step();
+        for i in 0..next.len {
+            step.emit(
+                i,
+                next.at(i),
+                op,
+                Operand::Var(level.at(2 * i)),
+                Operand::Var(level.at(2 * i + 1)),
+            );
+        }
+        level = next;
+    }
+
+    Built { program: b.build(), inputs, outputs: level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    #[test]
+    fn sum_matches_sequential() {
+        let vals: Vec<u64> = (1..=16).collect();
+        let built = tree_reduce(Op::Add, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert_eq!(out.memory[built.outputs.at(0)], vals.iter().sum::<u64>());
+        assert_eq!(built.program.n_steps(), 4, "log₂ 16 levels");
+    }
+
+    #[test]
+    fn max_and_min_match_sequential() {
+        let vals = [9u64, 3, 17, 2, 8, 8, 1, 40];
+        let built = tree_reduce(Op::Max, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert_eq!(out.memory[built.outputs.at(0)], 40);
+        let built = tree_reduce(Op::Min, &vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert_eq!(out.memory[built.outputs.at(0)], 1);
+    }
+
+    #[test]
+    fn two_element_reduce_is_single_step() {
+        let built = tree_reduce(Op::Add, &[5, 6]);
+        assert_eq!(built.program.n_steps(), 1);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert_eq!(out.memory[built.outputs.at(0)], 11);
+    }
+
+    #[test]
+    fn activity_halves_per_level() {
+        let built = tree_reduce(Op::Add, &(0..32).collect::<Vec<_>>());
+        assert_eq!(built.program.activity(), vec![16, 8, 4, 2, 1]);
+    }
+}

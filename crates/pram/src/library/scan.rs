@@ -1,0 +1,112 @@
+//! Blelloch work-efficient exclusive prefix sum.
+//!
+//! The Hillis–Steele scan is the textbook PRAM scan but needs concurrent
+//! reads (CREW); Blelloch's up-sweep/down-sweep uses disjoint index ranges
+//! per thread and is strictly EREW, which is why the library uses it.
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// Exclusive prefix sum of `values` in place over a working copy:
+/// `2·log₂ n` sweep levels plus a root clear; down-sweep levels take three
+/// steps (save left, move right, combine). Output block `a` ends with
+/// `a[i] = Σ_{j<i} values[j]`.
+pub fn blelloch_scan(values: &[u64]) -> Built {
+    let n = values.len();
+    assert_pow2(n);
+    let mut b = ProgramBuilder::new(format!("blelloch-scan-n{n}"), n);
+    let inputs = b.alloc_init(values);
+    let a = b.alloc_init(values); // working copy = output
+    let t = b.alloc(n / 2, 0); // down-sweep temporaries
+
+    // Up-sweep: a[k + 2^{d+1} - 1] += a[k + 2^d - 1].
+    let mut width = 2usize;
+    while width <= n {
+        let mut step = b.step();
+        for i in 0..n / width {
+            let right = i * width + width - 1;
+            let left = i * width + width / 2 - 1;
+            step.emit(i, a.at(right), Op::Add, Operand::Var(a.at(right)), Operand::Var(a.at(left)));
+        }
+        width *= 2;
+    }
+
+    // Clear the root.
+    b.step().mov(0, a.at(n - 1), Operand::Const(0));
+
+    // Down-sweep: t = a[left]; a[left] = a[right]; a[right] = t + a[right].
+    let mut width = n;
+    while width >= 2 {
+        let pairs = n / width;
+        let mut s1 = b.step();
+        for i in 0..pairs {
+            let left = i * width + width / 2 - 1;
+            s1.mov(i, t.at(i), Operand::Var(a.at(left)));
+        }
+        drop(s1);
+        let mut s2 = b.step();
+        for i in 0..pairs {
+            let left = i * width + width / 2 - 1;
+            let right = i * width + width - 1;
+            s2.mov(i, a.at(left), Operand::Var(a.at(right)));
+        }
+        drop(s2);
+        let mut s3 = b.step();
+        for i in 0..pairs {
+            let right = i * width + width - 1;
+            s3.emit(i, a.at(right), Op::Add, Operand::Var(t.at(i)), Operand::Var(a.at(right)));
+        }
+        drop(s3);
+        width /= 2;
+    }
+
+    Built { program: b.build(), inputs, outputs: a }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    fn reference_scan(vals: &[u64]) -> Vec<u64> {
+        let mut acc = 0u64;
+        vals.iter()
+            .map(|v| {
+                let out = acc;
+                acc = acc.wrapping_add(*v);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_matches_sequential_for_several_sizes() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let vals: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            let built = blelloch_scan(&vals);
+            let out = execute(&built.program, &Choices::Seeded(0));
+            let got: Vec<u64> =
+                (0..n).map(|i| out.memory[built.outputs.at(i)]).collect();
+            assert_eq!(got, reference_scan(&vals), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inputs_are_preserved() {
+        let vals = [7u64, 1, 3, 9];
+        let built = blelloch_scan(&vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        let kept: Vec<u64> = (0..4).map(|i| out.memory[built.inputs.at(i)]).collect();
+        assert_eq!(kept, vals);
+    }
+
+    #[test]
+    fn step_count_is_logarithmic() {
+        let built = blelloch_scan(&[1; 64]);
+        // 6 up-sweep + 1 clear + 6·3 down-sweep = 25 steps.
+        assert_eq!(built.program.n_steps(), 25);
+    }
+}

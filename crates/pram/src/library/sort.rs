@@ -1,0 +1,97 @@
+//! Odd–even transposition sort.
+//!
+//! `n` rounds of compare–exchange on alternating adjacent pairs. A
+//! comparator needs both a min and a max; with one instruction per thread
+//! per step and strict EREW the round splits into three steps (min into a
+//! temporary by the pair's even thread, max by the odd thread, parallel
+//! write-back).
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// Sort `values` ascending with `values.len()` rounds of odd–even
+/// transposition (3 steps per round).
+pub fn odd_even_sort(values: &[u64]) -> Built {
+    let n = values.len();
+    assert_pow2(n);
+    let mut b = ProgramBuilder::new(format!("odd-even-sort-n{n}"), n);
+    let inputs = b.alloc_init(values);
+    let x = b.alloc_init(values); // working copy = output
+    let tmin = b.alloc(n / 2, 0);
+    let tmax = b.alloc(n / 2, 0);
+
+    for round in 0..n {
+        let offset = round % 2;
+        let pairs: Vec<usize> = (0..)
+            .map(|i| offset + 2 * i)
+            .take_while(|p| p + 1 < n)
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
+        let mut s1 = b.step();
+        for (k, &p) in pairs.iter().enumerate() {
+            s1.emit(p, tmin.at(k), Op::Min, Operand::Var(x.at(p)), Operand::Var(x.at(p + 1)));
+        }
+        drop(s1);
+        let mut s2 = b.step();
+        for (k, &p) in pairs.iter().enumerate() {
+            s2.emit(p + 1, tmax.at(k), Op::Max, Operand::Var(x.at(p)), Operand::Var(x.at(p + 1)));
+        }
+        drop(s2);
+        let mut s3 = b.step();
+        for (k, &p) in pairs.iter().enumerate() {
+            s3.mov(p, x.at(p), Operand::Var(tmin.at(k)));
+            s3.mov(p + 1, x.at(p + 1), Operand::Var(tmax.at(k)));
+        }
+        drop(s3);
+    }
+
+    Built { program: b.build(), inputs, outputs: x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    fn run_sort(vals: &[u64]) -> Vec<u64> {
+        let built = odd_even_sort(vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        (0..vals.len()).map(|i| out.memory[built.outputs.at(i)]).collect()
+    }
+
+    #[test]
+    fn sorts_reversed_input() {
+        let vals: Vec<u64> = (0..16u64).rev().collect();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        assert_eq!(run_sort(&vals), expect);
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_already_sorted() {
+        assert_eq!(run_sort(&[3, 1, 3, 1]), vec![1, 1, 3, 3]);
+        assert_eq!(run_sort(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sorts_pseudorandom_inputs() {
+        for seed in 0..5u64 {
+            let vals = super::super::gen_values(8, seed);
+            let mut expect = vals.clone();
+            expect.sort_unstable();
+            assert_eq!(run_sort(&vals), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_structure_is_three_steps() {
+        let built = odd_even_sort(&[4, 3, 2, 1]);
+        // 4 rounds; odd rounds at n=4 have one pair (1,2); all have ≥1 pair.
+        assert_eq!(built.program.n_steps(), 12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Jacobi 1-D smoothing: the bulk-synchronous stencil pattern.
+//!
+//! `u'[i] = (u[i-1] + u[i+1]) / 2` on interior points with fixed
+//! boundaries. The naive formulation has two concurrent readers per cell
+//! (CREW); the EREW staging copies `u` into left/right shadow arrays first,
+//! so every variable has exactly one reader per step.
+
+use crate::builder::ProgramBuilder;
+use crate::instr::Operand;
+use crate::op::Op;
+
+use super::{assert_pow2, Built};
+
+/// `iters` Jacobi iterations over `values` (4 steps per iteration).
+pub fn jacobi_smooth(values: &[u64], iters: usize) -> Built {
+    let n = values.len();
+    assert_pow2(n);
+    assert!(n >= 4, "stencil needs at least 4 points");
+    let mut b = ProgramBuilder::new(format!("jacobi-n{n}-it{iters}"), n);
+    let inputs = b.alloc_init(values);
+    let u = b.alloc_init(values); // working copy = output
+    let left = b.alloc(n, 0);
+    let right = b.alloc(n, 0);
+    let s = b.alloc(n, 0);
+
+    for _ in 0..iters {
+        let mut s1 = b.step();
+        for i in 0..n {
+            s1.mov(i, left.at(i), Operand::Var(u.at(i)));
+        }
+        drop(s1);
+        let mut s2 = b.step();
+        for i in 0..n {
+            s2.mov(i, right.at(i), Operand::Var(u.at(i)));
+        }
+        drop(s2);
+        let mut s3 = b.step();
+        for i in 1..n - 1 {
+            s3.emit(i, s.at(i), Op::Add, Operand::Var(left.at(i - 1)), Operand::Var(right.at(i + 1)));
+        }
+        drop(s3);
+        let mut s4 = b.step();
+        for i in 1..n - 1 {
+            s4.emit(i, u.at(i), Op::Shr, Operand::Var(s.at(i)), Operand::Const(1));
+        }
+        drop(s4);
+    }
+
+    Built { program: b.build(), inputs, outputs: u }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refexec::{execute, Choices};
+
+    fn reference_jacobi(vals: &[u64], iters: usize) -> Vec<u64> {
+        let mut u = vals.to_vec();
+        for _ in 0..iters {
+            let prev = u.clone();
+            for i in 1..u.len() - 1 {
+                u[i] = (prev[i - 1] + prev[i + 1]) / 2;
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn matches_sequential_jacobi() {
+        let vals = [0u64, 100, 0, 100, 0, 100, 0, 0];
+        for iters in 1..=4 {
+            let built = jacobi_smooth(&vals, iters);
+            let out = execute(&built.program, &Choices::Seeded(0));
+            let got: Vec<u64> =
+                (0..vals.len()).map(|i| out.memory[built.outputs.at(i)]).collect();
+            assert_eq!(got, reference_jacobi(&vals, iters), "iters={iters}");
+        }
+    }
+
+    #[test]
+    fn boundaries_are_fixed() {
+        let vals = [42u64, 0, 0, 7];
+        let built = jacobi_smooth(&vals, 3);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        assert_eq!(out.memory[built.outputs.at(0)], 42);
+        assert_eq!(out.memory[built.outputs.at(3)], 7);
+    }
+
+    #[test]
+    fn smoothing_contracts_toward_flat() {
+        let vals = [0u64, 0, 1000, 0, 0, 0, 0, 0];
+        let built = jacobi_smooth(&vals, 6);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        let got: Vec<u64> = (1..7).map(|i| out.memory[built.outputs.at(i)]).collect();
+        let max = got.iter().max().unwrap();
+        assert!(*max < 1000, "peak must diffuse: {got:?}");
+    }
+}

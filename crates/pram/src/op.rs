@@ -1,0 +1,170 @@
+//! Basic operations of the PRAM program.
+//!
+//! "Each thread `T_i` performs one instruction `z ← f(x, y)` where `f` is
+//! one of the program's basic operations (e.g., add, multiply)" (§2.1). The
+//! paper's model assumes every basic computation is a single atomic step of
+//! the host processor.
+//!
+//! Nondeterminism enters through [`Op::RandBit`] and [`Op::RandBelow`],
+//! which draw from the executing processor's private random source — "the
+//! solution provides a scheme that works regardless of the source of
+//! nondeterminism" (§1); randomization is the concrete source we model.
+
+use rand::Rng;
+
+/// A machine word (re-exported from the simulator's convention).
+pub type Value = u64;
+
+/// The basic operations `f`. All arithmetic is wrapping (branchless
+/// conditionals encode `select(c,a,b) = b + c·(a−b)` over wrapping words).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `z = x + y` (wrapping).
+    Add,
+    /// `z = x - y` (wrapping).
+    Sub,
+    /// `z = x * y` (wrapping).
+    Mul,
+    /// `z = min(x, y)`.
+    Min,
+    /// `z = max(x, y)`.
+    Max,
+    /// `z = x ^ y`.
+    Xor,
+    /// `z = x & y`.
+    And,
+    /// `z = x | y`.
+    Or,
+    /// `z = x << (y mod 64)`.
+    Shl,
+    /// `z = x >> (y mod 64)`.
+    Shr,
+    /// `z = (x < y) as u64`.
+    Lt,
+    /// `z = (x == y) as u64`.
+    Eq,
+    /// `z = x` (copy; `y` ignored).
+    Mov,
+    /// Nondeterministic: a fresh uniform bit; operands ignored.
+    RandBit,
+    /// Nondeterministic: uniform in `[0, max(x,1))`; `y` ignored.
+    RandBelow,
+}
+
+impl Op {
+    /// Whether repeated evaluation always yields the same result.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, Op::RandBit | Op::RandBelow)
+    }
+
+    /// Evaluate the operation. Deterministic ops ignore `rng`.
+    pub fn eval<R: Rng + ?Sized>(&self, x: Value, y: Value, rng: &mut R) -> Value {
+        match self {
+            Op::Add => x.wrapping_add(y),
+            Op::Sub => x.wrapping_sub(y),
+            Op::Mul => x.wrapping_mul(y),
+            Op::Min => x.min(y),
+            Op::Max => x.max(y),
+            Op::Xor => x ^ y,
+            Op::And => x & y,
+            Op::Or => x | y,
+            Op::Shl => x.wrapping_shl((y % 64) as u32),
+            Op::Shr => x.wrapping_shr((y % 64) as u32),
+            Op::Lt => u64::from(x < y),
+            Op::Eq => u64::from(x == y),
+            Op::Mov => x,
+            Op::RandBit => rng.gen_range(0..2u64),
+            Op::RandBelow => rng.gen_range(0..x.max(1)),
+        }
+    }
+
+    /// Whether a claimed output is a *possible* result of `f(x, y)` — the
+    /// membership test behind Theorem 1's correctness (`v ∈ f(x,y)`).
+    pub fn admits<R: Rng + ?Sized>(&self, x: Value, y: Value, out: Value, rng: &mut R) -> bool {
+        match self {
+            Op::RandBit => out <= 1,
+            Op::RandBelow => out < x.max(1),
+            _ => self.eval(x, y, rng) == out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn deterministic_op_semantics() {
+        let r = &mut rng();
+        assert_eq!(Op::Add.eval(3, 4, r), 7);
+        assert_eq!(Op::Sub.eval(3, 4, r), u64::MAX, "wrapping");
+        assert_eq!(Op::Mul.eval(1 << 63, 2, r), 0, "wrapping");
+        assert_eq!(Op::Min.eval(3, 4, r), 3);
+        assert_eq!(Op::Max.eval(3, 4, r), 4);
+        assert_eq!(Op::Xor.eval(0b101, 0b011, r), 0b110);
+        assert_eq!(Op::And.eval(0b101, 0b011, r), 0b001);
+        assert_eq!(Op::Or.eval(0b101, 0b011, r), 0b111);
+        assert_eq!(Op::Shl.eval(1, 65, r), 2, "shift mod 64");
+        assert_eq!(Op::Shr.eval(8, 2, r), 2);
+        assert_eq!(Op::Lt.eval(1, 2, r), 1);
+        assert_eq!(Op::Lt.eval(2, 2, r), 0);
+        assert_eq!(Op::Eq.eval(5, 5, r), 1);
+        assert_eq!(Op::Mov.eval(9, 1000, r), 9);
+    }
+
+    #[test]
+    fn determinism_classification() {
+        assert!(Op::Add.is_deterministic());
+        assert!(Op::Mov.is_deterministic());
+        assert!(!Op::RandBit.is_deterministic());
+        assert!(!Op::RandBelow.is_deterministic());
+    }
+
+    #[test]
+    fn rand_bit_is_binary_and_varies() {
+        let r = &mut rng();
+        let vals: Vec<u64> = (0..64).map(|_| Op::RandBit.eval(0, 0, r)).collect();
+        assert!(vals.iter().all(|v| *v <= 1));
+        assert!(vals.iter().any(|v| *v == 0) && vals.iter().any(|v| *v == 1));
+    }
+
+    #[test]
+    fn rand_below_respects_bound_and_degenerate_bound() {
+        let r = &mut rng();
+        for _ in 0..100 {
+            assert!(Op::RandBelow.eval(10, 0, r) < 10);
+        }
+        assert_eq!(Op::RandBelow.eval(0, 0, r), 0, "bound 0 treated as 1");
+        assert_eq!(Op::RandBelow.eval(1, 0, r), 0);
+    }
+
+    #[test]
+    fn admits_checks_membership() {
+        let r = &mut rng();
+        assert!(Op::Add.admits(2, 3, 5, r));
+        assert!(!Op::Add.admits(2, 3, 6, r));
+        assert!(Op::RandBit.admits(0, 0, 0, r));
+        assert!(Op::RandBit.admits(0, 0, 1, r));
+        assert!(!Op::RandBit.admits(0, 0, 2, r));
+        assert!(Op::RandBelow.admits(10, 0, 9, r));
+        assert!(!Op::RandBelow.admits(10, 0, 10, r));
+    }
+
+    #[test]
+    fn branchless_select_identity() {
+        // select(c, a, b) = b + c·(a−b) over wrapping words.
+        let r = &mut rng();
+        for (c, a, b) in [(0u64, 7u64, 9u64), (1, 7, 9), (1, 3, u64::MAX), (0, 3, u64::MAX)] {
+            let t1 = Op::Sub.eval(a, b, r);
+            let t2 = Op::Mul.eval(c, t1, r);
+            let z = Op::Add.eval(b, t2, r);
+            assert_eq!(z, if c == 1 { a } else { b });
+        }
+    }
+}

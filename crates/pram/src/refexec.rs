@@ -1,0 +1,184 @@
+//! The ideal synchronous PRAM: the reference executor.
+//!
+//! Executes a [`Program`] with exact step semantics — all step-π reads see
+//! the pre-step state, then all step-π writes land. This is the machine the
+//! programmer assumed; every execution scheme is judged against it.
+//!
+//! Nondeterministic instructions resolve through a [`Choices`] policy:
+//! seeded (an arbitrary possible execution) or injected (replay the values
+//! some other execution agreed on — the verifier's mode: an asynchronous
+//! run is correct iff it is consistent with the reference executor run
+//! under *some* choice vector, namely the agreed one).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::op::Value;
+use crate::program::Program;
+
+/// Resolution policy for nondeterministic instructions.
+#[derive(Clone, Debug)]
+pub enum Choices {
+    /// Draw from a deterministic stream keyed by `(seed, step, thread)`.
+    Seeded(u64),
+    /// Use the given output for each nondeterministic `(step, thread)`.
+    ///
+    /// # Panics (during execution)
+    /// If a nondeterministic instruction has no entry — an injected replay
+    /// must be complete.
+    Injected(HashMap<(u64, usize), Value>),
+}
+
+/// Result of a reference execution.
+#[derive(Clone, Debug)]
+pub struct RefOutcome {
+    /// Final variable values.
+    pub memory: Vec<Value>,
+    /// Output of every executed instruction, keyed by `(step, thread)`.
+    pub outputs: HashMap<(u64, usize), Value>,
+    /// Per-step pre-state snapshots (only when tracing).
+    pub snapshots: Option<Vec<Vec<Value>>>,
+}
+
+fn mix(seed: u64, step: u64, thread: usize) -> u64 {
+    let mut s = seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (thread as u64).rotate_left(32);
+    // splitmix64 finalizer
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    s ^ (s >> 31)
+}
+
+/// Execute `program` under `choices`.
+pub fn execute(program: &Program, choices: &Choices) -> RefOutcome {
+    run(program, choices, false)
+}
+
+/// Execute with per-step pre-state snapshots (diagnostics; O(T·V) memory).
+pub fn execute_traced(program: &Program, choices: &Choices) -> RefOutcome {
+    run(program, choices, true)
+}
+
+fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
+    let mut memory = program.init.clone();
+    let mut outputs = HashMap::new();
+    let mut snapshots = trace.then(Vec::new);
+
+    for (step, row) in program.steps.iter().enumerate() {
+        if let Some(snaps) = snapshots.as_mut() {
+            snaps.push(memory.clone());
+        }
+        // Read phase: evaluate every active instruction against pre-state.
+        let mut writes: Vec<(usize, Value)> = Vec::new();
+        for (thread, slot) in row.iter().enumerate() {
+            let Some(instr) = slot else { continue };
+            let fetch = |o: &crate::instr::Operand| match o {
+                crate::instr::Operand::Var(v) => memory[*v],
+                crate::instr::Operand::Const(c) => *c,
+            };
+            let x = fetch(&instr.a);
+            let y = fetch(&instr.b);
+            let out = if instr.op.is_deterministic() {
+                let mut dummy = SmallRng::seed_from_u64(0);
+                instr.op.eval(x, y, &mut dummy)
+            } else {
+                match choices {
+                    Choices::Seeded(seed) => {
+                        let mut rng = SmallRng::seed_from_u64(mix(*seed, step as u64, thread));
+                        instr.op.eval(x, y, &mut rng)
+                    }
+                    Choices::Injected(map) => *map
+                        .get(&(step as u64, thread))
+                        .unwrap_or_else(|| panic!(
+                            "injected replay missing choice for step {step}, thread {thread}"
+                        )),
+                }
+            };
+            outputs.insert((step as u64, thread), out);
+            writes.push((instr.dst, out));
+        }
+        // Write phase.
+        for (dst, v) in writes {
+            memory[dst] = v;
+        }
+    }
+
+    RefOutcome { memory, outputs, snapshots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Operand;
+    use crate::op::Op;
+
+    fn add_double_program() -> Program {
+        // Step 0: T0: v2 = v0 + v1 ; T1: v3 = RandBit.
+        // Step 1: T0: v2 = v2 + v2 (accumulator: read-before-write within
+        //         the thread) ; T1: v1 = Mov v3.
+        let mut b = ProgramBuilder::new("add-double", 2);
+        let v = b.alloc_init(&[3, 4, 0, 0]);
+        b.step()
+            .emit(0, v.at(2), Op::Add, Operand::Var(v.at(0)), Operand::Var(v.at(1)))
+            .emit(1, v.at(3), Op::RandBit, Operand::Const(0), Operand::Const(0));
+        b.step()
+            .emit(0, v.at(2), Op::Add, Operand::Var(v.at(2)), Operand::Var(v.at(2)))
+            .mov(1, v.at(1), Operand::Var(v.at(3)));
+        b.build()
+    }
+
+    #[test]
+    fn synchronous_read_before_write_semantics() {
+        let out = execute(&add_double_program(), &Choices::Seeded(1));
+        // v2 = 7 after step 0, doubled to 14 at step 1 (reading its own
+        // pre-step value); v1 receives step 0's coin.
+        assert_eq!(out.memory[0], 3);
+        assert_eq!(out.memory[2], 14);
+        assert!(out.memory[3] <= 1);
+        assert_eq!(out.memory[1], out.memory[3]);
+        assert_eq!(out.outputs[&(0, 0)], 7);
+        assert_eq!(out.outputs[&(1, 0)], 14);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible_and_seed_sensitive() {
+        let p = add_double_program();
+        let a = execute(&p, &Choices::Seeded(1));
+        let b = execute(&p, &Choices::Seeded(1));
+        assert_eq!(a.memory, b.memory);
+        // Different seeds flip the random bit eventually.
+        let flipped = (2..200).any(|s| execute(&p, &Choices::Seeded(s)).memory[3] != a.memory[3]);
+        assert!(flipped, "random bit never varied across seeds");
+    }
+
+    #[test]
+    fn injected_choices_drive_nondeterministic_instrs() {
+        let p = add_double_program();
+        let mut map = HashMap::new();
+        map.insert((0u64, 1usize), 1u64);
+        let out = execute(&p, &Choices::Injected(map));
+        assert_eq!(out.memory[3], 1);
+        assert_eq!(out.memory[1], 1);
+        // Deterministic instructions ignore the injection machinery.
+        assert_eq!(out.memory[2], 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing choice")]
+    fn incomplete_injection_panics() {
+        let p = add_double_program();
+        execute(&p, &Choices::Injected(HashMap::new()));
+    }
+
+    #[test]
+    fn traced_execution_records_prestates() {
+        let p = add_double_program();
+        let out = execute_traced(&p, &Choices::Seeded(3));
+        let snaps = out.snapshots.unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0], vec![3, 4, 0, 0]);
+        assert_eq!(snaps[1][2], 7, "step-1 pre-state sees step-0 write");
+    }
+}

@@ -1,0 +1,134 @@
+//! Run reports and the overhead metric.
+
+use crate::drivers::SchemeKind;
+use crate::tasks::SchemeEvents;
+use crate::verify::VerifyReport;
+
+/// Everything measured about one scheme execution.
+#[derive(Clone, Debug)]
+pub struct SchemeReport {
+    /// Which scheme ran.
+    pub kind: SchemeKind,
+    /// Adversary description.
+    pub schedule: String,
+    /// Program name.
+    pub program: String,
+    /// Processors / threads.
+    pub n: usize,
+    /// PRAM steps T.
+    pub t_steps: usize,
+    /// Total work units until the clock reached the done value.
+    pub total_work: u64,
+    /// Work at each clock-value boundary (length `2T`, cumulative).
+    pub subphase_work: Vec<u64>,
+    /// Verification verdict.
+    pub verify: VerifyReport,
+    /// Scheme counters (copies, aborts, eval redundancy, read failures).
+    pub operand_read_failures: u64,
+    /// Copy writes performed.
+    pub copy_writes: u64,
+    /// Copy tasks aborted by the stamp filter.
+    pub aborted_copies: u64,
+    /// Instruction evaluations performed (≥ one per (step, active thread)).
+    pub evals: u64,
+    /// Final program-variable values (stamp-validated observer read).
+    pub final_memory: Vec<u64>,
+}
+
+impl SchemeReport {
+    /// The ideal synchronous machine's work for the same program: `n`
+    /// processors × `T` steps × 4 atomic ops per instruction (two operand
+    /// reads, one computation, one write) — the paper's `n·T` baseline up
+    /// to the constant 4.
+    pub fn ideal_work(&self) -> u64 {
+        4 * self.n as u64 * self.t_steps as u64
+    }
+
+    /// Work overhead over the ideal synchronous execution — the quantity
+    /// the paper bounds by `O(log n · log log n)` for the agreement-based
+    /// scheme and that classical consensus would blow up to `Ω(n)`.
+    pub fn overhead(&self) -> f64 {
+        self.total_work as f64 / self.ideal_work().max(1) as f64
+    }
+
+    /// Redundancy: evaluations per active instruction.
+    pub fn eval_redundancy(&self) -> f64 {
+        let instrs: u64 = self.evals.max(1);
+        let needed = (self.n * self.t_steps).max(1) as u64;
+        instrs as f64 / needed as f64
+    }
+
+    /// Copy counters snapshot, for events accounting.
+    pub fn from_events(mut self, ev: &SchemeEvents) -> Self {
+        self.operand_read_failures = ev.operand_read_failures;
+        self.copy_writes = ev.copy_writes;
+        self.aborted_copies = ev.aborted_copies;
+        self.evals = ev.evals;
+        self
+    }
+}
+
+impl std::fmt::Display for SchemeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {} (n={}, T={}, {}): work={} overhead={:.1}x, {}",
+            self.kind.label(),
+            self.program,
+            self.n,
+            self.t_steps,
+            self.schedule,
+            self.total_work,
+            self.overhead(),
+            self.verify
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SchemeReport {
+        SchemeReport {
+            kind: SchemeKind::Nondet,
+            schedule: "uniform".into(),
+            program: "p".into(),
+            n: 8,
+            t_steps: 4,
+            total_work: 12_800,
+            subphase_work: vec![],
+            verify: VerifyReport {
+                replica_divergences: 0,
+                missing_values: 0,
+                det_mismatches: 0,
+                inadmissible_choices: 0,
+                final_mismatches: 0,
+            },
+            operand_read_failures: 0,
+            copy_writes: 0,
+            aborted_copies: 0,
+            evals: 64,
+            final_memory: vec![],
+        }
+    }
+
+    #[test]
+    fn overhead_is_work_over_4nt() {
+        let r = report();
+        assert_eq!(r.ideal_work(), 4 * 8 * 4);
+        assert!((r.overhead() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundancy_counts_evals_per_slot() {
+        let r = report();
+        assert!((r.eval_redundancy() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = format!("{}", report());
+        assert!(s.contains("nondet-scheme") && s.contains("overhead"));
+    }
+}

@@ -1,0 +1,67 @@
+//! The scheme's [`ValueSource`]: `f_i^{(π)}` = thread `i`'s instruction at
+//! step π.
+//!
+//! This is the bridge between the abstract agreement protocol (§3) and the
+//! execution scheme (§2): when an agreement cycle finds `Bin_i[0]` empty, it
+//! "evaluates `f_i^{(π)}`" — here, it reads the instruction's operands from
+//! the replicated program variables and performs the basic computation,
+//! drawing from the executing processor's private random source if the
+//! instruction is nondeterministic.
+
+use std::rc::Rc;
+
+use apex_core::{LocalBoxFuture, ValueSource};
+use apex_pram::{LastWriteTable, Program};
+use apex_sim::{Ctx, Value};
+
+use crate::map::SchemeMap;
+use crate::tasks::{eval_cost, eval_instr, EventsHandle};
+
+/// Evaluates instructions as agreement values. The `phase` the protocol
+/// passes in is the *clock value* (even during Compute subphases);
+/// `step = phase/2`.
+pub struct InstrSource {
+    program: Rc<Program>,
+    lw: Rc<LastWriteTable>,
+    map: SchemeMap,
+    events: EventsHandle,
+}
+
+impl InstrSource {
+    /// Build the source for a scheme run.
+    pub fn new(
+        program: Rc<Program>,
+        lw: Rc<LastWriteTable>,
+        map: SchemeMap,
+        events: EventsHandle,
+    ) -> Self {
+        InstrSource { program, lw, map, events }
+    }
+}
+
+impl ValueSource for InstrSource {
+    fn eval<'a>(&'a self, ctx: &'a Ctx, phase: u64, i: usize) -> LocalBoxFuture<'a, Value> {
+        Box::pin(async move {
+            let (step, _is_copy) = SchemeMap::decode_clock(phase);
+            match self.program.instr(step as usize, i) {
+                Some(instr) => {
+                    eval_instr(ctx, &self.map, &self.lw, instr, step, &self.events).await
+                }
+                None => {
+                    // Idle thread (or a straggler past the end of the
+                    // program): a fixed no-op value.
+                    ctx.compute().await;
+                    0
+                }
+            }
+        })
+    }
+
+    fn max_cost(&self) -> u64 {
+        eval_cost(self.map.k)
+    }
+
+    fn describe(&self) -> String {
+        format!("instr-source({})", self.program.name)
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end correctness verification.
+//!
+//! An asynchronous execution is *correct* iff it is equivalent to the ideal
+//! synchronous machine under **some** resolution of the nondeterminism —
+//! namely the values the run itself agreed on. The verifier:
+//!
+//! 1. injects the run's chosen values into the reference executor
+//!    ([`apex_pram::refexec`]);
+//! 2. checks every *deterministic* instruction's chosen value equals the
+//!    recomputed one (catches operand corruption propagating through
+//!    deterministic chains);
+//! 3. checks every *nondeterministic* chosen value is an admissible output
+//!    of `f` on the reference pre-state (`v ∈ f(x, y)` — Theorem 1's
+//!    correctness, end to end);
+//! 4. checks replica agreement at every step (a deterministic-baseline run
+//!    of a randomized program typically fails here first);
+//! 5. compares the final program variables against the replayed memory.
+
+use std::collections::HashMap;
+
+use apex_pram::refexec::{execute_traced, Choices};
+use apex_pram::{Operand, Program, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The values an execution produced, as observed by the harness.
+#[derive(Clone, Debug, Default)]
+pub struct ObservedRun {
+    /// Chosen value per `(step, thread)` (from the destination replicas at
+    /// the end of the step's Copy subphase).
+    pub chosen: HashMap<(u64, usize), Value>,
+    /// `(step, thread)` pairs whose replicas disagreed at observation time.
+    pub replica_divergences: Vec<(u64, usize)>,
+    /// `(step, thread)` pairs with no correctly-stamped replica at all.
+    pub missing: Vec<(u64, usize)>,
+    /// Final value of each program variable (stamp-validated read).
+    pub final_memory: Vec<Value>,
+}
+
+/// Verification verdict.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Count of replica-divergent `(step, thread)` pairs.
+    pub replica_divergences: usize,
+    /// Count of `(step, thread)` pairs with no value.
+    pub missing_values: usize,
+    /// Deterministic instructions whose chosen value differs from replay.
+    pub det_mismatches: usize,
+    /// Nondeterministic chosen values not admissible on the ref pre-state.
+    pub inadmissible_choices: usize,
+    /// Final variables differing from the replayed memory.
+    pub final_mismatches: usize,
+}
+
+impl VerifyReport {
+    /// Total violations.
+    pub fn violations(&self) -> usize {
+        self.replica_divergences
+            + self.missing_values
+            + self.det_mismatches
+            + self.inadmissible_choices
+            + self.final_mismatches
+    }
+
+    /// Whether the run was consistent with *some* synchronous execution.
+    pub fn ok(&self) -> bool {
+        self.violations() == 0
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "violations={} (replica-div={}, missing={}, det-mismatch={}, inadmissible={}, final={})",
+            self.violations(),
+            self.replica_divergences,
+            self.missing_values,
+            self.det_mismatches,
+            self.inadmissible_choices,
+            self.final_mismatches
+        )
+    }
+}
+
+/// Verify `observed` against the reference semantics of `program`.
+pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
+    // Build the injection map for nondeterministic instructions (missing
+    // entries fall back to 0 and are already counted in `missing`).
+    let mut injection = HashMap::new();
+    for (step, row) in program.steps.iter().enumerate() {
+        for (thread, slot) in row.iter().enumerate() {
+            if let Some(instr) = slot {
+                if instr.is_nondeterministic() {
+                    let v = observed.chosen.get(&(step as u64, thread)).copied().unwrap_or(0);
+                    injection.insert((step as u64, thread), v);
+                }
+            }
+        }
+    }
+
+    let replay = execute_traced(program, &Choices::Injected(injection));
+    let snapshots = replay.snapshots.as_ref().expect("traced run");
+
+    let mut det_mismatches = 0;
+    let mut inadmissible = 0;
+    let mut rng = SmallRng::seed_from_u64(0);
+    for (step, row) in program.steps.iter().enumerate() {
+        let pre = &snapshots[step];
+        for (thread, slot) in row.iter().enumerate() {
+            let Some(instr) = slot else { continue };
+            let key = (step as u64, thread);
+            let Some(&chosen) = observed.chosen.get(&key) else { continue };
+            let fetch = |o: &Operand| match o {
+                Operand::Var(v) => pre[*v],
+                Operand::Const(c) => *c,
+            };
+            let (x, y) = (fetch(&instr.a), fetch(&instr.b));
+            if instr.is_nondeterministic() {
+                if !instr.op.admits(x, y, chosen, &mut rng) {
+                    inadmissible += 1;
+                }
+            } else if replay.outputs[&key] != chosen {
+                det_mismatches += 1;
+            }
+        }
+    }
+
+    let final_mismatches = observed
+        .final_memory
+        .iter()
+        .zip(replay.memory.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+
+    VerifyReport {
+        replica_divergences: observed.replica_divergences.len(),
+        missing_values: observed.missing.len(),
+        det_mismatches,
+        inadmissible_choices: inadmissible,
+        final_mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_pram::library::coin_sum;
+    use apex_pram::refexec::execute;
+
+    /// Build a *consistent* ObservedRun straight from a reference run.
+    fn observe_reference(program: &Program, seed: u64) -> ObservedRun {
+        let out = execute(program, &Choices::Seeded(seed));
+        ObservedRun {
+            chosen: out.outputs.clone(),
+            replica_divergences: vec![],
+            missing: vec![],
+            final_memory: out.memory.clone(),
+        }
+    }
+
+    #[test]
+    fn faithful_observation_verifies_clean() {
+        let built = coin_sum(8, 16);
+        let obs = observe_reference(&built.program, 3);
+        let r = verify(&built.program, &obs);
+        assert!(r.ok(), "{r}");
+    }
+
+    #[test]
+    fn corrupted_deterministic_chain_is_caught() {
+        let built = coin_sum(8, 16);
+        let mut obs = observe_reference(&built.program, 3);
+        // Corrupt one deterministic (tree-sum) output.
+        let det_key = built
+            .program
+            .steps
+            .iter()
+            .enumerate()
+            .flat_map(|(s, row)| {
+                row.iter().enumerate().filter_map(move |(t, i)| {
+                    i.as_ref()
+                        .filter(|i| !i.is_nondeterministic())
+                        .map(|_| (s as u64, t))
+                })
+            })
+            .next()
+            .unwrap();
+        *obs.chosen.get_mut(&det_key).unwrap() ^= 1;
+        let r = verify(&built.program, &obs);
+        assert!(r.det_mismatches >= 1, "{r}");
+    }
+
+    #[test]
+    fn out_of_range_random_value_is_inadmissible() {
+        let built = coin_sum(8, 16);
+        let mut obs = observe_reference(&built.program, 4);
+        // RandBelow(16) can never produce 16.
+        let nd_key = *obs
+            .chosen
+            .keys()
+            .find(|k| {
+                built.program.instr(k.0 as usize, k.1).is_some_and(|i| i.is_nondeterministic())
+            })
+            .unwrap();
+        obs.chosen.insert(nd_key, 16);
+        // Keep the rest consistent by re-deriving downstream sums from the
+        // replay — easiest is to rebuild chosen from an injected replay.
+        let replay = execute_traced(
+            &built.program,
+            &Choices::Injected(
+                obs.chosen
+                    .iter()
+                    .filter(|(k, _)| {
+                        built
+                            .program
+                            .instr(k.0 as usize, k.1)
+                            .is_some_and(|i| i.is_nondeterministic())
+                    })
+                    .map(|(k, v)| (*k, *v))
+                    .collect(),
+            ),
+        );
+        let obs = ObservedRun {
+            chosen: replay.outputs.clone(),
+            replica_divergences: vec![],
+            missing: vec![],
+            final_memory: replay.memory.clone(),
+        };
+        let r = verify(&built.program, &obs);
+        assert_eq!(r.inadmissible_choices, 1, "{r}");
+        assert_eq!(r.det_mismatches, 0);
+        assert_eq!(r.final_mismatches, 0);
+    }
+
+    #[test]
+    fn final_memory_corruption_is_caught() {
+        let built = coin_sum(8, 16);
+        let mut obs = observe_reference(&built.program, 5);
+        obs.final_memory[built.outputs.at(0)] ^= 0xFF;
+        let r = verify(&built.program, &obs);
+        assert!(r.final_mismatches >= 1, "{r}");
+    }
+
+    #[test]
+    fn divergences_and_missing_are_passed_through() {
+        let built = coin_sum(8, 16);
+        let mut obs = observe_reference(&built.program, 6);
+        obs.replica_divergences.push((0, 1));
+        obs.missing.push((0, 2));
+        // Removing a chosen value exercises the fallback path too.
+        obs.chosen.remove(&(0, 2));
+        let r = verify(&built.program, &obs);
+        assert!(r.violations() >= 2, "{r}");
+        assert!(!r.ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulator errors.
+
+/// A bounded run ended before its goal predicate held.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunTimeout {
+    /// Work units performed when the cap was hit.
+    pub work: u64,
+    /// Ticks elapsed when the cap was hit.
+    pub ticks: u64,
+}
+
+impl std::fmt::Display for RunTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run timed out after {} ticks ({} work units)", self.ticks, self.work)
+    }
+}
+
+impl std::error::Error for RunTimeout {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_displays() {
+        let t = RunTimeout { work: 10, ticks: 12 };
+        assert!(format!("{t}").contains("12 ticks"));
+    }
+}

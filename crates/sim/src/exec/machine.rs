@@ -1,0 +1,299 @@
+//! The asynchronous host machine `H`: `n` processors, a shared memory, an
+//! oblivious adversary schedule, and exact work accounting.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::error::RunTimeout;
+use crate::memory::{Region, SharedMemory, WriteHook};
+use crate::metrics::WorkReport;
+use crate::rng::proc_rng;
+use crate::sched::{BoxedSchedule, ScheduleKind};
+use crate::word::{ProcId, Stamped};
+
+use super::ctx::{Ctx, ProcState};
+
+/// What happens when the schedule grants a step to a processor whose
+/// protocol future has completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IdlePolicy {
+    /// The step is busy-waiting and counts as a work unit — the paper's
+    /// accounting ("busy waiting and idling" count). Default.
+    #[default]
+    CountAsWork,
+    /// The step is dropped silently (useful for harnesses that want to
+    /// measure only live work).
+    Skip,
+}
+
+struct ProcSlot {
+    fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
+    state: Rc<RefCell<ProcState>>,
+}
+
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+/// Builder for a [`Machine`].
+pub struct MachineBuilder {
+    n: usize,
+    mem_size: usize,
+    seed: u64,
+    schedule: Option<BoxedSchedule>,
+    idle: IdlePolicy,
+}
+
+impl MachineBuilder {
+    /// A machine with `n` processors and `mem_size` shared-memory cells.
+    pub fn new(n: usize, mem_size: usize) -> Self {
+        assert!(n > 0, "need at least one processor");
+        MachineBuilder { n, mem_size, seed: 0xA93B_5EED, schedule: None, idle: IdlePolicy::default() }
+    }
+
+    /// Master seed; derives the schedule stream and all per-processor
+    /// private random sources (see [`crate::rng`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install a concrete adversary schedule (defaults to
+    /// [`ScheduleKind::Uniform`]).
+    pub fn schedule(mut self, s: BoxedSchedule) -> Self {
+        assert_eq!(s.n(), self.n, "schedule built for wrong processor count");
+        self.schedule = Some(s);
+        self
+    }
+
+    /// Install an adversary by kind.
+    pub fn schedule_kind(self, kind: &ScheduleKind) -> Self {
+        let n = self.n;
+        let seed = self.seed;
+        self.schedule(kind.build(n, seed))
+    }
+
+    /// Policy for steps granted to completed processors.
+    pub fn idle_policy(mut self, idle: IdlePolicy) -> Self {
+        self.idle = idle;
+        self
+    }
+
+    /// Spawn all `n` processors from a factory and finish construction. The
+    /// factory receives each processor's [`Ctx`] and returns its protocol
+    /// future.
+    pub fn build<F, Fut>(self, mut factory: F) -> Machine
+    where
+        F: FnMut(Ctx) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let seed = self.seed;
+        let schedule =
+            self.schedule.unwrap_or_else(|| ScheduleKind::Uniform.build(self.n, seed));
+        let mem = Rc::new(RefCell::new(SharedMemory::new(self.mem_size)));
+        let work = Rc::new(Cell::new(0u64));
+        let mut procs = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let state = Rc::new(RefCell::new(ProcState::default()));
+            let ctx = Ctx::new(ProcId(i), mem.clone(), state.clone(), proc_rng(seed, i), work.clone());
+            let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(factory(ctx));
+            procs.push(ProcSlot { fut: Some(fut), state });
+        }
+        Machine {
+            mem,
+            procs,
+            schedule,
+            work,
+            per_proc_work: vec![0; self.n],
+            ticks: 0,
+            idle: self.idle,
+            waker: Waker::from(Arc::new(NoopWake)),
+        }
+    }
+}
+
+/// The asynchronous host system: drives processor futures according to the
+/// adversary schedule, one atomic operation per tick.
+pub struct Machine {
+    mem: Rc<RefCell<SharedMemory>>,
+    procs: Vec<ProcSlot>,
+    schedule: BoxedSchedule,
+    work: Rc<Cell<u64>>,
+    per_proc_work: Vec<u64>,
+    ticks: u64,
+    idle: IdlePolicy,
+    waker: Waker,
+}
+
+impl Machine {
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Total work units performed so far (the paper's complexity measure).
+    pub fn work(&self) -> u64 {
+        self.work.get()
+    }
+
+    /// Work units per processor.
+    pub fn per_proc_work(&self) -> &[u64] {
+        &self.per_proc_work
+    }
+
+    /// Schedule ticks elapsed (equals `work()` under
+    /// [`IdlePolicy::CountAsWork`]).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Whether every processor's protocol future has completed.
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(|p| p.fut.is_none())
+    }
+
+    /// Whether processor `p`'s protocol future has completed.
+    pub fn is_done(&self, p: ProcId) -> bool {
+        self.procs[p.0].fut.is_none()
+    }
+
+    /// Execute one schedule tick: the adversary names a processor, which
+    /// performs exactly one atomic operation (or busy-waits if completed).
+    /// Returns the processor that was scheduled.
+    pub fn tick(&mut self) -> ProcId {
+        let pid = self.schedule.next();
+        self.ticks += 1;
+        let slot = &mut self.procs[pid.0];
+        if slot.fut.is_none() {
+            if self.idle == IdlePolicy::CountAsWork {
+                self.work.set(self.work.get() + 1);
+                self.per_proc_work[pid.0] += 1;
+            }
+            return pid;
+        }
+        self.work.set(self.work.get() + 1);
+        self.per_proc_work[pid.0] += 1;
+        self.mem.borrow_mut().set_now(self.work.get());
+        slot.state.borrow_mut().credit = 1;
+        let mut cx = Context::from_waker(&self.waker);
+        match slot.fut.as_mut().expect("live future").as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                slot.fut = None;
+            }
+            Poll::Pending => {
+                assert_eq!(
+                    slot.state.borrow().credit,
+                    0,
+                    "protocol on {pid} yielded without performing an atomic operation \
+                     (protocols must only await Ctx operations)"
+                );
+            }
+        }
+        pid
+    }
+
+    /// Run exactly `k` ticks.
+    pub fn run_ticks(&mut self, k: u64) {
+        for _ in 0..k {
+            self.tick();
+        }
+    }
+
+    /// Run until `pred` holds over the shared memory (checked every
+    /// `check_every` ticks; the check is instrumentation and costs no work),
+    /// or until `cap` total ticks have elapsed.
+    ///
+    /// Returns the total work at the moment the predicate first held.
+    pub fn run_until<P>(&mut self, cap: u64, check_every: u64, mut pred: P) -> Result<u64, RunTimeout>
+    where
+        P: FnMut(&SharedMemory) -> bool,
+    {
+        assert!(check_every > 0);
+        loop {
+            if pred(&self.mem.borrow()) {
+                return Ok(self.work());
+            }
+            if self.ticks >= cap {
+                return Err(RunTimeout { work: self.work(), ticks: self.ticks });
+            }
+            let burst = check_every.min(cap.saturating_sub(self.ticks)).max(1);
+            self.run_ticks(burst);
+        }
+    }
+
+    /// Run until all processor futures have completed (useful for finite
+    /// protocols), with a tick cap.
+    pub fn run_to_completion(&mut self, cap: u64) -> Result<u64, RunTimeout> {
+        while !self.all_done() {
+            if self.ticks >= cap {
+                return Err(RunTimeout { work: self.work(), ticks: self.ticks });
+            }
+            self.tick();
+        }
+        Ok(self.work())
+    }
+
+    /// Observer access to the shared memory (instrumentation).
+    pub fn with_mem<R>(&self, f: impl FnOnce(&SharedMemory) -> R) -> R {
+        f(&self.mem.borrow())
+    }
+
+    /// Mutable observer access to the shared memory — for installing hooks
+    /// and test setup (instrumentation; changes no work accounting).
+    pub fn with_mem_mut<R>(&mut self, f: impl FnOnce(&mut SharedMemory) -> R) -> R {
+        f(&mut self.mem.borrow_mut())
+    }
+
+    /// Observer read of one cell (instrumentation).
+    pub fn peek(&self, addr: usize) -> Stamped {
+        self.mem.borrow().peek(addr)
+    }
+
+    /// Observer snapshot of a region (instrumentation).
+    pub fn snapshot(&self, region: Region) -> Vec<Stamped> {
+        self.mem.borrow().snapshot(region)
+    }
+
+    /// Test/setup write to a cell (instrumentation).
+    pub fn poke(&self, addr: usize, w: Stamped) {
+        self.mem.borrow_mut().poke(addr, w);
+    }
+
+    /// Install a write observer on the shared memory.
+    pub fn add_write_hook(&self, hook: WriteHook) {
+        self.mem.borrow_mut().add_write_hook(hook);
+    }
+
+    /// Work/ops accounting snapshot.
+    pub fn report(&self) -> WorkReport {
+        WorkReport {
+            total_work: self.work(),
+            ticks: self.ticks,
+            per_proc: self.per_proc_work.clone(),
+            mem_reads: self.mem.borrow().total_reads(),
+            mem_writes: self.mem.borrow().total_writes(),
+        }
+    }
+
+    /// The adversary's self-description (for experiment reports).
+    pub fn schedule_description(&self) -> String {
+        self.schedule.describe()
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("n", &self.n())
+            .field("work", &self.work())
+            .field("ticks", &self.ticks)
+            .field("schedule", &self.schedule.describe())
+            .finish()
+    }
+}

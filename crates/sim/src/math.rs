@@ -1,0 +1,78 @@
+//! Small integer helpers shared by the protocol crates.
+
+/// `⌈log₂ n⌉` (and 0 for `n ≤ 1`). The paper's bin sizes, sampling counts
+/// and periods are all expressed in `log n`; this is the concrete rounding
+/// used throughout.
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// `⌊log₂ n⌋` (and 0 for `n ≤ 1`).
+#[inline]
+pub fn floor_log2(n: usize) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        usize::BITS - 1 - n.leading_zeros()
+    }
+}
+
+/// `⌈log₂ log₂ n⌉`, clamped below at 1 — the order of the paper's cycle
+/// length ω = Θ(log log n).
+#[inline]
+pub fn ceil_log2_log2(n: usize) -> u32 {
+    ceil_log2(ceil_log2(n).max(2) as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(1024), 10);
+        assert_eq!(floor_log2(1536), 10);
+    }
+
+    #[test]
+    fn loglog_values() {
+        assert_eq!(ceil_log2_log2(2), 1);
+        assert_eq!(ceil_log2_log2(16), 2);
+        assert_eq!(ceil_log2_log2(256), 3);
+        assert_eq!(ceil_log2_log2(65536), 4);
+        assert!(ceil_log2_log2(0) >= 1);
+    }
+
+    #[test]
+    fn ceil_floor_consistency() {
+        for n in 1..5000usize {
+            let c = ceil_log2(n);
+            let f = floor_log2(n);
+            assert!(c >= f);
+            assert!(c - f <= 1);
+            assert!(1usize.checked_shl(c).map(|p| p >= n).unwrap_or(true));
+            assert!(1usize << f <= n);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Work accounting reports.
+
+/// Snapshot of the machine's work accounting, in the paper's units: one work
+/// unit per atomic operation per processor, busy waiting included.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkReport {
+    /// Total work units across all processors.
+    pub total_work: u64,
+    /// Schedule ticks elapsed.
+    pub ticks: u64,
+    /// Work units per processor.
+    pub per_proc: Vec<u64>,
+    /// Model-level shared-memory loads.
+    pub mem_reads: u64,
+    /// Model-level shared-memory stores.
+    pub mem_writes: u64,
+}
+
+impl WorkReport {
+    /// Maximum work performed by any single processor.
+    pub fn max_proc(&self) -> u64 {
+        self.per_proc.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum work performed by any single processor.
+    pub fn min_proc(&self) -> u64 {
+        self.per_proc.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Imbalance ratio max/mean (1.0 = perfectly balanced schedule).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_proc.is_empty() || self.total_work == 0 {
+            return 1.0;
+        }
+        let mean = self.total_work as f64 / self.per_proc.len() as f64;
+        self.max_proc() as f64 / mean
+    }
+}
+
+impl std::fmt::Display for WorkReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "work={} ticks={} procs={} reads={} writes={} imbalance={:.2}",
+            self.total_work,
+            self.ticks,
+            self.per_proc.len(),
+            self.mem_reads,
+            self.mem_writes,
+            self.imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_balanced_report_is_one() {
+        let r = WorkReport {
+            total_work: 40,
+            ticks: 40,
+            per_proc: vec![10, 10, 10, 10],
+            mem_reads: 0,
+            mem_writes: 0,
+        };
+        assert_eq!(r.imbalance(), 1.0);
+        assert_eq!(r.max_proc(), 10);
+        assert_eq!(r.min_proc(), 10);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let r = WorkReport {
+            total_work: 40,
+            ticks: 40,
+            per_proc: vec![37, 1, 1, 1],
+            mem_reads: 0,
+            mem_writes: 0,
+        };
+        assert!(r.imbalance() > 3.0);
+        assert_eq!(r.min_proc(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = WorkReport { total_work: 5, ticks: 5, per_proc: vec![5], mem_reads: 2, mem_writes: 3 };
+        let s = format!("{r}");
+        assert!(s.contains("work=5") && s.contains("reads=2"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Fail-stop schedule: the paper's `S_i(k) = ∞` faulty processors.
+
+use super::Schedule;
+use crate::word::ProcId;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Wraps a uniform pick with per-processor crash times: once a processor's
+/// crash tick has passed it is never scheduled again (it has failed, and an
+/// `∞` value in its schedule function marks it faulty). Processor 0 never
+/// crashes, so the schedule stays total and the computation can always make
+/// progress — the execution scheme must then shoulder the dead processors'
+/// tasks.
+pub struct CrashSchedule {
+    n: usize,
+    crash_at: Vec<Option<u64>>,
+    tick: u64,
+    rng: SmallRng,
+    crashed_planned: usize,
+}
+
+impl CrashSchedule {
+    /// Explicit crash times (`None` = never crashes). Processor 0 must be
+    /// `None`.
+    pub fn new(crash_at: Vec<Option<u64>>, rng: SmallRng) -> Self {
+        assert!(!crash_at.is_empty());
+        assert!(crash_at[0].is_none(), "processor 0 must survive");
+        let crashed_planned = crash_at.iter().filter(|c| c.is_some()).count();
+        CrashSchedule { n: crash_at.len(), crash_at, tick: 0, rng, crashed_planned }
+    }
+
+    /// `crash_frac` of processors 1..n crash at uniform times in
+    /// `[0, horizon)`.
+    pub fn uniform_crashes(n: usize, crash_frac: f64, horizon: u64, mut rng: SmallRng) -> Self {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&crash_frac));
+        let mut crash_at = vec![None; n];
+        let k = ((crash_frac * n as f64).round() as usize).min(n.saturating_sub(1));
+        // Choose k distinct victims among 1..n.
+        let mut victims: Vec<usize> = (1..n).collect();
+        victims.shuffle(&mut rng);
+        for &v in victims.iter().take(k) {
+            crash_at[v] = Some(rng.gen_range(0..horizon.max(1)));
+        }
+        Self::new(crash_at, rng)
+    }
+
+    /// Whether processor `p` is alive at tick `t`.
+    pub fn is_alive(&self, p: usize, t: u64) -> bool {
+        match self.crash_at[p] {
+            None => true,
+            Some(c) => t < c,
+        }
+    }
+}
+
+impl Schedule for CrashSchedule {
+    fn next(&mut self) -> ProcId {
+        let t = self.tick;
+        self.tick += 1;
+        for _ in 0..16 {
+            let p = self.rng.gen_range(0..self.n);
+            if self.is_alive(p, t) {
+                return ProcId(p);
+            }
+        }
+        let start = self.rng.gen_range(0..self.n);
+        for d in 0..self.n {
+            let p = (start + d) % self.n;
+            if self.is_alive(p, t) {
+                return ProcId(p);
+            }
+        }
+        ProcId(0)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn describe(&self) -> String {
+        format!("crash(n={},victims={})", self.n, self.crashed_planned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::schedule_rng;
+
+    #[test]
+    fn crashed_processors_never_run_again() {
+        let mut s = CrashSchedule::new(
+            vec![None, Some(100), Some(500), None],
+            schedule_rng(17),
+        );
+        for _ in 0..10_000u64 {
+            let t = s.tick;
+            let p = s.next();
+            if p.0 == 1 {
+                assert!(t < 100, "P1 ran at tick {t} after crashing");
+            }
+            if p.0 == 2 {
+                assert!(t < 500, "P2 ran at tick {t} after crashing");
+            }
+        }
+    }
+
+    #[test]
+    fn survivors_share_all_later_work() {
+        let mut s = CrashSchedule::new(vec![None, Some(0), Some(0)], schedule_rng(18));
+        let mut h = vec![0u64; 3];
+        for _ in 0..3000 {
+            h[s.next().0] += 1;
+        }
+        assert_eq!(h[1], 0);
+        assert_eq!(h[2], 0);
+        assert_eq!(h[0], 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn processor_zero_cannot_crash() {
+        CrashSchedule::new(vec![Some(5), None], schedule_rng(19));
+    }
+
+    #[test]
+    fn uniform_crashes_respects_fraction() {
+        let s = CrashSchedule::uniform_crashes(16, 0.5, 1000, schedule_rng(20));
+        assert_eq!(s.crashed_planned, 8);
+        assert!(s.crash_at[0].is_none());
+    }
+}

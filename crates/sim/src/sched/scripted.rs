@@ -1,0 +1,166 @@
+//! Scripted schedules: hand-crafted oblivious adversaries.
+//!
+//! Experiments such as the Fig.-3 oscillation scenario or the "loaded gun"
+//! tardy-copier attack need *specific* interleavings. A [`Script`] is an
+//! explicit finite prefix of processor ids; after the prefix is exhausted the
+//! schedule falls back to an arbitrary inner schedule. Scripts are fixed in
+//! advance, hence oblivious.
+
+use super::Schedule;
+use crate::word::ProcId;
+
+/// Builder for an explicit schedule prefix.
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    steps: Vec<ProcId>,
+}
+
+impl Script {
+    /// Empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single step by processor `p`.
+    pub fn step(mut self, p: usize) -> Self {
+        self.steps.push(ProcId(p));
+        self
+    }
+
+    /// Append `k` consecutive steps by processor `p`.
+    pub fn run(mut self, p: usize, k: u64) -> Self {
+        for _ in 0..k {
+            self.steps.push(ProcId(p));
+        }
+        self
+    }
+
+    /// Append `rounds` round-robin rounds over the given processors.
+    pub fn round_robin(mut self, procs: &[usize], rounds: u64) -> Self {
+        for _ in 0..rounds {
+            for &p in procs {
+                self.steps.push(ProcId(p));
+            }
+        }
+        self
+    }
+
+    /// Append `rounds` round-robin rounds over all of `0..n` except the
+    /// excluded processors (they "sleep" during this segment).
+    pub fn all_except(mut self, n: usize, excluded: &[usize], rounds: u64) -> Self {
+        for _ in 0..rounds {
+            for p in 0..n {
+                if !excluded.contains(&p) {
+                    self.steps.push(ProcId(p));
+                }
+            }
+        }
+        self
+    }
+
+    /// Repeat the entire script built so far `times` additional times.
+    pub fn repeat(mut self, times: u64) -> Self {
+        let base = self.steps.clone();
+        for _ in 0..times {
+            self.steps.extend_from_slice(&base);
+        }
+        self
+    }
+
+    /// Number of scripted steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Finish: play this script, then continue with `fallback` forever.
+    pub fn then(self, fallback: Box<dyn Schedule>) -> ScriptedSchedule {
+        ScriptedSchedule { steps: self.steps, pos: 0, fallback }
+    }
+}
+
+/// A schedule that plays a [`Script`] prefix and then defers to a fallback.
+pub struct ScriptedSchedule {
+    steps: Vec<ProcId>,
+    pos: usize,
+    fallback: Box<dyn Schedule>,
+}
+
+impl ScriptedSchedule {
+    /// Steps of the scripted prefix still unplayed.
+    pub fn remaining(&self) -> usize {
+        self.steps.len() - self.pos
+    }
+}
+
+impl Schedule for ScriptedSchedule {
+    fn next(&mut self) -> ProcId {
+        if self.pos < self.steps.len() {
+            let p = self.steps[self.pos];
+            self.pos += 1;
+            assert!(p.0 < self.fallback.n(), "scripted processor {p} out of range");
+            p
+        } else {
+            self.fallback.next()
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.fallback.n()
+    }
+
+    fn describe(&self) -> String {
+        format!("scripted(prefix={}, then {})", self.steps.len(), self.fallback.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::schedule_rng;
+    use crate::sched::RoundRobin;
+
+    #[test]
+    fn script_plays_exactly_then_falls_back() {
+        let script = Script::new().run(2, 3).step(0).round_robin(&[1, 2], 2);
+        assert_eq!(script.len(), 8);
+        let mut s = script.then(Box::new(RoundRobin::new(4)));
+        let picks: Vec<usize> = (0..10).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![2, 2, 2, 0, 1, 2, 1, 2, /* fallback: */ 0, 1]);
+    }
+
+    #[test]
+    fn all_except_skips_sleepers() {
+        let script = Script::new().all_except(4, &[1], 2);
+        let mut s = script.then(Box::new(RoundRobin::new(4)));
+        let picks: Vec<usize> = (0..6).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn repeat_duplicates_prefix() {
+        let script = Script::new().step(1).step(2).repeat(2);
+        assert_eq!(script.len(), 6);
+        let mut s = script.then(Box::new(RoundRobin::new(3)));
+        let picks: Vec<usize> = (0..6).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_fallback_remains_reproducible() {
+        let mk = || {
+            Script::new()
+                .run(0, 5)
+                .then(Box::new(crate::sched::UniformRandom::new(4, schedule_rng(1))))
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Sleepy schedule: the paper's *tardy processors*.
+//!
+//! "In the asynchronous system processors may go to sleep in one subphase and
+//! wake up much later" (§2.1). Sleepers are the sole source of *clobbers*
+//! (writes carrying an old phase stamp, §4 Lemma 1), so this adversary is the
+//! stress test for the bin array's timestamp machinery.
+
+use super::Schedule;
+use crate::word::ProcId;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// A designated fraction of processors alternates between `awake` ticks of
+/// normal operation and `asleep` ticks of silence, each with a random phase
+/// offset; the remaining processors are always awake. Within the awake set at
+/// each tick, the processor is chosen uniformly.
+///
+/// The awake/asleep pattern is a pure function of the tick counter and the
+/// seed, so the schedule is oblivious.
+pub struct Sleepy {
+    n: usize,
+    awake: u64,
+    asleep: u64,
+    /// Per-processor phase offset; `u64::MAX` marks an always-awake processor.
+    offsets: Vec<u64>,
+    tick: u64,
+    rng: SmallRng,
+    sleepy_count: usize,
+}
+
+impl Sleepy {
+    /// `sleepy_frac` of the processors (the highest-indexed ones) follow the
+    /// awake/asleep pattern. Processor 0 never sleeps, guaranteeing progress.
+    pub fn new(n: usize, sleepy_frac: f64, awake: u64, asleep: u64, mut rng: SmallRng) -> Self {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&sleepy_frac));
+        assert!(awake >= 1);
+        let sleepy_count = ((sleepy_frac * n as f64).round() as usize).min(n.saturating_sub(1));
+        let period = awake + asleep;
+        let offsets: Vec<u64> = (0..n)
+            .map(|i| {
+                if i >= n - sleepy_count {
+                    rng.gen_range(0..period.max(1))
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        Sleepy { n, awake, asleep, offsets, tick: 0, rng, sleepy_count }
+    }
+
+    /// Whether processor `p` is awake at tick `t`.
+    pub fn is_awake(&self, p: usize, t: u64) -> bool {
+        let off = self.offsets[p];
+        if off == u64::MAX {
+            return true;
+        }
+        let period = self.awake + self.asleep;
+        (t + off) % period < self.awake
+    }
+}
+
+impl Schedule for Sleepy {
+    fn next(&mut self) -> ProcId {
+        let t = self.tick;
+        self.tick += 1;
+        // Rejection-sample an awake processor; bounded attempts, then scan.
+        for _ in 0..16 {
+            let p = self.rng.gen_range(0..self.n);
+            if self.is_awake(p, t) {
+                return ProcId(p);
+            }
+        }
+        let start = self.rng.gen_range(0..self.n);
+        for d in 0..self.n {
+            let p = (start + d) % self.n;
+            if self.is_awake(p, t) {
+                return ProcId(p);
+            }
+        }
+        // Processor 0 is always awake, so this is unreachable; kept total.
+        ProcId(0)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "sleepy(n={},sleepers={},awake={},asleep={})",
+            self.n, self.sleepy_count, self.awake, self.asleep
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::schedule_rng;
+
+    #[test]
+    fn sleepers_get_no_ticks_while_asleep() {
+        let mut s = Sleepy::new(8, 0.5, 100, 400, schedule_rng(11));
+        let offsets = s.offsets.clone();
+        for _ in 0..20_000u64 {
+            let t = s.tick;
+            let p = s.next();
+            let off = offsets[p.0];
+            if off != u64::MAX {
+                assert!((t + off) % 500 < 100, "proc {p} scheduled while asleep at tick {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn processor_zero_never_sleeps() {
+        let s = Sleepy::new(4, 1.0, 10, 1000, schedule_rng(2));
+        for t in 0..5000 {
+            assert!(s.is_awake(0, t));
+        }
+    }
+
+    #[test]
+    fn always_awake_without_sleepers() {
+        let mut s = Sleepy::new(6, 0.0, 1, 1_000_000, schedule_rng(8));
+        let mut h = vec![0u64; 6];
+        for _ in 0..6000 {
+            h[s.next().0] += 1;
+        }
+        assert!(h.iter().all(|&c| c > 600), "histogram {h:?}");
+    }
+
+    #[test]
+    fn sleepers_eventually_wake_and_run() {
+        let mut s = Sleepy::new(8, 0.25, 200, 800, schedule_rng(13));
+        let mut h = vec![0u64; 8];
+        for _ in 0..100_000 {
+            h[s.next().0] += 1;
+        }
+        assert!(h.iter().all(|&c| c > 0), "every processor runs eventually: {h:?}");
+    }
+}

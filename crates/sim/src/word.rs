@@ -1,0 +1,85 @@
+//! Machine words and timestamps.
+//!
+//! The host system of the paper postulates a global word size; every shared
+//! memory cell holds a full word **together with a timestamp**, and a single
+//! atomic operation reads or writes both (paper, §1 "The model": *"we assume
+//! that in a single atomic operation the host system can read or write a full
+//! word of the PRAM program together with an appropriate timestamp"*).
+//!
+//! Timestamps in the paper are `O(log n)` bits; we store them in a `u64` for
+//! simplicity (a 64-bit stamp is `O(log n)` for every practical `n`).
+
+/// A machine word. The paper's basic computations (add, multiply, …) operate
+/// on values of this type.
+pub type Value = u64;
+
+/// A timestamp attached to a word. Protocols use stamps to distinguish
+/// *current* from *obsolete* values (e.g. the bin array stamps every write
+/// with the phase number).
+pub type Stamp = u64;
+
+/// A `(value, stamp)` pair: the atomic unit of shared-memory access.
+///
+/// Both components are read and written together in one atomic operation, as
+/// the model postulates. No compound read-modify-write exists in the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Stamped {
+    /// The program word.
+    pub value: Value,
+    /// The timestamp attached by the writer.
+    pub stamp: Stamp,
+}
+
+impl Stamped {
+    /// The initial content of every memory cell: value 0, stamp 0.
+    pub const ZERO: Stamped = Stamped { value: 0, stamp: 0 };
+
+    /// Construct a stamped word.
+    #[inline]
+    pub const fn new(value: Value, stamp: Stamp) -> Self {
+        Stamped { value, stamp }
+    }
+}
+
+impl std::fmt::Display for Stamped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.value, self.stamp)
+    }
+}
+
+/// Identifier of one of the `n` asynchronous processors `P_1 … P_n`
+/// (0-indexed here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamped_roundtrip() {
+        let w = Stamped::new(42, 7);
+        assert_eq!(w.value, 42);
+        assert_eq!(w.stamp, 7);
+        assert_eq!(format!("{w}"), "42@7");
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Stamped::ZERO, Stamped::default());
+        assert_eq!(Stamped::ZERO.value, 0);
+        assert_eq!(Stamped::ZERO.stamp, 0);
+    }
+
+    #[test]
+    fn proc_id_display_and_ord() {
+        assert_eq!(format!("{}", ProcId(3)), "P3");
+        assert!(ProcId(1) < ProcId(2));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for Theorem 1 across seeds, sizes and adversaries.
+
+use std::rc::Rc;
+
+use apex::core::{
+    AgreementConfig, AgreementRun, InstrumentOpts, KeyedSource, RandomSource, ValueSource,
+};
+use apex::sim::ScheduleKind;
+use proptest::prelude::*;
+
+fn schedule_strategy() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::Uniform),
+        Just(ScheduleKind::RoundRobin),
+        (2u64..128).prop_map(|m| ScheduleKind::Bursty { mean_burst: m }),
+        (1u64..4, 1u64..8).prop_map(|(a, s)| ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: a * 1000,
+            asleep: s * 4000,
+        }),
+        Just(ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 12.0 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Theorem 1 (uniqueness, accessibility, correctness, stability) holds
+    /// for the first phase under arbitrary seeds and gallery adversaries.
+    #[test]
+    fn theorem_one_holds_under_random_adversaries(
+        seed in 0u64..1_000_000,
+        n in prop_oneof![Just(8usize), Just(16), Just(32)],
+        kind in schedule_strategy(),
+    ) {
+        let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 30));
+        let mut run = AgreementRun::with_default_config(
+            n, seed, &kind, source, InstrumentOpts::full());
+        let o = run.run_phase();
+        prop_assert!(o.report.all_hold(), "phase 0 failed: {:?}", o.report);
+        prop_assert!(o.completion_work.is_some());
+        prop_assert_eq!(o.stability_violations, 0);
+        prop_assert!(o.agreed.iter().all(|v| v.is_some()));
+    }
+
+    /// Work to completion stays within a constant factor of
+    /// n·log n·log log n across sizes (Theorem 1's bound; E1 measures the
+    /// constant precisely).
+    #[test]
+    fn completion_work_scales_like_theorem_one(
+        seed in 0u64..100_000,
+        n in prop_oneof![Just(16usize), Just(32), Just(64)],
+    ) {
+        let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
+        let mut run = AgreementRun::with_default_config(
+            n, seed, &ScheduleKind::Uniform, source, InstrumentOpts::default());
+        let o = run.run_phase();
+        let w = o.work_to_completion().expect("completes") as f64;
+        let nf = n as f64;
+        let bound = nf * nf.log2() * nf.log2().log2().max(1.0);
+        // Constant window established by E1 (≈ 40–400 with the default
+        // constants); assert a generous envelope.
+        prop_assert!(w / bound > 5.0, "suspiciously cheap: {w} vs bound {bound}");
+        prop_assert!(w / bound < 2000.0, "blow-up: {w} vs bound {bound}");
+    }
+
+    /// A deterministic source always agrees on the unique possible value —
+    /// and every phase of a multi-phase run does so.
+    #[test]
+    fn deterministic_source_agrees_exactly(
+        seed in 0u64..100_000,
+        kind in schedule_strategy(),
+    ) {
+        let n = 8;
+        let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+        let mut run = AgreementRun::with_default_config(
+            n, seed, &kind, source, InstrumentOpts::default());
+        for o in run.run_phases(2) {
+            for (i, v) in o.agreed.iter().enumerate() {
+                prop_assert_eq!(*v, Some(KeyedSource::expected(o.phase, i)));
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_one_clobbers_stay_logarithmic_under_sleepers() {
+    // Lemma 1: O(log n) clobbers per bin per phase w.h.p. Measured loosely
+    // here (E2 produces the real table): worst bin stays within a small
+    // multiple of log₂ n across phases.
+    let n = 32;
+    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
+    let cfg = AgreementConfig::for_n(n, 1);
+    let kind = apex::baselines::adversary::resonant_sleepy(&cfg, 0.25);
+    let mut run = AgreementRun::new(cfg, 11, &kind, source, InstrumentOpts::clobbers_only());
+    let outcomes = run.run_phases(4);
+    let log_n = (n as f64).log2();
+    for o in &outcomes {
+        assert!(o.report.all_hold(), "phase {} failed under sleepers", o.phase);
+        let worst = o.max_clobbers().unwrap() as f64;
+        assert!(
+            worst <= 16.0 * log_n,
+            "phase {}: worst bin took {worst} clobbers (log n = {log_n:.1})",
+            o.phase
+        );
+    }
+}
+
+#[test]
+fn fig3_interleaving_cannot_break_agreement() {
+    // The Fig.-3 oscillation arrangement delays convergence but (w.h.p.)
+    // cannot prevent it — stability is still reached by the middle cell.
+    let n = 8;
+    let cfg = AgreementConfig::for_n(n, 1);
+    let schedule = apex::baselines::adversary::fig3_interleave(n, &cfg, 5000, 3);
+    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1000));
+    let mut run = AgreementRun::with_schedule(cfg, 3, schedule, source, InstrumentOpts::full());
+    let o = run.run_phase();
+    assert!(o.report.all_hold(), "{:?}", o.report);
+    assert_eq!(o.stability_violations, 0);
+}

@@ -1,0 +1,65 @@
+//! Every library program through the full asynchronous machine.
+//!
+//! The per-program tests check reference-executor semantics; this suite
+//! pushes the *whole catalog* through the paper's execution scheme and
+//! verifies each run against the synchronous replay — deterministic and
+//! randomized workloads alike, plus spot checks of the actual outputs.
+
+use apex::pram::library::{deterministic_catalog, randomized_catalog};
+use apex::pram::refexec::{execute, Choices};
+use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::sim::ScheduleKind;
+
+#[test]
+fn deterministic_catalog_runs_and_matches_the_reference_exactly() {
+    let n = 8;
+    for built in deterministic_catalog(n, 3) {
+        let name = built.program.name.clone();
+        let reference = execute(&built.program, &Choices::Seeded(0));
+        let report = SchemeRun::new(
+            built.program,
+            SchemeRunConfig::new(SchemeKind::Nondet, 11)
+                .schedule(ScheduleKind::Bursty { mean_burst: 24 }),
+        )
+        .run();
+        assert!(report.verify.ok(), "{name}: {report}");
+        // Deterministic programs admit exactly one execution: the final
+        // memory must match the reference bit for bit.
+        assert_eq!(report.final_memory, reference.memory, "{name}");
+    }
+}
+
+#[test]
+fn randomized_catalog_runs_and_verifies() {
+    let n = 8;
+    for built in randomized_catalog(n, 4) {
+        let name = built.program.name.clone();
+        let report = SchemeRun::new(
+            built.program,
+            SchemeRunConfig::new(SchemeKind::Nondet, 13)
+                .schedule(ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 8.0 }),
+        )
+        .run();
+        assert!(report.verify.ok(), "{name}: {report}");
+    }
+}
+
+#[test]
+fn catalog_work_scales_with_step_count() {
+    // Work is ~(per-subphase cost) × 2T: across catalog programs of
+    // different T at fixed n, work/T should stay within a small band.
+    let n = 8;
+    let mut per_step: Vec<f64> = Vec::new();
+    for built in deterministic_catalog(n, 5) {
+        let t = built.program.n_steps() as f64;
+        let report =
+            SchemeRun::new(built.program, SchemeRunConfig::new(SchemeKind::Nondet, 17)).run();
+        per_step.push(report.total_work as f64 / t);
+    }
+    let min = per_step.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_step.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.8,
+        "per-step work should be program-independent: {per_step:?}"
+    );
+}

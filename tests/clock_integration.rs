@@ -1,0 +1,53 @@
+//! The phase clock under real protocol load (not just update storms).
+
+use std::rc::Rc;
+
+use apex::core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+use apex::sim::ScheduleKind;
+
+/// Phases advance at the configured pace while the participants are busy
+/// with cycles (the interleave cadence of §2.1/§3 works end to end).
+#[test]
+fn phases_advance_at_the_configured_pace_under_load() {
+    let n = 16;
+    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
+    let mut run = AgreementRun::with_default_config(
+        n,
+        5,
+        &ScheduleKind::Uniform,
+        source,
+        InstrumentOpts::default(),
+    );
+    let cfg = run.cfg;
+    let outcomes = run.run_phases(4);
+    let expected = cfg.nominal_cycles_per_phase()
+        * (cfg.omega + 2 /* amortized clock costs */);
+    for o in &outcomes[1..] {
+        let w = o.phase_work() as f64;
+        let ratio = w / expected as f64;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "phase {} work {w} vs expected ≈ {expected} (ratio {ratio:.2})",
+            o.phase
+        );
+    }
+}
+
+/// Consecutive phase lengths are stable (the clock does not drift or
+/// accelerate as stamps grow).
+#[test]
+fn phase_lengths_are_stable_across_phases() {
+    let n = 16;
+    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
+    let mut run = AgreementRun::with_default_config(
+        n,
+        6,
+        &ScheduleKind::Uniform,
+        source,
+        InstrumentOpts::default(),
+    );
+    let works: Vec<u64> = run.run_phases(5).iter().skip(1).map(|o| o.phase_work()).collect();
+    let min = *works.iter().min().unwrap() as f64;
+    let max = *works.iter().max().unwrap() as f64;
+    assert!(max / min < 1.6, "phase lengths drift: {works:?}");
+}

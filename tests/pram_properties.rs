@@ -1,0 +1,110 @@
+//! Property tests for the PRAM model and program library.
+
+use apex::pram::library::{
+    blelloch_scan, coin_sum, hypercube_allreduce, matvec, odd_even_sort, tree_reduce,
+};
+use apex::pram::refexec::{execute, Choices};
+use apex::pram::Op;
+use proptest::prelude::*;
+
+fn pow2_values(max_log: u32) -> impl Strategy<Value = Vec<u64>> {
+    (1u32..=max_log).prop_flat_map(|lg| {
+        proptest::collection::vec(0u64..1_000_000, 1usize << lg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Odd–even transposition sorts every input.
+    #[test]
+    fn sort_sorts(vals in pow2_values(5)) {
+        let built = odd_even_sort(&vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        let got: Vec<u64> = (0..vals.len()).map(|i| out.memory[built.outputs.at(i)]).collect();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Blelloch scan equals the sequential exclusive prefix sum.
+    #[test]
+    fn scan_is_exclusive_prefix_sum(vals in pow2_values(5)) {
+        let built = blelloch_scan(&vals);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        let mut acc = 0u64;
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(out.memory[built.outputs.at(i)], acc, "index {}", i);
+            acc = acc.wrapping_add(*v);
+        }
+    }
+
+    /// Tree reduce and hypercube all-reduce agree with a sequential fold
+    /// and with each other.
+    #[test]
+    fn reductions_agree(vals in pow2_values(5)) {
+        let tree = tree_reduce(Op::Add, &vals);
+        let cube = hypercube_allreduce(Op::Add, &vals);
+        let t = execute(&tree.program, &Choices::Seeded(0));
+        let c = execute(&cube.program, &Choices::Seeded(0));
+        let expect = vals.iter().fold(0u64, |a, b| a.wrapping_add(*b));
+        prop_assert_eq!(t.memory[tree.outputs.at(0)], expect);
+        for i in 0..vals.len() {
+            prop_assert_eq!(c.memory[cube.outputs.at(i)], expect);
+        }
+    }
+
+    /// Systolic matvec equals the naive product.
+    #[test]
+    fn matvec_matches_naive(
+        rows_lg in 1u32..4,
+        extra_cols in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let rows = 1usize << rows_lg;
+        let cols = rows + extra_cols;
+        let a: Vec<u64> = (0..rows * cols).map(|i| (i as u64).wrapping_mul(seed | 1) % 1000).collect();
+        let x: Vec<u64> = (0..cols).map(|i| (i as u64 + seed) % 1000).collect();
+        let built = matvec(&a, &x, rows);
+        let out = execute(&built.program, &Choices::Seeded(0));
+        for i in 0..rows {
+            let expect = (0..cols).map(|j| a[i * cols + j].wrapping_mul(x[j])).fold(0u64, u64::wrapping_add);
+            prop_assert_eq!(out.memory[built.outputs.at(i)], expect);
+        }
+    }
+
+    /// Replay closure: injecting the outputs of a seeded run reproduces the
+    /// run exactly (the identity the verifier is built on).
+    #[test]
+    fn injected_replay_is_closed(n_lg in 2u32..5, seed in any::<u64>()) {
+        let built = coin_sum(1usize << n_lg, 64);
+        let first = execute(&built.program, &Choices::Seeded(seed));
+        let nondet: std::collections::HashMap<(u64, usize), u64> = first
+            .outputs
+            .iter()
+            .filter(|((step, thread), _)| {
+                built.program.instr(*step as usize, *thread)
+                    .is_some_and(|i| i.is_nondeterministic())
+            })
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let replay = execute(&built.program, &Choices::Injected(nondet));
+        prop_assert_eq!(first.memory, replay.memory);
+        prop_assert_eq!(first.outputs, replay.outputs);
+    }
+
+    /// Every library program passes the strict EREW validator and reports
+    /// consistent instruction counts.
+    #[test]
+    fn library_programs_validate(n_lg in 2u32..6, seed in any::<u64>()) {
+        let n = 1usize << n_lg;
+        for built in apex::pram::library::deterministic_catalog(n, seed)
+            .into_iter()
+            .chain(apex::pram::library::randomized_catalog(n, seed))
+        {
+            prop_assert!(built.program.validate().is_ok(), "{}", built.program.name);
+            let total: usize = built.program.activity().iter().sum();
+            prop_assert_eq!(total, built.program.n_instructions());
+        }
+    }
+}
