@@ -97,8 +97,14 @@ mod tests {
     fn resonant_sleep_scales_with_config() {
         let small = AgreementConfig::for_n(16, 5);
         let large = AgreementConfig::for_n(256, 5);
-        let (ScheduleKind::Sleepy { asleep: a_small, .. }, ScheduleKind::Sleepy { asleep: a_large, .. }) =
-            (resonant_sleepy(&small, 0.5), resonant_sleepy(&large, 0.5))
+        let (
+            ScheduleKind::Sleepy {
+                asleep: a_small, ..
+            },
+            ScheduleKind::Sleepy {
+                asleep: a_large, ..
+            },
+        ) = (resonant_sleepy(&small, 0.5), resonant_sleepy(&large, 0.5))
         else {
             panic!("resonant_sleepy must be a Sleepy kind")
         };
@@ -114,7 +120,10 @@ mod tests {
         for _ in 0..prefix {
             h[s.next().0] += 1;
         }
-        assert!(h[0] > h[2] && h[1] > h[2], "P0/P1 dominate the scripted prefix: {h:?}");
+        assert!(
+            h[0] > h[2] && h[1] > h[2],
+            "P0/P1 dominate the scripted prefix: {h:?}"
+        );
         // Fallback continues forever.
         for _ in 0..1000 {
             s.next();

@@ -46,12 +46,14 @@ pub async fn run_linear_cycle(
     let stamp = BinLayout::stamp_for(phase);
     let action = if j == 0 {
         let value = source.eval(ctx, phase, bin).await;
-        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, stamp)).await;
+        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, stamp))
+            .await;
         CycleAction::Evaluated { value }
     } else if j < bins.cells_per_bin() {
         // `prev` was read during the scan and is filled by construction.
         let value = prev.expect("scan passed cell j-1").value;
-        ctx.write(bins.cell_addr(bin, j), Stamped::new(value, stamp)).await;
+        ctx.write(bins.cell_addr(bin, j), Stamped::new(value, stamp))
+            .await;
         CycleAction::Copied { to: j, value }
     } else {
         CycleAction::BinFull
@@ -105,12 +107,14 @@ mod tests {
         let cfg = AgreementConfig::for_n(n, 1);
         let mut alloc = RegionAllocator::new();
         let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
-        let mut m = MachineBuilder::new(1, alloc.total()).seed(2).build(move |ctx| async move {
-            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
-            for _ in 0..2000 {
-                run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
-            }
-        });
+        let mut m = MachineBuilder::new(1, alloc.total())
+            .seed(2)
+            .build(move |ctx| async move {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                for _ in 0..2000 {
+                    run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
+                }
+            });
         m.run_to_completion(100_000_000).unwrap();
         m.with_mem(|mem| {
             for b in 0..n {
@@ -131,14 +135,16 @@ mod tests {
         assert!(omega_linear(&cfg) > cfg.omega * 2, "linear ω must dominate");
         let mut alloc = RegionAllocator::new();
         let bins = BinLayout::new(&mut alloc, n, cfg.cells_per_bin);
-        let mut m = MachineBuilder::new(1, alloc.total()).seed(3).build(move |ctx| async move {
-            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
-            for _ in 0..50 {
-                let before = ctx.ops();
-                run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
-                assert_eq!(ctx.ops() - before, omega_linear(&cfg));
-            }
-        });
+        let mut m = MachineBuilder::new(1, alloc.total())
+            .seed(3)
+            .build(move |ctx| async move {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                for _ in 0..50 {
+                    let before = ctx.ops();
+                    run_linear_cycle(&ctx, &cfg, &bins, &source, 0).await;
+                    assert_eq!(ctx.ops() - before, omega_linear(&cfg));
+                }
+            });
         m.run_to_completion(10_000_000).unwrap();
     }
 
@@ -156,10 +162,14 @@ mod tests {
                 let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
                 run_linear_participant(ctx, cfg, bins, clock, source)
             });
-        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1).expect("phase");
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1)
+            .expect("phase");
         m.with_mem(|mem| {
             for b in 0..n {
-                assert_eq!(bins.oracle_value(mem, b, 0), Some(KeyedSource::expected(0, b)));
+                assert_eq!(
+                    bins.oracle_value(mem, b, 0),
+                    Some(KeyedSource::expected(0, b))
+                );
             }
         });
     }

@@ -46,13 +46,18 @@ pub async fn run_stampless_cycle(
 
     let action = if j == 0 {
         let value = source.eval(ctx, phase, bin).await;
-        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, 1)).await;
+        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, 1))
+            .await;
         CycleAction::Evaluated { value }
     } else if j < bins.cells_per_bin() {
         let prev = ctx.read(bins.cell_addr(bin, j - 1)).await;
         if filled(prev) {
-            ctx.write(bins.cell_addr(bin, j), Stamped::new(prev.value, 1)).await;
-            CycleAction::Copied { to: j, value: prev.value }
+            ctx.write(bins.cell_addr(bin, j), Stamped::new(prev.value, 1))
+                .await;
+            CycleAction::Copied {
+                to: j,
+                value: prev.value,
+            }
         } else {
             CycleAction::HoleSkip { at: j }
         }
@@ -142,20 +147,22 @@ mod tests {
         let n = 8;
         let (mut m, bins, clock, _cfg) = machine(n);
         // Phase 0 behaves like the real protocol (empty memory = empty bins).
-        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1).expect("phase 0");
-        let frac0 = m.with_mem(|mem| {
-            fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b))
-        });
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 1)
+            .expect("phase 0");
+        let frac0 =
+            m.with_mem(|mem| fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b)));
         assert!(frac0 >= 0.9, "phase 0 should fill correctly: {frac0}");
         // Phase 1: bins look full, values are stale phase-0 values.
-        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 2).expect("phase 1");
-        let frac1 = m.with_mem(|mem| {
-            fraction_matching(mem, &bins, |b| KeyedSource::expected(1, b))
-        });
-        assert_eq!(frac1, 0.0, "stampless bins must fail to produce phase-1 values");
-        let still0 = m.with_mem(|mem| {
-            fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b))
-        });
+        m.run_until(500_000_000, 4096, |mem| clock.oracle(mem) >= 2)
+            .expect("phase 1");
+        let frac1 =
+            m.with_mem(|mem| fraction_matching(mem, &bins, |b| KeyedSource::expected(1, b)));
+        assert_eq!(
+            frac1, 0.0,
+            "stampless bins must fail to produce phase-1 values"
+        );
+        let still0 =
+            m.with_mem(|mem| fraction_matching(mem, &bins, |b| KeyedSource::expected(0, b)));
         assert!(still0 >= 0.9, "stale phase-0 values linger: {still0}");
     }
 }

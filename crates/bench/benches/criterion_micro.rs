@@ -1,8 +1,9 @@
 //! E12 — wall-clock micro-benchmarks (engineering, not a paper claim).
 //!
-//! Criterion timings for the simulator's hot paths: tick dispatch, one
-//! agreement cycle, clock read/update, and a full small phase. These guard
-//! against performance regressions of the harness itself; all paper
+//! Timings for the simulator's hot paths: raw tick dispatch (batched
+//! engine vs the `batch(1)` per-tick reference configuration, across
+//! adversaries), one agreement phase, and clock update throughput. These
+//! guard against performance regressions of the harness itself; all paper
 //! experiments use model work units, not wall time.
 
 use std::rc::Rc;
@@ -10,33 +11,60 @@ use std::rc::Rc;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use apex_core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
-use apex_sim::{MachineBuilder, ScheduleKind, Stamped};
+use apex_sim::{Machine, MachineBuilder, ScheduleKind, Stamped};
+
+const TICKS: u64 = 100_000;
+
+/// Read-modify-write protocol: the canonical 2-ops-per-cycle hot loop.
+fn counter_machine(n: usize, batch: usize, kind: &ScheduleKind) -> Machine {
+    MachineBuilder::new(n, n)
+        .seed(1)
+        .schedule_kind(kind)
+        .batch(batch)
+        .build(|ctx| async move {
+            let me = ctx.id().0;
+            loop {
+                let v = ctx.read(me).await;
+                ctx.write(me, Stamped::new(v.value + 1, 0)).await;
+            }
+        })
+}
 
 fn bench_tick_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");
     g.sample_size(20);
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("ticks_10k_uniform_n64", |b| {
-        b.iter_batched(
-            || {
-                MachineBuilder::new(64, 64)
-                    .seed(1)
-                    .schedule_kind(&ScheduleKind::Uniform)
-                    .build(|ctx| async move {
-                        let me = ctx.id().0;
-                        loop {
-                            let v = ctx.read(me).await;
-                            ctx.write(me, Stamped::new(v.value + 1, 0)).await;
-                        }
-                    })
-            },
-            |mut m| {
-                m.run_ticks(10_000);
-                m
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    g.throughput(Throughput::Elements(TICKS));
+    // The headline pair: identical machines, per-tick vs batched dispatch.
+    for (id, batch) in [
+        ("ticks_100k_uniform_n64_reference_batch1", 1usize),
+        ("ticks_100k_uniform_n64_batched", apex_sim::DEFAULT_BATCH),
+    ] {
+        g.bench_function(id, |b| {
+            b.iter_batched(
+                || counter_machine(64, batch, &ScheduleKind::Uniform),
+                |mut m| {
+                    m.run_ticks(TICKS);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    // Batched dispatch across the adversary gallery (specialized
+    // `next_batch` paths).
+    for kind in ScheduleKind::gallery() {
+        let id = format!("ticks_100k_{}_n64_batched", kind.label());
+        g.bench_function(&id, |b| {
+            b.iter_batched(
+                || counter_machine(64, apex_sim::DEFAULT_BATCH, &kind),
+                |mut m| {
+                    m.run_ticks(TICKS);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -88,5 +116,10 @@ fn bench_clock_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tick_throughput, bench_agreement_phase, bench_clock_ops);
+criterion_group!(
+    benches,
+    bench_tick_throughput,
+    bench_agreement_phase,
+    bench_clock_ops
+);
 criterion_main!(benches);

@@ -11,39 +11,58 @@
 //!    single loaded tardy write mask a variable; K ≥ 2 absorbs it.
 //! 4. **timestamps** — stampless bins cannot survive reuse (also covered by
 //!    a test); reported here for completeness.
+//!
+//! Each ablation's trial grid fans out on the parallel trial runner;
+//! schedules that are not `Send` (scripted adversaries) are built inside
+//! the worker threads.
 
 use std::rc::Rc;
 
 use apex_baselines::adversary::{gun_volley, resonant_sleepy};
 use apex_baselines::linear::{omega_linear, run_linear_participant};
-use apex_bench::{banner, seeds, Table};
+use apex_bench::runner::{
+    run_agreement_trials, run_scheme_trials, run_trials, AgreementTrial, ProgramSpec, SchemeTrial,
+    SourceSpec,
+};
+use apex_bench::{banner, seeds, Experiment, Table};
 use apex_clock::PhaseClock;
 use apex_core::{
     AgreementConfig, AgreementRun, BinLayout, InstrumentOpts, RandomSource, ValueSource,
 };
-use apex_pram::library::random_walks;
-use apex_scheme::{tasks::eval_cost, SchemeKind, SchemeRun, SchemeRunConfig};
+use apex_scheme::{tasks::eval_cost, SchemeKind};
 use apex_sim::{MachineBuilder, RegionAllocator, ScheduleKind};
 
-fn beta_sweep() {
+fn beta_sweep(exp: &mut Experiment) {
     println!("\n-- ablation 1: bin size β under clobber pressure (n = 32, resonant sleeper) --");
-    let mut t = Table::new(&["β", "cells/bin", "phases ok", "phases failed", "work/phase"]);
-    for beta in [1usize, 2, 4, 6, 10] {
+    let betas = [1usize, 2, 4, 6, 10];
+    let seed_list = seeds(4);
+    let mut trials = Vec::new();
+    for &beta in &betas {
         let cfg = AgreementConfig::with_beta(32, 1, beta, AgreementConfig::DEFAULT_CS);
         let sleeper = resonant_sleepy(&cfg, 0.375);
+        for &seed in &seed_list {
+            trials.push(
+                AgreementTrial::new(32, seed, sleeper.clone(), SourceSpec::Random(1 << 20), 3)
+                    .config(cfg),
+            );
+        }
+    }
+    let results = run_agreement_trials(&trials);
+    exp.add_trials(results.len());
+    for r in &results {
+        exp.add_ticks(r.ticks);
+    }
+
+    let mut t = Table::new(&["β", "cells/bin", "phases ok", "phases failed", "work/phase"]);
+    let mut it = results.iter();
+    for &beta in &betas {
+        let cfg = AgreementConfig::with_beta(32, 1, beta, AgreementConfig::DEFAULT_CS);
         let mut ok = 0usize;
         let mut failed = 0usize;
         let mut work = 0u64;
-        for seed in seeds(4) {
-            let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 20));
-            let mut run = AgreementRun::new(
-                cfg,
-                seed,
-                &sleeper,
-                source,
-                InstrumentOpts::default(),
-            );
-            for o in run.run_phases(3) {
+        for _ in &seed_list {
+            let r = it.next().expect("result per trial");
+            for o in &r.outcomes {
                 if o.report.all_hold() && o.stability_violations == 0 {
                     ok += 1;
                 } else {
@@ -60,19 +79,25 @@ fn beta_sweep() {
             format!("{}", work / (ok + failed).max(1) as u64),
         ]);
     }
-    t.print();
+    exp.table("beta_sweep", &t);
     println!("small β starves the stabilization headroom; β ≥ ~4 is reliably clean.");
 }
 
-fn search_ablation() {
+fn search_ablation(exp: &mut Experiment) {
     println!("\n-- ablation 2: binary vs linear frontier search (work to fill phase 0) --");
-    let mut t = Table::new(&["n", "ω binary", "ω linear", "work binary", "work linear", "ratio"]);
-    for n in [16usize, 64, 256] {
+    let sizes = [16usize, 64, 256];
+    // Per n: (binary phase work, linear phase work, total ticks).
+    let results = run_trials(&sizes, |&n| {
         let cfg = AgreementConfig::for_n(n, 1);
         // Binary: standard harness.
         let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
-        let mut run =
-            AgreementRun::new(cfg, 3, &ScheduleKind::Uniform, source, InstrumentOpts::default());
+        let mut run = AgreementRun::new(
+            cfg,
+            3,
+            &ScheduleKind::Uniform,
+            source,
+            InstrumentOpts::default(),
+        );
         let binary_work = run.run_phase().phase_work();
         // Linear: same cadence, linear cycles.
         let mut alloc = RegionAllocator::new();
@@ -88,39 +113,76 @@ fn search_ablation() {
         let linear_work = m
             .run_until(u64::MAX / 2, 4096, |mem| clock.oracle(mem) >= 1)
             .expect("linear phase");
+        (binary_work, linear_work, run.machine().ticks() + m.ticks())
+    });
+    exp.add_trials(results.len());
+    for (_, _, ticks) in &results {
+        exp.add_ticks(*ticks);
+    }
+
+    let mut t = Table::new(&[
+        "n",
+        "ω binary",
+        "ω linear",
+        "work binary",
+        "work linear",
+        "ratio",
+    ]);
+    for (&n, (binary_work, linear_work, _)) in sizes.iter().zip(&results) {
+        let cfg = AgreementConfig::for_n(n, 1);
         t.row(vec![
             format!("{n}"),
             format!("{}", cfg.omega),
             format!("{}", omega_linear(&cfg)),
             format!("{binary_work}"),
             format!("{linear_work}"),
-            format!("{:.2}", linear_work as f64 / binary_work as f64),
+            format!("{:.2}", *linear_work as f64 / *binary_work as f64),
         ]);
     }
-    t.print();
+    exp.table("search_ablation", &t);
     println!("the ratio tracks ω_linear/ω_binary = Θ(log n / log log n): the");
     println!("binary search is what keeps cycles at Θ(log log n).");
 }
 
-fn replica_sweep() {
+fn replica_sweep(exp: &mut Experiment) {
     println!("\n-- ablation 3: replica factor K under the gun volley (n = 32, 10 seeds) --");
-    let mut t = Table::new(&["K", "violations", "bad runs", "operand read failures"]);
     let cfg = AgreementConfig::for_n(32, eval_cost(3));
     // Guns sleep past random_walks' 4-step variable-rewrite distance.
     let sched = gun_volley(&cfg, 0.5, 4);
-    for k in [1usize, 2, 3] {
+    let ks = [1usize, 2, 3];
+    let seed_list = seeds(10);
+    let mut trials = Vec::new();
+    for &k in &ks {
+        for &seed in &seed_list {
+            trials.push(
+                SchemeTrial::new(
+                    SchemeKind::Nondet,
+                    ProgramSpec::RandomWalks {
+                        n: 32,
+                        init: 1000,
+                        steps: 24,
+                    },
+                    seed,
+                )
+                .schedule(sched.clone())
+                .replicas(k),
+            );
+        }
+    }
+    let reports = run_scheme_trials(&trials);
+    exp.add_trials(reports.len());
+    for r in &reports {
+        exp.add_ticks(r.ticks);
+    }
+
+    let mut t = Table::new(&["K", "violations", "bad runs", "operand read failures"]);
+    let mut it = reports.iter();
+    for &k in &ks {
         let mut violations = 0usize;
         let mut bad = 0usize;
         let mut read_failures = 0u64;
-        for seed in seeds(10) {
-            let built = random_walks(&vec![1000u64; 32], 24);
-            let r = SchemeRun::new(
-                built.program,
-                SchemeRunConfig::new(SchemeKind::Nondet, seed)
-                    .schedule(sched.clone())
-                    .replicas(k),
-            )
-            .run();
+        for _ in &seed_list {
+            let r = it.next().expect("report per trial");
             violations += r.verify.violations();
             bad += (r.verify.violations() > 0) as usize;
             read_failures += r.operand_read_failures;
@@ -132,41 +194,68 @@ fn replica_sweep() {
             format!("{read_failures}"),
         ]);
     }
-    t.print();
+    exp.table("replica_sweep", &t);
     println!("K = 1 leaves variables one loaded tardy write away from masking;");
     println!("K ≥ 2 absorbs the volley (DESIGN.md §4.4 substitution, quantified).");
 }
 
-fn fig3_stress() {
+fn fig3_stress(exp: &mut Experiment) {
     println!("\n-- ablation 4: Fig.-3 oscillation interleaving (n = 8) --");
     let n = 8;
     let cfg = AgreementConfig::for_n(n, 1);
+    let phases = 3;
+    let seed_list = seeds(4);
+    let mut configs = Vec::new();
+    for scripted in [false, true] {
+        for &seed in &seed_list {
+            configs.push((scripted, seed));
+        }
+    }
+    // Scripted schedules are not Send; build them inside the workers.
+    let results = run_trials(&configs, |&(scripted, seed)| {
+        let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 20));
+        let mut run = if scripted {
+            let sched = apex_baselines::adversary::fig3_interleave(n, &cfg, 20_000, seed);
+            AgreementRun::with_schedule(cfg, seed, sched, source, InstrumentOpts::default())
+        } else {
+            AgreementRun::new(
+                cfg,
+                seed,
+                &ScheduleKind::Uniform,
+                source,
+                InstrumentOpts::default(),
+            )
+        };
+        let failures = run
+            .run_phases(phases)
+            .iter()
+            .filter(|o| !o.report.all_hold())
+            .count();
+        (failures, run.stability_violations(), run.machine().ticks())
+    });
+    exp.add_trials(results.len());
+    for (_, _, ticks) in &results {
+        exp.add_ticks(*ticks);
+    }
+
     let mut t = Table::new(&["schedule", "phases", "T1 failures", "stability violations"]);
-    for (label, scripted) in [("uniform", false), ("fig3-interleave", true)] {
+    let mut it = results.iter();
+    for (label, _) in [("uniform", false), ("fig3-interleave", true)] {
         let mut failures = 0usize;
         let mut stability = 0usize;
-        let phases = 3;
-        for seed in seeds(4) {
-            let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 20));
-            let mut run = if scripted {
-                let sched = apex_baselines::adversary::fig3_interleave(n, &cfg, 20_000, seed);
-                AgreementRun::with_schedule(cfg, seed, sched, source, InstrumentOpts::default())
-            } else {
-                AgreementRun::new(cfg, seed, &ScheduleKind::Uniform, source, InstrumentOpts::default())
-            };
-            for o in run.run_phases(phases) {
-                failures += (!o.report.all_hold()) as usize;
-            }
-            stability += run.stability_violations();
+        for _ in &seed_list {
+            let (f, s, _) = it.next().expect("result per config");
+            failures += f;
+            stability += s;
         }
         t.row(vec![
             label.into(),
-            format!("{}", 4 * phases),
+            format!("{}", seed_list.len() * phases),
             format!("{failures}"),
             format!("{stability}"),
         ]);
     }
-    t.print();
+    exp.table("fig3_stress", &t);
     println!("the crafted overlap raises the oscillation pressure of Fig. 3, yet");
     println!("agreement still stabilizes below the middle cell — the low-probability");
     println!("bad event stays low even when engineered for.");
@@ -178,8 +267,10 @@ fn main() {
         "Design ablations (β, binary search, replicas, Fig. 3)",
         "each design choice is load-bearing at the measured margin",
     );
-    beta_sweep();
-    search_ablation();
-    replica_sweep();
-    fig3_stress();
+    let mut exp = Experiment::start("E11");
+    beta_sweep(&mut exp);
+    search_ablation(&mut exp);
+    replica_sweep(&mut exp);
+    fig3_stress(&mut exp);
+    exp.finish();
 }

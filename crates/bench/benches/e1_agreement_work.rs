@@ -7,28 +7,16 @@
 //! the properties, normalize by n·log n·log log n, and fit a power law: a
 //! flat normalized column (fitted exponent ≈ the bound's) is the
 //! reproduction of the theorem's shape.
+//!
+//! Trials are independent `(n, adversary, seed)` cells and run on the
+//! parallel trial runner; aggregation follows config order, so the table
+//! is identical to a serial sweep.
 
-use std::rc::Rc;
-
-use apex_bench::{banner, fit_power, mean, seeds, stddev, sweep_sizes, theorem_one_bound, Table};
-use apex_core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+use apex_bench::runner::{run_agreement_trials, AgreementTrial, SourceSpec};
+use apex_bench::{
+    banner, fit_power, mean, seeds, stddev, sweep_sizes, theorem_one_bound, Experiment, Table,
+};
 use apex_sim::ScheduleKind;
-
-fn completion_work(n: usize, seed: u64, kind: &ScheduleKind) -> f64 {
-    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 30));
-    let mut run = AgreementRun::with_default_config(
-        n,
-        seed,
-        kind,
-        source,
-        InstrumentOpts::default(),
-    );
-    // Skip phase 0 (aligned start is unrepresentative), measure phase 1.
-    run.run_phase();
-    let o = run.run_phase();
-    assert!(o.report.all_hold(), "n={n} seed={seed}: Theorem 1 failed");
-    o.work_to_completion().expect("completion") as f64
-}
 
 fn main() {
     banner(
@@ -36,11 +24,42 @@ fn main() {
         "Theorem 1 (work bound of the agreement protocol)",
         "work to (uniqueness ∧ accessibility ∧ correctness) = O(n log n log log n)",
     );
+    let mut exp = Experiment::start("E1");
     let schedules = [
         ("uniform", ScheduleKind::Uniform),
         ("bursty", ScheduleKind::Bursty { mean_burst: 64 }),
-        ("two-class", ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 16.0 }),
+        (
+            "two-class",
+            ScheduleKind::TwoClass {
+                slow_frac: 0.25,
+                ratio: 16.0,
+            },
+        ),
     ];
+    let sizes = sweep_sizes();
+    let seed_list = seeds(3);
+
+    // One trial per (n, schedule, seed): skip phase 0 (aligned start is
+    // unrepresentative), measure phase 1.
+    let mut trials = Vec::new();
+    for &n in &sizes {
+        for (_, kind) in &schedules {
+            for &seed in &seed_list {
+                trials.push(AgreementTrial::new(
+                    n,
+                    seed,
+                    kind.clone(),
+                    SourceSpec::Random(1 << 30),
+                    2,
+                ));
+            }
+        }
+    }
+    let results = run_agreement_trials(&trials);
+    exp.add_trials(results.len());
+    for r in &results {
+        exp.add_ticks(r.ticks);
+    }
 
     let mut table = Table::new(&[
         "n",
@@ -55,12 +74,20 @@ fn main() {
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for n in sweep_sizes() {
+    let mut it = results.iter();
+    for &n in &sizes {
         let mut cells = vec![format!("{n}"), format!("{:.0}", theorem_one_bound(n))];
         let mut sd_pct: f64 = 0.0;
         for (_, kind) in &schedules {
-            let works: Vec<f64> =
-                seeds(3).into_iter().map(|s| completion_work(n, s, kind)).collect();
+            let works: Vec<f64> = seed_list
+                .iter()
+                .map(|_| {
+                    let r = it.next().expect("result per trial");
+                    let o = &r.outcomes[1];
+                    assert!(o.report.all_hold(), "n={n}: Theorem 1 failed");
+                    o.work_to_completion().expect("completion") as f64
+                })
+                .collect();
             let m = mean(&works);
             cells.push(format!("{m:.0}"));
             cells.push(format!("{:.0}", m / theorem_one_bound(n)));
@@ -73,7 +100,7 @@ fn main() {
         cells.push(format!("{sd_pct:.0}%"));
         table.row(cells);
     }
-    table.print();
+    exp.table("theorem1_work", &table);
 
     let (e, c, r2) = fit_power(&xs, &ys);
     println!("\nfit (uniform): work ≈ {c:.1} · n^{e:.3}   (r² = {r2:.4})");
@@ -84,4 +111,5 @@ fn main() {
         "verdict:       measured exponent within {:.3} of the bound's ⇒ shape holds",
         (e - eb).abs()
     );
+    exp.finish();
 }

@@ -4,13 +4,12 @@
 //! each bin." Clobbers are writes carrying an old phase stamp — produced by
 //! tardy (sleeping) processors. We drive the resonant-sleeper adversary,
 //! count per-bin clobbers per phase, and compare the worst bin against
-//! log₂ n.
-
-use std::rc::Rc;
+//! log₂ n. Seeds fan out on the parallel trial runner.
 
 use apex_baselines::adversary::resonant_sleepy;
-use apex_bench::{banner, lg, mean, seeds, sweep_sizes, Table};
-use apex_core::{AgreementConfig, AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+use apex_bench::runner::{run_agreement_trials, AgreementTrial, SourceSpec};
+use apex_bench::{banner, lg, mean, seeds, sweep_sizes, Experiment, Table};
+use apex_core::{AgreementConfig, InstrumentOpts};
 
 fn main() {
     banner(
@@ -18,6 +17,28 @@ fn main() {
         "Lemma 1 (clobbers by tardy processors)",
         "max clobbers per bin per phase = O(log n)",
     );
+    let mut exp = Experiment::start("E2");
+    let sizes = sweep_sizes();
+    let seed_list = seeds(3);
+
+    let mut trials = Vec::new();
+    for &n in &sizes {
+        let cfg = AgreementConfig::for_n(n, 1);
+        let kind = resonant_sleepy(&cfg, 0.25);
+        for &seed in &seed_list {
+            trials.push(
+                AgreementTrial::new(n, seed, kind.clone(), SourceSpec::Random(100), 3)
+                    .opts(InstrumentOpts::clobbers_only())
+                    .config(cfg),
+            );
+        }
+    }
+    let results = run_agreement_trials(&trials);
+    exp.add_trials(results.len());
+    for r in &results {
+        exp.add_ticks(r.ticks);
+    }
+
     let mut table = Table::new(&[
         "n",
         "log2 n",
@@ -28,19 +49,16 @@ fn main() {
         "worst / log2 n",
         "T1 ok",
     ]);
-    for n in sweep_sizes() {
-        let cfg = AgreementConfig::for_n(n, 1);
-        let kind = resonant_sleepy(&cfg, 0.25);
+    let mut it = results.iter();
+    for &n in &sizes {
         let mut worst = 0u64;
         let mut total = 0u64;
         let mut per_bin = Vec::new();
         let mut phases = 0usize;
         let mut all_ok = true;
-        for seed in seeds(3) {
-            let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
-            let mut run =
-                AgreementRun::new(cfg, seed, &kind, source, InstrumentOpts::clobbers_only());
-            for o in run.run_phases(3) {
+        for _ in &seed_list {
+            let r = it.next().expect("result per trial");
+            for o in &r.outcomes {
                 let c = o.clobbers.as_ref().expect("counting");
                 worst = worst.max(*c.iter().max().unwrap());
                 total += c.iter().sum::<u64>();
@@ -60,7 +78,8 @@ fn main() {
             format!("{all_ok}"),
         ]);
     }
-    table.print();
+    exp.table("clobbers", &table);
     println!("\nverdict: the worst-bin column grows like log n (flat ratio), and");
     println!("Theorem 1 keeps holding despite the clobbers — Lemma 1's regime.");
+    exp.finish();
 }

@@ -2,12 +2,11 @@
 //!
 //! "W.h.p. … for each i, half of the cells Bin_i[j] with j ≥ (β log n)/2
 //! are filled." We tabulate the filled fraction of the upper halves at
-//! completion time and at clock advance, per adversary.
+//! completion time and at clock advance, per adversary. Trials fan out on
+//! the parallel runner.
 
-use std::rc::Rc;
-
-use apex_bench::{banner, mean, seeds, sweep_sizes, Table};
-use apex_core::{AgreementRun, InstrumentOpts, RandomSource, ValueSource};
+use apex_bench::runner::{run_agreement_trials, AgreementTrial, SourceSpec};
+use apex_bench::{banner, mean, seeds, sweep_sizes, Experiment, Table};
 use apex_sim::ScheduleKind;
 
 fn main() {
@@ -16,6 +15,41 @@ fn main() {
         "Lemma 4 (accessibility of the agreement values)",
         "≥ 1/2 of the upper-half cells of every bin are filled",
     );
+    let mut exp = Experiment::start("E4");
+    let sizes = sweep_sizes();
+    let schedules = [
+        ("uniform", ScheduleKind::Uniform),
+        (
+            "sleepy",
+            ScheduleKind::Sleepy {
+                sleepy_frac: 0.25,
+                awake: 4000,
+                asleep: 40_000,
+            },
+        ),
+    ];
+    let seed_list = seeds(3);
+
+    let mut trials = Vec::new();
+    for &n in &sizes {
+        for (_, kind) in &schedules {
+            for &seed in &seed_list {
+                trials.push(AgreementTrial::new(
+                    n,
+                    seed,
+                    kind.clone(),
+                    SourceSpec::Random(100),
+                    2,
+                ));
+            }
+        }
+    }
+    let results = run_agreement_trials(&trials);
+    exp.add_trials(results.len());
+    for r in &results {
+        exp.add_ticks(r.ticks);
+    }
+
     let mut table = Table::new(&[
         "n",
         "schedule",
@@ -24,18 +58,14 @@ fn main() {
         "bins < 1/2",
         "bins checked",
     ]);
-    for n in sweep_sizes() {
-        for (label, kind) in [
-            ("uniform", ScheduleKind::Uniform),
-            ("sleepy", ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 4000, asleep: 40_000 }),
-        ] {
+    let mut it = results.iter();
+    for &n in &sizes {
+        for (label, _) in &schedules {
             let mut fracs: Vec<f64> = Vec::new();
             let mut failing = 0usize;
-            for seed in seeds(3) {
-                let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
-                let mut run = AgreementRun::with_default_config(
-                    n, seed, &kind, source, InstrumentOpts::default());
-                for o in run.run_phases(2) {
+            for _ in &seed_list {
+                let r = it.next().expect("result per trial");
+                for o in &r.outcomes {
                     for b in &o.report.bins {
                         let f = b.filled_upper as f64 / b.upper_cells as f64;
                         fracs.push(f);
@@ -46,7 +76,7 @@ fn main() {
             let worst = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
             table.row(vec![
                 format!("{n}"),
-                label.into(),
+                label.to_string(),
                 format!("{:.3}", mean(&fracs)),
                 format!("{worst:.3}"),
                 format!("{failing}"),
@@ -54,7 +84,8 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    exp.table("accessibility", &table);
     println!("\nverdict: mean fractions are near 1.0 and no bin drops below 1/2 —");
     println!("reading NewVal[i] from the upper half succeeds in O(1) expected reads.");
+    exp.finish();
 }

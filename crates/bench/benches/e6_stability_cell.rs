@@ -5,12 +5,12 @@
 //! frontier*: the highest cell index at which two different values were
 //! ever written during the phase (0 = never disagreed). Uniqueness of the
 //! upper half requires it to stay below B/2; the margin column shows how
-//! much β-slack the default configuration leaves.
+//! much β-slack the default configuration leaves. Frontier extraction
+//! walks the `Rc`-held cycle log, so it runs inside each worker thread.
 
-use std::rc::Rc;
-
-use apex_bench::{banner, mean, seeds, Table};
-use apex_core::{AgreementRun, CycleAction, InstrumentOpts, RandomSource, ValueSource};
+use apex_bench::runner::{run_trials, AgreementTrial, SourceSpec};
+use apex_bench::{banner, mean, seeds, Experiment, Table};
+use apex_core::{CycleAction, InstrumentOpts};
 use apex_sim::ScheduleKind;
 use std::collections::HashMap;
 
@@ -20,6 +20,74 @@ fn main() {
         "Lemma 7 (stability reached by cell β·log n / 2)",
         "no bin carries conflicting values at or beyond the middle cell",
     );
+    let mut exp = Experiment::start("E6");
+    let sizes = [16usize, 32, 64];
+    let schedules = [
+        ("uniform", ScheduleKind::Uniform),
+        (
+            "sleepy",
+            ScheduleKind::Sleepy {
+                sleepy_frac: 0.25,
+                awake: 4000,
+                asleep: 40_000,
+            },
+        ),
+    ];
+    let seed_list = seeds(3);
+
+    let mut trials = Vec::new();
+    for &n in &sizes {
+        for (_, kind) in &schedules {
+            for &seed in &seed_list {
+                trials.push(
+                    AgreementTrial::new(n, seed, kind.clone(), SourceSpec::Random(1 << 20), 3)
+                        .opts(InstrumentOpts::full()),
+                );
+            }
+        }
+    }
+    // Per trial: (per-phase disagreement frontiers, upper-half start,
+    // stability violations, ticks).
+    let results = run_trials(&trials, |t| {
+        let mut run = t.build();
+        let outcomes = run.run_phases(t.phases);
+        let half = run.cfg.upper_half_start();
+        let violations = run.stability_violations();
+        let log = run.sink.as_ref().unwrap().borrow();
+        let mut frontiers: Vec<usize> = Vec::new();
+        for o in &outcomes {
+            // Last value written per (bin, cell) in this phase, in write
+            // order; frontier = max cell where value differed from the one
+            // already propagating.
+            let mut first_val: HashMap<usize, u64> = HashMap::new();
+            let mut frontier = vec![0usize; t.n];
+            for c in log.cycles_of_phase(o.phase) {
+                let (cell, value) = match c.action {
+                    CycleAction::Evaluated { value } => (0, value),
+                    CycleAction::Copied { to, value } => (to, value),
+                    _ => continue,
+                };
+                match first_val.entry(c.bin * 10_000 + cell) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(value);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != value {
+                            frontier[c.bin] = frontier[c.bin].max(cell);
+                        }
+                    }
+                }
+            }
+            frontiers.extend(frontier);
+        }
+        drop(log);
+        (frontiers, half, violations, run.machine().ticks())
+    });
+    exp.add_trials(results.len());
+    for (_, _, _, ticks) in &results {
+        exp.add_ticks(*ticks);
+    }
+
     let mut table = Table::new(&[
         "n",
         "B/2",
@@ -30,57 +98,27 @@ fn main() {
         "beyond B/2",
         "stability viol",
     ]);
-    for n in [16usize, 32, 64] {
-        for (label, kind) in [
-            ("uniform", ScheduleKind::Uniform),
-            ("sleepy", ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 4000, asleep: 40_000 }),
-        ] {
+    let mut it = results.iter();
+    for &n in &sizes {
+        for (label, _) in &schedules {
             let mut frontiers: Vec<f64> = Vec::new();
             let mut beyond = 0usize;
             let mut stability_violations = 0usize;
             let mut half = 0usize;
-            for seed in seeds(3) {
-                let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(1 << 20));
-                let mut run = AgreementRun::with_default_config(
-                    n, seed, &kind, source, InstrumentOpts::full());
-                half = run.cfg.upper_half_start();
-                let outcomes = run.run_phases(3);
-                stability_violations += run.stability_violations();
-                let log = run.sink.as_ref().unwrap().borrow();
-                for o in &outcomes {
-                    // Last value written per (bin, cell) in this phase, in
-                    // write order; frontier = max cell where value differed
-                    // from the one already propagating.
-                    let mut first_val: HashMap<usize, u64> = HashMap::new();
-                    let mut frontier = vec![0usize; n];
-                    for c in log.cycles_of_phase(o.phase) {
-                        let (cell, value) = match c.action {
-                            CycleAction::Evaluated { value } => (0, value),
-                            CycleAction::Copied { to, value } => (to, value),
-                            _ => continue,
-                        };
-                        match first_val.entry(c.bin * 10_000 + cell) {
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert(value);
-                            }
-                            std::collections::hash_map::Entry::Occupied(e) => {
-                                if *e.get() != value {
-                                    frontier[c.bin] = frontier[c.bin].max(cell);
-                                }
-                            }
-                        }
-                    }
-                    for f in frontier {
-                        frontiers.push(f as f64);
-                        beyond += (f >= half) as usize;
-                    }
+            for _ in &seed_list {
+                let (fs, h, violations, _) = it.next().expect("result per trial");
+                half = *h;
+                stability_violations += violations;
+                for &f in fs {
+                    frontiers.push(f as f64);
+                    beyond += (f >= half) as usize;
                 }
             }
             let max = frontiers.iter().cloned().fold(0.0, f64::max);
             table.row(vec![
                 format!("{n}"),
                 format!("{half}"),
-                label.into(),
+                label.to_string(),
                 format!("{}", frontiers.len()),
                 format!("{:.2}", mean(&frontiers)),
                 format!("{max:.0}"),
@@ -89,7 +127,8 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    exp.table("stability_cell", &table);
     println!("\nverdict: disagreement dies out within the first few cells — far");
     println!("below B/2 — so the upper half is single-valued and stable (Lemma 7).");
+    exp.finish();
 }

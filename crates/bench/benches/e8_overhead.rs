@@ -10,17 +10,12 @@
 //! One table row per n: measured overhead (total work / 4·n·T) for each
 //! scheme on the same randomized program, the normalized agreement column
 //! (flat ⇒ polylog shape), fits, and the projected nondet-vs-scan
-//! crossover. Run with APEX_BENCH_FULL=1 to add n = 512, 1024.
+//! crossover. Run with APEX_BENCH_FULL=1 to add n = 512, 1024. The
+//! (n, scheme) grid fans out on the parallel trial runner.
 
-use apex_bench::{banner, fit_power, full_scale, lg, lglg, sweep_sizes, Table};
-use apex_pram::library::coin_sum;
-use apex_scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
-
-fn overhead(kind: SchemeKind, n: usize, seed: u64) -> (f64, usize) {
-    let built = coin_sum(n, 1 << 20);
-    let report = SchemeRun::new(built.program, SchemeRunConfig::new(kind, seed)).run();
-    (report.overhead(), report.verify.violations())
-}
+use apex_bench::runner::{run_scheme_trials, ProgramSpec, SchemeTrial};
+use apex_bench::{banner, fit_power, full_scale, lg, lglg, sweep_sizes, Experiment, Table};
+use apex_scheme::SchemeKind;
 
 fn main() {
     banner(
@@ -28,6 +23,43 @@ fn main() {
         "Execution-scheme overhead (Fig. 1 end-to-end; §1 related-work table)",
         "agreement scheme O(log n log log n) overhead vs Θ(n) for classical consensus",
     );
+    let mut exp = Experiment::start("E8");
+    let sizes = sweep_sizes();
+    let schemes = [
+        SchemeKind::Nondet,
+        SchemeKind::ScanConsensus,
+        SchemeKind::IdealCas,
+    ];
+
+    let mut trials = Vec::new();
+    for &n in &sizes {
+        for scheme in schemes {
+            trials.push(SchemeTrial::new(
+                scheme,
+                ProgramSpec::CoinSum { n, bound: 1 << 20 },
+                1,
+            ));
+        }
+    }
+    if full_scale() {
+        // Confirmation point toward the crossover projection.
+        for scheme in [SchemeKind::Nondet, SchemeKind::ScanConsensus] {
+            trials.push(SchemeTrial::new(
+                scheme,
+                ProgramSpec::CoinSum {
+                    n: 2048,
+                    bound: 1 << 20,
+                },
+                1,
+            ));
+        }
+    }
+    let reports = run_scheme_trials(&trials);
+    exp.add_trials(reports.len());
+    for r in &reports {
+        exp.add_ticks(r.ticks);
+    }
+
     // Both schemes pay the same phase-clock floor per subphase; the
     // ideal-CAS column *is* that floor (its agreement work is O(1)/value).
     // The asymptotic shapes live in the excess above the floor.
@@ -44,10 +76,14 @@ fn main() {
     let mut xs = Vec::new();
     let mut nondet_ex = Vec::new();
     let mut scan_ex = Vec::new();
-    for n in sweep_sizes() {
-        let (nd, ndv) = overhead(SchemeKind::Nondet, n, 1);
-        let (sc, scv) = overhead(SchemeKind::ScanConsensus, n, 1);
-        let (ca, cav) = overhead(SchemeKind::IdealCas, n, 1);
+    let mut it = reports.iter();
+    for &n in &sizes {
+        let rn = it.next().expect("nondet report");
+        let rs = it.next().expect("scan report");
+        let rc = it.next().expect("cas report");
+        let (nd, ndv) = (rn.overhead(), rn.verify.violations());
+        let (sc, scv) = (rs.overhead(), rs.verify.violations());
+        let (ca, cav) = (rc.overhead(), rc.verify.violations());
         assert_eq!(ndv + cav, 0, "sound schemes must verify clean");
         let nde = (nd - ca).max(1.0);
         let sce = (sc - ca).max(1.0);
@@ -65,7 +101,7 @@ fn main() {
         nondet_ex.push(nde);
         scan_ex.push(sce);
     }
-    table.print();
+    exp.table("overhead", &table);
 
     let (en, cn, r2n) = fit_power(&xs, &nondet_ex);
     let (es, cs, r2s) = fit_power(&xs, &scan_ex);
@@ -82,12 +118,11 @@ fn main() {
             64f64.powf(1.0 / (es - en))
         );
         if full_scale() {
-            // Confirmation point toward the projection.
-            let n = 2048usize;
-            let (nd, _) = overhead(SchemeKind::Nondet, n, 1);
-            let (sc, scv) = overhead(SchemeKind::ScanConsensus, n, 1);
+            let rn = it.next().expect("nondet confirmation");
+            let rs = it.next().expect("scan confirmation");
+            let (nd, sc, scv) = (rn.overhead(), rs.overhead(), rs.verify.violations());
             println!(
-                "confirmation at n = {n}: nondet {nd:.0}x vs scan {sc:.0}x (scan violations: {scv}) → {}",
+                "confirmation at n = 2048: nondet {nd:.0}x vs scan {sc:.0}x (scan violations: {scv}) → {}",
                 if nd < sc { "NONDET WINS" } else { "scan still cheaper here" }
             );
         }
@@ -99,4 +134,5 @@ fn main() {
     println!("atomicity would buy. Orderings and crossover match the paper.");
     println!("note: the literature's consensus cost is per *bit*; our word-level");
     println!("scan baseline is ~64x generous, shifting the crossover upward.");
+    exp.finish();
 }

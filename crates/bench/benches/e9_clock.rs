@@ -7,9 +7,11 @@
 //!
 //! Our construction paces one level at T·n updates (T = 64); the table
 //! reports the realized per-level α window under several adversaries, and
-//! the exact op costs of both procedures.
+//! the exact op costs of both procedures. The (n, adversary) advance
+//! measurements fan out on the parallel trial runner.
 
-use apex_bench::{banner, sweep_sizes, Table};
+use apex_bench::runner::run_trials;
+use apex_bench::{banner, sweep_sizes, Experiment, Table};
 use apex_clock::{measure_advances, ClockConfig};
 use apex_sim::ScheduleKind;
 
@@ -19,7 +21,11 @@ fn main() {
         "Phase Clock interface contract",
         "update O(1); read Θ(log n); Θ(n) updates per level for any invoker mix",
     );
-    println!("op costs: Update-Clock = {} ops (constant);", ClockConfig::update_cost());
+    let mut exp = Experiment::start("E9");
+    println!(
+        "op costs: Update-Clock = {} ops (constant);",
+        ClockConfig::update_cost()
+    );
     let mut t = Table::new(&["n", "read cost (ops)", "3·(2·lg n + 3) + 1"]);
     for n in sweep_sizes() {
         let cfg = ClockConfig::for_n(n);
@@ -29,9 +35,32 @@ fn main() {
             format!("{}", 3 * cfg.read_samples + 1),
         ]);
     }
-    t.print();
+    exp.table("read_cost", &t);
 
     println!();
+    let sizes = [16usize, 64, 256];
+    let kinds = [
+        ScheduleKind::Uniform,
+        ScheduleKind::Zipf { s: 1.5 },
+        ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 500,
+            asleep: 4000,
+        },
+    ];
+    let mut configs = Vec::new();
+    for &n in &sizes {
+        for kind in &kinds {
+            configs.push((n, kind.clone()));
+        }
+    }
+    let stats = run_trials(&configs, |(n, kind)| measure_advances(*n, 8, kind, 7));
+    exp.add_trials(stats.len());
+    for s in &stats {
+        // Each recorded advance consumed ~updates × update_cost ticks.
+        exp.add_ticks(s.updates_per_advance.iter().sum::<u64>() * ClockConfig::update_cost());
+    }
+
     let mut t = Table::new(&[
         "n",
         "schedule",
@@ -41,13 +70,10 @@ fn main() {
         "α₂·n (max)",
         "nominal T·n",
     ]);
-    for n in [16usize, 64, 256] {
-        for kind in [
-            ScheduleKind::Uniform,
-            ScheduleKind::Zipf { s: 1.5 },
-            ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 500, asleep: 4000 },
-        ] {
-            let stats = measure_advances(n, 8, &kind, 7);
+    let mut it = stats.iter();
+    for &n in &sizes {
+        for kind in &kinds {
+            let stats = it.next().expect("stats per config");
             t.row(vec![
                 format!("{n}"),
                 kind.label().into(),
@@ -59,8 +85,9 @@ fn main() {
             ]);
         }
     }
-    t.print();
+    exp.table("advances", &t);
     println!("\nverdict: every level consumed Θ(T·n) updates within a narrow");
     println!("window, independent of which processors supplied them — the");
     println!("contract the execution scheme relies on.");
+    exp.finish();
 }

@@ -1,14 +1,30 @@
-//! Shared experiment plumbing: tables, fits, scales.
+//! Shared experiment plumbing: the parallel trial runner, tables, fits,
+//! scales, and machine-readable artifacts.
 //!
 //! Every `benches/e*.rs` target regenerates one experiment from
-//! EXPERIMENTS.md and prints a markdown table. Measurements are in model
-//! work units (deterministic), so a single run per (config, seed) is exact;
-//! seeds supply the statistical dimension.
+//! EXPERIMENTS.md, prints a markdown table, and emits JSON artifacts (see
+//! [`Experiment`]). Measurements are in model work units (deterministic),
+//! so a single run per (config, seed) is exact; seeds supply the
+//! statistical dimension. Independent trials are fanned across OS threads
+//! by [`runner`] with results in config order, so every table and JSON
+//! results artifact is byte-identical to a serial run.
 //!
-//! Set `APEX_BENCH_FULL=1` for the large sizes (n up to 1024, plus the
-//! n = 2048 crossover confirmation point in E8).
+//! Environment knobs:
+//!
+//! * `APEX_BENCH_FULL=1` — large sizes (n up to 1024, plus the n = 2048
+//!   crossover confirmation point in E8).
+//! * `APEX_RUNNER_THREADS=k` — trial-runner thread count (default: all
+//!   cores; `1` forces the serial path).
+//! * `APEX_BENCH_DIR=path` — artifact directory (default
+//!   `target/bench-artifacts`).
 
 #![warn(missing_docs)]
+
+pub mod runner;
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Problem sizes for sweeps.
 pub fn sweep_sizes() -> Vec<usize> {
@@ -21,7 +37,9 @@ pub fn sweep_sizes() -> Vec<usize> {
 
 /// Whether the full-scale flag is set.
 pub fn full_scale() -> bool {
-    std::env::var("APEX_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("APEX_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Seeds for a statistical dimension of size `k`.
@@ -80,7 +98,11 @@ pub fn fit_power(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         .zip(&ly)
         .map(|(x, y)| (y - (e * x + c.ln())).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (e, c, r2)
 }
 
@@ -93,13 +115,44 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append a row (must match the header count).
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Row cells in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Deterministic JSON rendering: `{"headers": [...], "rows": [[...]]}`.
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"headers\":[{}],\"rows\":[{}]}}",
+            headers.join(","),
+            rows.join(",")
+        )
     }
 
     /// Render to stdout as github-flavored markdown.
@@ -119,8 +172,10 @@ impl Table {
             println!("| {} |", padded.join(" | "));
         };
         line(&self.headers);
-        let sep: Vec<String> =
-            widths.iter().map(|w| format!("{}:", "-".repeat(w.saturating_sub(1).max(1)))).collect();
+        let sep: Vec<String> = widths
+            .iter()
+            .map(|w| format!("{}:", "-".repeat(w.saturating_sub(1).max(1))))
+            .collect();
         println!("| {} |", sep.join(" | "));
         for row in &self.rows {
             line(row);
@@ -133,8 +188,158 @@ pub fn banner(id: &str, paper_item: &str, claim: &str) {
     println!("\n================================================================");
     println!("{id}: {paper_item}");
     println!("claim: {claim}");
-    println!("scale: {}", if full_scale() { "FULL (APEX_BENCH_FULL=1)" } else { "default" });
+    println!(
+        "scale: {}",
+        if full_scale() {
+            "FULL (APEX_BENCH_FULL=1)"
+        } else {
+            "default"
+        }
+    );
     println!("================================================================\n");
+}
+
+/// JSON string literal with minimal escaping (sufficient for table cells).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Artifact directory: `APEX_BENCH_DIR` (resolved against the process
+/// working directory) or, by default, `target/bench-artifacts` under the
+/// *workspace* root — cargo runs bench executables with the package
+/// directory as cwd, so a cwd-relative default would scatter artifacts.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var("APEX_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/bench-artifacts"
+            ))
+        })
+}
+
+/// Wall-clock + throughput bookkeeping for one experiment target.
+///
+/// [`Experiment::finish`] writes two artifacts into [`artifact_dir`]:
+///
+/// * `BENCH_<ID>.json` — the experiment's deterministic results (every
+///   printed table). Byte-identical across runner modes and thread counts.
+/// * `BENCH_<ID>_perf.json` — the perf trajectory: wall-clock, total
+///   machine ticks, ticks/sec, trial and thread counts. Inherently
+///   machine- and run-dependent; kept out of the results artifact so the
+///   results stay comparable byte-for-byte.
+pub struct Experiment {
+    id: String,
+    start: Instant,
+    tables: Vec<(String, String)>,
+    total_ticks: u64,
+    trials: usize,
+}
+
+impl Experiment {
+    /// Start the experiment clock.
+    pub fn start(id: &str) -> Self {
+        Experiment {
+            id: id.to_string(),
+            start: Instant::now(),
+            tables: Vec::new(),
+            total_ticks: 0,
+            trials: 0,
+        }
+    }
+
+    /// Record machine ticks consumed by finished trials.
+    pub fn add_ticks(&mut self, ticks: u64) {
+        self.total_ticks += ticks;
+    }
+
+    /// Record completed trials.
+    pub fn add_trials(&mut self, k: usize) {
+        self.trials += k;
+    }
+
+    /// Print a table to stdout and stage it for the results artifact.
+    pub fn table(&mut self, name: &str, table: &Table) {
+        table.print();
+        self.tables.push((name.to_string(), table.to_json()));
+    }
+
+    /// Write both artifacts; returns the results path when writable.
+    pub fn finish(self) -> Option<PathBuf> {
+        let wall = self.start.elapsed();
+        let dir = artifact_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|(name, json)| format!("{}:{}", json_string(name), json))
+            .collect();
+        let results = format!(
+            "{{\"experiment\":{},\"tables\":{{{}}}}}\n",
+            json_string(&self.id),
+            tables.join(",")
+        );
+        let results_path = dir.join(format!("BENCH_{}.json", self.id));
+        let ok = std::fs::File::create(&results_path)
+            .and_then(|mut f| f.write_all(results.as_bytes()))
+            .is_ok();
+
+        let wall_s = wall.as_secs_f64();
+        let tps = if wall_s > 0.0 {
+            self.total_ticks as f64 / wall_s
+        } else {
+            0.0
+        };
+        let perf = format!(
+            "{{\"experiment\":{},\"wall_seconds\":{:.6},\"total_ticks\":{},\"ticks_per_sec\":{:.1},\"trials\":{},\"runner_threads\":{}}}\n",
+            json_string(&self.id),
+            wall_s,
+            self.total_ticks,
+            tps,
+            self.trials,
+            runner::default_threads(),
+        );
+        let perf_path = dir.join(format!("BENCH_{}_perf.json", self.id));
+        let _ = std::fs::File::create(&perf_path).and_then(|mut f| f.write_all(perf.as_bytes()));
+
+        println!(
+            "\n[{}] wall {:.2}s, {} ticks, {:.2}M ticks/s, {} trials on {} thread(s)",
+            self.id,
+            wall_s,
+            self.total_ticks,
+            tps / 1e6,
+            self.trials,
+            runner::default_threads(),
+        );
+        if ok {
+            println!(
+                "[{}] artifacts: {} (+ _perf.json)",
+                self.id,
+                results_path.display()
+            );
+            Some(results_path)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

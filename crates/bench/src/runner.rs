@@ -1,0 +1,357 @@
+//! Parallel trial runner: fan independent trials across OS threads with
+//! deterministic, serial-identical results.
+//!
+//! Every experiment in this workspace is a sweep over independent
+//! `(n, seed, adversary)` trials. A trial builds its own [`apex_sim`]
+//! machine *inside* the worker thread — the machine's `Rc`-based internals
+//! never cross a thread boundary — and returns plain `Send` data. Results
+//! are collected **in config order**, so tables and JSON artifacts are
+//! byte-identical whether the sweep ran on one thread or sixteen; the
+//! determinism suite asserts this.
+//!
+//! Thread count: `APEX_RUNNER_THREADS` if set, else
+//! [`std::thread::available_parallelism`]. `APEX_RUNNER_THREADS=1` forces
+//! the serial path (used to verify byte-identical artifacts).
+
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use apex_core::{
+    AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, PhaseOutcome,
+    RandomSource, ValueSource,
+};
+use apex_pram::library::{coin_sum, random_walks};
+use apex_scheme::{SchemeKind, SchemeReport, SchemeRun, SchemeRunConfig};
+use apex_sim::ScheduleKind;
+
+/// Worker-thread count the runner will use.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("APEX_RUNNER_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(t) if t > 0 => return t,
+            _ => eprintln!(
+                "warning: ignoring invalid APEX_RUNNER_THREADS={v:?} (want a positive integer); \
+                 using all cores"
+            ),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `configs` on up to [`default_threads`] scoped OS threads,
+/// returning results in config order (exactly what a serial
+/// `configs.iter().map(f).collect()` would return).
+///
+/// `f` must be a pure function of its config (up to its own seeding): the
+/// runner guarantees ordering, and purity then guarantees serial-identical
+/// output. Machines built inside `f` stay on the worker thread.
+pub fn run_trials<C, T, F>(configs: &[C], f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    run_trials_threaded(configs, default_threads(), f)
+}
+
+/// [`run_trials`] with an explicit thread count (tests use this to compare
+/// serial and parallel runs directly).
+pub fn run_trials_threaded<C, T, F>(configs: &[C], threads: usize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    let threads = threads.max(1).min(configs.len().max(1));
+    if threads <= 1 {
+        return configs.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                // A worker panic drops `tx`; the collector below then sees
+                // a closed channel with missing slots and panics in turn.
+                let out = f(&configs[i]);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<T>> = (0..configs.len()).map(|_| None).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("trial {i} worker panicked")))
+            .collect()
+    })
+}
+
+/// Thread-safe recipe for a [`ValueSource`] (the sources themselves are
+/// `Rc`-shared and must be constructed inside the worker).
+#[derive(Clone, Debug)]
+pub enum SourceSpec {
+    /// `RandomSource::new(bound)`.
+    Random(u64),
+    /// `CoinSource::new(num, den)`.
+    Coin(u64, u64),
+    /// `KeyedSource` (deterministic per (phase, bin)).
+    Keyed,
+}
+
+impl SourceSpec {
+    /// Instantiate on the current thread.
+    pub fn build(&self) -> Rc<dyn ValueSource> {
+        match *self {
+            SourceSpec::Random(bound) => Rc::new(RandomSource::new(bound)),
+            SourceSpec::Coin(num, den) => Rc::new(CoinSource::new(num, den)),
+            SourceSpec::Keyed => Rc::new(KeyedSource),
+        }
+    }
+}
+
+/// One agreement-protocol trial: run `phases` phases of an
+/// [`AgreementRun`] and return the outcomes.
+#[derive(Clone, Debug)]
+pub struct AgreementTrial {
+    /// Processor count.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Adversary family.
+    pub kind: ScheduleKind,
+    /// Value source recipe.
+    pub source: SourceSpec,
+    /// Instrumentation switches.
+    pub opts: InstrumentOpts,
+    /// Phases to run.
+    pub phases: usize,
+    /// Explicit protocol constants; `None` derives the default config
+    /// from `n` and the source cost.
+    pub config: Option<AgreementConfig>,
+}
+
+impl AgreementTrial {
+    /// Default-config trial.
+    pub fn new(n: usize, seed: u64, kind: ScheduleKind, source: SourceSpec, phases: usize) -> Self {
+        AgreementTrial {
+            n,
+            seed,
+            kind,
+            source,
+            opts: InstrumentOpts::default(),
+            phases,
+            config: None,
+        }
+    }
+
+    /// Enable instrumentation.
+    pub fn opts(mut self, opts: InstrumentOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Use explicit protocol constants.
+    pub fn config(mut self, cfg: AgreementConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Build the run on the current thread.
+    pub fn build(&self) -> AgreementRun {
+        let source = self.source.build();
+        let cfg = self
+            .config
+            .unwrap_or_else(|| AgreementConfig::for_n(self.n, source.max_cost()));
+        AgreementRun::new(cfg, self.seed, &self.kind, source, self.opts)
+    }
+}
+
+/// Result of one agreement trial: the phase outcomes plus the total ticks
+/// the machine executed (for throughput accounting).
+#[derive(Clone, Debug)]
+pub struct AgreementTrialResult {
+    /// Outcome per phase, in order.
+    pub outcomes: Vec<PhaseOutcome>,
+    /// Machine ticks consumed by the whole trial.
+    pub ticks: u64,
+    /// Stability violations accumulated across the trial's phases.
+    pub stability_violations: usize,
+}
+
+/// Run agreement trials across threads (the `core` harness on the runner).
+pub fn run_agreement_trials(trials: &[AgreementTrial]) -> Vec<AgreementTrialResult> {
+    run_trials(trials, |t| {
+        let mut run = t.build();
+        let outcomes = run.run_phases(t.phases);
+        AgreementTrialResult {
+            outcomes,
+            ticks: run.machine().ticks(),
+            stability_violations: run.stability_violations(),
+        }
+    })
+}
+
+/// Thread-safe recipe for a PRAM workload program.
+#[derive(Clone, Debug)]
+pub enum ProgramSpec {
+    /// `coin_sum(n, bound)`.
+    CoinSum {
+        /// Threads.
+        n: usize,
+        /// Coin bound.
+        bound: u64,
+    },
+    /// `random_walks(&[init; n], steps)`.
+    RandomWalks {
+        /// Threads.
+        n: usize,
+        /// Initial walker position.
+        init: u64,
+        /// Walk steps.
+        steps: usize,
+    },
+}
+
+/// One end-to-end scheme trial: execute a PRAM program through an
+/// execution scheme and return its [`SchemeReport`].
+#[derive(Clone, Debug)]
+pub struct SchemeTrial {
+    /// Execution scheme under test.
+    pub scheme: SchemeKind,
+    /// Workload recipe.
+    pub program: ProgramSpec,
+    /// Master seed.
+    pub seed: u64,
+    /// Adversary; `None` uses the scheme harness default.
+    pub schedule: Option<ScheduleKind>,
+    /// Variable replica factor; `None` uses the harness default.
+    pub replicas: Option<usize>,
+}
+
+impl SchemeTrial {
+    /// Trial with harness-default schedule and replicas.
+    pub fn new(scheme: SchemeKind, program: ProgramSpec, seed: u64) -> Self {
+        SchemeTrial {
+            scheme,
+            program,
+            seed,
+            schedule: None,
+            replicas: None,
+        }
+    }
+
+    /// Set the adversary.
+    pub fn schedule(mut self, kind: ScheduleKind) -> Self {
+        self.schedule = Some(kind);
+        self
+    }
+
+    /// Set the replica factor.
+    pub fn replicas(mut self, k: usize) -> Self {
+        self.replicas = Some(k);
+        self
+    }
+
+    /// Execute on the current thread.
+    pub fn run(&self) -> SchemeReport {
+        let built = match self.program {
+            ProgramSpec::CoinSum { n, bound } => coin_sum(n, bound),
+            ProgramSpec::RandomWalks { n, init, steps } => random_walks(&vec![init; n], steps),
+        };
+        let mut cfg = SchemeRunConfig::new(self.scheme, self.seed);
+        if let Some(kind) = &self.schedule {
+            cfg = cfg.schedule(kind.clone());
+        }
+        if let Some(k) = self.replicas {
+            cfg = cfg.replicas(k);
+        }
+        SchemeRun::new(built.program, cfg).run()
+    }
+}
+
+/// Run scheme trials across threads (the `scheme` harness on the runner).
+pub fn run_scheme_trials(trials: &[SchemeTrial]) -> Vec<SchemeReport> {
+    run_trials(trials, SchemeTrial::run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_config_order_regardless_of_threads() {
+        let configs: Vec<u64> = (0..64).collect();
+        // Uneven per-trial cost to force out-of-order completion.
+        let work = |&c: &u64| {
+            let mut acc = c;
+            for _ in 0..(c % 7) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (c, acc)
+        };
+        let serial = run_trials_threaded(&configs, 1, work);
+        let parallel = run_trials_threaded(&configs, 8, work);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 64);
+        assert!(serial.iter().enumerate().all(|(i, (c, _))| *c == i as u64));
+    }
+
+    #[test]
+    fn agreement_trials_parallel_equals_serial() {
+        let trials: Vec<AgreementTrial> = (0..4)
+            .map(|s| AgreementTrial::new(8, s, ScheduleKind::Uniform, SourceSpec::Random(100), 1))
+            .collect();
+        let digest = |rs: &[AgreementTrialResult]| {
+            rs.iter()
+                .map(|r| {
+                    (
+                        r.ticks,
+                        r.outcomes[0].advance_work,
+                        r.outcomes[0].agreed.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = run_trials_threaded(&trials, 1, |t| {
+            let mut run = t.build();
+            let outcomes = run.run_phases(t.phases);
+            AgreementTrialResult {
+                outcomes,
+                ticks: run.machine().ticks(),
+                stability_violations: run.stability_violations(),
+            }
+        });
+        let parallel = run_agreement_trials(&trials);
+        assert_eq!(digest(&serial), digest(&parallel));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_is_not_swallowed() {
+        let configs: Vec<u32> = (0..8).collect();
+        run_trials_threaded(&configs, 4, |&c| {
+            if c == 5 {
+                panic!("boom");
+            }
+            c
+        });
+    }
+}

@@ -1,9 +1,9 @@
 //! Measurement helpers for the clock contract (experiment E9).
 
-use apex_sim::{MachineBuilder, ScheduleKind, RegionAllocator};
+use apex_sim::{MachineBuilder, RegionAllocator, ScheduleKind};
 
-use crate::proto::PhaseClock;
 use crate::config::ClockConfig;
+use crate::proto::PhaseClock;
 
 /// Statistics of clock advances under a pure update workload.
 #[derive(Clone, Debug)]
@@ -63,7 +63,10 @@ pub fn measure_advances(n: usize, levels: u64, kind: &ScheduleKind, seed: u64) -
             last_updates = updates_now;
             level = v;
         }
-        assert!(machine.ticks() < cap_ticks, "clock stalled measuring advances");
+        assert!(
+            machine.ticks() < cap_ticks,
+            "clock stalled measuring advances"
+        );
     }
 
     let nn = n as f64;
@@ -93,8 +96,15 @@ mod tests {
         // Each level needs ≈ T·m updates; bound per-level below by T·m/2.
         let per_level_min =
             *stats.updates_per_advance.iter().min().unwrap() as f64 / stats.n as f64;
-        assert!(per_level_min >= t / 2.0, "α₁ too small: {per_level_min} (T = {t})");
-        assert!(stats.alpha2 <= 2.5 * t, "α₂ too large: {} (T = {t})", stats.alpha2);
+        assert!(
+            per_level_min >= t / 2.0,
+            "α₁ too small: {per_level_min} (T = {t})"
+        );
+        assert!(
+            stats.alpha2 <= 2.5 * t,
+            "α₂ too large: {} (T = {t})",
+            stats.alpha2
+        );
         assert!(stats.alpha_mean >= 0.5 * t && stats.alpha_mean <= 2.0 * t);
     }
 

@@ -35,13 +35,20 @@ impl ClockConfig {
     pub fn for_n(n: usize) -> Self {
         let cells = n.max(4);
         let s = 2 * ceil_log2(n) as usize + 3;
-        ClockConfig { cells, read_samples: s | 1, threshold: Self::DEFAULT_THRESHOLD }
+        ClockConfig {
+            cells,
+            read_samples: s | 1,
+            threshold: Self::DEFAULT_THRESHOLD,
+        }
     }
 
     /// Same sizing with an explicit threshold (ablations).
     pub fn for_n_with_threshold(n: usize, threshold: u64) -> Self {
         assert!(threshold >= 1);
-        ClockConfig { threshold, ..Self::for_n(n) }
+        ClockConfig {
+            threshold,
+            ..Self::for_n(n)
+        }
     }
 
     /// Exact op cost of one `Update-Clock` invocation (O(1) per contract):

@@ -53,8 +53,13 @@ impl PhaseClock {
         let vj = ctx.read(self.region.addr(j)).await.value;
         let vk = ctx.read(self.region.addr(k)).await.value;
         let (target, lo, hi) = if vj <= vk { (j, vj, vk) } else { (k, vk, vj) };
-        let new = if hi - lo > self.cfg.threshold { hi } else { lo + 1 };
-        ctx.write(self.region.addr(target), Stamped::new(new, 0)).await;
+        let new = if hi - lo > self.cfg.threshold {
+            hi
+        } else {
+            lo + 1
+        };
+        ctx.write(self.region.addr(target), Stamped::new(new, 0))
+            .await;
     }
 
     /// `Read-Clock`: the current integral clock value (level).
@@ -109,11 +114,7 @@ mod tests {
     use std::cell::Cell;
     use std::rc::Rc;
 
-    fn clock_machine(
-        n: usize,
-        seed: u64,
-        kind: &ScheduleKind,
-    ) -> (apex_sim::Machine, PhaseClock) {
+    fn clock_machine(n: usize, seed: u64, kind: &ScheduleKind) -> (apex_sim::Machine, PhaseClock) {
         let mut alloc = RegionAllocator::new();
         let clock = PhaseClock::new(&mut alloc, n);
         let m = MachineBuilder::new(n, alloc.total())
@@ -263,7 +264,11 @@ mod tests {
 
     #[test]
     fn oracle_is_monotone_and_robust_under_sleepers() {
-        let kind = ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 200, asleep: 2000 };
+        let kind = ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 200,
+            asleep: 2000,
+        };
         let (mut m, clock) = clock_machine(32, 13, &kind);
         let mut last = 0u64;
         for _ in 0..300 {
@@ -272,7 +277,10 @@ mod tests {
             assert!(v >= last, "max-based oracle regressed from {last} to {v}");
             last = v;
         }
-        assert!(last >= 2, "clock should advance despite sleepers, got {last}");
+        assert!(
+            last >= 2,
+            "clock should advance despite sleepers, got {last}"
+        );
     }
 
     #[test]

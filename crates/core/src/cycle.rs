@@ -67,15 +67,20 @@ pub async fn run_cycle(
         if let Some(s) = sink {
             s.borrow_mut().evals.push((phase, bin, value));
         }
-        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, stamp)).await;
+        ctx.write(bins.cell_addr(bin, 0), Stamped::new(value, stamp))
+            .await;
         CycleAction::Evaluated { value }
     } else if j < bins.cells_per_bin() {
         // Lines 7–8: copy forward from the previous cell.
         let prev = ctx.read(bins.cell_addr(bin, j - 1)).await;
         if BinLayout::is_filled(prev, phase) {
             // Line 11.
-            ctx.write(bins.cell_addr(bin, j), Stamped::new(prev.value, stamp)).await;
-            CycleAction::Copied { to: j, value: prev.value }
+            ctx.write(bins.cell_addr(bin, j), Stamped::new(prev.value, stamp))
+                .await;
+            CycleAction::Copied {
+                to: j,
+                value: prev.value,
+            }
         } else {
             // The search was misled by a hole; do not write.
             CycleAction::HoleSkip { at: j }
@@ -149,14 +154,16 @@ mod tests {
     #[test]
     fn first_cycle_on_a_bin_evaluates_then_copies_fill_forward() {
         let (cfg, bins, mem) = setup(4);
-        let mut m = MachineBuilder::new(1, mem).seed(1).build(move |ctx| async move {
-            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
-            // Enough cycles to fill all 4 bins of 4·log₂4 = 8-cell … bins
-            // completely (random bin choice).
-            for _ in 0..600 {
-                run_cycle(&ctx, &cfg, &bins, &source, 0, None).await;
-            }
-        });
+        let mut m = MachineBuilder::new(1, mem)
+            .seed(1)
+            .build(move |ctx| async move {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                // Enough cycles to fill all 4 bins of 4·log₂4 = 8-cell … bins
+                // completely (random bin choice).
+                for _ in 0..600 {
+                    run_cycle(&ctx, &cfg, &bins, &source, 0, None).await;
+                }
+            });
         m.run_to_completion(10_000_000).unwrap();
         m.with_mem(|mem| {
             for b in 0..bins.n() {
@@ -204,17 +211,22 @@ mod tests {
     fn full_bin_cycles_are_noops_but_still_omega() {
         let (cfg, bins, mem) = setup(4);
         let phase = 1u64;
-        let mut m = MachineBuilder::new(1, mem).seed(7).build(move |ctx| async move {
-            let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
-            let before = ctx.ops();
-            let action = run_cycle(&ctx, &cfg, &bins, &source, phase, None).await;
-            assert_eq!(ctx.ops() - before, cfg.omega);
-            assert_eq!(action, CycleAction::BinFull);
-        });
+        let mut m = MachineBuilder::new(1, mem)
+            .seed(7)
+            .build(move |ctx| async move {
+                let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
+                let before = ctx.ops();
+                let action = run_cycle(&ctx, &cfg, &bins, &source, phase, None).await;
+                assert_eq!(ctx.ops() - before, cfg.omega);
+                assert_eq!(action, CycleAction::BinFull);
+            });
         // Pre-fill every bin completely for the phase.
         for b in 0..bins.n() {
             for j in 0..bins.cells_per_bin() {
-                m.poke(bins.cell_addr(b, j), Stamped::new(9, BinLayout::stamp_for(phase)));
+                m.poke(
+                    bins.cell_addr(b, j),
+                    Stamped::new(9, BinLayout::stamp_for(phase)),
+                );
             }
         }
         m.run_to_completion(10_000).unwrap();
@@ -252,12 +264,18 @@ mod tests {
             }
         });
         for j in 0..=6usize {
-            m.poke(bins.cell_addr(0, j), Stamped::new(5, BinLayout::stamp_for(phase)));
+            m.poke(
+                bins.cell_addr(0, j),
+                Stamped::new(5, BinLayout::stamp_for(phase)),
+            );
         }
         // Fill every other bin completely so their cycles are BinFull no-ops.
         for b in 1..bins.n() {
             for j in 0..bins.cells_per_bin() {
-                m.poke(bins.cell_addr(b, j), Stamped::new(9, BinLayout::stamp_for(phase)));
+                m.poke(
+                    bins.cell_addr(b, j),
+                    Stamped::new(9, BinLayout::stamp_for(phase)),
+                );
             }
         }
         // Cycle anatomy on this state (single processor, cycles of exactly

@@ -48,7 +48,15 @@ impl Participant {
         let mut since_read: u64 = 0;
         let mut since_update: u64 = 0;
         loop {
-            run_cycle(&ctx, &self.cfg, &self.bins, &self.source, phase, self.sink.as_ref()).await;
+            run_cycle(
+                &ctx,
+                &self.cfg,
+                &self.bins,
+                &self.source,
+                phase,
+                self.sink.as_ref(),
+            )
+            .await;
             since_read += 1;
             since_update += 1;
             if since_update >= self.cfg.update_period {

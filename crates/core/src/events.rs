@@ -139,7 +139,10 @@ impl ClobberCounter {
                 }
             }
         }));
-        ClobberCounter { counts, current_phase }
+        ClobberCounter {
+            counts,
+            current_phase,
+        }
     }
 
     /// Publish the true phase (harness calls this when the oracle advances).
@@ -191,8 +194,14 @@ mod tests {
             finish_work: 0,
             action,
         };
-        assert_eq!(mk(CycleAction::Evaluated { value: 5 }).wrote_cell(), Some(0));
-        assert_eq!(mk(CycleAction::Copied { to: 3, value: 5 }).wrote_cell(), Some(3));
+        assert_eq!(
+            mk(CycleAction::Evaluated { value: 5 }).wrote_cell(),
+            Some(0)
+        );
+        assert_eq!(
+            mk(CycleAction::Copied { to: 3, value: 5 }).wrote_cell(),
+            Some(3)
+        );
         assert_eq!(mk(CycleAction::HoleSkip { at: 2 }).wrote_cell(), None);
         assert_eq!(mk(CycleAction::BinFull).wrote_cell(), None);
     }
@@ -207,9 +216,17 @@ mod tests {
         counter.set_phase(5);
 
         // Current-phase write: not a clobber.
-        mem.poke_observed(layout.cell_addr(0, 0), Stamped::new(1, BinLayout::stamp_for(5)), ProcId(0));
+        mem.poke_observed(
+            layout.cell_addr(0, 0),
+            Stamped::new(1, BinLayout::stamp_for(5)),
+            ProcId(0),
+        );
         // Stale write (phase 3 < 5): clobber in bin 1.
-        mem.poke_observed(layout.cell_addr(1, 2), Stamped::new(1, BinLayout::stamp_for(3)), ProcId(0));
+        mem.poke_observed(
+            layout.cell_addr(1, 2),
+            Stamped::new(1, BinLayout::stamp_for(3)),
+            ProcId(0),
+        );
         // Write outside the bins: ignored.
         mem.poke_observed(outside.addr(0), Stamped::new(1, 1), ProcId(0));
         // Fresh-memory stamp 0 has no phase: ignored.
@@ -229,7 +246,11 @@ mod tests {
         let mut mem = SharedMemory::new(alloc.total());
         let counter = ClobberCounter::install(&mut mem, layout);
         counter.set_phase(2);
-        mem.poke_observed(layout.cell_addr(0, 0), Stamped::new(1, BinLayout::stamp_for(3)), ProcId(0));
+        mem.poke_observed(
+            layout.cell_addr(0, 0),
+            Stamped::new(1, BinLayout::stamp_for(3)),
+            ProcId(0),
+        );
         assert_eq!(counter.snapshot(), vec![0]);
     }
 }

@@ -31,12 +31,18 @@ pub struct InstrumentOpts {
 impl InstrumentOpts {
     /// Everything on (small-n experiments).
     pub fn full() -> Self {
-        InstrumentOpts { record_events: true, count_clobbers: true }
+        InstrumentOpts {
+            record_events: true,
+            count_clobbers: true,
+        }
     }
 
     /// Clobber counting only.
     pub fn clobbers_only() -> Self {
-        InstrumentOpts { record_events: false, count_clobbers: true }
+        InstrumentOpts {
+            record_events: false,
+            count_clobbers: true,
+        }
     }
 }
 
@@ -76,7 +82,9 @@ impl PhaseOutcome {
 
     /// Maximum clobbers in any single bin (Lemma 1's quantity).
     pub fn max_clobbers(&self) -> Option<u64> {
-        self.clobbers.as_ref().map(|c| c.iter().copied().max().unwrap_or(0))
+        self.clobbers
+            .as_ref()
+            .map(|c| c.iter().copied().max().unwrap_or(0))
     }
 }
 
@@ -208,9 +216,8 @@ impl AgreementRun {
         let chunk = self.cfg.stage_work().max(64);
         let mut completion_work: Option<u64> = None;
         // Generous stall budget: 64× the expected phase work.
-        let budget = start_work
-            + 64 * self.cfg.min_cycles_per_phase().max(1) * self.cfg.omega
-            + 1_000_000;
+        let budget =
+            start_work + 64 * self.cfg.min_cycles_per_phase().max(1) * self.cfg.omega + 1_000_000;
         loop {
             self.machine.run_ticks(chunk);
             let (advanced, done) = self.machine.with_mem(|mem| {
@@ -245,9 +252,9 @@ impl AgreementRun {
 
         let advance_work = self.machine.work();
         let log = self.sink.as_ref().map(|s| s.borrow());
-        let report = self.machine.with_mem(|mem| {
-            check_theorem_one(mem, &self.bins, phase, log.as_deref())
-        });
+        let report = self
+            .machine
+            .with_mem(|mem| check_theorem_one(mem, &self.bins, phase, log.as_deref()));
         drop(log);
         let agreed = report.agreed_values();
         let clobbers = self.clobbers.as_ref().map(|c| c.take());
@@ -291,8 +298,17 @@ mod tests {
         );
         let outcomes = run.run_phases(3);
         for o in &outcomes {
-            assert!(o.report.all_hold(), "phase {} failed Theorem 1: {:?}", o.phase, o.report);
-            assert!(o.completion_work.is_some(), "phase {} never completed", o.phase);
+            assert!(
+                o.report.all_hold(),
+                "phase {} failed Theorem 1: {:?}",
+                o.phase,
+                o.report
+            );
+            assert!(
+                o.completion_work.is_some(),
+                "phase {} never completed",
+                o.phase
+            );
             assert!(o.work_to_completion().unwrap() <= o.phase_work());
             assert_eq!(o.stability_violations, 0);
             assert!(o.agreed.iter().all(|v| v.is_some()));
@@ -320,14 +336,13 @@ mod tests {
     #[test]
     fn clobbers_are_counted_under_sleepy_adversary() {
         let src: Rc<dyn ValueSource> = Rc::new(RandomSource::new(100));
-        let kind = ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 2000, asleep: 30_000 };
-        let mut run = AgreementRun::with_default_config(
-            16,
-            3,
-            &kind,
-            src,
-            InstrumentOpts::clobbers_only(),
-        );
+        let kind = ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 2000,
+            asleep: 30_000,
+        };
+        let mut run =
+            AgreementRun::with_default_config(16, 3, &kind, src, InstrumentOpts::clobbers_only());
         let outcomes = run.run_phases(4);
         // Sleepers waking across phase boundaries must clobber eventually.
         let total: u64 = outcomes
@@ -339,7 +354,11 @@ mod tests {
         // checked statistically in experiment E2.)
         let _ = total;
         for o in &outcomes {
-            assert!(o.report.all_hold(), "phase {} failed under sleepers", o.phase);
+            assert!(
+                o.report.all_hold(),
+                "phase {} failed under sleepers",
+                o.phase
+            );
         }
     }
 
@@ -365,6 +384,12 @@ mod tests {
     fn oversized_source_is_rejected() {
         let cfg = AgreementConfig::for_n(8, 0);
         let src: Rc<dyn ValueSource> = Rc::new(RandomSource::new(10));
-        let _ = AgreementRun::new(cfg, 1, &ScheduleKind::Uniform, src, InstrumentOpts::default());
+        let _ = AgreementRun::new(
+            cfg,
+            1,
+            &ScheduleKind::Uniform,
+            src,
+            InstrumentOpts::default(),
+        );
     }
 }

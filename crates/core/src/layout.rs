@@ -22,7 +22,11 @@ impl BinLayout {
     pub fn new(alloc: &mut RegionAllocator, n: usize, cells_per_bin: usize) -> Self {
         assert!(n > 0 && cells_per_bin > 0);
         let region = alloc.alloc(n * cells_per_bin);
-        BinLayout { region, n, cells_per_bin }
+        BinLayout {
+            region,
+            n,
+            cells_per_bin,
+        }
     }
 
     /// Number of bins.
@@ -153,7 +157,10 @@ mod tests {
 
     #[test]
     fn stamps_distinguish_phases_and_fresh_memory() {
-        assert!(!BinLayout::is_filled(Stamped::ZERO, 0), "fresh memory is empty");
+        assert!(
+            !BinLayout::is_filled(Stamped::ZERO, 0),
+            "fresh memory is empty"
+        );
         let w = Stamped::new(9, BinLayout::stamp_for(0));
         assert!(BinLayout::is_filled(w, 0));
         assert!(!BinLayout::is_filled(w, 1));
@@ -168,11 +175,18 @@ mod tests {
         let mut mem = SharedMemory::new(alloc.total());
         let phase = 3;
         for j in 0..5 {
-            mem.poke(l.cell_addr(1, j), Stamped::new(42, BinLayout::stamp_for(phase)));
+            mem.poke(
+                l.cell_addr(1, j),
+                Stamped::new(42, BinLayout::stamp_for(phase)),
+            );
         }
         assert_eq!(l.oracle_frontier(&mem, 1, phase), 5);
         assert_eq!(l.oracle_frontier(&mem, 0, phase), 0);
-        assert_eq!(l.oracle_value(&mem, 1, phase), Some(42), "cell 4 is in the upper half");
+        assert_eq!(
+            l.oracle_value(&mem, 1, phase),
+            Some(42),
+            "cell 4 is in the upper half"
+        );
         assert_eq!(l.oracle_value(&mem, 0, phase), None);
         assert_eq!(l.oracle_filled_upper(&mem, 1, phase), 1);
     }

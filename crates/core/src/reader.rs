@@ -45,16 +45,21 @@ mod tests {
         let bins = BinLayout::new(&mut alloc, 1, 8);
         let out = Rc::new(Cell::new((None, 0u64)));
         let o2 = out.clone();
-        let mut m = MachineBuilder::new(1, alloc.total()).seed(seed).build(move |ctx| {
-            let out = o2.clone();
-            async move {
-                let before = ctx.ops();
-                let v = read_value(&ctx, &bins, 0, phase).await;
-                out.set((v, ctx.ops() - before));
-            }
-        });
+        let mut m = MachineBuilder::new(1, alloc.total())
+            .seed(seed)
+            .build(move |ctx| {
+                let out = o2.clone();
+                async move {
+                    let before = ctx.ops();
+                    let v = read_value(&ctx, &bins, 0, phase).await;
+                    out.set((v, ctx.ops() - before));
+                }
+            });
         for &(j, value, p) in fill {
-            m.poke(bins.region().addr(j), Stamped::new(value, BinLayout::stamp_for(p)));
+            m.poke(
+                bins.region().addr(j),
+                Stamped::new(value, BinLayout::stamp_for(p)),
+            );
         }
         m.run_to_completion(10_000).unwrap();
         out.get()

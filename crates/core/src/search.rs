@@ -69,7 +69,10 @@ mod tests {
             }
         });
         for &j in filled {
-            m.poke(layout.cell_addr(0, j), Stamped::new(7, BinLayout::stamp_for(fill_phase)));
+            m.poke(
+                layout.cell_addr(0, j),
+                Stamped::new(7, BinLayout::stamp_for(fill_phase)),
+            );
         }
         m.run_to_completion(10_000).unwrap();
         result.get()

@@ -83,9 +83,17 @@ pub fn analyze_stages_sized(
     let mut index = 0;
     while start + stage_work <= phase_end {
         let end = start + stage_work;
-        let complete_cycles =
-            log.cycles.iter().filter(|c| complete_in(c, start, end)).count();
-        stages.push(StageInfo { index, start, end, complete_cycles });
+        let complete_cycles = log
+            .cycles
+            .iter()
+            .filter(|c| complete_in(c, start, end))
+            .count();
+        stages.push(StageInfo {
+            index,
+            start,
+            end,
+            complete_cycles,
+        });
         start = end;
         index += 1;
     }
@@ -119,8 +127,7 @@ pub fn count_stabilizing_structures(
     analysis: &StageAnalysis,
     bin: usize,
 ) -> StabilizingCount {
-    let bin_cycles: Vec<&CycleRecord> =
-        log.cycles.iter().filter(|c| c.bin == bin).collect();
+    let bin_cycles: Vec<&CycleRecord> = log.cycles.iter().filter(|c| c.bin == bin).collect();
     let mut out = StabilizingCount::default();
     let mut k = 0;
     while k + 1 < analysis.stages.len() {
@@ -129,8 +136,10 @@ pub fn count_stabilizing_structures(
         out.pairs += 1;
         let cond = |s: &StageInfo| {
             // Condition 1: exactly one complete cycle on the bin.
-            let complete =
-                bin_cycles.iter().filter(|c| complete_in(c, s.start, s.end)).count();
+            let complete = bin_cycles
+                .iter()
+                .filter(|c| complete_in(c, s.start, s.end))
+                .count();
             if complete != 1 {
                 return false;
             }

@@ -68,7 +68,9 @@ impl TheoremOneReport {
     /// Uniqueness + accessibility hold for every bin (the static half of
     /// Theorem 1; stability is temporal and tracked separately).
     pub fn all_hold(&self) -> bool {
-        self.bins.iter().all(|b| b.unique && b.accessible && b.correct != Some(false))
+        self.bins
+            .iter()
+            .all(|b| b.unique && b.accessible && b.correct != Some(false))
     }
 
     /// The agreed values `NewVal[1..n]`.
@@ -119,10 +121,21 @@ pub fn check_theorem_one(
                 Some(v) => l.eval_values(phase, bin).contains(&v),
                 None => false,
             });
-            BinCheck { bin, value, filled_upper: filled, upper_cells, unique, accessible, correct }
+            BinCheck {
+                bin,
+                value,
+                filled_upper: filled,
+                upper_cells,
+                unique,
+                accessible,
+                correct,
+            }
         })
         .collect();
-    TheoremOneReport { phase, bins: checks }
+    TheoremOneReport {
+        phase,
+        bins: checks,
+    }
 }
 
 /// Temporal tracker for property 2 (**stability**): "the value of `v_i`
@@ -184,7 +197,10 @@ mod tests {
     }
 
     fn fill(mem: &mut SharedMemory, l: &BinLayout, bin: usize, j: usize, v: Value, phase: u64) {
-        mem.poke(l.cell_addr(bin, j), Stamped::new(v, BinLayout::stamp_for(phase)));
+        mem.poke(
+            l.cell_addr(bin, j),
+            Stamped::new(v, BinLayout::stamp_for(phase)),
+        );
     }
 
     #[test]

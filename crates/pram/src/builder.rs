@@ -25,7 +25,11 @@ pub struct VarBlock {
 impl VarBlock {
     /// The `i`-th variable of the block.
     pub fn at(&self, i: usize) -> VarId {
-        assert!(i < self.len, "variable index {i} out of block (len {})", self.len);
+        assert!(
+            i < self.len,
+            "variable index {i} out of block (len {})",
+            self.len
+        );
         self.base + i
     }
 }
@@ -34,13 +38,18 @@ impl ProgramBuilder {
     /// New builder for an `n_threads`-thread program.
     pub fn new(name: impl Into<String>, n_threads: usize) -> Self {
         assert!(n_threads > 0);
-        ProgramBuilder { name: name.into(), n_threads, init: Vec::new(), steps: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            n_threads,
+            init: Vec::new(),
+            steps: Vec::new(),
+        }
     }
 
     /// Allocate `len` variables initialized to `v`.
     pub fn alloc(&mut self, len: usize, v: Value) -> VarBlock {
         let base = self.init.len();
-        self.init.extend(std::iter::repeat(v).take(len));
+        self.init.extend(std::iter::repeat_n(v, len));
         VarBlock { base, len }
     }
 
@@ -48,7 +57,10 @@ impl ProgramBuilder {
     pub fn alloc_init(&mut self, vals: &[Value]) -> VarBlock {
         let base = self.init.len();
         self.init.extend_from_slice(vals);
-        VarBlock { base, len: vals.len() }
+        VarBlock {
+            base,
+            len: vals.len(),
+        }
     }
 
     /// Open a new synchronous step; emit instructions through the returned
@@ -92,9 +104,15 @@ pub struct StepBuilder<'a> {
 impl StepBuilder<'_> {
     /// `thread`: `dst ← op(a, b)`.
     pub fn emit(&mut self, thread: usize, dst: VarId, op: Op, a: Operand, b: Operand) -> &mut Self {
-        assert!(thread < self.builder.n_threads, "thread {thread} out of range");
+        assert!(
+            thread < self.builder.n_threads,
+            "thread {thread} out of range"
+        );
         let slot = &mut self.builder.steps.last_mut().expect("open step")[thread];
-        assert!(slot.is_none(), "thread {thread} already has an instruction this step");
+        assert!(
+            slot.is_none(),
+            "thread {thread} already has an instruction this step"
+        );
         *slot = Some(Instr::new(dst, op, a, b));
         self
     }
@@ -114,8 +132,13 @@ mod tests {
         let mut b = ProgramBuilder::new("t", 2);
         let x = b.alloc_init(&[10, 20]);
         let y = b.alloc(1, 0);
-        b.step()
-            .emit(0, y.at(0), Op::Add, Operand::Var(x.at(0)), Operand::Var(x.at(1)));
+        b.step().emit(
+            0,
+            y.at(0),
+            Op::Add,
+            Operand::Var(x.at(0)),
+            Operand::Var(x.at(1)),
+        );
         b.step().mov(1, x.at(1), Operand::Const(5));
         let p = b.build();
         assert_eq!(p.n_steps(), 2);
@@ -142,7 +165,9 @@ mod tests {
     fn one_instruction_per_thread_per_step() {
         let mut b = ProgramBuilder::new("bad", 1);
         let x = b.alloc(2, 0);
-        b.step().mov(0, x.at(0), Operand::Const(1)).mov(0, x.at(1), Operand::Const(2));
+        b.step()
+            .mov(0, x.at(0), Operand::Const(1))
+            .mov(0, x.at(1), Operand::Const(2));
     }
 
     #[test]

@@ -94,10 +94,10 @@ mod tests {
 
     #[test]
     fn nondeterminism_flag() {
-        assert!(Instr::new(0, Op::RandBit, Operand::Const(0), Operand::Const(0))
-            .is_nondeterministic());
-        assert!(!Instr::new(0, Op::Add, Operand::Var(1), Operand::Var(2))
-            .is_nondeterministic());
+        assert!(
+            Instr::new(0, Op::RandBit, Operand::Const(0), Operand::Const(0)).is_nondeterministic()
+        );
+        assert!(!Instr::new(0, Op::Add, Operand::Var(1), Operand::Var(2)).is_nondeterministic());
     }
 
     #[test]

@@ -28,27 +28,41 @@ pub fn hypercube_allreduce(op: Op, values: &[u64]) -> Built {
     let mut d = 1usize;
     while d < n {
         // Pairs (i, i^d) with i < i^d; pair index = rank among low partners.
-        let pairs: Vec<(usize, usize)> = (0..n).filter(|i| i & d == 0).map(|i| (i, i | d)).collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..n).filter(|i| i & d == 0).map(|i| (i, i | d)).collect();
         let mut s1 = b.step();
         for (k, &(a, bb)) in pairs.iter().enumerate() {
-            s1.emit(a, lo.at(k), op, Operand::Var(v.at(a)), Operand::Var(v.at(bb)));
+            s1.emit(
+                a,
+                lo.at(k),
+                op,
+                Operand::Var(v.at(a)),
+                Operand::Var(v.at(bb)),
+            );
         }
-        drop(s1);
         let mut s2 = b.step();
         for (k, &(a, bb)) in pairs.iter().enumerate() {
-            s2.emit(bb, hi.at(k), op, Operand::Var(v.at(a)), Operand::Var(v.at(bb)));
+            s2.emit(
+                bb,
+                hi.at(k),
+                op,
+                Operand::Var(v.at(a)),
+                Operand::Var(v.at(bb)),
+            );
         }
-        drop(s2);
         let mut s3 = b.step();
         for (k, &(a, bb)) in pairs.iter().enumerate() {
             s3.mov(a, v.at(a), Operand::Var(lo.at(k)));
             s3.mov(bb, v.at(bb), Operand::Var(hi.at(k)));
         }
-        drop(s3);
         d *= 2;
     }
 
-    Built { program: b.build(), inputs, outputs: v }
+    Built {
+        program: b.build(),
+        inputs,
+        outputs: v,
+    }
 }
 
 #[cfg(test)]

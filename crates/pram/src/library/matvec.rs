@@ -41,15 +41,23 @@ pub fn matvec(a: &[u64], x: &[u64], rows: usize) -> Built {
                 Operand::Var(xa.at(j)),
             );
         }
-        drop(s1);
         let mut s2 = b.step();
         for i in 0..rows {
-            s2.emit(i, y.at(i), Op::Add, Operand::Var(y.at(i)), Operand::Var(t.at(i)));
+            s2.emit(
+                i,
+                y.at(i),
+                Op::Add,
+                Operand::Var(y.at(i)),
+                Operand::Var(t.at(i)),
+            );
         }
-        drop(s2);
     }
 
-    Built { program: b.build(), inputs: xa, outputs: y }
+    Built {
+        program: b.build(),
+        inputs: xa,
+        outputs: y,
+    }
 }
 
 #[cfg(test)]

@@ -77,7 +77,10 @@ pub fn gen_values(n: usize, seed: u64) -> Vec<u64> {
 }
 
 pub(crate) fn assert_pow2(n: usize) {
-    assert!(n >= 2 && n.is_power_of_two(), "library programs need a power-of-two n ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "library programs need a power-of-two n ≥ 2, got {n}"
+    );
 }
 
 #[cfg(test)]
@@ -87,7 +90,10 @@ mod tests {
 
     #[test]
     fn catalogs_build_and_validate() {
-        for built in deterministic_catalog(8, 1).into_iter().chain(randomized_catalog(8, 1)) {
+        for built in deterministic_catalog(8, 1)
+            .into_iter()
+            .chain(randomized_catalog(8, 1))
+        {
             assert!(built.program.validate().is_ok(), "{}", built.program.name);
             assert!(built.program.n_steps() > 0);
             // All programs are runnable on the reference executor.

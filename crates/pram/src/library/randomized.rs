@@ -23,9 +23,14 @@ pub fn coin_sum(n: usize, bound: u64) -> Built {
     let r = b.alloc(n, 0);
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, r.at(i), Op::RandBelow, Operand::Const(bound), Operand::Const(0));
+        s.emit(
+            i,
+            r.at(i),
+            Op::RandBelow,
+            Operand::Const(bound),
+            Operand::Const(0),
+        );
     }
-    drop(s);
     // Tree sum of the draws.
     let mut level = r;
     while level.len > 1 {
@@ -40,10 +45,13 @@ pub fn coin_sum(n: usize, bound: u64) -> Built {
                 Operand::Var(level.at(2 * i + 1)),
             );
         }
-        drop(step);
         level = next;
     }
-    Built { program: b.build(), inputs: r, outputs: level }
+    Built {
+        program: b.build(),
+        inputs: r,
+        outputs: level,
+    }
 }
 
 /// `n` independent ±1 random walks for `rounds` steps, starting from
@@ -58,26 +66,50 @@ pub fn random_walks(starts: &[u64], rounds: usize) -> Built {
     for _ in 0..rounds {
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, c.at(i), Op::RandBit, Operand::Const(0), Operand::Const(0));
+            s.emit(
+                i,
+                c.at(i),
+                Op::RandBit,
+                Operand::Const(0),
+                Operand::Const(0),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, t.at(i), Op::Add, Operand::Var(c.at(i)), Operand::Var(c.at(i)));
+            s.emit(
+                i,
+                t.at(i),
+                Op::Add,
+                Operand::Var(c.at(i)),
+                Operand::Var(c.at(i)),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, t.at(i), Op::Sub, Operand::Var(t.at(i)), Operand::Const(1));
+            s.emit(
+                i,
+                t.at(i),
+                Op::Sub,
+                Operand::Var(t.at(i)),
+                Operand::Const(1),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, pos.at(i), Op::Add, Operand::Var(pos.at(i)), Operand::Var(t.at(i)));
+            s.emit(
+                i,
+                pos.at(i),
+                Op::Add,
+                Operand::Var(pos.at(i)),
+                Operand::Var(t.at(i)),
+            );
         }
-        drop(s);
     }
-    Built { program: b.build(), inputs: pos, outputs: pos }
+    Built {
+        program: b.build(),
+        inputs: pos,
+        outputs: pos,
+    }
 }
 
 /// Randomized leader election by repeated coin battles.
@@ -114,15 +146,25 @@ pub fn leader_election(n: usize, rounds: usize) -> Built {
         // Flip.
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, c.at(i), Op::RandBit, Operand::Const(0), Operand::Const(0));
+            s.emit(
+                i,
+                c.at(i),
+                Op::RandBit,
+                Operand::Const(0),
+                Operand::Const(0),
+            );
         }
-        drop(s);
         // Mask by activity.
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, bb.at(i), Op::Mul, Operand::Var(active.at(i)), Operand::Var(c.at(i)));
+            s.emit(
+                i,
+                bb.at(i),
+                Op::Mul,
+                Operand::Var(active.at(i)),
+                Operand::Var(c.at(i)),
+            );
         }
-        drop(s);
         // OR-tree (Max) over bb.
         let mut level_vars: Vec<usize> = (0..n).map(|i| bb.at(i)).collect();
         for block in &tree_blocks {
@@ -136,7 +178,6 @@ pub fn leader_election(n: usize, rounds: usize) -> Built {
                     Operand::Var(level_vars[2 * i + 1]),
                 );
             }
-            drop(s);
             level_vars = (0..block.len).map(|i| block.at(i)).collect();
         }
         let any = level_vars[0];
@@ -148,33 +189,56 @@ pub fn leader_election(n: usize, rounds: usize) -> Built {
             for i in have..(2 * have).min(n) {
                 s.mov(i, bcast.at(i), Operand::Var(bcast.at(i - have)));
             }
-            drop(s);
             have *= 2;
         }
         // Branchless update: active *= 1 + any·(c−1).
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, t1.at(i), Op::Sub, Operand::Var(c.at(i)), Operand::Const(1));
+            s.emit(
+                i,
+                t1.at(i),
+                Op::Sub,
+                Operand::Var(c.at(i)),
+                Operand::Const(1),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, t1.at(i), Op::Mul, Operand::Var(t1.at(i)), Operand::Var(bcast.at(i)));
+            s.emit(
+                i,
+                t1.at(i),
+                Op::Mul,
+                Operand::Var(t1.at(i)),
+                Operand::Var(bcast.at(i)),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, t1.at(i), Op::Add, Operand::Const(1), Operand::Var(t1.at(i)));
+            s.emit(
+                i,
+                t1.at(i),
+                Op::Add,
+                Operand::Const(1),
+                Operand::Var(t1.at(i)),
+            );
         }
-        drop(s);
         let mut s = b.step();
         for i in 0..n {
-            s.emit(i, active.at(i), Op::Mul, Operand::Var(active.at(i)), Operand::Var(t1.at(i)));
+            s.emit(
+                i,
+                active.at(i),
+                Op::Mul,
+                Operand::Var(active.at(i)),
+                Operand::Var(t1.at(i)),
+            );
         }
-        drop(s);
     }
 
-    Built { program: b.build(), inputs: active, outputs: active }
+    Built {
+        program: b.build(),
+        inputs: active,
+        outputs: active,
+    }
 }
 
 #[cfg(test)]
@@ -224,10 +288,12 @@ mod tests {
         for seed in 0..10u64 {
             let built = leader_election(8, 6);
             let out = execute(&built.program, &Choices::Seeded(seed));
-            let actives: Vec<u64> =
-                (0..8).map(|i| out.memory[built.outputs.at(i)]).collect();
+            let actives: Vec<u64> = (0..8).map(|i| out.memory[built.outputs.at(i)]).collect();
             assert!(actives.iter().all(|a| *a <= 1), "bitmap: {actives:?}");
-            assert!(actives.iter().sum::<u64>() >= 1, "seed {seed}: everyone eliminated");
+            assert!(
+                actives.iter().sum::<u64>() >= 1,
+                "seed {seed}: everyone eliminated"
+            );
         }
     }
 
@@ -242,7 +308,10 @@ mod tests {
                 singles += 1;
             }
         }
-        assert!(singles >= 12, "only {singles}/20 runs elected a unique leader");
+        assert!(
+            singles >= 12,
+            "only {singles}/20 runs elected a unique leader"
+        );
     }
 
     #[test]

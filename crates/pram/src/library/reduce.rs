@@ -33,7 +33,11 @@ pub fn tree_reduce(op: Op, values: &[u64]) -> Built {
         level = next;
     }
 
-    Built { program: b.build(), inputs, outputs: level }
+    Built {
+        program: b.build(),
+        inputs,
+        outputs: level,
+    }
 }
 
 #[cfg(test)]

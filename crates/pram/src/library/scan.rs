@@ -29,7 +29,13 @@ pub fn blelloch_scan(values: &[u64]) -> Built {
         for i in 0..n / width {
             let right = i * width + width - 1;
             let left = i * width + width / 2 - 1;
-            step.emit(i, a.at(right), Op::Add, Operand::Var(a.at(right)), Operand::Var(a.at(left)));
+            step.emit(
+                i,
+                a.at(right),
+                Op::Add,
+                Operand::Var(a.at(right)),
+                Operand::Var(a.at(left)),
+            );
         }
         width *= 2;
     }
@@ -46,24 +52,31 @@ pub fn blelloch_scan(values: &[u64]) -> Built {
             let left = i * width + width / 2 - 1;
             s1.mov(i, t.at(i), Operand::Var(a.at(left)));
         }
-        drop(s1);
         let mut s2 = b.step();
         for i in 0..pairs {
             let left = i * width + width / 2 - 1;
             let right = i * width + width - 1;
             s2.mov(i, a.at(left), Operand::Var(a.at(right)));
         }
-        drop(s2);
         let mut s3 = b.step();
         for i in 0..pairs {
             let right = i * width + width - 1;
-            s3.emit(i, a.at(right), Op::Add, Operand::Var(t.at(i)), Operand::Var(a.at(right)));
+            s3.emit(
+                i,
+                a.at(right),
+                Op::Add,
+                Operand::Var(t.at(i)),
+                Operand::Var(a.at(right)),
+            );
         }
-        drop(s3);
         width /= 2;
     }
 
-    Built { program: b.build(), inputs, outputs: a }
+    Built {
+        program: b.build(),
+        inputs,
+        outputs: a,
+    }
 }
 
 #[cfg(test)]
@@ -88,8 +101,7 @@ mod tests {
             let vals: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
             let built = blelloch_scan(&vals);
             let out = execute(&built.program, &Choices::Seeded(0));
-            let got: Vec<u64> =
-                (0..n).map(|i| out.memory[built.outputs.at(i)]).collect();
+            let got: Vec<u64> = (0..n).map(|i| out.memory[built.outputs.at(i)]).collect();
             assert_eq!(got, reference_scan(&vals), "n={n}");
         }
     }

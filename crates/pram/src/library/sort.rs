@@ -34,23 +34,36 @@ pub fn odd_even_sort(values: &[u64]) -> Built {
         }
         let mut s1 = b.step();
         for (k, &p) in pairs.iter().enumerate() {
-            s1.emit(p, tmin.at(k), Op::Min, Operand::Var(x.at(p)), Operand::Var(x.at(p + 1)));
+            s1.emit(
+                p,
+                tmin.at(k),
+                Op::Min,
+                Operand::Var(x.at(p)),
+                Operand::Var(x.at(p + 1)),
+            );
         }
-        drop(s1);
         let mut s2 = b.step();
         for (k, &p) in pairs.iter().enumerate() {
-            s2.emit(p + 1, tmax.at(k), Op::Max, Operand::Var(x.at(p)), Operand::Var(x.at(p + 1)));
+            s2.emit(
+                p + 1,
+                tmax.at(k),
+                Op::Max,
+                Operand::Var(x.at(p)),
+                Operand::Var(x.at(p + 1)),
+            );
         }
-        drop(s2);
         let mut s3 = b.step();
         for (k, &p) in pairs.iter().enumerate() {
             s3.mov(p, x.at(p), Operand::Var(tmin.at(k)));
             s3.mov(p + 1, x.at(p + 1), Operand::Var(tmax.at(k)));
         }
-        drop(s3);
     }
 
-    Built { program: b.build(), inputs, outputs: x }
+    Built {
+        program: b.build(),
+        inputs,
+        outputs: x,
+    }
 }
 
 #[cfg(test)]
@@ -61,7 +74,9 @@ mod tests {
     fn run_sort(vals: &[u64]) -> Vec<u64> {
         let built = odd_even_sort(vals);
         let out = execute(&built.program, &Choices::Seeded(0));
-        (0..vals.len()).map(|i| out.memory[built.outputs.at(i)]).collect()
+        (0..vals.len())
+            .map(|i| out.memory[built.outputs.at(i)])
+            .collect()
     }
 
     #[test]

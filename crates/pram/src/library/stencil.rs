@@ -28,25 +28,37 @@ pub fn jacobi_smooth(values: &[u64], iters: usize) -> Built {
         for i in 0..n {
             s1.mov(i, left.at(i), Operand::Var(u.at(i)));
         }
-        drop(s1);
         let mut s2 = b.step();
         for i in 0..n {
             s2.mov(i, right.at(i), Operand::Var(u.at(i)));
         }
-        drop(s2);
         let mut s3 = b.step();
         for i in 1..n - 1 {
-            s3.emit(i, s.at(i), Op::Add, Operand::Var(left.at(i - 1)), Operand::Var(right.at(i + 1)));
+            s3.emit(
+                i,
+                s.at(i),
+                Op::Add,
+                Operand::Var(left.at(i - 1)),
+                Operand::Var(right.at(i + 1)),
+            );
         }
-        drop(s3);
         let mut s4 = b.step();
         for i in 1..n - 1 {
-            s4.emit(i, u.at(i), Op::Shr, Operand::Var(s.at(i)), Operand::Const(1));
+            s4.emit(
+                i,
+                u.at(i),
+                Op::Shr,
+                Operand::Var(s.at(i)),
+                Operand::Const(1),
+            );
         }
-        drop(s4);
     }
 
-    Built { program: b.build(), inputs, outputs: u }
+    Built {
+        program: b.build(),
+        inputs,
+        outputs: u,
+    }
 }
 
 #[cfg(test)]
@@ -71,8 +83,9 @@ mod tests {
         for iters in 1..=4 {
             let built = jacobi_smooth(&vals, iters);
             let out = execute(&built.program, &Choices::Seeded(0));
-            let got: Vec<u64> =
-                (0..vals.len()).map(|i| out.memory[built.outputs.at(i)]).collect();
+            let got: Vec<u64> = (0..vals.len())
+                .map(|i| out.memory[built.outputs.at(i)])
+                .collect();
             assert_eq!(got, reference_jacobi(&vals, iters), "iters={iters}");
         }
     }

@@ -131,7 +131,7 @@ mod tests {
         let r = &mut rng();
         let vals: Vec<u64> = (0..64).map(|_| Op::RandBit.eval(0, 0, r)).collect();
         assert!(vals.iter().all(|v| *v <= 1));
-        assert!(vals.iter().any(|v| *v == 0) && vals.iter().any(|v| *v == 1));
+        assert!(vals.contains(&0) && vals.contains(&1));
     }
 
     #[test]
@@ -160,7 +160,12 @@ mod tests {
     fn branchless_select_identity() {
         // select(c, a, b) = b + c·(a−b) over wrapping words.
         let r = &mut rng();
-        for (c, a, b) in [(0u64, 7u64, 9u64), (1, 7, 9), (1, 3, u64::MAX), (0, 3, u64::MAX)] {
+        for (c, a, b) in [
+            (0u64, 7u64, 9u64),
+            (1, 7, 9),
+            (1, 3, u64::MAX),
+            (0, 3, u64::MAX),
+        ] {
             let t1 = Op::Sub.eval(a, b, r);
             let t2 = Op::Mul.eval(c, t1, r);
             let z = Op::Add.eval(b, t2, r);

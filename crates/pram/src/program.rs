@@ -58,7 +58,10 @@ impl std::fmt::Display for ProgramError {
         match self {
             ProgramError::MalformedStep { step } => write!(f, "step {step} malformed"),
             ProgramError::OutOfBounds { step, thread, var } => {
-                write!(f, "step {step} thread {thread}: variable v{var} out of bounds")
+                write!(
+                    f,
+                    "step {step} thread {thread}: variable v{var} out of bounds"
+                )
             }
             ProgramError::ErewConflict { step, var, threads } => write!(
                 f,
@@ -153,7 +156,10 @@ impl Program {
 
     /// Per-step count of active threads (diagnostics).
     pub fn activity(&self) -> Vec<usize> {
-        self.steps.iter().map(|s| s.iter().flatten().count()).collect()
+        self.steps
+            .iter()
+            .map(|s| s.iter().flatten().count())
+            .collect()
     }
 }
 
@@ -205,7 +211,12 @@ mod tests {
             4,
             vec![vec![
                 Some(Instr::new(2, Op::Add, Operand::Var(0), Operand::Var(1))),
-                Some(Instr::new(3, Op::RandBit, Operand::Const(0), Operand::Const(0))),
+                Some(Instr::new(
+                    3,
+                    Op::RandBit,
+                    Operand::Const(0),
+                    Operand::Const(0),
+                )),
             ]],
         );
         assert!(p.validate().is_ok());
@@ -226,7 +237,11 @@ mod tests {
         );
         assert_eq!(
             p.validate(),
-            Err(ProgramError::ErewConflict { step: 0, var: 0, threads: (0, 1) })
+            Err(ProgramError::ErewConflict {
+                step: 0,
+                var: 0,
+                threads: (0, 1)
+            })
         );
     }
 
@@ -240,7 +255,10 @@ mod tests {
                 Some(Instr::new(3, Op::Mov, Operand::Var(0), Operand::Const(0))),
             ]],
         );
-        assert!(matches!(p.validate(), Err(ProgramError::ErewConflict { var: 0, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::ErewConflict { var: 0, .. })
+        ));
     }
 
     #[test]
@@ -248,7 +266,12 @@ mod tests {
         let p = prog(
             1,
             2,
-            vec![vec![Some(Instr::new(0, Op::Add, Operand::Var(0), Operand::Var(1)))]],
+            vec![vec![Some(Instr::new(
+                0,
+                Op::Add,
+                Operand::Var(0),
+                Operand::Var(1),
+            ))]],
         );
         assert!(p.validate().is_ok());
     }
@@ -258,15 +281,30 @@ mod tests {
         let p = prog(
             1,
             2,
-            vec![vec![Some(Instr::new(5, Op::Mov, Operand::Const(0), Operand::Const(0)))]],
+            vec![vec![Some(Instr::new(
+                5,
+                Op::Mov,
+                Operand::Const(0),
+                Operand::Const(0),
+            ))]],
         );
-        assert!(matches!(p.validate(), Err(ProgramError::OutOfBounds { var: 5, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::OutOfBounds { var: 5, .. })
+        ));
     }
 
     #[test]
     fn last_write_table_tracks_stamps() {
         // v0 written at steps 0 and 2; v1 never written.
-        let w = |step_dst: VarId| Some(Instr::new(step_dst, Op::Mov, Operand::Const(1), Operand::Const(0)));
+        let w = |step_dst: VarId| {
+            Some(Instr::new(
+                step_dst,
+                Op::Mov,
+                Operand::Const(1),
+                Operand::Const(0),
+            ))
+        };
         let p = prog(1, 2, vec![vec![w(0)], vec![None], vec![w(0)]]);
         let lw = p.last_write_table();
         assert_eq!(lw.expected_stamp(0, 0), 0, "before step 0: initial");

@@ -88,11 +88,13 @@ fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
                         let mut rng = SmallRng::seed_from_u64(mix(*seed, step as u64, thread));
                         instr.op.eval(x, y, &mut rng)
                     }
-                    Choices::Injected(map) => *map
-                        .get(&(step as u64, thread))
-                        .unwrap_or_else(|| panic!(
-                            "injected replay missing choice for step {step}, thread {thread}"
-                        )),
+                    Choices::Injected(map) => {
+                        *map.get(&(step as u64, thread)).unwrap_or_else(|| {
+                            panic!(
+                                "injected replay missing choice for step {step}, thread {thread}"
+                            )
+                        })
+                    }
                 }
             };
             outputs.insert((step as u64, thread), out);
@@ -104,7 +106,11 @@ fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
         }
     }
 
-    RefOutcome { memory, outputs, snapshots }
+    RefOutcome {
+        memory,
+        outputs,
+        snapshots,
+    }
 }
 
 #[cfg(test)]
@@ -121,10 +127,28 @@ mod tests {
         let mut b = ProgramBuilder::new("add-double", 2);
         let v = b.alloc_init(&[3, 4, 0, 0]);
         b.step()
-            .emit(0, v.at(2), Op::Add, Operand::Var(v.at(0)), Operand::Var(v.at(1)))
-            .emit(1, v.at(3), Op::RandBit, Operand::Const(0), Operand::Const(0));
+            .emit(
+                0,
+                v.at(2),
+                Op::Add,
+                Operand::Var(v.at(0)),
+                Operand::Var(v.at(1)),
+            )
+            .emit(
+                1,
+                v.at(3),
+                Op::RandBit,
+                Operand::Const(0),
+                Operand::Const(0),
+            );
         b.step()
-            .emit(0, v.at(2), Op::Add, Operand::Var(v.at(2)), Operand::Var(v.at(2)))
+            .emit(
+                0,
+                v.at(2),
+                Op::Add,
+                Operand::Var(v.at(2)),
+                Operand::Var(v.at(2)),
+            )
             .mov(1, v.at(1), Operand::Var(v.at(3)));
         b.build()
     }

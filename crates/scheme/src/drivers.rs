@@ -112,8 +112,11 @@ impl SchemeProcessor {
         let t_steps = self.program.n_steps() as u64;
         let done = SchemeMap::done_clock(t_steps);
         let (updates_per_item, read_period) = self.cadence();
-        let light_update_period =
-            if self.kind.heavy_tasks() { 1 } else { self.cfg.update_period };
+        let light_update_period = if self.kind.heavy_tasks() {
+            1
+        } else {
+            self.cfg.update_period
+        };
         let mut clockv = self.map.clock.read(&ctx).await;
         let mut since_read: u64 = 0;
         let mut since_update: u64 = 0;
@@ -155,17 +158,13 @@ impl SchemeProcessor {
                         copy_task(&ctx, &map, &self.program, step, &self.events, |i| {
                             let compute_v = SchemeMap::compute_clock(step);
                             let ctx = &ctx;
-                            async move {
-                                reader::read_value(ctx, &map.bins, i, compute_v).await
-                            }
+                            async move { reader::read_value(ctx, &map.bins, i, compute_v).await }
                         })
                         .await;
                     }
                     // The three single-cell `NewVal` schemes share one copy
                     // task: stamp-filtered read of the decision cell.
-                    SchemeKind::DetBaseline
-                    | SchemeKind::ScanConsensus
-                    | SchemeKind::IdealCas => {
+                    SchemeKind::DetBaseline | SchemeKind::ScanConsensus | SchemeKind::IdealCas => {
                         copy_task(&ctx, &map, &self.program, step, &self.events, |i| {
                             let stamp = BinLayout::stamp_for(SchemeMap::compute_clock(step));
                             let ctx = &ctx;
@@ -211,7 +210,8 @@ impl SchemeProcessor {
         let instr = *instr;
         let v = eval_instr(ctx, &self.map, &self.lw, &instr, step, &self.events).await;
         let me = ctx.id().0;
-        ctx.write(self.map.proposal_addr(n, i, me), Stamped::new(v, stamp)).await;
+        ctx.write(self.map.proposal_addr(n, i, me), Stamped::new(v, stamp))
+            .await;
         // Double scan for stability: digest = (count, min index, min value).
         let mut digests = [(0u64, usize::MAX, 0u64); 2];
         for digest in &mut digests {
@@ -231,7 +231,8 @@ impl SchemeProcessor {
             *digest = (count, min_p, min_v);
         }
         if digests[0] == digests[1] && digests[0].0 > 0 {
-            ctx.write(self.map.newval.addr(i), Stamped::new(digests[0].2, stamp)).await;
+            ctx.write(self.map.newval.addr(i), Stamped::new(digests[0].2, stamp))
+                .await;
         }
     }
 
@@ -253,7 +254,8 @@ impl SchemeProcessor {
         let v = eval_instr(ctx, &self.map, &self.lw, &instr, step, &self.events).await;
         // Atomic first-writer-wins: succeeds only if nobody decided since
         // our read.
-        ctx.cas(self.map.newval.addr(i), cur, Stamped::new(v, stamp)).await;
+        ctx.cas(self.map.newval.addr(i), cur, Stamped::new(v, stamp))
+            .await;
     }
 
     /// One Compute task of the deterministic baseline: pick a random
@@ -273,7 +275,8 @@ impl SchemeProcessor {
         }
         let instr = *instr;
         let v = eval_instr(ctx, &self.map, &self.lw, &instr, step, &self.events).await;
-        ctx.write(self.map.newval.addr(i), Stamped::new(v, stamp)).await;
+        ctx.write(self.map.newval.addr(i), Stamped::new(v, stamp))
+            .await;
     }
 }
 
@@ -325,7 +328,16 @@ mod tests {
             map,
             events.clone(),
         ));
-        SchemeProcessor { kind, cfg, map, program, lw, source, events, sink: None }
+        SchemeProcessor {
+            kind,
+            cfg,
+            map,
+            program,
+            lw,
+            source,
+            events,
+            sink: None,
+        }
     }
 
     #[test]
@@ -339,7 +351,10 @@ mod tests {
         let (u, _) = heavy.cadence();
         // T / (2·log n): enough bundled updates that ~2·log n tasks per
         // processor advance the clock one level.
-        assert_eq!(u, heavy.cfg.clock_threshold / (2 * heavy.cfg.clock_read_period));
+        assert_eq!(
+            u,
+            heavy.cfg.clock_threshold / (2 * heavy.cfg.clock_read_period)
+        );
         assert!(u >= 1);
     }
 }

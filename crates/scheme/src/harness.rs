@@ -75,7 +75,10 @@ impl SchemeRun {
         let cfg = run_cfg
             .agreement
             .unwrap_or_else(|| AgreementConfig::for_n(n, eval_cost(run_cfg.k.0)));
-        assert!(cfg.eval_cost >= eval_cost(run_cfg.k.0), "eval budget too small for K");
+        assert!(
+            cfg.eval_cost >= eval_cost(run_cfg.k.0),
+            "eval budget too small for K"
+        );
 
         let mut alloc = RegionAllocator::new();
         let map = SchemeMap::new(
@@ -90,8 +93,12 @@ impl SchemeRun {
         let events = new_events();
         let sink = (n <= 64).then(new_sink); // cycle logs only for small n
 
-        let source: Rc<dyn ValueSource> =
-            Rc::new(InstrSource::new(program.clone(), lw.clone(), map, events.clone()));
+        let source: Rc<dyn ValueSource> = Rc::new(InstrSource::new(
+            program.clone(),
+            lw.clone(),
+            map,
+            events.clone(),
+        ));
 
         let proc_template = SchemeProcessor {
             kind: run_cfg.kind,
@@ -121,7 +128,16 @@ impl SchemeRun {
         }
 
         let schedule_desc = machine.schedule_description();
-        SchemeRun { machine, map, cfg, kind: run_cfg.kind, program, lw, events, schedule_desc }
+        SchemeRun {
+            machine,
+            map,
+            cfg,
+            kind: run_cfg.kind,
+            program,
+            lw,
+            events,
+            schedule_desc,
+        }
     }
 
     /// The agreement constants in force.
@@ -184,6 +200,7 @@ impl SchemeRun {
             n: self.program.n_threads,
             t_steps,
             total_work: self.machine.work(),
+            ticks: self.machine.ticks(),
             subphase_work,
             verify: verify_report,
             operand_read_failures: 0,

@@ -68,7 +68,15 @@ impl SchemeMap {
         let newval = alloc.alloc(cfg.n);
         let proposals = with_proposals.then(|| alloc.alloc(cfg.n * cfg.n));
         let vars = alloc.alloc(program.mem_size * k.0);
-        SchemeMap { clock, bins, newval, proposals, vars, k: k.0, n_vars: program.mem_size }
+        SchemeMap {
+            clock,
+            bins,
+            newval,
+            proposals,
+            vars,
+            k: k.0,
+            n_vars: program.mem_size,
+        }
     }
 
     /// Address of replica `r` of variable `var`.
@@ -81,7 +89,9 @@ impl SchemeMap {
     /// Address of processor `p`'s proposal slot for value `i`.
     #[inline]
     pub fn proposal_addr(&self, n: usize, i: usize, p: usize) -> usize {
-        self.proposals.expect("proposals not allocated").addr(i * n + p)
+        self.proposals
+            .expect("proposals not allocated")
+            .addr(i * n + p)
     }
 
     /// Clock value of the Compute subphase of step π.
@@ -140,8 +150,14 @@ mod tests {
     #[test]
     fn clock_step_mapping_roundtrips() {
         for step in 0..10u64 {
-            assert_eq!(SchemeMap::decode_clock(SchemeMap::compute_clock(step)), (step, false));
-            assert_eq!(SchemeMap::decode_clock(SchemeMap::copy_clock(step)), (step, true));
+            assert_eq!(
+                SchemeMap::decode_clock(SchemeMap::compute_clock(step)),
+                (step, false)
+            );
+            assert_eq!(
+                SchemeMap::decode_clock(SchemeMap::copy_clock(step)),
+                (step, true)
+            );
         }
         assert_eq!(SchemeMap::done_clock(5), 10);
     }

@@ -19,6 +19,10 @@ pub struct SchemeReport {
     pub t_steps: usize,
     /// Total work units until the clock reached the done value.
     pub total_work: u64,
+    /// Machine ticks executed (equals `total_work` under the default
+    /// idle policy; kept separate so throughput artifacts always report
+    /// real ticks).
+    pub ticks: u64,
     /// Work at each clock-value boundary (length `2T`, cumulative).
     pub subphase_work: Vec<u64>,
     /// Verification verdict.
@@ -97,6 +101,7 @@ mod tests {
             n: 8,
             t_steps: 4,
             total_work: 12_800,
+            ticks: 12_800,
             subphase_work: vec![],
             verify: VerifyReport {
                 replica_divergences: 0,

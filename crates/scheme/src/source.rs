@@ -35,7 +35,12 @@ impl InstrSource {
         map: SchemeMap,
         events: EventsHandle,
     ) -> Self {
-        InstrSource { program, lw, map, events }
+        InstrSource {
+            program,
+            lw,
+            map,
+            events,
+        }
     }
 }
 

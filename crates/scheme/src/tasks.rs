@@ -137,7 +137,8 @@ pub async fn copy_task<F, Fut>(
     let dst = instr.dst;
     match fetch(i).await {
         Some(v) => {
-            ctx.write(map.var_addr(dst, r), Stamped::new(v, step + 1)).await;
+            ctx.write(map.var_addr(dst, r), Stamped::new(v, step + 1))
+                .await;
             events.borrow_mut().copy_writes += 1;
         }
         None => {
@@ -155,10 +156,7 @@ mod tests {
     use apex_sim::{MachineBuilder, RegionAllocator};
     use std::cell::Cell;
 
-    fn setup(
-        program: &apex_pram::Program,
-        k: usize,
-    ) -> (SchemeMap, LastWriteTable, usize) {
+    fn setup(program: &apex_pram::Program, k: usize) -> (SchemeMap, LastWriteTable, usize) {
         let cfg = AgreementConfig::for_n(program.n_threads, eval_cost(k));
         let mut alloc = RegionAllocator::new();
         let map = SchemeMap::new(&mut alloc, &cfg, program, crate::map::ReplicaK(k), false);
@@ -170,8 +168,20 @@ mod tests {
         let v = b.alloc_init(&[11, 22]);
         let o = b.alloc(2, 0);
         b.step()
-            .emit(0, o.at(0), Op::Add, Operand::Var(v.at(0)), Operand::Const(1))
-            .emit(1, o.at(1), Op::Mov, Operand::Var(v.at(1)), Operand::Const(0));
+            .emit(
+                0,
+                o.at(0),
+                Op::Add,
+                Operand::Var(v.at(0)),
+                Operand::Const(1),
+            )
+            .emit(
+                1,
+                o.at(1),
+                Op::Mov,
+                Operand::Var(v.at(1)),
+                Operand::Const(0),
+            );
         b.build()
     }
 

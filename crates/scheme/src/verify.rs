@@ -92,7 +92,11 @@ pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
         for (thread, slot) in row.iter().enumerate() {
             if let Some(instr) = slot {
                 if instr.is_nondeterministic() {
-                    let v = observed.chosen.get(&(step as u64, thread)).copied().unwrap_or(0);
+                    let v = observed
+                        .chosen
+                        .get(&(step as u64, thread))
+                        .copied()
+                        .unwrap_or(0);
                     injection.insert((step as u64, thread), v);
                 }
             }
@@ -110,7 +114,9 @@ pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
         for (thread, slot) in row.iter().enumerate() {
             let Some(instr) = slot else { continue };
             let key = (step as u64, thread);
-            let Some(&chosen) = observed.chosen.get(&key) else { continue };
+            let Some(&chosen) = observed.chosen.get(&key) else {
+                continue;
+            };
             let fetch = |o: &Operand| match o {
                 Operand::Var(v) => pre[*v],
                 Operand::Const(c) => *c,
@@ -200,7 +206,10 @@ mod tests {
             .chosen
             .keys()
             .find(|k| {
-                built.program.instr(k.0 as usize, k.1).is_some_and(|i| i.is_nondeterministic())
+                built
+                    .program
+                    .instr(k.0 as usize, k.1)
+                    .is_some_and(|i| i.is_nondeterministic())
             })
             .unwrap();
         obs.chosen.insert(nd_key, 16);

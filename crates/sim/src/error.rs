@@ -11,7 +11,11 @@ pub struct RunTimeout {
 
 impl std::fmt::Display for RunTimeout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "run timed out after {} ticks ({} work units)", self.ticks, self.work)
+        write!(
+            f,
+            "run timed out after {} ticks ({} work units)",
+            self.ticks, self.work
+        )
     }
 }
 
@@ -23,7 +27,10 @@ mod tests {
 
     #[test]
     fn timeout_displays() {
-        let t = RunTimeout { work: 10, ticks: 12 };
+        let t = RunTimeout {
+            work: 10,
+            ticks: 12,
+        };
         assert!(format!("{t}").contains("12 ticks"));
     }
 }

@@ -29,12 +29,22 @@ use crate::word::{ProcId, Stamped};
 
 /// Per-processor executor state shared between the machine and the
 /// processor's [`Ctx`].
+///
+/// `Cell` fields instead of a `RefCell` wrapper: the credit handshake is
+/// on the machine's innermost loop (touched twice per live tick), and a
+/// plain `Cell` store/load compiles to a move with no borrow-flag
+/// bookkeeping. Single-threaded by construction — the machine and all of
+/// its processors live on one thread.
 #[derive(Debug, Default)]
 pub(crate) struct ProcState {
-    /// Op credits remaining for the current tick (0 or 1).
-    pub(crate) credit: u8,
+    /// Op credits remaining for the current poll. Usually 1; the machine
+    /// grants a whole *run* of credits when the schedule hands this
+    /// processor several consecutive ticks, and the protocol then executes
+    /// the entire run inside one poll (run coalescing — see the machine
+    /// module docs).
+    pub(crate) credit: Cell<u64>,
     /// Total atomic operations executed by this processor.
-    pub(crate) ops: u64,
+    pub(crate) ops: Cell<u64>,
 }
 
 /// Handle through which a protocol performs its atomic operations.
@@ -45,7 +55,7 @@ pub(crate) struct ProcState {
 pub struct Ctx {
     id: ProcId,
     mem: Rc<RefCell<SharedMemory>>,
-    state: Rc<RefCell<ProcState>>,
+    state: Rc<ProcState>,
     rng: Rc<RefCell<SmallRng>>,
     work: Rc<Cell<u64>>,
 }
@@ -54,11 +64,17 @@ impl Ctx {
     pub(crate) fn new(
         id: ProcId,
         mem: Rc<RefCell<SharedMemory>>,
-        state: Rc<RefCell<ProcState>>,
+        state: Rc<ProcState>,
         rng: SmallRng,
         work: Rc<Cell<u64>>,
     ) -> Self {
-        Ctx { id, mem, state, rng: Rc::new(RefCell::new(rng)), work }
+        Ctx {
+            id,
+            mem,
+            state,
+            rng: Rc::new(RefCell::new(rng)),
+            work,
+        }
     }
 
     /// This processor's identity.
@@ -74,7 +90,7 @@ impl Ctx {
     /// a processor may keep a step counter in a register).
     #[inline]
     pub fn ops(&self) -> u64 {
-        self.state.borrow().ops
+        self.state.ops.get()
     }
 
     /// Global work counter (instrumentation only: protocols must not branch
@@ -87,7 +103,10 @@ impl Ctx {
     /// Await one op credit (one schedule tick granted to this processor).
     #[inline]
     fn tick(&self) -> OpTick<'_> {
-        OpTick { state: &self.state }
+        OpTick {
+            state: &self.state,
+            work: &self.work,
+        }
     }
 
     /// Atomic operation: read the stamped word at `addr`.
@@ -154,24 +173,36 @@ impl Ctx {
 
 impl std::fmt::Debug for Ctx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("id", &self.id).field("ops", &self.ops()).finish()
+        f.debug_struct("Ctx")
+            .field("id", &self.id)
+            .field("ops", &self.ops())
+            .finish()
     }
 }
 
 /// Leaf future implementing the credit protocol: completes exactly when an
 /// op credit is available, consuming it; otherwise yields to the executor.
+///
+/// Consuming a credit advances the global work counter — the op *is* the
+/// work unit, and charging it here (instead of once per tick in the
+/// machine) is what lets the machine grant a multi-tick run of credits in
+/// a single poll while `work_now()` and write-event stamps still advance
+/// op by op, exactly as under per-tick polling.
 struct OpTick<'a> {
-    state: &'a RefCell<ProcState>,
+    state: &'a ProcState,
+    work: &'a Cell<u64>,
 }
 
 impl Future for OpTick<'_> {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let mut st = self.state.borrow_mut();
-        if st.credit > 0 {
-            st.credit -= 1;
-            st.ops += 1;
+        let st = self.state;
+        let credit = st.credit.get();
+        if credit > 0 {
+            st.credit.set(credit - 1);
+            st.ops.set(st.ops.get() + 1);
+            self.work.set(self.work.get() + 1);
             Poll::Ready(())
         } else {
             Poll::Pending

@@ -1,5 +1,42 @@
 //! The asynchronous host machine `H`: `n` processors, a shared memory, an
 //! oblivious adversary schedule, and exact work accounting.
+//!
+//! # The batched tick engine
+//!
+//! The machine executes schedule decisions in **blocks**. Decisions are
+//! prefetched from the adversary through [`crate::sched::Schedule::next_batch`]
+//! into an internal queue (one virtual call per block instead of one per
+//! atomic step), and the inner dispatch loop hoists everything that is
+//! tick-invariant: the poll `Context` is built once per block, the shared
+//! memory's "now" tracks the work counter through a shared cell instead of
+//! a per-tick `set_now` call, and per-processor credit/ops live in plain
+//! `Cell`s.
+//!
+//! Consecutive decisions for the *same* processor (bursty bursts, busy-wait
+//! tails on crashed/finished processors) are **run-coalesced**: the machine
+//! grants the whole run of op credits at once and polls the protocol future
+//! a single time, during which the protocol's `OpTick` leaf consumes the
+//! credits op by op — advancing the work counter exactly as per-tick
+//! polling would — until the run is exhausted. One poll per run instead of
+//! one per tick is the engine's largest win under bursty adversaries.
+//!
+//! ## Invariants (checked by `tests/batch_determinism.rs`)
+//!
+//! * **Batch transparency** — a machine driven by any mix of [`Machine::tick`],
+//!   [`Machine::run_ticks`], [`Machine::run_until`] and
+//!   [`Machine::run_to_completion`] performs the *identical* sequence of
+//!   (processor, atomic operation) pairs for every batch size, including
+//!   the degenerate `batch_size = 1` reference configuration. Schedules
+//!   are pure functions of their call count, prefetching decisions early
+//!   cannot change them, and the queue hands them out one tick at a time.
+//! * **Exact consumption** — `run_ticks(k)` executes exactly `k` ticks;
+//!   prefetched-but-unexecuted decisions stay in the queue for the next
+//!   call, so early exits (`run_to_completion` finishing mid-block) never
+//!   skip or replay a decision.
+//! * **Work accounting** — identical to the per-tick engine: one work unit
+//!   per executed tick under [`IdlePolicy::CountAsWork`], one per live
+//!   tick under [`IdlePolicy::Skip`], and `WriteEvent::work` equals the
+//!   work counter at the instant of the write.
 
 use std::cell::{Cell, RefCell};
 use std::future::Future;
@@ -17,6 +54,9 @@ use crate::word::{ProcId, Stamped};
 
 use super::ctx::{Ctx, ProcState};
 
+/// Default number of schedule decisions prefetched per block.
+pub const DEFAULT_BATCH: usize = 256;
+
 /// What happens when the schedule grants a step to a processor whose
 /// protocol future has completed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -32,7 +72,7 @@ pub enum IdlePolicy {
 
 struct ProcSlot {
     fut: Option<Pin<Box<dyn Future<Output = ()>>>>,
-    state: Rc<RefCell<ProcState>>,
+    state: Rc<ProcState>,
 }
 
 struct NoopWake;
@@ -48,13 +88,21 @@ pub struct MachineBuilder {
     seed: u64,
     schedule: Option<BoxedSchedule>,
     idle: IdlePolicy,
+    batch: usize,
 }
 
 impl MachineBuilder {
     /// A machine with `n` processors and `mem_size` shared-memory cells.
     pub fn new(n: usize, mem_size: usize) -> Self {
         assert!(n > 0, "need at least one processor");
-        MachineBuilder { n, mem_size, seed: 0xA93B_5EED, schedule: None, idle: IdlePolicy::default() }
+        MachineBuilder {
+            n,
+            mem_size,
+            seed: 0xA93B_5EED,
+            schedule: None,
+            idle: IdlePolicy::default(),
+            batch: DEFAULT_BATCH,
+        }
     }
 
     /// Master seed; derives the schedule stream and all per-processor
@@ -85,6 +133,16 @@ impl MachineBuilder {
         self
     }
 
+    /// Schedule-prefetch block size (default [`DEFAULT_BATCH`]). The
+    /// decision stream is identical for every value — see the module docs;
+    /// `batch(1)` is the per-tick reference configuration used by the
+    /// determinism regression suite.
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
     /// Spawn all `n` processors from a factory and finish construction. The
     /// factory receives each processor's [`Ctx`] and returns its protocol
     /// future.
@@ -94,17 +152,30 @@ impl MachineBuilder {
         Fut: Future<Output = ()> + 'static,
     {
         let seed = self.seed;
-        let schedule =
-            self.schedule.unwrap_or_else(|| ScheduleKind::Uniform.build(self.n, seed));
-        let mem = Rc::new(RefCell::new(SharedMemory::new(self.mem_size)));
+        let schedule = self
+            .schedule
+            .unwrap_or_else(|| ScheduleKind::Uniform.build(self.n, seed));
         let work = Rc::new(Cell::new(0u64));
+        let mut memory = SharedMemory::new(self.mem_size);
+        memory.attach_now_source(work.clone());
+        let mem = Rc::new(RefCell::new(memory));
         let mut procs = Vec::with_capacity(self.n);
         for i in 0..self.n {
-            let state = Rc::new(RefCell::new(ProcState::default()));
-            let ctx = Ctx::new(ProcId(i), mem.clone(), state.clone(), proc_rng(seed, i), work.clone());
+            let state = Rc::new(ProcState::default());
+            let ctx = Ctx::new(
+                ProcId(i),
+                mem.clone(),
+                state.clone(),
+                proc_rng(seed, i),
+                work.clone(),
+            );
             let fut: Pin<Box<dyn Future<Output = ()>>> = Box::pin(factory(ctx));
-            procs.push(ProcSlot { fut: Some(fut), state });
+            procs.push(ProcSlot {
+                fut: Some(fut),
+                state,
+            });
         }
+        let live = procs.len();
         Machine {
             mem,
             procs,
@@ -114,12 +185,17 @@ impl MachineBuilder {
             ticks: 0,
             idle: self.idle,
             waker: Waker::from(Arc::new(NoopWake)),
+            queue: Vec::with_capacity(self.batch),
+            qpos: 0,
+            batch: self.batch,
+            live,
         }
     }
 }
 
 /// The asynchronous host system: drives processor futures according to the
-/// adversary schedule, one atomic operation per tick.
+/// adversary schedule, one atomic operation per tick, dispatched in
+/// prefetched blocks (see the module docs).
 pub struct Machine {
     mem: Rc<RefCell<SharedMemory>>,
     procs: Vec<ProcSlot>,
@@ -129,6 +205,12 @@ pub struct Machine {
     ticks: u64,
     idle: IdlePolicy,
     waker: Waker,
+    /// Prefetched schedule decisions; `queue[qpos..]` are not yet executed.
+    queue: Vec<ProcId>,
+    qpos: usize,
+    batch: usize,
+    /// Processors whose protocol future has not completed.
+    live: usize,
 }
 
 impl Machine {
@@ -153,9 +235,19 @@ impl Machine {
         self.ticks
     }
 
-    /// Whether every processor's protocol future has completed.
+    /// Configured schedule-prefetch block size.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Whether every processor's protocol future has completed (O(1)).
     pub fn all_done(&self) -> bool {
-        self.procs.iter().all(|p| p.fut.is_none())
+        self.live == 0
+    }
+
+    /// Number of processors whose protocol future is still running.
+    pub fn live_procs(&self) -> usize {
+        self.live
     }
 
     /// Whether processor `p`'s protocol future has completed.
@@ -163,45 +255,168 @@ impl Machine {
         self.procs[p.0].fut.is_none()
     }
 
+    /// Refill the decision queue from the schedule. Consumed entries are
+    /// dropped; unexecuted ones are preserved (exact-consumption
+    /// invariant).
+    fn refill_queue(&mut self) {
+        debug_assert_eq!(self.qpos, self.queue.len(), "refill with pending decisions");
+        self.queue.clear();
+        self.queue.resize(self.batch, ProcId(0));
+        self.schedule.next_batch(&mut self.queue);
+        self.qpos = 0;
+    }
+
+    /// Execute `run` consecutive decisions for the same processor in one
+    /// poll (run coalescing). The innermost hot path — everything
+    /// tick-invariant lives in the caller.
+    ///
+    /// Credits are charged inside the protocol's `OpTick` leaf (which also
+    /// advances the work counter op by op), so granting a run of `k`
+    /// credits and polling once is observably identical to `k` per-tick
+    /// polls: the body code between two awaits runs at the same work
+    /// instant either way, and no other processor can run during the run
+    /// because the schedule granted it wholesale.
+    /// Returns the ticks actually executed: always `run`, except when
+    /// `truncate_on_done` and this run completed the *last* live future —
+    /// then the run is cut at the completion tick (exactly where the
+    /// per-tick reference loop of `run_to_completion` stops) and the
+    /// unused decisions stay queued.
+    #[inline(always)]
+    fn step_run(
+        &mut self,
+        pid: ProcId,
+        run: u64,
+        cx: &mut Context<'_>,
+        truncate_on_done: bool,
+    ) -> u64 {
+        let slot = &mut self.procs[pid.0];
+        match slot.fut.as_mut() {
+            None => {
+                // Completed-processor fast path: busy-wait accounting for
+                // the whole run in O(1), no credit handshake, no poll.
+                if self.idle == IdlePolicy::CountAsWork {
+                    self.work.set(self.work.get() + run);
+                    self.per_proc_work[pid.0] += run;
+                }
+                self.ticks += run;
+                run
+            }
+            Some(fut) => {
+                slot.state.credit.set(run);
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(()) => {
+                        // The future completed mid-run after consuming
+                        // `run - leftover` ops; completion happens on the
+                        // last consuming tick, and the rest of the run is
+                        // busy-waiting. Exception: an await-free protocol
+                        // completes on its first granted tick without
+                        // consuming — the per-tick reference charges that
+                        // live poll tick under both idle policies.
+                        let leftover = slot.state.credit.get();
+                        slot.state.credit.set(0);
+                        slot.fut = None;
+                        self.live -= 1;
+                        let consumed = run - leftover;
+                        let first_poll_tick = u64::from(consumed == 0);
+                        if truncate_on_done && self.live == 0 {
+                            let used = consumed + first_poll_tick;
+                            self.work.set(self.work.get() + first_poll_tick);
+                            self.per_proc_work[pid.0] += used;
+                            self.ticks += used;
+                            return used;
+                        }
+                        match self.idle {
+                            IdlePolicy::CountAsWork => {
+                                self.work.set(self.work.get() + leftover);
+                                self.per_proc_work[pid.0] += run;
+                            }
+                            IdlePolicy::Skip => {
+                                self.work.set(self.work.get() + first_poll_tick);
+                                self.per_proc_work[pid.0] += consumed + first_poll_tick;
+                            }
+                        }
+                        self.ticks += run;
+                        run
+                    }
+                    Poll::Pending => {
+                        assert_eq!(
+                            slot.state.credit.get(),
+                            0,
+                            "protocol on {pid} yielded without performing an atomic operation \
+                             (protocols must only await Ctx operations)"
+                        );
+                        // All `run` credits were consumed (and charged to
+                        // the work counter by OpTick).
+                        self.per_proc_work[pid.0] += run;
+                        self.ticks += run;
+                        run
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute up to `max` queued ticks (refilling the queue once if it is
+    /// empty); stops early when `stop_when_done` and every processor has
+    /// completed. Returns the number of ticks executed.
+    fn run_block(&mut self, max: u64, stop_when_done: bool) -> u64 {
+        if stop_when_done && self.live == 0 {
+            return 0;
+        }
+        if self.qpos == self.queue.len() {
+            self.refill_queue();
+        }
+        let end = self.queue.len().min(
+            self.qpos
+                .saturating_add(max.min(usize::MAX as u64) as usize),
+        );
+        // Detach the queue so the dispatch loop can borrow `self` mutably;
+        // the queue is plain data and nothing re-enters the machine.
+        let queue = std::mem::take(&mut self.queue);
+        let waker = self.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        let mut i = self.qpos;
+        while i < end {
+            let pid = queue[i];
+            // Coalesce the run of consecutive decisions for `pid` (runs
+            // never cross the block/budget boundary, so exact tick
+            // consumption is preserved).
+            let mut run = 1usize;
+            while i + run < end && queue[i + run] == pid {
+                run += 1;
+            }
+            let used = self.step_run(pid, run as u64, &mut cx, stop_when_done);
+            i += used as usize;
+            if stop_when_done && self.live == 0 {
+                break;
+            }
+        }
+        let executed = (i - self.qpos) as u64;
+        self.qpos = i;
+        self.queue = queue;
+        executed
+    }
+
     /// Execute one schedule tick: the adversary names a processor, which
     /// performs exactly one atomic operation (or busy-waits if completed).
     /// Returns the processor that was scheduled.
     pub fn tick(&mut self) -> ProcId {
-        let pid = self.schedule.next();
-        self.ticks += 1;
-        let slot = &mut self.procs[pid.0];
-        if slot.fut.is_none() {
-            if self.idle == IdlePolicy::CountAsWork {
-                self.work.set(self.work.get() + 1);
-                self.per_proc_work[pid.0] += 1;
-            }
-            return pid;
+        if self.qpos == self.queue.len() {
+            self.refill_queue();
         }
-        self.work.set(self.work.get() + 1);
-        self.per_proc_work[pid.0] += 1;
-        self.mem.borrow_mut().set_now(self.work.get());
-        slot.state.borrow_mut().credit = 1;
-        let mut cx = Context::from_waker(&self.waker);
-        match slot.fut.as_mut().expect("live future").as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {
-                slot.fut = None;
-            }
-            Poll::Pending => {
-                assert_eq!(
-                    slot.state.borrow().credit,
-                    0,
-                    "protocol on {pid} yielded without performing an atomic operation \
-                     (protocols must only await Ctx operations)"
-                );
-            }
-        }
+        let pid = self.queue[self.qpos];
+        self.qpos += 1;
+        let waker = self.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        self.step_run(pid, 1, &mut cx, false);
         pid
     }
 
     /// Run exactly `k` ticks.
     pub fn run_ticks(&mut self, k: u64) {
-        for _ in 0..k {
-            self.tick();
+        let mut remaining = k;
+        while remaining > 0 {
+            remaining -= self.run_block(remaining, false);
         }
     }
 
@@ -210,7 +425,12 @@ impl Machine {
     /// or until `cap` total ticks have elapsed.
     ///
     /// Returns the total work at the moment the predicate first held.
-    pub fn run_until<P>(&mut self, cap: u64, check_every: u64, mut pred: P) -> Result<u64, RunTimeout>
+    pub fn run_until<P>(
+        &mut self,
+        cap: u64,
+        check_every: u64,
+        mut pred: P,
+    ) -> Result<u64, RunTimeout>
     where
         P: FnMut(&SharedMemory) -> bool,
     {
@@ -220,7 +440,10 @@ impl Machine {
                 return Ok(self.work());
             }
             if self.ticks >= cap {
-                return Err(RunTimeout { work: self.work(), ticks: self.ticks });
+                return Err(RunTimeout {
+                    work: self.work(),
+                    ticks: self.ticks,
+                });
             }
             let burst = check_every.min(cap.saturating_sub(self.ticks)).max(1);
             self.run_ticks(burst);
@@ -228,13 +451,17 @@ impl Machine {
     }
 
     /// Run until all processor futures have completed (useful for finite
-    /// protocols), with a tick cap.
+    /// protocols), with a tick cap. Stops on the exact tick the last
+    /// processor completes, like the per-tick reference engine.
     pub fn run_to_completion(&mut self, cap: u64) -> Result<u64, RunTimeout> {
-        while !self.all_done() {
+        while self.live > 0 {
             if self.ticks >= cap {
-                return Err(RunTimeout { work: self.work(), ticks: self.ticks });
+                return Err(RunTimeout {
+                    work: self.work(),
+                    ticks: self.ticks,
+                });
             }
-            self.tick();
+            self.run_block(cap - self.ticks, true);
         }
         Ok(self.work())
     }
@@ -293,6 +520,8 @@ impl std::fmt::Debug for Machine {
             .field("n", &self.n())
             .field("work", &self.work())
             .field("ticks", &self.ticks)
+            .field("batch", &self.batch)
+            .field("live", &self.live)
             .field("schedule", &self.schedule.describe())
             .finish()
     }

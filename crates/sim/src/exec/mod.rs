@@ -4,7 +4,7 @@ mod ctx;
 mod machine;
 
 pub use ctx::Ctx;
-pub use machine::{IdlePolicy, Machine, MachineBuilder};
+pub use machine::{IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 
 #[cfg(test)]
 mod tests {
@@ -149,11 +149,15 @@ mod tests {
                     loop {
                         let a = ctx.rand_below(64).await;
                         let v = ctx.read(a as usize).await;
-                        ctx.write(a as usize, Stamped::new(v.value + 1, v.stamp + 1)).await;
+                        ctx.write(a as usize, Stamped::new(v.value + 1, v.stamp + 1))
+                            .await;
                     }
                 });
             m.run_ticks(10_000);
-            (m.work(), m.with_mem(|mem| (0..64).map(|a| mem.peek(a).value).sum::<u64>()))
+            (
+                m.work(),
+                m.with_mem(|mem| (0..64).map(|a| mem.peek(a).value).sum::<u64>()),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -163,7 +167,8 @@ mod tests {
         let mut m = MachineBuilder::new(2, 1)
             .schedule(Box::new(RoundRobin::new(2)))
             .build(|ctx| async move {
-                ctx.cas(0, Stamped::ZERO, Stamped::new(ctx.id().0 as u64 + 1, 1)).await;
+                ctx.cas(0, Stamped::ZERO, Stamped::new(ctx.id().0 as u64 + 1, 1))
+                    .await;
             });
         m.run_ticks(2);
         // P0 wins the cas; P1's cas fails.

@@ -55,7 +55,7 @@ pub mod sched;
 mod word;
 
 pub use error::RunTimeout;
-pub use exec::{Ctx, IdlePolicy, Machine, MachineBuilder};
+pub use exec::{Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 pub use memory::{Region, RegionAllocator, SharedMemory, WriteEvent, WriteHook};
 pub use metrics::WorkReport;
 pub use sched::{BoxedSchedule, Schedule, ScheduleKind, Script};

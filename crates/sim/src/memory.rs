@@ -6,6 +6,9 @@
 //! as instrumentation (`peek`, `snapshot_*`, hooks) — such accesses model the
 //! *observer's* view used by validators and experiments, never a processor's.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use crate::word::{ProcId, Stamp, Stamped, Value};
 
 /// A contiguous range of shared-memory cells assigned to one data structure
@@ -30,7 +33,11 @@ impl Region {
     /// If `i >= self.len` (a layout bug, not a protocol event).
     #[inline]
     pub fn addr(&self, i: usize) -> usize {
-        assert!(i < self.len, "region index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "region index {i} out of bounds (len {})",
+            self.len
+        );
         self.base + i
     }
 
@@ -97,6 +104,10 @@ pub struct SharedMemory {
     cells: Vec<Stamped>,
     hooks: Vec<WriteHook>,
     now: u64,
+    /// Live view of the machine's work counter. When attached (every
+    /// machine-owned memory), "now" is read lazily from here at the moment
+    /// a hook fires, so the engine never pays a per-tick `set_now` call.
+    now_src: Option<Rc<Cell<u64>>>,
     reads: u64,
     writes: u64,
 }
@@ -108,6 +119,7 @@ impl SharedMemory {
             cells: vec![Stamped::ZERO; size],
             hooks: Vec::new(),
             now: 0,
+            now_src: None,
             reads: 0,
             writes: 0,
         }
@@ -140,12 +152,22 @@ impl SharedMemory {
     /// baseline (the paper's model forbids compound atomic operations; see
     /// DESIGN.md §6). Returns the previous content; stores `new` only when
     /// the previous content equals `expect`.
-    pub(crate) fn cas(&mut self, addr: usize, expect: Stamped, new: Stamped, who: ProcId) -> Stamped {
+    ///
+    /// Accounting: a CAS always inspects the cell, so it always counts one
+    /// load; a successful CAS additionally counts one store. (It still
+    /// costs a single work unit — that is exactly the model-violating
+    /// bundling the baseline exists to quantify.)
+    pub(crate) fn cas(
+        &mut self,
+        addr: usize,
+        expect: Stamped,
+        new: Stamped,
+        who: ProcId,
+    ) -> Stamped {
         let old = self.cells[addr];
+        self.reads += 1;
         if old == expect {
             self.store(addr, new, who);
-        } else {
-            self.reads += 1;
         }
         old
     }
@@ -169,7 +191,13 @@ impl SharedMemory {
         let old = self.cells[addr];
         self.cells[addr] = w;
         if !self.hooks.is_empty() {
-            let ev = WriteEvent { addr, old, new: w, writer: who, work: self.now };
+            let ev = WriteEvent {
+                addr,
+                old,
+                new: w,
+                writer: who,
+                work: self.now(),
+            };
             // Hooks are moved out during iteration so they may themselves
             // inspect the memory via `peek` without aliasing issues. Hooks
             // installed *by* hooks are not supported.
@@ -189,12 +217,16 @@ impl SharedMemory {
 
     /// Iterate (instrumentation) over the values of a region.
     pub fn region_values<'a>(&'a self, region: Region) -> impl Iterator<Item = Value> + 'a {
-        self.cells[region.base..region.end()].iter().map(|w| w.value)
+        self.cells[region.base..region.end()]
+            .iter()
+            .map(|w| w.value)
     }
 
     /// Iterate (instrumentation) over the stamps of a region.
     pub fn region_stamps<'a>(&'a self, region: Region) -> impl Iterator<Item = Stamp> + 'a {
-        self.cells[region.base..region.end()].iter().map(|w| w.stamp)
+        self.cells[region.base..region.end()]
+            .iter()
+            .map(|w| w.stamp)
     }
 
     /// Install a write observer. Hooks see every store in execution order.
@@ -202,10 +234,27 @@ impl SharedMemory {
         self.hooks.push(hook);
     }
 
-    /// Advance the observer's notion of "now" (the global work counter);
-    /// called by the machine before every tick.
+    /// Attach a live view of the machine's work counter; from then on the
+    /// observer's "now" tracks it without per-tick propagation.
+    pub(crate) fn attach_now_source(&mut self, src: Rc<Cell<u64>>) {
+        self.now_src = Some(src);
+    }
+
+    /// Advance the observer's notion of "now" (the global work counter) on
+    /// a standalone memory (test setup). Machine-owned memories track the
+    /// work counter through [`SharedMemory::attach_now_source`] instead.
+    #[allow(dead_code)]
     pub(crate) fn set_now(&mut self, work: u64) {
         self.now = work;
+    }
+
+    /// The observer's current "now" (global work counter proxy).
+    #[inline]
+    fn now(&self) -> u64 {
+        match &self.now_src {
+            Some(src) => src.get(),
+            None => self.now,
+        }
     }
 
     /// Total model-level loads performed so far.
@@ -297,7 +346,22 @@ mod tests {
         assert_eq!(m.peek(0), Stamped::new(1, 1));
         let old = m.cas(0, Stamped::ZERO, Stamped::new(2, 2), ProcId(0));
         assert_eq!(old, Stamped::new(1, 1));
-        assert_eq!(m.peek(0), Stamped::new(1, 1), "mismatched cas must not store");
+        assert_eq!(
+            m.peek(0),
+            Stamped::new(1, 1),
+            "mismatched cas must not store"
+        );
+    }
+
+    #[test]
+    fn cas_counts_one_read_always_plus_one_write_on_success() {
+        let mut m = SharedMemory::new(1);
+        // Success: the inspection load plus the store.
+        m.cas(0, Stamped::ZERO, Stamped::new(1, 1), ProcId(0));
+        assert_eq!((m.total_reads(), m.total_writes()), (1, 1));
+        // Failure: the inspection load only.
+        m.cas(0, Stamped::ZERO, Stamped::new(2, 2), ProcId(0));
+        assert_eq!((m.total_reads(), m.total_writes()), (2, 1));
     }
 
     #[test]

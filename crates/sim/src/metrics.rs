@@ -85,7 +85,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let r = WorkReport { total_work: 5, ticks: 5, per_proc: vec![5], mem_reads: 2, mem_writes: 3 };
+        let r = WorkReport {
+            total_work: 5,
+            ticks: 5,
+            per_proc: vec![5],
+            mem_reads: 2,
+            mem_writes: 3,
+        };
         let s = format!("{r}");
         assert!(s.contains("work=5") && s.contains("reads=2"));
     }

@@ -79,9 +79,18 @@ mod tests {
     #[test]
     fn derive_is_deterministic_and_separated() {
         assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
-        assert_ne!(derive_seed(1, STREAM_SCHEDULE, 0), derive_seed(1, STREAM_PROC, 0));
-        assert_ne!(derive_seed(1, STREAM_PROC, 0), derive_seed(1, STREAM_PROC, 1));
-        assert_ne!(derive_seed(1, STREAM_PROC, 0), derive_seed(2, STREAM_PROC, 0));
+        assert_ne!(
+            derive_seed(1, STREAM_SCHEDULE, 0),
+            derive_seed(1, STREAM_PROC, 0)
+        );
+        assert_ne!(
+            derive_seed(1, STREAM_PROC, 0),
+            derive_seed(1, STREAM_PROC, 1)
+        );
+        assert_ne!(
+            derive_seed(1, STREAM_PROC, 0),
+            derive_seed(2, STREAM_PROC, 0)
+        );
     }
 
     #[test]

@@ -29,6 +29,18 @@ impl Schedule for RoundRobin {
         ProcId(p)
     }
 
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let mut p = self.next;
+        for slot in out.iter_mut() {
+            *slot = ProcId(p);
+            p += 1;
+            if p == self.n {
+                p = 0;
+            }
+        }
+        self.next = p;
+    }
+
     fn n(&self) -> usize {
         self.n
     }
@@ -57,6 +69,15 @@ impl UniformRandom {
 impl Schedule for UniformRandom {
     fn next(&mut self) -> ProcId {
         ProcId(self.rng.gen_range(0..self.n))
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        // Monomorphized draw loop: one virtual call per block, and the RNG
+        // state stays in registers across the whole batch.
+        let n = self.n;
+        for slot in out.iter_mut() {
+            *slot = ProcId(self.rng.gen_range(0..n));
+        }
     }
 
     fn n(&self) -> usize {
@@ -104,15 +125,24 @@ impl WeightedSpeeds {
         assert!((0.0..=1.0).contains(&slow_frac));
         assert!(ratio >= 1.0);
         let slow = ((slow_frac * n as f64).ceil() as usize).min(n);
-        let weights: Vec<f64> =
-            (0..n).map(|i| if i < slow { 1.0 } else { ratio }).collect();
-        Self::new(&weights, rng, format!("two-class(n={n},slow={slow},ratio={ratio})"))
+        let weights: Vec<f64> = (0..n).map(|i| if i < slow { 1.0 } else { ratio }).collect();
+        Self::new(
+            &weights,
+            rng,
+            format!("two-class(n={n},slow={slow},ratio={ratio})"),
+        )
     }
 }
 
 impl Schedule for WeightedSpeeds {
     fn next(&mut self) -> ProcId {
         ProcId(self.dist.sample(&mut self.rng))
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        for slot in out.iter_mut() {
+            *slot = ProcId(self.dist.sample(&mut self.rng));
+        }
     }
 
     fn n(&self) -> usize {
@@ -139,7 +169,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_processors() {
         let mut s = UniformRandom::new(10, schedule_rng(5));
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..1000 {
             seen[s.next().0] = true;
         }
@@ -149,7 +179,7 @@ mod tests {
     #[test]
     fn two_class_ratio_is_respected() {
         let mut s = WeightedSpeeds::two_class(8, 0.5, 8.0, schedule_rng(5));
-        let mut h = vec![0u64; 8];
+        let mut h = [0u64; 8];
         for _ in 0..80_000 {
             h[s.next().0] += 1;
         }

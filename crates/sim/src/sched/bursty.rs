@@ -25,7 +25,13 @@ impl Bursty {
     pub fn new(n: usize, mean_burst: u64, rng: SmallRng) -> Self {
         assert!(n > 0);
         assert!(mean_burst >= 1);
-        Bursty { n, mean_burst, current: ProcId(0), remaining: 0, rng }
+        Bursty {
+            n,
+            mean_burst,
+            current: ProcId(0),
+            remaining: 0,
+            rng,
+        }
     }
 
     fn draw_burst(&mut self) -> u64 {
@@ -49,6 +55,22 @@ impl Schedule for Bursty {
         }
         self.remaining -= 1;
         self.current
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        // Bursts are runs of one ProcId, so a batch is a handful of
+        // `fill`s rather than out.len() individual decisions.
+        let mut i = 0;
+        while i < out.len() {
+            if self.remaining == 0 {
+                self.current = ProcId(self.rng.gen_range(0..self.n));
+                self.remaining = self.draw_burst();
+            }
+            let run = self.remaining.min((out.len() - i) as u64) as usize;
+            out[i..i + run].fill(self.current);
+            self.remaining -= run as u64;
+            i += run;
+        }
     }
 
     fn n(&self) -> usize {

@@ -26,7 +26,13 @@ impl CrashSchedule {
         assert!(!crash_at.is_empty());
         assert!(crash_at[0].is_none(), "processor 0 must survive");
         let crashed_planned = crash_at.iter().filter(|c| c.is_some()).count();
-        CrashSchedule { n: crash_at.len(), crash_at, tick: 0, rng, crashed_planned }
+        CrashSchedule {
+            n: crash_at.len(),
+            crash_at,
+            tick: 0,
+            rng,
+            crashed_planned,
+        }
     }
 
     /// `crash_frac` of processors 1..n crash at uniform times in
@@ -52,12 +58,11 @@ impl CrashSchedule {
             Some(c) => t < c,
         }
     }
-}
 
-impl Schedule for CrashSchedule {
-    fn next(&mut self) -> ProcId {
-        let t = self.tick;
-        self.tick += 1;
+    /// One decision at tick `t` (shared by `next` and `next_batch`; both
+    /// must consume the RNG identically).
+    #[inline]
+    fn pick_at(&mut self, t: u64) -> ProcId {
         for _ in 0..16 {
             let p = self.rng.gen_range(0..self.n);
             if self.is_alive(p, t) {
@@ -72,6 +77,23 @@ impl Schedule for CrashSchedule {
             }
         }
         ProcId(0)
+    }
+}
+
+impl Schedule for CrashSchedule {
+    fn next(&mut self) -> ProcId {
+        let t = self.tick;
+        self.tick += 1;
+        self.pick_at(t)
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let mut t = self.tick;
+        for slot in out.iter_mut() {
+            *slot = self.pick_at(t);
+            t += 1;
+        }
+        self.tick = t;
     }
 
     fn n(&self) -> usize {
@@ -90,10 +112,7 @@ mod tests {
 
     #[test]
     fn crashed_processors_never_run_again() {
-        let mut s = CrashSchedule::new(
-            vec![None, Some(100), Some(500), None],
-            schedule_rng(17),
-        );
+        let mut s = CrashSchedule::new(vec![None, Some(100), Some(500), None], schedule_rng(17));
         for _ in 0..10_000u64 {
             let t = s.tick;
             let p = s.next();
@@ -109,7 +128,7 @@ mod tests {
     #[test]
     fn survivors_share_all_later_work() {
         let mut s = CrashSchedule::new(vec![None, Some(0), Some(0)], schedule_rng(18));
-        let mut h = vec![0u64; 3];
+        let mut h = [0u64; 3];
         for _ in 0..3000 {
             h[s.next().0] += 1;
         }

@@ -31,9 +31,34 @@ use crate::word::ProcId;
 ///
 /// Implementations must be *total* (always return some processor) and
 /// *oblivious* (a pure function of their seed and call count).
+///
+/// # Batched dispatch
+///
+/// The machine consumes decisions through [`Schedule::next_batch`], one
+/// virtual call per block instead of one per atomic step. Every
+/// implementation must uphold the **batch-transparency invariant**:
+///
+/// > `next_batch(out)` writes exactly the sequence that `out.len()`
+/// > successive calls to `next()` would have produced, and leaves the
+/// > schedule in the identical state.
+///
+/// Mixing `next()` and `next_batch()` calls on one schedule is therefore
+/// legal and cannot change the decision stream. The regression suite in
+/// `tests/batch_determinism.rs` checks this for every [`ScheduleKind`].
 pub trait Schedule {
     /// The processor that performs the next atomic step.
     fn next(&mut self) -> ProcId;
+
+    /// Fill `out` with the next `out.len()` scheduling decisions.
+    ///
+    /// The default forwards to [`Schedule::next`]; implementations
+    /// override it to amortize dispatch and per-call setup, and must obey
+    /// the batch-transparency invariant above.
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        for slot in out.iter_mut() {
+            *slot = self.next();
+        }
+    }
 
     /// Number of processors.
     fn n(&self) -> usize;
@@ -105,12 +130,15 @@ impl ScheduleKind {
                 Box::new(WeightedSpeeds::two_class(n, slow_frac, ratio, rng))
             }
             ScheduleKind::Bursty { mean_burst } => Box::new(Bursty::new(n, mean_burst, rng)),
-            ScheduleKind::Sleepy { sleepy_frac, awake, asleep } => {
-                Box::new(Sleepy::new(n, sleepy_frac, awake, asleep, rng))
-            }
-            ScheduleKind::Crash { crash_frac, horizon } => {
-                Box::new(CrashSchedule::uniform_crashes(n, crash_frac, horizon, rng))
-            }
+            ScheduleKind::Sleepy {
+                sleepy_frac,
+                awake,
+                asleep,
+            } => Box::new(Sleepy::new(n, sleepy_frac, awake, asleep, rng)),
+            ScheduleKind::Crash {
+                crash_frac,
+                horizon,
+            } => Box::new(CrashSchedule::uniform_crashes(n, crash_frac, horizon, rng)),
         }
     }
 
@@ -132,9 +160,16 @@ impl ScheduleKind {
         vec![
             ScheduleKind::RoundRobin,
             ScheduleKind::Uniform,
-            ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 16.0 },
+            ScheduleKind::TwoClass {
+                slow_frac: 0.25,
+                ratio: 16.0,
+            },
             ScheduleKind::Bursty { mean_burst: 64 },
-            ScheduleKind::Sleepy { sleepy_frac: 0.125, awake: 512, asleep: 4096 },
+            ScheduleKind::Sleepy {
+                sleepy_frac: 0.125,
+                awake: 512,
+                asleep: 4096,
+            },
         ]
     }
 }
@@ -153,10 +188,13 @@ mod tests {
 
     #[test]
     fn every_kind_builds_and_is_total() {
-        for kind in ScheduleKind::gallery()
-            .into_iter()
-            .chain([ScheduleKind::Zipf { s: 1.0 }, ScheduleKind::Crash { crash_frac: 0.3, horizon: 100 }])
-        {
+        for kind in ScheduleKind::gallery().into_iter().chain([
+            ScheduleKind::Zipf { s: 1.0 },
+            ScheduleKind::Crash {
+                crash_frac: 0.3,
+                horizon: 100,
+            },
+        ]) {
             let mut s = kind.build(8, 7);
             assert_eq!(s.n(), 8);
             let h = histogram(s.as_mut(), 2000);

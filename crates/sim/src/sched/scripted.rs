@@ -79,7 +79,11 @@ impl Script {
 
     /// Finish: play this script, then continue with `fallback` forever.
     pub fn then(self, fallback: Box<dyn Schedule>) -> ScriptedSchedule {
-        ScriptedSchedule { steps: self.steps, pos: 0, fallback }
+        ScriptedSchedule {
+            steps: self.steps,
+            pos: 0,
+            fallback,
+        }
     }
 }
 
@@ -102,10 +106,29 @@ impl Schedule for ScriptedSchedule {
         if self.pos < self.steps.len() {
             let p = self.steps[self.pos];
             self.pos += 1;
-            assert!(p.0 < self.fallback.n(), "scripted processor {p} out of range");
+            assert!(
+                p.0 < self.fallback.n(),
+                "scripted processor {p} out of range"
+            );
             p
         } else {
             self.fallback.next()
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let scripted = (self.steps.len() - self.pos).min(out.len());
+        if scripted > 0 {
+            let n = self.fallback.n();
+            let src = &self.steps[self.pos..self.pos + scripted];
+            for (slot, &p) in out[..scripted].iter_mut().zip(src) {
+                assert!(p.0 < n, "scripted processor {p} out of range");
+                *slot = p;
+            }
+            self.pos += scripted;
+        }
+        if scripted < out.len() {
+            self.fallback.next_batch(&mut out[scripted..]);
         }
     }
 
@@ -114,7 +137,11 @@ impl Schedule for ScriptedSchedule {
     }
 
     fn describe(&self) -> String {
-        format!("scripted(prefix={}, then {})", self.steps.len(), self.fallback.describe())
+        format!(
+            "scripted(prefix={}, then {})",
+            self.steps.len(),
+            self.fallback.describe()
+        )
     }
 }
 
@@ -155,7 +182,10 @@ mod tests {
         let mk = || {
             Script::new()
                 .run(0, 5)
-                .then(Box::new(crate::sched::UniformRandom::new(4, schedule_rng(1))))
+                .then(Box::new(crate::sched::UniformRandom::new(
+                    4,
+                    schedule_rng(1),
+                )))
         };
         let mut a = mk();
         let mut b = mk();

@@ -46,7 +46,15 @@ impl Sleepy {
                 }
             })
             .collect();
-        Sleepy { n, awake, asleep, offsets, tick: 0, rng, sleepy_count }
+        Sleepy {
+            n,
+            awake,
+            asleep,
+            offsets,
+            tick: 0,
+            rng,
+            sleepy_count,
+        }
     }
 
     /// Whether processor `p` is awake at tick `t`.
@@ -58,12 +66,11 @@ impl Sleepy {
         let period = self.awake + self.asleep;
         (t + off) % period < self.awake
     }
-}
 
-impl Schedule for Sleepy {
-    fn next(&mut self) -> ProcId {
-        let t = self.tick;
-        self.tick += 1;
+    /// One decision at tick `t` (shared by `next` and `next_batch`; both
+    /// must consume the RNG identically).
+    #[inline]
+    fn pick_at(&mut self, t: u64) -> ProcId {
         // Rejection-sample an awake processor; bounded attempts, then scan.
         for _ in 0..16 {
             let p = self.rng.gen_range(0..self.n);
@@ -80,6 +87,23 @@ impl Schedule for Sleepy {
         }
         // Processor 0 is always awake, so this is unreachable; kept total.
         ProcId(0)
+    }
+}
+
+impl Schedule for Sleepy {
+    fn next(&mut self) -> ProcId {
+        let t = self.tick;
+        self.tick += 1;
+        self.pick_at(t)
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let mut t = self.tick;
+        for slot in out.iter_mut() {
+            *slot = self.pick_at(t);
+            t += 1;
+        }
+        self.tick = t;
     }
 
     fn n(&self) -> usize {
@@ -108,7 +132,10 @@ mod tests {
             let p = s.next();
             let off = offsets[p.0];
             if off != u64::MAX {
-                assert!((t + off) % 500 < 100, "proc {p} scheduled while asleep at tick {t}");
+                assert!(
+                    (t + off) % 500 < 100,
+                    "proc {p} scheduled while asleep at tick {t}"
+                );
             }
         }
     }
@@ -138,6 +165,9 @@ mod tests {
         for _ in 0..100_000 {
             h[s.next().0] += 1;
         }
-        assert!(h.iter().all(|&c| c > 0), "every processor runs eventually: {h:?}");
+        assert!(
+            h.iter().all(|&c| c > 0),
+            "every processor runs eventually: {h:?}"
+        );
     }
 }

@@ -1,0 +1,232 @@
+//! Vendored, self-contained subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of criterion its micro-benchmarks use: benchmark
+//! groups, `bench_function`, `iter`/`iter_batched`, element throughput,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simpler than the real crate, stated so numbers can be
+//! read honestly): after one warm-up invocation, each `bench_function`
+//! runs `sample_size` timed invocations and reports min / median / mean
+//! wall-clock per invocation plus derived element throughput. No outlier
+//! analysis, no statistical regression.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-sample workload, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per invocation.
+    Elements(u64),
+    /// Bytes processed per invocation.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the shim times one routine invocation per sample regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed invocations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-invocation workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its report line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            warmed: false,
+        };
+        for _ in 0..self.sample_size + 1 {
+            f(&mut b);
+        }
+        let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        let min = *ns.first().unwrap_or(&0);
+        let median = ns.get(ns.len() / 2).copied().unwrap_or(0);
+        let mean = if ns.is_empty() {
+            0
+        } else {
+            ns.iter().sum::<u128>() / ns.len() as u128
+        };
+        let mut line = format!(
+            "{}/{id}: samples={} min={} median={} mean={}",
+            self.group,
+            ns.len(),
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(e) => (e, "elem/s"),
+                Throughput::Bytes(by) => (by, "B/s"),
+            };
+            if mean > 0 {
+                let rate = count as f64 * 1e9 / mean as f64;
+                line.push_str(&format!(" thrpt={} {unit}", fmt_rate(rate)));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Timing handle passed to benchmark closures. The first invocation after
+/// construction is a discarded warm-up.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmed: bool,
+}
+
+impl Bencher {
+    /// Time one invocation of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.record(start.elapsed());
+    }
+
+    /// Time one invocation of `routine` on a fresh, untimed `setup` output.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.record(start.elapsed());
+    }
+
+    fn record(&mut self, d: Duration) {
+        if self.warmed {
+            self.samples.push(d);
+        } else {
+            self.warmed = true;
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_end_to_end() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_function("iter", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| {
+                    calls += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        // sample_size timed + 1 warm-up invocations.
+        assert_eq!(calls, 4);
+    }
+}

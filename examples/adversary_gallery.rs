@@ -17,7 +17,10 @@ use apex::sim::ScheduleKind;
 
 fn main() {
     let n = 32;
-    println!("{:<52} {:>14} {:>10} {:>6}", "adversary", "total work", "overhead", "ok");
+    println!(
+        "{:<52} {:>14} {:>10} {:>6}",
+        "adversary", "total work", "overhead", "ok"
+    );
     println!("{}", "-".repeat(88));
     for kind in ScheduleKind::gallery() {
         let built = random_walks(&vec![1_000_000; n], 4);

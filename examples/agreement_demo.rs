@@ -20,7 +20,11 @@ fn main() {
     let mut run = AgreementRun::with_default_config(
         n,
         42,
-        &ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 4000, asleep: 20_000 },
+        &ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 4000,
+            asleep: 20_000,
+        },
         source,
         InstrumentOpts::full(),
     );
@@ -31,7 +35,9 @@ fn main() {
         println!("\n=== phase {} ===", o.phase);
         println!(
             "work: {} to completion, {} to clock advance (n log n log log n = {})",
-            o.work_to_completion().map(|w| w.to_string()).unwrap_or("-".into()),
+            o.work_to_completion()
+                .map(|w| w.to_string())
+                .unwrap_or("-".into()),
             o.phase_work(),
             (n as f64 * (n as f64).log2() * (n as f64).log2().log2()) as u64,
         );

@@ -27,44 +27,79 @@ fn main() {
     // Throw darts: two uniform draws below 100 per thread.
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, xs.at(i), Op::RandBelow, Operand::Const(100), Operand::Const(0));
+        s.emit(
+            i,
+            xs.at(i),
+            Op::RandBelow,
+            Operand::Const(100),
+            Operand::Const(0),
+        );
     }
-    drop(s);
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, ys.at(i), Op::RandBelow, Operand::Const(100), Operand::Const(0));
+        s.emit(
+            i,
+            ys.at(i),
+            Op::RandBelow,
+            Operand::Const(100),
+            Operand::Const(0),
+        );
     }
-    drop(s);
     // Branchless membership: hit = (x² + y² < 100²).
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, xs.at(i), Op::Mul, Operand::Var(xs.at(i)), Operand::Var(xs.at(i)));
+        s.emit(
+            i,
+            xs.at(i),
+            Op::Mul,
+            Operand::Var(xs.at(i)),
+            Operand::Var(xs.at(i)),
+        );
     }
-    drop(s);
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, ys.at(i), Op::Mul, Operand::Var(ys.at(i)), Operand::Var(ys.at(i)));
+        s.emit(
+            i,
+            ys.at(i),
+            Op::Mul,
+            Operand::Var(ys.at(i)),
+            Operand::Var(ys.at(i)),
+        );
     }
-    drop(s);
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, t.at(i), Op::Add, Operand::Var(xs.at(i)), Operand::Var(ys.at(i)));
+        s.emit(
+            i,
+            t.at(i),
+            Op::Add,
+            Operand::Var(xs.at(i)),
+            Operand::Var(ys.at(i)),
+        );
     }
-    drop(s);
     let mut s = b.step();
     for i in 0..n {
-        s.emit(i, hit.at(i), Op::Lt, Operand::Var(t.at(i)), Operand::Const(100 * 100));
+        s.emit(
+            i,
+            hit.at(i),
+            Op::Lt,
+            Operand::Var(t.at(i)),
+            Operand::Const(100 * 100),
+        );
     }
-    drop(s);
     // Tree-sum the hits.
     let mut level: Vec<usize> = (0..n).map(|i| hit.at(i)).collect();
     while level.len() > 1 {
         let next = b.alloc(level.len() / 2, 0);
         let mut s = b.step();
         for i in 0..next.len {
-            s.emit(i, next.at(i), Op::Add, Operand::Var(level[2 * i]), Operand::Var(level[2 * i + 1]));
+            s.emit(
+                i,
+                next.at(i),
+                Op::Add,
+                Operand::Var(level[2 * i]),
+                Operand::Var(level[2 * i + 1]),
+            );
         }
-        drop(s);
         level = (0..next.len).map(|i| next.at(i)).collect();
     }
     let total = level[0];
@@ -79,7 +114,10 @@ fn main() {
 
     // Ideal synchronous run (one possible execution).
     let sync = execute(&program, &Choices::Seeded(7));
-    println!("\nideal synchronous run:   {} / {n} darts hit", sync.memory[total]);
+    println!(
+        "\nideal synchronous run:   {} / {n} darts hit",
+        sync.memory[total]
+    );
 
     // Asynchronous run under a bursty adversary (its own coin flips).
     let report = SchemeRun::new(
@@ -90,8 +128,16 @@ fn main() {
     .run();
     let hits = report.final_memory[total];
     println!("asynchronous run:        {hits} / {n} darts hit");
-    println!("π estimate from async:   {:.2}", 4.0 * hits as f64 / n as f64);
-    println!("work: {} ops, overhead {:.0}x, verifier: {}", report.total_work, report.overhead(), report.verify);
+    println!(
+        "π estimate from async:   {:.2}",
+        4.0 * hits as f64 / n as f64
+    );
+    println!(
+        "work: {} ops, overhead {:.0}x, verifier: {}",
+        report.total_work,
+        report.overhead(),
+        report.verify
+    );
     assert!(report.verify.ok());
     println!("\nBoth runs are legal executions of the same synchronous program;");
     println!("the asynchronous one was verified against the replayed semantics.");

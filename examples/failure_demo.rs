@@ -51,7 +51,11 @@ fn main() {
                 seed,
                 v,
                 report.total_work,
-                if report.verify.ok() { "consistent" } else { "BROKEN" }
+                if report.verify.ok() {
+                    "consistent"
+                } else {
+                    "BROKEN"
+                }
             );
         }
     }
@@ -59,8 +63,14 @@ fn main() {
     println!(
         "deterministic baseline: {det_total} violations; paper's scheme: {nondet_total} violations"
     );
-    assert_eq!(nondet_total, 0, "the agreement-based scheme must stay consistent");
-    assert!(det_total > 0, "the resonant sleeper should break the deterministic baseline");
+    assert_eq!(
+        nondet_total, 0,
+        "the agreement-based scheme must stay consistent"
+    );
+    assert!(
+        det_total > 0,
+        "the resonant sleeper should break the deterministic baseline"
+    );
     println!("\nThe deterministic scheme produced inconsistent executions; the");
     println!("agreement-based scheme stayed equivalent to a synchronous run.");
 }

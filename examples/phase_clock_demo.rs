@@ -19,7 +19,11 @@ fn main() {
     for kind in [
         ScheduleKind::Uniform,
         ScheduleKind::Zipf { s: 1.5 },
-        ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 400, asleep: 4000 },
+        ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 400,
+            asleep: 4000,
+        },
     ] {
         let stats = measure_advances(n, 8, &kind, 11);
         println!(
@@ -45,16 +49,25 @@ fn main() {
         });
     m.run_ticks(400_000);
     let (min, med, max) = m.with_mem(|mem| clock.oracle_spread(mem));
-    println!("counters after 80k updates: min {min}, median {med}, max {max} (spread {})", max - min);
+    println!(
+        "counters after 80k updates: min {min}, median {med}, max {max} (spread {})",
+        max - min
+    );
 
     // A tardy processor's stale write lowers one counter drastically…
     m.poke(clock.region().addr(7), Stamped::new(min / 2, 0));
     let before = m.with_mem(|mem| clock.oracle_spread(mem));
     m.run_ticks(50_000);
     let after = m.with_mem(|mem| clock.oracle_spread(mem));
-    println!("stale write smashed a counter: spread {} → jump-repaired to {}",
-        before.2 - before.0, after.2 - after.0);
+    println!(
+        "stale write smashed a counter: spread {} → jump-repaired to {}",
+        before.2 - before.0,
+        after.2 - after.0
+    );
     assert!(after.2 - after.0 < before.2 - before.0);
-    println!("\nRead-Clock costs {} ops; Update-Clock costs {} ops (n = {n}).",
-        clock.config().read_cost(), ClockConfig::update_cost());
+    println!(
+        "\nRead-Clock costs {} ops; Update-Clock costs {} ops (n = {n}).",
+        clock.config().read_cost(),
+        ClockConfig::update_cost()
+    );
 }

@@ -18,27 +18,43 @@ use apex::sim::ScheduleKind;
 fn main() {
     let n = 32;
     let built = coin_sum(n, 100);
-    println!("program: {} ({} threads, {} steps, {} instructions)",
+    println!(
+        "program: {} ({} threads, {} steps, {} instructions)",
         built.program.name,
         built.program.n_threads,
         built.program.n_steps(),
-        built.program.n_instructions());
+        built.program.n_instructions()
+    );
 
     let report = SchemeRun::new(
         built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 0xC0FFEE)
-            .schedule(ScheduleKind::Uniform),
+        SchemeRunConfig::new(SchemeKind::Nondet, 0xC0FFEE).schedule(ScheduleKind::Uniform),
     )
     .run();
 
     println!("\n== asynchronous execution (paper's scheme) ==");
-    println!("total work:        {} atomic ops (busy-waiting included)", report.total_work);
+    println!(
+        "total work:        {} atomic ops (busy-waiting included)",
+        report.total_work
+    );
     println!("ideal sync work:   {} ops", report.ideal_work());
-    println!("overhead:          {:.0}x  (theory: O(log n · log log n) × constants)", report.overhead());
-    println!("eval redundancy:   {:.2} evaluations per instruction", report.eval_redundancy());
-    println!("copy writes:       {} (+{} tardy-safe aborts)", report.copy_writes, report.aborted_copies);
+    println!(
+        "overhead:          {:.0}x  (theory: O(log n · log log n) × constants)",
+        report.overhead()
+    );
+    println!(
+        "eval redundancy:   {:.2} evaluations per instruction",
+        report.eval_redundancy()
+    );
+    println!(
+        "copy writes:       {} (+{} tardy-safe aborts)",
+        report.copy_writes, report.aborted_copies
+    );
     println!("\n== verification against the ideal synchronous PRAM ==");
     println!("{}", report.verify);
-    assert!(report.verify.ok(), "execution must be equivalent to a synchronous run");
+    assert!(
+        report.verify.ok(),
+        "execution must be equivalent to a synchronous run"
+    );
     println!("OK: the asynchronous run is equivalent to a legal synchronous execution.");
 }

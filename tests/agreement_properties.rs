@@ -18,7 +18,10 @@ fn schedule_strategy() -> impl Strategy<Value = ScheduleKind> {
             awake: a * 1000,
             asleep: s * 4000,
         }),
-        Just(ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 12.0 }),
+        Just(ScheduleKind::TwoClass {
+            slow_frac: 0.25,
+            ratio: 12.0
+        }),
     ]
 }
 
@@ -96,7 +99,11 @@ fn lemma_one_clobbers_stay_logarithmic_under_sleepers() {
     let outcomes = run.run_phases(4);
     let log_n = (n as f64).log2();
     for o in &outcomes {
-        assert!(o.report.all_hold(), "phase {} failed under sleepers", o.phase);
+        assert!(
+            o.report.all_hold(),
+            "phase {} failed under sleepers",
+            o.phase
+        );
         let worst = o.max_clobbers().unwrap() as f64;
         assert!(
             worst <= 16.0 * log_n,

@@ -36,8 +36,10 @@ fn randomized_catalog_runs_and_verifies() {
         let name = built.program.name.clone();
         let report = SchemeRun::new(
             built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, 13)
-                .schedule(ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 8.0 }),
+            SchemeRunConfig::new(SchemeKind::Nondet, 13).schedule(ScheduleKind::TwoClass {
+                slow_frac: 0.25,
+                ratio: 8.0,
+            }),
         )
         .run();
         assert!(report.verify.ok(), "{name}: {report}");

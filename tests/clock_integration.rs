@@ -20,8 +20,7 @@ fn phases_advance_at_the_configured_pace_under_load() {
     );
     let cfg = run.cfg;
     let outcomes = run.run_phases(4);
-    let expected = cfg.nominal_cycles_per_phase()
-        * (cfg.omega + 2 /* amortized clock costs */);
+    let expected = cfg.nominal_cycles_per_phase() * (cfg.omega + 2/* amortized clock costs */);
     for o in &outcomes[1..] {
         let w = o.phase_work() as f64;
         let ratio = w / expected as f64;
@@ -46,7 +45,12 @@ fn phase_lengths_are_stable_across_phases() {
         source,
         InstrumentOpts::default(),
     );
-    let works: Vec<u64> = run.run_phases(5).iter().skip(1).map(|o| o.phase_work()).collect();
+    let works: Vec<u64> = run
+        .run_phases(5)
+        .iter()
+        .skip(1)
+        .map(|o| o.phase_work())
+        .collect();
     let min = *works.iter().min().unwrap() as f64;
     let max = *works.iter().max().unwrap() as f64;
     assert!(max / min < 1.6, "phase lengths drift: {works:?}");

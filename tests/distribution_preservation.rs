@@ -45,22 +45,34 @@ fn fair_coin_distribution_is_preserved() {
     let (ones, total) = agreed_coins(16, 1, 2, 24, &ScheduleKind::Uniform);
     assert_eq!(total, 16 * 24);
     let z = z_score(ones, total, 0.5);
-    assert!(z.abs() < 4.0, "fair coin skewed: {ones}/{total} (z = {z:.2})");
+    assert!(
+        z.abs() < 4.0,
+        "fair coin skewed: {ones}/{total} (z = {z:.2})"
+    );
 }
 
 #[test]
 fn biased_coin_distribution_is_preserved() {
     let (ones, total) = agreed_coins(16, 1, 4, 24, &ScheduleKind::Uniform);
     let z = z_score(ones, total, 0.25);
-    assert!(z.abs() < 4.0, "biased coin skewed: {ones}/{total} (z = {z:.2})");
+    assert!(
+        z.abs() < 4.0,
+        "biased coin skewed: {ones}/{total} (z = {z:.2})"
+    );
 }
 
 #[test]
 fn distribution_survives_a_skewed_adversary() {
     // The oblivious adversary cannot bias outcomes it never sees: even a
     // heavily skewed schedule leaves the coin fair.
-    let kind = ScheduleKind::TwoClass { slow_frac: 0.5, ratio: 16.0 };
+    let kind = ScheduleKind::TwoClass {
+        slow_frac: 0.5,
+        ratio: 16.0,
+    };
     let (ones, total) = agreed_coins(16, 1, 2, 24, &kind);
     let z = z_score(ones, total, 0.5);
-    assert!(z.abs() < 4.0, "adversary skewed the coin: {ones}/{total} (z = {z:.2})");
+    assert!(
+        z.abs() < 4.0,
+        "adversary skewed the coin: {ones}/{total} (z = {z:.2})"
+    );
 }

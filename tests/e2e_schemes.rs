@@ -34,7 +34,11 @@ fn sound_schemes_run_randomized_programs_correctly() {
         assert!(report.verify.ok(), "{report}");
         // The total is the sum of the agreed draws; the verifier replayed it.
         let total = report.final_memory[built.outputs.at(0)];
-        assert!(total <= 8 * 63, "{}: impossible total {total}", kind.label());
+        assert!(
+            total <= 8 * 63,
+            "{}: impossible total {total}",
+            kind.label()
+        );
     }
 }
 
@@ -49,7 +53,9 @@ fn sort_comes_out_sorted_through_the_asynchronous_machine() {
     )
     .run();
     assert!(report.verify.ok(), "{report}");
-    let got: Vec<u64> = (0..8).map(|i| report.final_memory[built.outputs.at(i)]).collect();
+    let got: Vec<u64> = (0..8)
+        .map(|i| report.final_memory[built.outputs.at(i)])
+        .collect();
     assert_eq!(got, vec![1, 2, 3, 4, 10, 11, 12, 13]);
 }
 
@@ -59,12 +65,16 @@ fn scan_comes_out_exact_through_the_asynchronous_machine() {
     let built = blelloch_scan(&vals);
     let report = SchemeRun::new(
         built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 17)
-            .schedule(ScheduleKind::TwoClass { slow_frac: 0.25, ratio: 8.0 }),
+        SchemeRunConfig::new(SchemeKind::Nondet, 17).schedule(ScheduleKind::TwoClass {
+            slow_frac: 0.25,
+            ratio: 8.0,
+        }),
     )
     .run();
     assert!(report.verify.ok(), "{report}");
-    let got: Vec<u64> = (0..8).map(|i| report.final_memory[built.outputs.at(i)]).collect();
+    let got: Vec<u64> = (0..8)
+        .map(|i| report.final_memory[built.outputs.at(i)])
+        .collect();
     assert_eq!(got, vec![0, 5, 6, 6, 8, 12, 15, 22]);
 }
 
@@ -77,7 +87,9 @@ fn overhead_ordering_matches_the_paper() {
     // nondet at n = 16.
     let run = |kind| {
         let built = coin_sum(16, 8);
-        SchemeRun::new(built.program, SchemeRunConfig::new(kind, 2)).run().total_work
+        SchemeRun::new(built.program, SchemeRunConfig::new(kind, 2))
+            .run()
+            .total_work
     };
     let nondet = run(SchemeKind::Nondet);
     let scan = run(SchemeKind::ScanConsensus);
@@ -92,8 +104,11 @@ fn identical_seeds_reproduce_identical_runs() {
         let built = coin_sum(8, 32);
         let r = SchemeRun::new(
             built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, seed)
-                .schedule(ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 1000, asleep: 8000 }),
+            SchemeRunConfig::new(SchemeKind::Nondet, seed).schedule(ScheduleKind::Sleepy {
+                sleepy_frac: 0.25,
+                awake: 1000,
+                asleep: 8000,
+            }),
         )
         .run();
         (r.total_work, r.final_memory, r.verify.violations())

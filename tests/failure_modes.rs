@@ -31,7 +31,10 @@ fn deterministic_scheme_breaks_where_the_paper_scheme_does_not() {
     let sched = resonant_sleepy(&cfg, 0.5);
     let det = violations_over_seeds(SchemeKind::DetBaseline, &sched, 4);
     let nondet = violations_over_seeds(SchemeKind::Nondet, &sched, 4);
-    assert!(det > 0, "resonant sleepers must break the deterministic baseline");
+    assert!(
+        det > 0,
+        "resonant sleepers must break the deterministic baseline"
+    );
     assert_eq!(nondet, 0, "the agreement scheme must stay consistent");
 }
 
@@ -40,11 +43,13 @@ fn deterministic_scheme_breaks_where_the_paper_scheme_does_not() {
 /// the whole random-task-choice design).
 #[test]
 fn crash_faults_are_absorbed() {
-    let built = random_walks(&vec![500u64; 16], 6);
+    let built = random_walks(&[500u64; 16], 6);
     let report = SchemeRun::new(
         built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 8)
-            .schedule(ScheduleKind::Crash { crash_frac: 0.5, horizon: 200_000 }),
+        SchemeRunConfig::new(SchemeKind::Nondet, 8).schedule(ScheduleKind::Crash {
+            crash_frac: 0.5,
+            horizon: 200_000,
+        }),
     )
     .run();
     assert!(report.verify.ok(), "{report}");
@@ -82,7 +87,8 @@ fn stampless_bins_fail_on_reuse() {
             let source: Rc<dyn ValueSource> = Rc::new(KeyedSource);
             run_stampless_participant(ctx, cfg, bins, clock, source)
         });
-    m.run_until(1_000_000_000, 4096, |mem| clock.oracle(mem) >= 2).expect("two phases");
+    m.run_until(1_000_000_000, 4096, |mem| clock.oracle(mem) >= 2)
+        .expect("two phases");
     let phase1 = m.with_mem(|mem| fraction_matching(mem, &bins, |b| KeyedSource::expected(1, b)));
     assert_eq!(phase1, 0.0, "reused stampless bins cannot serve phase 1");
 }
@@ -96,7 +102,10 @@ fn scan_consensus_is_sound_on_deterministic_programs() {
     use apex::pram::library::tree_reduce;
     use apex::pram::Op;
     let built = tree_reduce(Op::Add, &[1, 2, 3, 4, 5, 6, 7, 8]);
-    let report =
-        SchemeRun::new(built.program, SchemeRunConfig::new(SchemeKind::ScanConsensus, 2)).run();
+    let report = SchemeRun::new(
+        built.program,
+        SchemeRunConfig::new(SchemeKind::ScanConsensus, 2),
+    )
+    .run();
     assert!(report.verify.ok(), "{report}");
 }

@@ -8,9 +8,7 @@ use apex::pram::Op;
 use proptest::prelude::*;
 
 fn pow2_values(max_log: u32) -> impl Strategy<Value = Vec<u64>> {
-    (1u32..=max_log).prop_flat_map(|lg| {
-        proptest::collection::vec(0u64..1_000_000, 1usize << lg)
-    })
+    (1u32..=max_log).prop_flat_map(|lg| proptest::collection::vec(0u64..1_000_000, 1usize << lg))
 }
 
 proptest! {

@@ -8,10 +8,19 @@ fn any_schedule() -> impl Strategy<Value = ScheduleKind> {
         Just(ScheduleKind::RoundRobin),
         Just(ScheduleKind::Uniform),
         (1u64..64).prop_map(|m| ScheduleKind::Bursty { mean_burst: m }),
-        (0.1f64..0.9).prop_map(|f| ScheduleKind::TwoClass { slow_frac: f, ratio: 8.0 }),
-        Just(ScheduleKind::Sleepy { sleepy_frac: 0.25, awake: 200, asleep: 800 }),
-        (0.1f64..0.6, 100u64..5000)
-            .prop_map(|(f, h)| ScheduleKind::Crash { crash_frac: f, horizon: h }),
+        (0.1f64..0.9).prop_map(|f| ScheduleKind::TwoClass {
+            slow_frac: f,
+            ratio: 8.0
+        }),
+        Just(ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 200,
+            asleep: 800
+        }),
+        (0.1f64..0.6, 100u64..5000).prop_map(|(f, h)| ScheduleKind::Crash {
+            crash_frac: f,
+            horizon: h
+        }),
     ]
 }
 
