@@ -228,6 +228,10 @@ pub enum ProgramSpec {
         /// Walk steps.
         steps: usize,
     },
+    /// An explicit program carried by value — the synthesis subsystem's
+    /// generated workloads ([`Program`] is plain data, so the recipe stays
+    /// `Send + Sync` and each worker clones its own copy).
+    Explicit(apex_pram::Program),
 }
 
 /// One end-to-end scheme trial: execute a PRAM program through an
@@ -272,9 +276,12 @@ impl SchemeTrial {
 
     /// Execute on the current thread.
     pub fn run(&self) -> SchemeReport {
-        let built = match self.program {
-            ProgramSpec::CoinSum { n, bound } => coin_sum(n, bound),
-            ProgramSpec::RandomWalks { n, init, steps } => random_walks(&vec![init; n], steps),
+        let program = match &self.program {
+            ProgramSpec::CoinSum { n, bound } => coin_sum(*n, *bound).program,
+            ProgramSpec::RandomWalks { n, init, steps } => {
+                random_walks(&vec![*init; *n], *steps).program
+            }
+            ProgramSpec::Explicit(p) => p.clone(),
         };
         let mut cfg = SchemeRunConfig::new(self.scheme, self.seed);
         if let Some(kind) = &self.schedule {
@@ -283,7 +290,7 @@ impl SchemeTrial {
         if let Some(k) = self.replicas {
             cfg = cfg.replicas(k);
         }
-        SchemeRun::new(built.program, cfg).run()
+        SchemeRun::new(program, cfg).run()
     }
 }
 
@@ -341,6 +348,20 @@ mod tests {
         });
         let parallel = run_agreement_trials(&trials);
         assert_eq!(digest(&serial), digest(&parallel));
+    }
+
+    #[test]
+    fn explicit_program_spec_runs_the_carried_program() {
+        let built = coin_sum(4, 8);
+        let report = SchemeTrial::new(
+            SchemeKind::Nondet,
+            ProgramSpec::Explicit(built.program.clone()),
+            3,
+        )
+        .run();
+        assert!(report.verify.ok(), "{report}");
+        assert_eq!(report.program, built.program.name);
+        assert_eq!(report.n, built.program.n_threads);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`ProgramBuilder`] — fluent construction;
 //! * [`refexec`] — the ideal synchronous executor, with seeded or
 //!   *injected* nondeterminism (the verifier replays agreed values);
+//!   injected replays are shape-checked and report typed
+//!   [`refexec::ReplayError`]s;
 //! * [`library`] — reductions, Blelloch scan, odd–even sort, Jacobi stencil,
 //!   and the randomized workloads (coin sums, random walks, leader
 //!   election).

@@ -10,7 +10,7 @@ use crate::op::Value;
 /// `steps[π][i]` is thread `i`'s instruction at step π (`None` = the thread
 /// idles that step). On the ideal machine all instructions of a step execute
 /// simultaneously with read-before-write semantics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     /// Program name (reports).
     pub name: String,

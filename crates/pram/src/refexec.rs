@@ -25,10 +25,98 @@ pub enum Choices {
     Seeded(u64),
     /// Use the given output for each nondeterministic `(step, thread)`.
     ///
-    /// # Panics (during execution)
-    /// If a nondeterministic instruction has no entry — an injected replay
-    /// must be complete.
+    /// An injected replay must match the program's nondeterminism exactly:
+    /// one entry per nondeterministic `(step, thread)` and nothing else.
+    /// The fallible executors ([`try_execute`] / [`try_execute_traced`])
+    /// report mismatches as typed [`ReplayError`]s; the panicking wrappers
+    /// ([`execute`] / [`execute_traced`]) panic with the same message.
     Injected(HashMap<(u64, usize), Value>),
+}
+
+/// Shape mismatch between an injected choice map and the program's
+/// nondeterministic instructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A nondeterministic instruction has no injected entry (the replay
+    /// would silently have to invent a value).
+    MissingChoice {
+        /// Step of the uncovered instruction.
+        step: u64,
+        /// Thread of the uncovered instruction.
+        thread: usize,
+    },
+    /// An injected entry names a `(step, thread)` that is not a
+    /// nondeterministic instruction of the program — either out of range,
+    /// an idle slot, or a deterministic instruction (whose output is never
+    /// looked up, so the entry would be silently dropped). Any count
+    /// mismatch between the map and the program's nondeterministic
+    /// instruction set reduces to one of these two variants, each carrying
+    /// the offending instruction index.
+    UnusedChoice {
+        /// Step of the extraneous entry.
+        step: u64,
+        /// Thread of the extraneous entry.
+        thread: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::MissingChoice { step, thread } => write!(
+                f,
+                "injected replay missing choice for step {step}, thread {thread}"
+            ),
+            ReplayError::UnusedChoice { step, thread } => write!(
+                f,
+                "injected choice for step {step}, thread {thread} does not correspond to a \
+                 nondeterministic instruction"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl Choices {
+    /// Check an injected map against `program`'s nondeterministic
+    /// instruction set: every such instruction covered, no extraneous
+    /// entries. `Seeded` choices always validate.
+    pub fn validate_for(&self, program: &Program) -> Result<(), ReplayError> {
+        let Choices::Injected(map) = self else {
+            return Ok(());
+        };
+        let mut expected = 0usize;
+        for (step, row) in program.steps.iter().enumerate() {
+            for (thread, slot) in row.iter().enumerate() {
+                if slot.as_ref().is_some_and(|i| i.is_nondeterministic()) {
+                    expected += 1;
+                    if !map.contains_key(&(step as u64, thread)) {
+                        return Err(ReplayError::MissingChoice {
+                            step: step as u64,
+                            thread,
+                        });
+                    }
+                }
+            }
+        }
+        if map.len() != expected {
+            // Every expected key is present, so a count mismatch means some
+            // key exists that no nondeterministic instruction claims; name
+            // the smallest one for determinism.
+            let &(step, thread) = map
+                .keys()
+                .filter(|(s, t)| {
+                    !program
+                        .instr(*s as usize, *t)
+                        .is_some_and(|i| i.is_nondeterministic())
+                })
+                .min()
+                .expect("count mismatch implies an extraneous key");
+            return Err(ReplayError::UnusedChoice { step, thread });
+        }
+        Ok(())
+    }
 }
 
 /// Result of a reference execution.
@@ -51,16 +139,38 @@ fn mix(seed: u64, step: u64, thread: usize) -> u64 {
 }
 
 /// Execute `program` under `choices`.
+///
+/// # Panics
+/// If `choices` is an injected map that does not match the program's
+/// nondeterministic instructions (see [`try_execute`] for the fallible
+/// form).
 pub fn execute(program: &Program, choices: &Choices) -> RefOutcome {
-    run(program, choices, false)
+    try_execute(program, choices).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Execute with per-step pre-state snapshots (diagnostics; O(T·V) memory).
+///
+/// # Panics
+/// As [`execute`].
 pub fn execute_traced(program: &Program, choices: &Choices) -> RefOutcome {
+    try_execute_traced(program, choices).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`execute`]: an injected choice map that misses a
+/// nondeterministic instruction or carries extraneous entries returns a
+/// typed [`ReplayError`] naming the instruction instead of panicking or
+/// silently truncating.
+pub fn try_execute(program: &Program, choices: &Choices) -> Result<RefOutcome, ReplayError> {
+    run(program, choices, false)
+}
+
+/// Fallible [`execute_traced`].
+pub fn try_execute_traced(program: &Program, choices: &Choices) -> Result<RefOutcome, ReplayError> {
     run(program, choices, true)
 }
 
-fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
+fn run(program: &Program, choices: &Choices, trace: bool) -> Result<RefOutcome, ReplayError> {
+    choices.validate_for(program)?;
     let mut memory = program.init.clone();
     let mut outputs = HashMap::new();
     let mut snapshots = trace.then(Vec::new);
@@ -88,13 +198,8 @@ fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
                         let mut rng = SmallRng::seed_from_u64(mix(*seed, step as u64, thread));
                         instr.op.eval(x, y, &mut rng)
                     }
-                    Choices::Injected(map) => {
-                        *map.get(&(step as u64, thread)).unwrap_or_else(|| {
-                            panic!(
-                                "injected replay missing choice for step {step}, thread {thread}"
-                            )
-                        })
-                    }
+                    // validate_for guaranteed the entry exists.
+                    Choices::Injected(map) => map[&(step as u64, thread)],
                 }
             };
             outputs.insert((step as u64, thread), out);
@@ -106,11 +211,11 @@ fn run(program: &Program, choices: &Choices, trace: bool) -> RefOutcome {
         }
     }
 
-    RefOutcome {
+    Ok(RefOutcome {
         memory,
         outputs,
         snapshots,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -194,6 +299,57 @@ mod tests {
     fn incomplete_injection_panics() {
         let p = add_double_program();
         execute(&p, &Choices::Injected(HashMap::new()));
+    }
+
+    #[test]
+    fn incomplete_injection_yields_typed_error_with_index() {
+        let p = add_double_program();
+        let err = try_execute(&p, &Choices::Injected(HashMap::new())).unwrap_err();
+        // The only nondeterministic instruction is (step 0, thread 1).
+        assert_eq!(err, ReplayError::MissingChoice { step: 0, thread: 1 });
+        assert!(err.to_string().contains("step 0, thread 1"));
+    }
+
+    #[test]
+    fn extraneous_injection_yields_typed_error_with_index() {
+        let p = add_double_program();
+        let mut map = HashMap::new();
+        map.insert((0u64, 1usize), 1u64);
+        // Entry for a deterministic instruction: would be silently ignored
+        // by a truncating replay, so it must be reported.
+        map.insert((0u64, 0usize), 7u64);
+        let err = try_execute(&p, &Choices::Injected(map)).unwrap_err();
+        assert_eq!(err, ReplayError::UnusedChoice { step: 0, thread: 0 });
+
+        // Entry beyond the program's steps.
+        let mut map = HashMap::new();
+        map.insert((0u64, 1usize), 1u64);
+        map.insert((99u64, 0usize), 0u64);
+        let err = try_execute(&p, &Choices::Injected(map)).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::UnusedChoice {
+                step: 99,
+                thread: 0
+            }
+        );
+    }
+
+    #[test]
+    fn exact_injection_validates_and_executes() {
+        let p = add_double_program();
+        let mut map = HashMap::new();
+        map.insert((0u64, 1usize), 0u64);
+        let choices = Choices::Injected(map);
+        assert_eq!(choices.validate_for(&p), Ok(()));
+        let out = try_execute(&p, &choices).unwrap();
+        assert_eq!(out.memory[3], 0);
+    }
+
+    #[test]
+    fn seeded_choices_always_validate() {
+        let p = add_double_program();
+        assert_eq!(Choices::Seeded(123).validate_for(&p), Ok(()));
     }
 
     #[test]

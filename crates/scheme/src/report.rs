@@ -109,6 +109,7 @@ mod tests {
                 det_mismatches: 0,
                 inadmissible_choices: 0,
                 final_mismatches: 0,
+                replay_error: None,
             },
             operand_read_failures: 0,
             copy_writes: 0,

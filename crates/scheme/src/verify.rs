@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use apex_pram::refexec::{execute_traced, Choices};
+use apex_pram::refexec::{try_execute_traced, Choices, ReplayError};
 use apex_pram::{Operand, Program, Value};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -50,6 +50,13 @@ pub struct VerifyReport {
     pub inadmissible_choices: usize,
     /// Final variables differing from the replayed memory.
     pub final_mismatches: usize,
+    /// Typed shape error from the injected reference replay: a
+    /// nondeterministic instruction with no observed value that is *not*
+    /// already declared in [`ObservedRun::missing`] (declared gaps are
+    /// zero-filled and counted once, as `missing_values`). The remaining
+    /// diagnostics come from a zero-filled fallback replay when this is
+    /// `Some`.
+    pub replay_error: Option<ReplayError>,
 }
 
 impl VerifyReport {
@@ -60,6 +67,7 @@ impl VerifyReport {
             + self.det_mismatches
             + self.inadmissible_choices
             + self.final_mismatches
+            + usize::from(self.replay_error.is_some())
     }
 
     /// Whether the run was consistent with *some* synchronous execution.
@@ -79,31 +87,57 @@ impl std::fmt::Display for VerifyReport {
             self.det_mismatches,
             self.inadmissible_choices,
             self.final_mismatches
-        )
+        )?;
+        if let Some(e) = &self.replay_error {
+            write!(f, " [replay: {e}]")?;
+        }
+        Ok(())
     }
 }
 
 /// Verify `observed` against the reference semantics of `program`.
 pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
-    // Build the injection map for nondeterministic instructions (missing
-    // entries fall back to 0 and are already counted in `missing`).
+    // Build the injection map for nondeterministic instructions from what
+    // was actually observed — an uncovered instruction surfaces as a typed
+    // replay error rather than being silently zero-filled.
+    let nondet_keys: Vec<(u64, usize)> = program
+        .steps
+        .iter()
+        .enumerate()
+        .flat_map(|(step, row)| {
+            row.iter().enumerate().filter_map(move |(thread, slot)| {
+                slot.as_ref()
+                    .filter(|i| i.is_nondeterministic())
+                    .map(|_| (step as u64, thread))
+            })
+        })
+        .collect();
     let mut injection = HashMap::new();
-    for (step, row) in program.steps.iter().enumerate() {
-        for (thread, slot) in row.iter().enumerate() {
-            if let Some(instr) = slot {
-                if instr.is_nondeterministic() {
-                    let v = observed
-                        .chosen
-                        .get(&(step as u64, thread))
-                        .copied()
-                        .unwrap_or(0);
-                    injection.insert((step as u64, thread), v);
-                }
-            }
+    for key in &nondet_keys {
+        if let Some(&v) = observed.chosen.get(key) {
+            injection.insert(*key, v);
+        } else if observed.missing.contains(key) {
+            // Already accounted as a missing value; zero-fill so the replay
+            // proceeds without double-counting it as a replay error too.
+            injection.insert(*key, 0);
         }
     }
 
-    let replay = execute_traced(program, &Choices::Injected(injection));
+    let (replay, replay_error) =
+        match try_execute_traced(program, &Choices::Injected(injection.clone())) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                // Keep diagnosing: complete the map with zeros so the remaining
+                // checks still run against *some* reference execution, and
+                // carry the typed error in the report.
+                for key in &nondet_keys {
+                    injection.entry(*key).or_insert(0);
+                }
+                let r = try_execute_traced(program, &Choices::Injected(injection))
+                    .expect("zero-filled injection map is exact");
+                (r, Some(e))
+            }
+        };
     let snapshots = replay.snapshots.as_ref().expect("traced run");
 
     let mut det_mismatches = 0;
@@ -145,6 +179,7 @@ pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
         det_mismatches,
         inadmissible_choices: inadmissible,
         final_mismatches,
+        replay_error,
     }
 }
 
@@ -152,7 +187,7 @@ pub fn verify(program: &Program, observed: &ObservedRun) -> VerifyReport {
 mod tests {
     use super::*;
     use apex_pram::library::coin_sum;
-    use apex_pram::refexec::execute;
+    use apex_pram::refexec::{execute, execute_traced};
 
     /// Build a *consistent* ObservedRun straight from a reference run.
     fn observe_reference(program: &Program, seed: u64) -> ObservedRun {
@@ -262,5 +297,43 @@ mod tests {
         let r = verify(&built.program, &obs);
         assert!(r.violations() >= 2, "{r}");
         assert!(!r.ok());
+        // The gap is declared in `missing`, so it is counted exactly once
+        // (as a missing value), not again as a replay error.
+        assert_eq!(r.replay_error, None, "{r}");
+        assert_eq!(r.missing_values, 1);
+    }
+
+    #[test]
+    fn uncovered_nondet_instruction_surfaces_typed_replay_error() {
+        use apex_pram::refexec::ReplayError;
+
+        let built = coin_sum(8, 16);
+        let mut obs = observe_reference(&built.program, 7);
+        // Drop the observation of a nondeterministic instruction without
+        // declaring it missing: the injected replay is now incomplete and
+        // must say so with the instruction index, not zero-fill silently.
+        let nd_key = *obs
+            .chosen
+            .keys()
+            .filter(|k| {
+                built
+                    .program
+                    .instr(k.0 as usize, k.1)
+                    .is_some_and(|i| i.is_nondeterministic())
+            })
+            .min()
+            .unwrap();
+        obs.chosen.remove(&nd_key);
+        let r = verify(&built.program, &obs);
+        assert_eq!(
+            r.replay_error,
+            Some(ReplayError::MissingChoice {
+                step: nd_key.0,
+                thread: nd_key.1
+            }),
+            "{r}"
+        );
+        assert!(!r.ok());
+        assert!(r.to_string().contains("replay:"), "{r}");
     }
 }

@@ -47,6 +47,7 @@
 
 mod error;
 mod exec;
+pub mod json;
 pub mod math;
 mod memory;
 mod metrics;
@@ -56,7 +57,8 @@ mod word;
 
 pub use error::RunTimeout;
 pub use exec::{Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
+pub use json::{Json, JsonError};
 pub use memory::{Region, RegionAllocator, SharedMemory, WriteEvent, WriteHook};
 pub use metrics::WorkReport;
-pub use sched::{BoxedSchedule, Schedule, ScheduleKind, Script};
+pub use sched::{BoxedSchedule, Schedule, ScheduleKind, Script, ScriptSegment, ScriptSpec};
 pub use word::{ProcId, Stamp, Stamped, Value};

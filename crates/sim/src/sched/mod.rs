@@ -17,12 +17,14 @@ mod bursty;
 mod crash;
 mod scripted;
 mod sleepy;
+mod spec;
 
 pub use basic::{RoundRobin, UniformRandom, WeightedSpeeds};
 pub use bursty::Bursty;
 pub use crash::CrashSchedule;
 pub use scripted::{Script, ScriptedSchedule};
 pub use sleepy::Sleepy;
+pub use spec::{ScriptSegment, ScriptSpec};
 
 use crate::rng::schedule_rng;
 use crate::word::ProcId;
@@ -116,6 +118,11 @@ pub enum ScheduleKind {
         /// Crash times are uniform in `[0, horizon)`.
         horizon: u64,
     },
+    /// An explicit scripted prefix (declarative [`ScriptSpec`] segments)
+    /// followed by a fallback family — the serializable form of
+    /// [`ScriptedSchedule`], used by synthesized adversaries and shrunk
+    /// fuzz reproducers.
+    Scripted(ScriptSpec),
 }
 
 impl ScheduleKind {
@@ -139,6 +146,9 @@ impl ScheduleKind {
                 crash_frac,
                 horizon,
             } => Box::new(CrashSchedule::uniform_crashes(n, crash_frac, horizon, rng)),
+            ScheduleKind::Scripted(ref spec) => {
+                Box::new(spec::build_scripted(spec, n, master_seed))
+            }
         }
     }
 
@@ -152,6 +162,7 @@ impl ScheduleKind {
             ScheduleKind::Bursty { .. } => "bursty",
             ScheduleKind::Sleepy { .. } => "sleepy",
             ScheduleKind::Crash { .. } => "crash",
+            ScheduleKind::Scripted(_) => "scripted",
         }
     }
 

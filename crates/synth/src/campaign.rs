@@ -1,0 +1,207 @@
+//! Fuzz campaigns: sweep seeded triples through the differential oracle.
+//!
+//! A campaign is a pure function of its seed and size: triple `i` is
+//! generated from `seed + i`, run through [`SchemeKind::Nondet`] (must be
+//! clean — Theorem 1), and, when the program is nondeterministic, also
+//! through [`SchemeKind::DetBaseline`] (divergences are *findings*, the
+//! E10 failure mode reproduced from synthesized scenarios). Trials fan out
+//! across cores on the [`apex_bench::runner`] parallel trial runner;
+//! results are collected in config order, so a campaign's outcome is
+//! byte-identical at any thread count.
+
+use std::time::Instant;
+
+use apex_bench::runner::run_trials;
+use apex_scheme::SchemeKind;
+
+use crate::gen::{generate_nondet_program, generate_program, GenConfig};
+use crate::oracle::{check_triple, Triple, Verdict};
+use crate::sched_gen::{generate_schedule, SchedGenConfig};
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Triples to generate (seeds `seed..seed+trials`).
+    pub trials: usize,
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Program-space shape.
+    pub gen: GenConfig,
+    /// Adversary-space shape.
+    pub sched: SchedGenConfig,
+    /// Run the DetBaseline differential leg on nondeterministic programs.
+    pub det_leg: bool,
+    /// Force every program nondeterministic (maximizes the differential
+    /// leg's coverage).
+    pub nondet_only: bool,
+    /// Wall-clock box; generation stops at the next chunk boundary after
+    /// the deadline (used by the CI smoke stage).
+    pub max_secs: Option<f64>,
+    /// Trials per runner dispatch (chunking bounds memory and gives the
+    /// deadline a check point).
+    pub chunk: usize,
+}
+
+impl CampaignConfig {
+    /// Default shape for `trials` triples from `seed`.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        CampaignConfig {
+            trials,
+            seed,
+            gen: GenConfig::default(),
+            sched: SchedGenConfig::default(),
+            det_leg: true,
+            nondet_only: true,
+            max_secs: None,
+            chunk: 256,
+        }
+    }
+}
+
+/// One finding: the triple, which scheme, and what the oracle saw.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Index of the triple in the campaign (seed = base seed + index).
+    pub index: usize,
+    /// The failing scenario.
+    pub triple: Triple,
+    /// Scheme it failed under.
+    pub scheme: SchemeKind,
+    /// The oracle's verdict.
+    pub verdict: Verdict,
+}
+
+/// Aggregate campaign result.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOutcome {
+    /// Triples actually run (≤ configured when time-boxed).
+    pub trials_run: usize,
+    /// DetBaseline trials run (nondeterministic programs only).
+    pub det_trials_run: usize,
+    /// Nondet-scheme divergences — **any entry is a bug** in the paper
+    /// scheme or the simulator.
+    pub nondet_divergences: Vec<Finding>,
+    /// DetBaseline divergences — expected witnesses of prior-work
+    /// unsoundness.
+    pub det_divergences: Vec<Finding>,
+    /// Clock-stall aborts (liveness budget trips, counted per scheme leg).
+    pub stalls: usize,
+    /// Campaign wall time in seconds.
+    pub wall_secs: f64,
+}
+
+/// Generate triple `index` of a campaign (public so `gen`/`replay` CLI
+/// subcommands and tests can address campaign members directly).
+pub fn campaign_triple(cfg: &CampaignConfig, index: usize) -> Triple {
+    let seed = cfg.seed.wrapping_add(index as u64);
+    let program = if cfg.nondet_only {
+        generate_nondet_program(&cfg.gen, seed)
+    } else {
+        generate_program(&cfg.gen, seed)
+    };
+    let schedule = generate_schedule(&cfg.sched, program.n_threads, seed);
+    Triple {
+        program,
+        schedule,
+        seed,
+    }
+}
+
+/// Run the campaign. `progress` (when `Some`) is called after every chunk
+/// with (triples done, findings so far).
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    mut progress: Option<&mut dyn FnMut(usize, usize)>,
+) -> CampaignOutcome {
+    let start = Instant::now();
+    let mut outcome = CampaignOutcome::default();
+    let mut next = 0usize;
+    while next < cfg.trials {
+        if let Some(max) = cfg.max_secs {
+            if start.elapsed().as_secs_f64() >= max {
+                break;
+            }
+        }
+        let end = (next + cfg.chunk.max(1)).min(cfg.trials);
+        let indices: Vec<usize> = (next..end).collect();
+        // Each worker generates its own triple from the index (cheap and
+        // Send-friendly) and runs both oracle legs.
+        let results: Vec<(Triple, Verdict, Option<Verdict>)> = run_trials(&indices, |&i| {
+            let triple = campaign_triple(cfg, i);
+            let nondet = check_triple(&triple, SchemeKind::Nondet);
+            let det = (cfg.det_leg && triple.program.is_nondeterministic())
+                .then(|| check_triple(&triple, SchemeKind::DetBaseline));
+            (triple, nondet, det)
+        });
+        for (offset, (triple, nondet, det)) in results.into_iter().enumerate() {
+            let index = next + offset;
+            outcome.trials_run += 1;
+            outcome.stalls += usize::from(nondet.stalled);
+            if nondet.diverged() {
+                outcome.nondet_divergences.push(Finding {
+                    index,
+                    triple: triple.clone(),
+                    scheme: SchemeKind::Nondet,
+                    verdict: nondet,
+                });
+            }
+            if let Some(det) = det {
+                outcome.det_trials_run += 1;
+                outcome.stalls += usize::from(det.stalled);
+                if det.diverged() {
+                    outcome.det_divergences.push(Finding {
+                        index,
+                        triple,
+                        scheme: SchemeKind::DetBaseline,
+                        verdict: det,
+                    });
+                }
+            }
+        }
+        next = end;
+        if let Some(cb) = progress.as_deref_mut() {
+            cb(
+                outcome.trials_run,
+                outcome.nondet_divergences.len() + outcome.det_divergences.len(),
+            );
+        }
+    }
+    outcome.wall_secs = start.elapsed().as_secs_f64();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_on_the_paper_scheme() {
+        let cfg = CampaignConfig::new(12, 0xC0FFEE);
+        let outcome = run_campaign(&cfg, None);
+        assert_eq!(outcome.trials_run, 12);
+        assert!(
+            outcome.nondet_divergences.is_empty(),
+            "{:?}",
+            outcome.nondet_divergences
+        );
+        assert!(outcome.det_trials_run > 0);
+    }
+
+    #[test]
+    fn campaign_members_are_addressable_and_reproducible() {
+        let cfg = CampaignConfig::new(4, 99);
+        let a = campaign_triple(&cfg, 2);
+        let b = campaign_triple(&cfg, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.seed, 101);
+    }
+
+    #[test]
+    fn time_box_stops_early() {
+        let mut cfg = CampaignConfig::new(1_000_000, 1);
+        cfg.max_secs = Some(0.0);
+        cfg.chunk = 4;
+        let outcome = run_campaign(&cfg, None);
+        assert_eq!(outcome.trials_run, 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Seeded synthesis of arbitrary strict-EREW PRAM programs.
+//!
+//! The generator emits straight-line instruction streams over random
+//! dataflow graphs. Strict EREW holds **by construction**: each step deals
+//! every active thread a disjoint hand of variables from a fresh random
+//! permutation of the memory, and the thread's destination and operands
+//! are drawn only from its own hand (plus immediates, which cost no
+//! access, and its own destination for the legal same-thread accumulator
+//! shape). The `validate()` checker then re-proves the invariant for every
+//! emitted program — the property suite asserts the two never disagree.
+//!
+//! Knobs: thread width, step depth, activity density, nondeterminism rate
+//! (`RandBit` / `RandBelow`), constant-vs-variable fan-in, accumulator
+//! rate, and the spread of initial values (small words plus occasional
+//! full-range `u64`s to exercise wrapping arithmetic).
+
+use apex_pram::{Instr, Op, Operand, Program, Value, VarId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng, SliceRandom};
+
+/// Deterministic basic operations the generator draws from.
+const DET_OPS: &[Op] = &[
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Min,
+    Op::Max,
+    Op::Xor,
+    Op::And,
+    Op::Or,
+    Op::Shl,
+    Op::Shr,
+    Op::Lt,
+    Op::Eq,
+    Op::Mov,
+];
+
+/// Tunable shape of the synthesized program space.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Inclusive range of thread counts (min 2: the scheme's agreement
+    /// layout needs at least two values).
+    pub threads: (usize, usize),
+    /// Inclusive range of step counts (depth).
+    pub steps: (usize, usize),
+    /// Extra memory beyond the 3-per-thread working set (head-room for
+    /// sparse dataflow).
+    pub mem_slack: usize,
+    /// Probability a thread is active in a step.
+    pub p_active: f64,
+    /// Probability an active instruction is nondeterministic.
+    pub p_nondet: f64,
+    /// Probability an operand is an immediate constant (controls fan-in).
+    pub p_const: f64,
+    /// Probability the destination doubles as an operand (the legal
+    /// same-thread read-then-write accumulator).
+    pub p_accumulate: f64,
+    /// Bound for small immediates and initial values.
+    pub max_const: u64,
+    /// Probability an initial value is a full-range word instead of a
+    /// small one (exercises wrapping arithmetic).
+    pub p_wide_init: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            threads: (2, 8),
+            steps: (1, 6),
+            mem_slack: 4,
+            p_active: 0.8,
+            p_nondet: 0.35,
+            p_const: 0.3,
+            p_accumulate: 0.2,
+            max_const: 64,
+            p_wide_init: 0.1,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Force every generated program to contain at least one
+    /// nondeterministic instruction (the DetBaseline differential leg only
+    /// makes sense on those).
+    pub fn nondet_only(mut self) -> Self {
+        self.p_nondet = self.p_nondet.max(0.25);
+        self
+    }
+}
+
+fn draw_range(rng: &mut SmallRng, (lo, hi): (usize, usize)) -> usize {
+    assert!(lo <= hi);
+    rng.gen_range(lo..hi + 1)
+}
+
+/// Generate one valid strict-EREW program from `seed`.
+///
+/// Purely a function of `(config, seed)`; the emitted program always
+/// passes [`Program::validate`].
+pub fn generate_program(config: &GenConfig, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_D1CE);
+    let n_threads = draw_range(&mut rng, config.threads).max(2);
+    let n_steps = draw_range(&mut rng, config.steps).max(1);
+    let mem_size = 3 * n_threads + rng.gen_range(0..config.mem_slack + 1);
+
+    let init: Vec<Value> = (0..mem_size)
+        .map(|_| {
+            if rng.gen_bool(config.p_wide_init) {
+                rng.gen::<u64>()
+            } else {
+                rng.gen_range(0..config.max_const.max(1))
+            }
+        })
+        .collect();
+
+    let mut deck: Vec<VarId> = (0..mem_size).collect();
+    let mut steps = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        deck.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        let mut row: Vec<Option<Instr>> = vec![None; n_threads];
+        for slot in row.iter_mut() {
+            if cursor + 3 > deck.len() || !rng.gen_bool(config.p_active) {
+                continue;
+            }
+            // This thread's private hand for the step: touching only these
+            // three variables makes the step EREW by construction.
+            let hand = [deck[cursor], deck[cursor + 1], deck[cursor + 2]];
+            cursor += 3;
+            *slot = Some(gen_instr(&mut rng, config, hand));
+        }
+        steps.push(row);
+    }
+
+    let program = Program {
+        name: format!("synth-{seed:016x}"),
+        n_threads,
+        mem_size,
+        init,
+        steps,
+    };
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
+/// One instruction over a 3-variable private hand: `hand[0]` is the
+/// destination, `hand[1..]` are operand candidates.
+fn gen_instr(rng: &mut SmallRng, config: &GenConfig, hand: [VarId; 3]) -> Instr {
+    let dst = hand[0];
+    let operand = |rng: &mut SmallRng, var: VarId| {
+        if rng.gen_bool(config.p_const) {
+            Operand::Const(rng.gen_range(0..config.max_const.max(1)))
+        } else if rng.gen_bool(config.p_accumulate) {
+            Operand::Var(dst)
+        } else {
+            Operand::Var(var)
+        }
+    };
+    if rng.gen_bool(config.p_nondet) {
+        if rng.gen_bool(0.5) {
+            Instr::new(dst, Op::RandBit, Operand::Const(0), Operand::Const(0))
+        } else {
+            // RandBelow's bound operand: a variable or a positive constant.
+            let a = if rng.gen_bool(config.p_const) {
+                Operand::Const(rng.gen_range(1..config.max_const.max(2)))
+            } else {
+                Operand::Var(hand[1])
+            };
+            Instr::new(dst, Op::RandBelow, a, Operand::Const(0))
+        }
+    } else {
+        let op = *DET_OPS.choose(rng).expect("nonempty op list");
+        let a = operand(rng, hand[1]);
+        let b = operand(rng, hand[2]);
+        Instr::new(dst, op, a, b)
+    }
+}
+
+/// Generate a program guaranteed to contain at least one nondeterministic
+/// instruction, resampling sub-seeds until one qualifies (bounded; with
+/// any practical `p_nondet`/`p_active` virtually every draw qualifies).
+pub fn generate_nondet_program(config: &GenConfig, seed: u64) -> Program {
+    for round in 0u64..64 {
+        let p = generate_program(config, seed.wrapping_add(round.wrapping_mul(0x9E37_79B9)));
+        if p.is_nondeterministic() && p.n_instructions() > 0 {
+            return p;
+        }
+    }
+    // Deterministic last resort: append a RandBit step on a fresh slot.
+    let mut p = generate_program(config, seed);
+    let mut row: Vec<Option<Instr>> = vec![None; p.n_threads];
+    row[0] = Some(Instr::new(
+        0,
+        Op::RandBit,
+        Operand::Const(0),
+        Operand::Const(0),
+    ));
+    p.steps.push(row);
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// Corrupt one instruction so the step violates strict EREW: pick a step
+/// with two active threads and point the second thread's operand at the
+/// first thread's destination. Returns `None` when no step has two active
+/// threads (the mutation needs a victim pair).
+///
+/// The property suite uses this to check the checker: every such mutation
+/// must be caught by [`Program::validate`].
+pub fn conflicting_mutation(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD_CAFE);
+    let candidates: Vec<usize> = program
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| row.iter().flatten().count() >= 2)
+        .map(|(s, _)| s)
+        .collect();
+    let &step = candidates.choose(&mut rng)?;
+    let active: Vec<usize> = program.steps[step]
+        .iter()
+        .enumerate()
+        .filter_map(|(t, i)| i.as_ref().map(|_| t))
+        .collect();
+    let (a, b) = (active[0], active[1]);
+    let victim_dst = program.steps[step][a].as_ref().unwrap().dst;
+    let mut mutated = program.clone();
+    let instr = mutated.steps[step][b].as_mut().unwrap();
+    // Reading another thread's destination is a conflict no matter what the
+    // instruction otherwise does.
+    instr.a = Operand::Var(victim_dst);
+    if !instr.op.is_deterministic() {
+        // RandBit ignores operands; turn the slot into a reader so the
+        // conflict is an actual access.
+        instr.op = Op::Mov;
+    }
+    mutated.name = format!("{}-mutated", program.name);
+    Some(mutated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_validate_and_are_reproducible() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let a = generate_program(&cfg, seed);
+            let b = generate_program(&cfg, seed);
+            assert_eq!(a.validate(), Ok(()), "seed {seed}");
+            assert_eq!(a.steps, b.steps, "seed {seed} not reproducible");
+            assert_eq!(a.init, b.init);
+            assert!(a.n_threads >= 2);
+            assert!(a.n_steps() >= 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig::default();
+        let a = generate_program(&cfg, 1);
+        let b = generate_program(&cfg, 2);
+        assert!(a.steps != b.steps || a.init != b.init);
+    }
+
+    #[test]
+    fn nondet_only_generation_always_has_randomized_instructions() {
+        let cfg = GenConfig::default().nondet_only();
+        for seed in 0..50 {
+            let p = generate_nondet_program(&cfg, seed);
+            assert!(p.is_nondeterministic(), "seed {seed}");
+            assert_eq!(p.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn conflicting_mutation_is_rejected_by_the_checker() {
+        let cfg = GenConfig {
+            p_active: 1.0,
+            threads: (4, 8),
+            ..GenConfig::default()
+        };
+        let mut mutated_count = 0;
+        for seed in 0..30 {
+            let p = generate_program(&cfg, seed);
+            if let Some(m) = conflicting_mutation(&p, seed) {
+                mutated_count += 1;
+                assert!(
+                    matches!(
+                        m.validate(),
+                        Err(apex_pram::ProgramError::ErewConflict { .. })
+                    ),
+                    "seed {seed}: mutation not caught"
+                );
+            }
+        }
+        assert!(mutated_count > 20, "mutation rarely applicable");
+    }
+
+    #[test]
+    fn knobs_shift_the_distribution() {
+        let dense = GenConfig {
+            p_active: 1.0,
+            p_nondet: 0.0,
+            ..GenConfig::default()
+        };
+        let p = generate_program(&dense, 9);
+        assert!(!p.is_nondeterministic());
+        // With p_active = 1 every thread with enough hand variables is on.
+        let expected: usize = p
+            .steps
+            .iter()
+            .map(|row| row.len().min(p.mem_size / 3))
+            .sum();
+        assert_eq!(p.n_instructions(), expected);
+    }
+}

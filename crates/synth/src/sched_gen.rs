@@ -1,0 +1,189 @@
+//! Seeded synthesis of adversarial oblivious schedules.
+//!
+//! Emits [`ScheduleKind::Scripted`] adversaries beyond the hand-written
+//! gallery: random compositions of *phase-aligned starvation* windows
+//! (a subset of processors is frozen for roughly a subphase of work),
+//! *tardy-writer* windows (one processor hogs the machine, so everyone
+//! else becomes tardy at once — the loaded-gun shape), and skewed
+//! round-robin bursts, followed by a random fallback family (including
+//! crash patterns). Window lengths are scaled to the scheme's estimated
+//! subphase work for the trial's processor count, so the scripted prefix
+//! interacts with the Compute/Copy parity instead of washing out.
+//!
+//! Everything is a pure function of `(config, n, seed)` — the adversary is
+//! fixed before the computation starts, hence oblivious.
+
+use apex_baselines::adversary::estimated_subphase_work;
+use apex_core::AgreementConfig;
+use apex_scheme::tasks::eval_cost;
+use apex_sim::{ScheduleKind, ScriptSegment, ScriptSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the synthesized adversary space.
+#[derive(Clone, Debug)]
+pub struct SchedGenConfig {
+    /// Inclusive range of scripted segments per schedule (0 allows pure
+    /// fallback families into the mix).
+    pub segments: (usize, usize),
+    /// Hard cap on any single window, in ticks (keeps prefixes well under
+    /// the harness's clock-stall budget).
+    pub max_window: u64,
+    /// Replica factor assumed when estimating subphase work.
+    pub replicas: usize,
+}
+
+impl Default for SchedGenConfig {
+    fn default() -> Self {
+        SchedGenConfig {
+            segments: (0, 5),
+            max_window: 50_000,
+            replicas: 2,
+        }
+    }
+}
+
+/// Estimated work per subphase for an `n`-processor scheme run (window
+/// scaling unit).
+pub fn subphase_hint(n: usize, replicas: usize) -> u64 {
+    let cfg = AgreementConfig::for_n(n.max(2), eval_cost(replicas));
+    estimated_subphase_work(&cfg).max(64)
+}
+
+/// A window of roughly `quarters/4` subphases, capped.
+fn window(rng: &mut SmallRng, subphase: u64, max_window: u64) -> u64 {
+    let quarters = rng.gen_range(1u64..9); // ¼ to 2 subphases
+    (subphase * quarters / 4).clamp(1, max_window)
+}
+
+fn random_proper_subset(rng: &mut SmallRng, n: usize, max_len: usize) -> Vec<usize> {
+    let len = rng.gen_range(1..max_len.max(2));
+    let mut procs: Vec<usize> = (0..n).collect();
+    for i in (1..procs.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        procs.swap(i, j);
+    }
+    procs.truncate(len.min(n.saturating_sub(1)).max(1));
+    procs.sort_unstable();
+    procs
+}
+
+/// Generate one adversary for an `n`-processor machine from `seed`.
+pub fn generate_schedule(config: &SchedGenConfig, n: usize, seed: u64) -> ScheduleKind {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xADBE_EF5C_0DD5);
+    let subphase = subphase_hint(n, config.replicas);
+    let n_segments = rng.gen_range(config.segments.0..config.segments.1 + 1);
+
+    let mut segments = Vec::with_capacity(n_segments);
+    for _ in 0..n_segments {
+        let seg = match rng.gen_range(0u32..3) {
+            // Tardy-writer / loaded gun: one processor hogs a window.
+            0 => ScriptSegment::Run {
+                proc: rng.gen_range(0..n),
+                ticks: window(&mut rng, subphase, config.max_window),
+            },
+            // Phase-aligned starvation: freeze a subset for ~a subphase.
+            1 => {
+                let excluded = random_proper_subset(&mut rng, n, n / 2 + 1);
+                let active = (n - excluded.len()) as u64;
+                let rounds = (window(&mut rng, subphase, config.max_window) / active).max(1);
+                ScriptSegment::AllExcept { excluded, rounds }
+            }
+            // Skewed rotation over a subset.
+            _ => {
+                let procs = random_proper_subset(&mut rng, n, n);
+                let rounds =
+                    (window(&mut rng, subphase, config.max_window) / procs.len() as u64).max(1);
+                ScriptSegment::RoundRobin { procs, rounds }
+            }
+        };
+        segments.push(seg);
+    }
+
+    let fallback = match rng.gen_range(0u32..7) {
+        0 => ScheduleKind::RoundRobin,
+        1 => ScheduleKind::Bursty {
+            mean_burst: rng.gen_range(4u64..129),
+        },
+        2 => {
+            // Sleep lengths around the resonant 1–2 subphase band, where
+            // stale wake-ups straddle subphase parities (E10's regime).
+            let quarters = rng.gen_range(4u64..9);
+            ScheduleKind::Sleepy {
+                sleepy_frac: rng.gen_range(0.1..0.6),
+                awake: (subphase / 64).max(32),
+                asleep: (subphase * quarters / 4).max(256),
+            }
+        }
+        3 => ScheduleKind::TwoClass {
+            slow_frac: rng.gen_range(0.1..0.6),
+            ratio: rng.gen_range(2.0..32.0),
+        },
+        4 => ScheduleKind::Zipf {
+            s: rng.gen_range(0.2..1.8),
+        },
+        5 => ScheduleKind::Crash {
+            crash_frac: rng.gen_range(0.1..0.5),
+            horizon: (subphase * 4).max(1024),
+        },
+        _ => ScheduleKind::Uniform,
+    };
+
+    let spec = ScriptSpec::new(n, segments).fallback(fallback);
+    debug_assert_eq!(spec.validate(), Ok(()));
+    ScheduleKind::Scripted(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schedules_validate_and_are_reproducible() {
+        let cfg = SchedGenConfig::default();
+        for seed in 0..40 {
+            for n in [2usize, 4, 8] {
+                let a = generate_schedule(&cfg, n, seed);
+                let b = generate_schedule(&cfg, n, seed);
+                assert_eq!(a, b, "seed {seed} n {n}");
+                let ScheduleKind::Scripted(spec) = &a else {
+                    panic!("generator must emit scripted kinds");
+                };
+                assert_eq!(spec.validate(), Ok(()));
+                assert_eq!(spec.n, n);
+                assert!(spec.prefix_ticks() <= cfg.max_window * (cfg.segments.1 as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_schedules_build_and_are_total() {
+        let cfg = SchedGenConfig::default();
+        for seed in 0..10 {
+            let kind = generate_schedule(&cfg, 4, seed);
+            let mut s = kind.build(4, seed);
+            let mut hist = [0u64; 4];
+            for _ in 0..2000 {
+                hist[s.next().0] += 1;
+            }
+            assert_eq!(hist.iter().sum::<u64>(), 2000);
+        }
+    }
+
+    #[test]
+    fn generated_schedules_round_trip_through_json() {
+        let cfg = SchedGenConfig::default();
+        for seed in 0..10 {
+            let kind = generate_schedule(&cfg, 8, seed);
+            let text = kind.to_json().render();
+            let back = ScheduleKind::from_json(&apex_sim::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn window_scaling_tracks_subphase_estimate() {
+        assert!(subphase_hint(8, 2) >= 64);
+        assert!(subphase_hint(64, 2) > subphase_hint(8, 2));
+    }
+}

@@ -1,0 +1,292 @@
+//! Greedy minimization of failing triples.
+//!
+//! Every candidate reduction re-runs the full oracle; a reduction is kept
+//! only if the triple still diverges under the target scheme, so the
+//! shrunk artifact witnesses the *same class* of failure as the original.
+//! Reductions (applied to fixpoint, within a run budget):
+//!
+//! 1. drop whole program steps (from the tail first — later steps usually
+//!    only propagate the corruption);
+//! 2. drop single instructions;
+//! 3. drop idle trailing thread columns (remapping the scripted schedule
+//!    to the smaller machine);
+//! 4. truncate unreferenced tail memory and zero initial values;
+//! 5. drop scripted-schedule segments and halve window lengths.
+//!
+//! Programs are re-validated after every accepted reduction — a shrink can
+//! only *remove* accesses, so strict EREW is preserved, and the assert
+//! makes that assumption load-bearing.
+
+use apex_scheme::SchemeKind;
+use apex_sim::{ScheduleKind, ScriptSegment};
+
+use crate::oracle::{check_triple, Triple};
+
+/// Bookkeeping of one shrink session.
+#[derive(Clone, Debug, Default)]
+pub struct ShrinkStats {
+    /// Oracle runs spent.
+    pub runs: usize,
+    /// Accepted reductions.
+    pub accepted: usize,
+    /// (instructions, steps, threads) before.
+    pub before: (usize, usize, usize),
+    /// (instructions, steps, threads) after.
+    pub after: (usize, usize, usize),
+}
+
+fn shape(t: &Triple) -> (usize, usize, usize) {
+    (
+        t.program.n_instructions(),
+        t.program.n_steps(),
+        t.program.n_threads,
+    )
+}
+
+/// Minimize `triple` while it keeps diverging under `kind`. `budget` caps
+/// oracle runs (each candidate costs one run).
+pub fn shrink(triple: &Triple, kind: SchemeKind, budget: usize) -> (Triple, ShrinkStats) {
+    let mut stats = ShrinkStats {
+        before: shape(triple),
+        ..ShrinkStats::default()
+    };
+    let mut current = triple.clone();
+    debug_assert!(
+        check_triple(&current, kind).diverged(),
+        "shrinking a non-failing triple"
+    );
+
+    loop {
+        let accepted_this_pass = one_pass(&mut current, kind, budget, &mut stats);
+        if !accepted_this_pass || stats.runs >= budget {
+            break;
+        }
+    }
+    stats.after = shape(&current);
+    (current, stats)
+}
+
+/// Try one full round of reductions; returns whether any was accepted.
+fn one_pass(
+    current: &mut Triple,
+    kind: SchemeKind,
+    budget: usize,
+    stats: &mut ShrinkStats,
+) -> bool {
+    let mut accepted = false;
+    let try_candidate = |current: &mut Triple, candidate: Triple, stats: &mut ShrinkStats| {
+        if stats.runs >= budget {
+            return false;
+        }
+        assert_eq!(
+            candidate.program.validate(),
+            Ok(()),
+            "shrink produced an invalid program"
+        );
+        stats.runs += 1;
+        if check_triple(&candidate, kind).diverged() {
+            *current = candidate;
+            stats.accepted += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    // 1. Drop whole steps, tail first.
+    let mut step = current.program.n_steps();
+    while step > 0 {
+        step -= 1;
+        if current.program.n_steps() <= 1 {
+            break;
+        }
+        if step >= current.program.n_steps() {
+            continue;
+        }
+        let mut candidate = current.clone();
+        candidate.program.steps.remove(step);
+        accepted |= try_candidate(current, candidate, stats);
+    }
+
+    // 2. Drop single instructions.
+    for step in (0..current.program.n_steps()).rev() {
+        for thread in 0..current.program.n_threads {
+            if current.program.instr(step, thread).is_none() {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.program.steps[step][thread] = None;
+            accepted |= try_candidate(current, candidate, stats);
+        }
+    }
+
+    // 3. Drop idle trailing thread columns (keep n ≥ 2 for the agreement
+    //    layout) and remap the schedule to the smaller machine.
+    while current.program.n_threads > 2 {
+        let last = current.program.n_threads - 1;
+        let idle = current.program.steps.iter().all(|row| row[last].is_none());
+        if !idle {
+            break;
+        }
+        let mut candidate = current.clone();
+        for row in &mut candidate.program.steps {
+            row.pop();
+        }
+        candidate.program.n_threads = last;
+        candidate.schedule = narrow_schedule(&candidate.schedule, last);
+        if !try_candidate(current, candidate, stats) {
+            break;
+        }
+        accepted = true;
+    }
+
+    // 4a. Truncate unreferenced tail memory.
+    let max_ref = current
+        .program
+        .steps
+        .iter()
+        .flat_map(|row| row.iter().flatten())
+        .flat_map(|i| i.reads().chain([i.dst]))
+        .max();
+    let needed = max_ref.map_or(1, |m| m + 1);
+    if needed < current.program.mem_size {
+        let mut candidate = current.clone();
+        candidate.program.mem_size = needed;
+        candidate.program.init.truncate(needed);
+        accepted |= try_candidate(current, candidate, stats);
+    }
+
+    // 4b. Zero initial values one at a time.
+    for var in 0..current.program.mem_size {
+        if current.program.init[var] == 0 {
+            continue;
+        }
+        let mut candidate = current.clone();
+        candidate.program.init[var] = 0;
+        accepted |= try_candidate(current, candidate, stats);
+    }
+
+    // 5. Schedule reductions (scripted adversaries only).
+    if let ScheduleKind::Scripted(spec) = &current.schedule {
+        // Drop segments, tail first.
+        for i in (0..spec.segments.len()).rev() {
+            let ScheduleKind::Scripted(cur_spec) = &current.schedule else {
+                break;
+            };
+            if i >= cur_spec.segments.len() {
+                continue;
+            }
+            let mut new_spec = cur_spec.clone();
+            new_spec.segments.remove(i);
+            let mut candidate = current.clone();
+            candidate.schedule = ScheduleKind::Scripted(new_spec);
+            accepted |= try_candidate(current, candidate, stats);
+        }
+        // Halve window lengths.
+        if let ScheduleKind::Scripted(cur_spec) = &current.schedule {
+            for i in 0..cur_spec.segments.len() {
+                let ScheduleKind::Scripted(cur_spec) = &current.schedule else {
+                    break;
+                };
+                let mut new_spec = cur_spec.clone();
+                let halved = match &mut new_spec.segments[i] {
+                    ScriptSegment::Run { ticks, .. } if *ticks > 1 => {
+                        *ticks /= 2;
+                        true
+                    }
+                    ScriptSegment::RoundRobin { rounds, .. }
+                    | ScriptSegment::AllExcept { rounds, .. }
+                        if *rounds > 1 =>
+                    {
+                        *rounds /= 2;
+                        true
+                    }
+                    _ => false,
+                };
+                if !halved {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.schedule = ScheduleKind::Scripted(new_spec);
+                accepted |= try_candidate(current, candidate, stats);
+            }
+        }
+    }
+
+    accepted
+}
+
+/// Rewrite a schedule for a machine one processor smaller: scripted
+/// segments drop references to removed processors (clamping `Run`
+/// targets); other families are size-agnostic.
+fn narrow_schedule(schedule: &ScheduleKind, n: usize) -> ScheduleKind {
+    let ScheduleKind::Scripted(spec) = schedule else {
+        return schedule.clone();
+    };
+    let mut new_spec = spec.clone();
+    new_spec.n = n;
+    new_spec.segments.retain_mut(|seg| match seg {
+        ScriptSegment::Run { proc, .. } => {
+            if *proc >= n {
+                *proc = n - 1;
+            }
+            true
+        }
+        ScriptSegment::RoundRobin { procs, .. } => {
+            procs.retain(|p| *p < n);
+            !procs.is_empty()
+        }
+        ScriptSegment::AllExcept { excluded, rounds } => {
+            excluded.retain(|p| *p < n);
+            // Guard the validate() rule: a segment must not starve everyone.
+            *rounds > 0 && excluded.len() < n
+        }
+    });
+    debug_assert_eq!(new_spec.validate(), Ok(()));
+    ScheduleKind::Scripted(new_spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_sim::ScriptSpec;
+
+    #[test]
+    fn narrow_schedule_remaps_scripted_segments() {
+        let spec = ScriptSpec::new(
+            4,
+            vec![
+                ScriptSegment::Run { proc: 3, ticks: 10 },
+                ScriptSegment::RoundRobin {
+                    procs: vec![3],
+                    rounds: 5,
+                },
+                ScriptSegment::AllExcept {
+                    excluded: vec![1, 3],
+                    rounds: 2,
+                },
+            ],
+        );
+        let narrowed = narrow_schedule(&ScheduleKind::Scripted(spec), 3);
+        let ScheduleKind::Scripted(spec) = narrowed else {
+            panic!()
+        };
+        assert_eq!(spec.n, 3);
+        assert_eq!(spec.validate(), Ok(()));
+        assert_eq!(
+            spec.segments,
+            vec![
+                ScriptSegment::Run { proc: 2, ticks: 10 },
+                ScriptSegment::AllExcept {
+                    excluded: vec![1],
+                    rounds: 2,
+                },
+            ]
+        );
+        // Non-scripted kinds pass through untouched.
+        assert_eq!(
+            narrow_schedule(&ScheduleKind::Uniform, 3),
+            ScheduleKind::Uniform
+        );
+    }
+}

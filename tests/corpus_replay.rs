@@ -1,0 +1,70 @@
+//! Replay the committed fuzz corpus.
+//!
+//! Every artifact in `corpus/` is a shrunk (program, schedule, seed)
+//! triple found by an `apex-synth` fuzz campaign, serialized with its
+//! scheme and expected outcome. This suite re-runs each one and asserts
+//! the recorded outcome still reproduces — so each past finding of the
+//! deterministic baseline's unsoundness stays pinned — and additionally
+//! asserts the *differential* half: the paper's scheme verifies clean on
+//! the very same divergence-witness triples.
+
+use std::path::Path;
+
+use apex::scheme::SchemeKind;
+use apex_synth::check_triple;
+use apex_synth::repro::{Expectation, Reproducer};
+
+fn corpus() -> Vec<(std::path::PathBuf, Reproducer)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    Reproducer::load_dir(&dir).expect("committed corpus loads")
+}
+
+#[test]
+fn committed_corpus_replays_as_recorded() {
+    let entries = corpus();
+    assert!(
+        entries.len() >= 3,
+        "expected at least 3 committed reproducers, found {}",
+        entries.len()
+    );
+    for (path, repro) in &entries {
+        repro
+            .check()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn divergence_witnesses_are_clean_under_the_paper_scheme() {
+    let mut witnesses = 0;
+    for (path, repro) in corpus() {
+        if repro.expected != Expectation::Diverges || repro.scheme != SchemeKind::DetBaseline {
+            continue;
+        }
+        witnesses += 1;
+        let verdict = check_triple(&repro.triple, SchemeKind::Nondet);
+        assert!(
+            !verdict.stalled && !verdict.diverged(),
+            "{}: paper scheme not clean on divergence witness: {verdict:?}",
+            path.display()
+        );
+    }
+    assert!(witnesses >= 3, "expected ≥ 3 divergence witnesses");
+}
+
+#[test]
+fn corpus_artifacts_are_validated_on_load() {
+    for (path, repro) in corpus() {
+        assert_eq!(
+            repro.triple.program.validate(),
+            Ok(()),
+            "{}",
+            path.display()
+        );
+        assert!(
+            repro.triple.program.is_nondeterministic() || repro.expected == Expectation::Clean,
+            "{}: a divergence witness must be a nondeterministic program",
+            path.display()
+        );
+    }
+}
