@@ -12,33 +12,41 @@
 //! Thread count: `APEX_RUNNER_THREADS` if set, else
 //! [`std::thread::available_parallelism`]. `APEX_RUNNER_THREADS=1` forces
 //! the serial path (used to verify byte-identical artifacts).
+//!
+//! The trial recipes ([`AgreementTrial`], [`SchemeTrial`]) are thin
+//! wrappers over the workspace's declarative [`Scenario`] — each exposes
+//! `scenario()`, so any benchmark cell can be exported as a shareable
+//! JSON scenario file.
 
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, OnceLock};
 
-use apex_core::{
-    AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, PhaseOutcome,
-    RandomSource, ValueSource,
-};
-use apex_pram::library::{coin_sum, random_walks};
-use apex_scheme::{SchemeKind, SchemeReport, SchemeRun, SchemeRunConfig};
+use apex_core::{AgreementConfig, AgreementRun, InstrumentOpts};
+use apex_scenario::{ProgramSource, Scenario, ScenarioReport};
+use apex_scheme::{SchemeKind, SchemeReport};
 use apex_sim::ScheduleKind;
 
-/// Worker-thread count the runner will use.
+pub use apex_scenario::{AgreementRunReport as AgreementTrialResult, SourceSpec};
+
+/// Worker-thread count the runner will use. `APEX_RUNNER_THREADS` is
+/// parsed once per process (the invalid-value warning prints once, not
+/// per sweep); the cached value is used from then on.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("APEX_RUNNER_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(t) if t > 0 => return t,
-            _ => eprintln!(
-                "warning: ignoring invalid APEX_RUNNER_THREADS={v:?} (want a positive integer); \
-                 using all cores"
-            ),
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("APEX_RUNNER_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(t) if t > 0 => return t,
+                _ => eprintln!(
+                    "warning: ignoring invalid APEX_RUNNER_THREADS={v:?} (want a positive \
+                     integer); using all cores"
+                ),
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Map `f` over `configs` on up to [`default_threads`] scoped OS threads,
@@ -104,31 +112,9 @@ where
     })
 }
 
-/// Thread-safe recipe for a [`ValueSource`] (the sources themselves are
-/// `Rc`-shared and must be constructed inside the worker).
-#[derive(Clone, Debug)]
-pub enum SourceSpec {
-    /// `RandomSource::new(bound)`.
-    Random(u64),
-    /// `CoinSource::new(num, den)`.
-    Coin(u64, u64),
-    /// `KeyedSource` (deterministic per (phase, bin)).
-    Keyed,
-}
-
-impl SourceSpec {
-    /// Instantiate on the current thread.
-    pub fn build(&self) -> Rc<dyn ValueSource> {
-        match *self {
-            SourceSpec::Random(bound) => Rc::new(RandomSource::new(bound)),
-            SourceSpec::Coin(num, den) => Rc::new(CoinSource::new(num, den)),
-            SourceSpec::Keyed => Rc::new(KeyedSource),
-        }
-    }
-}
-
 /// One agreement-protocol trial: run `phases` phases of an
-/// [`AgreementRun`] and return the outcomes.
+/// [`AgreementRun`] and return the outcomes. A thin wrapper over an
+/// agreement-mode [`Scenario`].
 #[derive(Clone, Debug)]
 pub struct AgreementTrial {
     /// Processor count.
@@ -174,42 +160,31 @@ impl AgreementTrial {
         self
     }
 
+    /// The [`Scenario`] this recipe describes.
+    pub fn scenario(&self) -> Scenario {
+        let mut s = Scenario::agreement(self.n, self.source.clone(), self.phases, self.seed)
+            .schedule(self.kind.clone())
+            .instrument(self.opts);
+        s.agreement = self.config;
+        s
+    }
+
     /// Build the run on the current thread.
     pub fn build(&self) -> AgreementRun {
-        let source = self.source.build();
-        let cfg = self
-            .config
-            .unwrap_or_else(|| AgreementConfig::for_n(self.n, source.max_cost()));
-        AgreementRun::new(cfg, self.seed, &self.kind, source, self.opts)
+        self.scenario().build_agreement()
     }
-}
-
-/// Result of one agreement trial: the phase outcomes plus the total ticks
-/// the machine executed (for throughput accounting).
-#[derive(Clone, Debug)]
-pub struct AgreementTrialResult {
-    /// Outcome per phase, in order.
-    pub outcomes: Vec<PhaseOutcome>,
-    /// Machine ticks consumed by the whole trial.
-    pub ticks: u64,
-    /// Stability violations accumulated across the trial's phases.
-    pub stability_violations: usize,
 }
 
 /// Run agreement trials across threads (the `core` harness on the runner).
 pub fn run_agreement_trials(trials: &[AgreementTrial]) -> Vec<AgreementTrialResult> {
-    run_trials(trials, |t| {
-        let mut run = t.build();
-        let outcomes = run.run_phases(t.phases);
-        AgreementTrialResult {
-            outcomes,
-            ticks: run.machine().ticks(),
-            stability_violations: run.stability_violations(),
-        }
+    run_trials(trials, |t| match t.scenario().run() {
+        ScenarioReport::Agreement(r) => r,
+        ScenarioReport::Scheme(_) => unreachable!("agreement scenario"),
     })
 }
 
-/// Thread-safe recipe for a PRAM workload program.
+/// Thread-safe recipe for a PRAM workload program (sugar over
+/// [`ProgramSource`]).
 #[derive(Clone, Debug)]
 pub enum ProgramSpec {
     /// `coin_sum(n, bound)`.
@@ -229,13 +204,30 @@ pub enum ProgramSpec {
         steps: usize,
     },
     /// An explicit program carried by value — the synthesis subsystem's
-    /// generated workloads ([`Program`] is plain data, so the recipe stays
-    /// `Send + Sync` and each worker clones its own copy).
+    /// generated workloads ([`Program`](apex_pram::Program) is plain data,
+    /// so the recipe stays `Send + Sync` and each worker clones its own
+    /// copy).
     Explicit(apex_pram::Program),
 }
 
+impl ProgramSpec {
+    /// The scenario-level [`ProgramSource`] this recipe names.
+    pub fn to_source(&self) -> ProgramSource {
+        match self {
+            ProgramSpec::CoinSum { n, bound } => {
+                ProgramSource::library("coin-sum", *n, vec![*bound])
+            }
+            ProgramSpec::RandomWalks { n, init, steps } => {
+                ProgramSource::library("random-walks", *n, vec![*init, *steps as u64])
+            }
+            ProgramSpec::Explicit(p) => ProgramSource::Explicit(p.clone()),
+        }
+    }
+}
+
 /// One end-to-end scheme trial: execute a PRAM program through an
-/// execution scheme and return its [`SchemeReport`].
+/// execution scheme and return its [`SchemeReport`]. A thin wrapper over
+/// a scheme-mode [`Scenario`].
 #[derive(Clone, Debug)]
 pub struct SchemeTrial {
     /// Execution scheme under test.
@@ -274,23 +266,21 @@ impl SchemeTrial {
         self
     }
 
-    /// Execute on the current thread.
-    pub fn run(&self) -> SchemeReport {
-        let program = match &self.program {
-            ProgramSpec::CoinSum { n, bound } => coin_sum(*n, *bound).program,
-            ProgramSpec::RandomWalks { n, init, steps } => {
-                random_walks(&vec![*init; *n], *steps).program
-            }
-            ProgramSpec::Explicit(p) => p.clone(),
-        };
-        let mut cfg = SchemeRunConfig::new(self.scheme, self.seed);
+    /// The [`Scenario`] this recipe describes.
+    pub fn scenario(&self) -> Scenario {
+        let mut s = Scenario::scheme(self.scheme, self.program.to_source(), self.seed);
         if let Some(kind) = &self.schedule {
-            cfg = cfg.schedule(kind.clone());
+            s = s.schedule(kind.clone());
         }
         if let Some(k) = self.replicas {
-            cfg = cfg.replicas(k);
+            s = s.replicas(k);
         }
-        SchemeRun::new(program, cfg).run()
+        s
+    }
+
+    /// Execute on the current thread.
+    pub fn run(&self) -> SchemeReport {
+        self.scenario().run().into_scheme()
     }
 }
 
@@ -302,6 +292,7 @@ pub fn run_scheme_trials(trials: &[SchemeTrial]) -> Vec<SchemeReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apex_pram::library::coin_sum;
 
     #[test]
     fn results_arrive_in_config_order_regardless_of_threads() {

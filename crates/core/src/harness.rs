@@ -20,7 +20,7 @@ use crate::validate::{check_theorem_one, StabilityTracker, TheoremOneReport};
 
 /// Which instrumentation to attach (cycle logs are memory-hungry at large
 /// n; clobber counting is cheap).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InstrumentOpts {
     /// Record every cycle and evaluation into an [`EventSink`].
     pub record_events: bool,
@@ -99,6 +99,10 @@ pub struct AgreementRun {
     pub clock: PhaseClock,
     /// The cycle/eval log, when recording.
     pub sink: Option<EventSink>,
+    /// Override for the per-phase stall budget (work units past the phase
+    /// start before [`AgreementRun::run_phase`] declares a clock stall);
+    /// `None` derives a generous default from the config.
+    pub stall_budget: Option<u64>,
     clobbers: Option<ClobberCounter>,
     stability: StabilityTracker,
     current_phase: u64,
@@ -128,6 +132,20 @@ impl AgreementRun {
         source: Rc<dyn ValueSource>,
         opts: InstrumentOpts,
     ) -> Self {
+        Self::with_schedule_batched(cfg, seed, schedule, source, opts, None)
+    }
+
+    /// [`AgreementRun::with_schedule`] with an explicit engine batch size
+    /// (`None` keeps the machine default). Batching is tick-transparent, so
+    /// the knob changes throughput, never results.
+    pub fn with_schedule_batched(
+        cfg: AgreementConfig,
+        seed: u64,
+        schedule: apex_sim::BoxedSchedule,
+        source: Rc<dyn ValueSource>,
+        opts: InstrumentOpts,
+        batch: Option<usize>,
+    ) -> Self {
         assert!(
             source.max_cost() <= cfg.eval_cost,
             "source cost {} exceeds configured eval budget {}",
@@ -141,19 +159,22 @@ impl AgreementRun {
         let sink = opts.record_events.then(new_sink);
 
         let participant_sink = sink.clone();
-        let mut machine = MachineBuilder::new(n, alloc.total())
+        let mut builder = MachineBuilder::new(n, alloc.total())
             .seed(seed)
-            .schedule(schedule)
-            .build(move |ctx| {
-                let p = Participant {
-                    cfg,
-                    bins,
-                    clock,
-                    source: source.clone(),
-                    sink: participant_sink.clone(),
-                };
-                p.run(ctx)
-            });
+            .schedule(schedule);
+        if let Some(b) = batch {
+            builder = builder.batch(b);
+        }
+        let mut machine = builder.build(move |ctx| {
+            let p = Participant {
+                cfg,
+                bins,
+                clock,
+                source: source.clone(),
+                sink: participant_sink.clone(),
+            };
+            p.run(ctx)
+        });
 
         let clobbers = opts
             .count_clobbers
@@ -165,6 +186,7 @@ impl AgreementRun {
             bins,
             clock,
             sink,
+            stall_budget: None,
             clobbers,
             stability: StabilityTracker::new(),
             current_phase: 0,
@@ -215,9 +237,12 @@ impl AgreementRun {
         // Observation cadence: once per stage (the analysis' natural unit).
         let chunk = self.cfg.stage_work().max(64);
         let mut completion_work: Option<u64> = None;
-        // Generous stall budget: 64× the expected phase work.
-        let budget =
-            start_work + 64 * self.cfg.min_cycles_per_phase().max(1) * self.cfg.omega + 1_000_000;
+        // Generous stall budget: 64× the expected phase work, unless the
+        // caller pinned an explicit per-phase budget.
+        let budget = start_work
+            + self.stall_budget.unwrap_or_else(|| {
+                64 * self.cfg.min_cycles_per_phase().max(1) * self.cfg.omega + 1_000_000
+            });
         loop {
             self.machine.run_ticks(chunk);
             let (advanced, done) = self.machine.with_mem(|mem| {

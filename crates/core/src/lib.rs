@@ -9,7 +9,7 @@
 //!
 //! ## Structure (paper §3)
 //!
-//! * [`BinLayout`] — n bins × β log n timestamped cells ([`mod@layout`]);
+//! * [`BinLayout`] — n bins × β log n timestamped cells;
 //! * [`cycle::run_cycle`] — Fig. 2: pick a random bin, binary-search for
 //!   the first empty cell ([`search`]), evaluate `f_i^{(π)}` into cell 0 or
 //!   copy the previous cell forward, all padded to exactly ω = Θ(log log n)

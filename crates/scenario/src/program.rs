@@ -1,0 +1,348 @@
+//! Program sources and the stable program JSON form.
+//!
+//! A [`ProgramSource`] names the workload of a scheme-mode scenario either
+//! *by reference* — a library program plus its parameters, resolved against
+//! [`apex_pram::library`] — or *by value* — an explicit [`Program`] carried
+//! in full. The explicit form is what fuzz reproducers use (the program
+//! text is the finding); the library form keeps hand-written scenarios
+//! small and readable.
+//!
+//! The program JSON encoding (`op` names, operand objects, step rows with
+//! `null` for inactive threads) is the stable artifact form introduced by
+//! the synthesis subsystem's reproducers; it lives here now so every
+//! scenario consumer shares one codec.
+
+use apex_pram::library::{
+    blelloch_scan, coin_sum, gen_values, hypercube_allreduce, jacobi_smooth, leader_election,
+    matvec, odd_even_sort, random_walks, tree_reduce,
+};
+use apex_pram::{Instr, Op, Operand, Program, VarId};
+use apex_scheme::SchemeKind;
+use apex_sim::{Json, JsonError};
+
+use crate::scenario::ScenarioError;
+
+fn jerr(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// `Op` → stable artifact name.
+pub fn op_name(op: Op) -> &'static str {
+    match op {
+        Op::Add => "add",
+        Op::Sub => "sub",
+        Op::Mul => "mul",
+        Op::Min => "min",
+        Op::Max => "max",
+        Op::Xor => "xor",
+        Op::And => "and",
+        Op::Or => "or",
+        Op::Shl => "shl",
+        Op::Shr => "shr",
+        Op::Lt => "lt",
+        Op::Eq => "eq",
+        Op::Mov => "mov",
+        Op::RandBit => "rand-bit",
+        Op::RandBelow => "rand-below",
+    }
+}
+
+/// Stable artifact name → `Op`.
+pub fn op_from_name(name: &str) -> Result<Op, JsonError> {
+    Ok(match name {
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "mul" => Op::Mul,
+        "min" => Op::Min,
+        "max" => Op::Max,
+        "xor" => Op::Xor,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "lt" => Op::Lt,
+        "eq" => Op::Eq,
+        "mov" => Op::Mov,
+        "rand-bit" => Op::RandBit,
+        "rand-below" => Op::RandBelow,
+        other => return Err(jerr(format!("unknown op {other:?}"))),
+    })
+}
+
+/// Scheme label round-trip (uses [`SchemeKind::label`] names).
+pub fn scheme_from_label(label: &str) -> Result<SchemeKind, JsonError> {
+    Ok(match label {
+        "nondet-scheme" => SchemeKind::Nondet,
+        "det-baseline" => SchemeKind::DetBaseline,
+        "scan-consensus" => SchemeKind::ScanConsensus,
+        "ideal-cas" => SchemeKind::IdealCas,
+        other => return Err(jerr(format!("unknown scheme {other:?}"))),
+    })
+}
+
+fn operand_to_json(o: &Operand) -> Json {
+    match o {
+        Operand::Var(v) => Json::Obj(vec![("var".into(), Json::UInt(*v as u64))]),
+        Operand::Const(c) => Json::Obj(vec![("const".into(), Json::UInt(*c))]),
+    }
+}
+
+fn operand_from_json(v: &Json) -> Result<Operand, JsonError> {
+    if let Some(var) = v.get_opt("var") {
+        Ok(Operand::Var(var.as_usize()?))
+    } else if let Some(c) = v.get_opt("const") {
+        Ok(Operand::Const(c.as_u64()?))
+    } else {
+        Err(jerr(format!("operand needs var or const: {v:?}")))
+    }
+}
+
+fn instr_to_json(i: &Instr) -> Json {
+    Json::Obj(vec![
+        ("dst".into(), Json::UInt(i.dst as u64)),
+        ("op".into(), Json::Str(op_name(i.op).into())),
+        ("a".into(), operand_to_json(&i.a)),
+        ("b".into(), operand_to_json(&i.b)),
+    ])
+}
+
+fn instr_from_json(v: &Json) -> Result<Instr, JsonError> {
+    Ok(Instr::new(
+        v.get("dst")?.as_usize()? as VarId,
+        op_from_name(v.get("op")?.as_str()?)?,
+        operand_from_json(v.get("a")?)?,
+        operand_from_json(v.get("b")?)?,
+    ))
+}
+
+/// Serialize a program to its JSON artifact form.
+pub fn program_to_json(p: &Program) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(p.name.clone())),
+        ("n_threads".into(), Json::UInt(p.n_threads as u64)),
+        ("mem_size".into(), Json::UInt(p.mem_size as u64)),
+        (
+            "init".into(),
+            Json::Arr(p.init.iter().map(|v| Json::UInt(*v)).collect()),
+        ),
+        (
+            "steps".into(),
+            Json::Arr(
+                p.steps
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(
+                            row.iter()
+                                .map(|slot| match slot {
+                                    None => Json::Null,
+                                    Some(i) => instr_to_json(i),
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserialize and **validate** a program from its JSON artifact form.
+pub fn program_from_json(v: &Json) -> Result<Program, JsonError> {
+    let p = Program {
+        name: v.get("name")?.as_str()?.to_string(),
+        n_threads: v.get("n_threads")?.as_usize()?,
+        mem_size: v.get("mem_size")?.as_usize()?,
+        init: v
+            .get("init")?
+            .as_arr()?
+            .iter()
+            .map(|x| x.as_u64())
+            .collect::<Result<_, _>>()?,
+        steps: v
+            .get("steps")?
+            .as_arr()?
+            .iter()
+            .map(|row| {
+                row.as_arr()?
+                    .iter()
+                    .map(|slot| match slot {
+                        Json::Null => Ok(None),
+                        other => instr_from_json(other).map(Some),
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    p.validate()
+        .map_err(|e| jerr(format!("invalid program in artifact: {e}")))?;
+    Ok(p)
+}
+
+/// The workload of a scheme-mode scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgramSource {
+    /// A library program, resolved by name against [`apex_pram::library`]
+    /// (see [`ProgramSource::library_names`] for the catalog and each
+    /// entry's parameter list).
+    Library {
+        /// Library entry name (e.g. `"coin-sum"`).
+        name: String,
+        /// Problem size / thread count (a power of two ≥ 2).
+        n: usize,
+        /// Entry-specific parameters, in catalog order.
+        params: Vec<u64>,
+    },
+    /// An explicit program carried by value (fuzz reproducers, hand-built
+    /// [`ProgramBuilder`](apex_pram::ProgramBuilder) workloads).
+    Explicit(Program),
+}
+
+impl ProgramSource {
+    /// A library source.
+    pub fn library(name: &str, n: usize, params: Vec<u64>) -> Self {
+        ProgramSource::Library {
+            name: name.into(),
+            n,
+            params,
+        }
+    }
+
+    /// The library catalog: `(name, params)` of every resolvable entry.
+    /// `vseed` parameters feed [`gen_values`] to produce the input data.
+    pub fn library_names() -> &'static [(&'static str, &'static [&'static str])] {
+        &[
+            ("coin-sum", &["bound"]),
+            ("random-walks", &["init", "rounds"]),
+            ("leader-election", &["rounds"]),
+            ("tree-reduce-add", &["vseed"]),
+            ("tree-reduce-max", &["vseed"]),
+            ("blelloch-scan", &["vseed"]),
+            ("jacobi-smooth", &["vseed", "iters"]),
+            ("allreduce-add", &["vseed"]),
+            ("matvec", &["vseed"]),
+            ("odd-even-sort", &["vseed"]),
+        ]
+    }
+
+    /// Build the program this source names. Library entries are resolved
+    /// against the catalog; explicit programs are re-validated.
+    pub fn resolve(&self) -> Result<Program, ScenarioError> {
+        match self {
+            ProgramSource::Explicit(p) => {
+                p.validate()
+                    .map_err(|e| ScenarioError(format!("invalid explicit program: {e}")))?;
+                Ok(p.clone())
+            }
+            ProgramSource::Library { name, n, params } => resolve_library(name, *n, params),
+        }
+    }
+
+    /// Declared thread count without building the program.
+    pub fn n_threads(&self) -> usize {
+        match self {
+            ProgramSource::Library { n, .. } => *n,
+            ProgramSource::Explicit(p) => p.n_threads,
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        match self {
+            ProgramSource::Library { name, n, params } => Json::Obj(vec![
+                ("source".into(), Json::Str("library".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("n".into(), Json::UInt(*n as u64)),
+                (
+                    "params".into(),
+                    Json::Arr(params.iter().map(|p| Json::UInt(*p)).collect()),
+                ),
+            ]),
+            ProgramSource::Explicit(p) => Json::Obj(vec![
+                ("source".into(), Json::Str("explicit".into())),
+                ("program".into(), program_to_json(p)),
+            ]),
+        }
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.get("source")?.as_str()? {
+            "library" => Ok(ProgramSource::Library {
+                name: v.get("name")?.as_str()?.to_string(),
+                n: v.get("n")?.as_usize()?,
+                params: v
+                    .get("params")?
+                    .as_arr()?
+                    .iter()
+                    .map(|p| p.as_u64())
+                    .collect::<Result<_, _>>()?,
+            }),
+            "explicit" => Ok(ProgramSource::Explicit(program_from_json(
+                v.get("program")?,
+            )?)),
+            other => Err(jerr(format!("unknown program source {other:?}"))),
+        }
+    }
+}
+
+fn resolve_library(name: &str, n: usize, params: &[u64]) -> Result<Program, ScenarioError> {
+    let fail = |msg: String| Err(ScenarioError(msg));
+    if n < 2 || !n.is_power_of_two() {
+        return fail(format!(
+            "library program {name:?} needs a power-of-two n ≥ 2, got {n}"
+        ));
+    }
+    let arity = match library_arity(name) {
+        Some(a) => a,
+        None => {
+            return fail(format!(
+                "unknown library program {name:?} (known: {})",
+                ProgramSource::library_names()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }
+    };
+    if params.len() != arity {
+        return fail(format!(
+            "library program {name:?} takes {arity} params, got {}",
+            params.len()
+        ));
+    }
+    let as_count = |x: u64, what: &str| -> Result<usize, ScenarioError> {
+        usize::try_from(x).map_err(|_| ScenarioError(format!("{what} {x} does not fit usize")))
+    };
+    let built = match name {
+        "coin-sum" => {
+            if params[0] == 0 {
+                return fail("coin-sum bound must be ≥ 1".into());
+            }
+            coin_sum(n, params[0])
+        }
+        "random-walks" => random_walks(&vec![params[0]; n], as_count(params[1], "rounds")?),
+        "leader-election" => leader_election(n, as_count(params[0], "rounds")?),
+        "tree-reduce-add" => tree_reduce(Op::Add, &gen_values(n, params[0])),
+        "tree-reduce-max" => tree_reduce(Op::Max, &gen_values(n, params[0])),
+        "blelloch-scan" => blelloch_scan(&gen_values(n, params[0])),
+        "jacobi-smooth" => jacobi_smooth(&gen_values(n, params[0]), as_count(params[1], "iters")?),
+        "allreduce-add" => hypercube_allreduce(Op::Add, &gen_values(n, params[0])),
+        "matvec" => matvec(
+            &gen_values(n * n, params[0] ^ 1),
+            &gen_values(n, params[0]),
+            n,
+        ),
+        "odd-even-sort" => odd_even_sort(&gen_values(n, params[0])),
+        _ => unreachable!("arity table covers the catalog"),
+    };
+    Ok(built.program)
+}
+
+fn library_arity(name: &str) -> Option<usize> {
+    ProgramSource::library_names()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, params)| params.len())
+}

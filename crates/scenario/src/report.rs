@@ -1,0 +1,118 @@
+//! What a scenario run produces.
+
+use apex_core::PhaseOutcome;
+use apex_scheme::SchemeReport;
+
+/// Result of an agreement-mode scenario: the per-phase outcomes plus the
+/// machine totals (the same shape every agreement experiment aggregates).
+#[derive(Clone, Debug)]
+pub struct AgreementRunReport {
+    /// Outcome per phase, in order.
+    pub outcomes: Vec<PhaseOutcome>,
+    /// Machine ticks consumed by the whole run.
+    pub ticks: u64,
+    /// Stability violations accumulated across the run's phases.
+    pub stability_violations: usize,
+}
+
+impl AgreementRunReport {
+    /// Whether every phase completed and satisfied Theorem 1, with no
+    /// stability violations.
+    pub fn ok(&self) -> bool {
+        self.stability_violations == 0
+            && self
+                .outcomes
+                .iter()
+                .all(|o| o.completion_work.is_some() && o.report.all_hold())
+    }
+}
+
+/// Result of [`Scenario::run`](crate::Scenario::run): one variant per mode.
+#[derive(Clone, Debug)]
+pub enum ScenarioReport {
+    /// A scheme-mode run (program through an execution scheme + verifier).
+    Scheme(SchemeReport),
+    /// An agreement-mode run (raw protocol phases + Theorem-1 validators).
+    Agreement(AgreementRunReport),
+}
+
+impl ScenarioReport {
+    /// Did the run meet its mode's correctness bar (verifier clean /
+    /// Theorem 1 held every phase)?
+    pub fn ok(&self) -> bool {
+        match self {
+            ScenarioReport::Scheme(r) => r.verify.ok(),
+            ScenarioReport::Agreement(r) => r.ok(),
+        }
+    }
+
+    /// The scheme report.
+    ///
+    /// # Panics
+    /// If the scenario ran in agreement mode.
+    pub fn scheme(&self) -> &SchemeReport {
+        match self {
+            ScenarioReport::Scheme(r) => r,
+            ScenarioReport::Agreement(_) => panic!("scenario ran in agreement mode"),
+        }
+    }
+
+    /// The scheme report, by value.
+    ///
+    /// # Panics
+    /// If the scenario ran in agreement mode.
+    pub fn into_scheme(self) -> SchemeReport {
+        match self {
+            ScenarioReport::Scheme(r) => r,
+            ScenarioReport::Agreement(_) => panic!("scenario ran in agreement mode"),
+        }
+    }
+
+    /// The agreement report.
+    ///
+    /// # Panics
+    /// If the scenario ran in scheme mode.
+    pub fn agreement(&self) -> &AgreementRunReport {
+        match self {
+            ScenarioReport::Agreement(r) => r,
+            ScenarioReport::Scheme(_) => panic!("scenario ran in scheme mode"),
+        }
+    }
+
+    /// Machine ticks the run consumed.
+    pub fn ticks(&self) -> u64 {
+        match self {
+            ScenarioReport::Scheme(r) => r.ticks,
+            ScenarioReport::Agreement(r) => r.ticks,
+        }
+    }
+
+    /// One-line human summary (the CLI's `run` output).
+    pub fn summary(&self) -> String {
+        match self {
+            ScenarioReport::Scheme(r) => format!(
+                "{} on {} ({} threads, {} steps): work {}, overhead {:.1}x, \
+                 violations {} — {}",
+                r.kind.label(),
+                r.program,
+                r.n,
+                r.t_steps,
+                r.total_work,
+                r.overhead(),
+                r.verify.violations(),
+                if r.verify.ok() {
+                    "consistent"
+                } else {
+                    "BROKEN"
+                },
+            ),
+            ScenarioReport::Agreement(r) => format!(
+                "agreement protocol: {} phases, {} ticks, {} stability violations — {}",
+                r.outcomes.len(),
+                r.ticks,
+                r.stability_violations,
+                if r.ok() { "Theorem 1 held" } else { "FAILED" },
+            ),
+        }
+    }
+}

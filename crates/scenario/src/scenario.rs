@@ -1,0 +1,679 @@
+//! The [`Scenario`] type: one declarative, serializable run description.
+
+use std::path::Path;
+use std::rc::Rc;
+
+use apex_core::{
+    AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, RandomSource,
+    ValueSource,
+};
+use apex_pram::Program;
+use apex_scheme::tasks::eval_cost;
+use apex_scheme::{ReplicaK, SchemeKind, SchemeRun, SchemeRunConfig};
+use apex_sim::{Json, JsonError, ScheduleKind};
+
+use crate::program::{scheme_from_label, ProgramSource};
+use crate::report::{AgreementRunReport, ScenarioReport};
+
+/// Major version of the scenario JSON format. Readers reject documents
+/// whose `version.major` differs; `version.minor` only marks additive,
+/// ignorable extensions.
+pub const FORMAT_MAJOR: u64 = 1;
+/// Minor version of the scenario JSON format (see [`FORMAT_MAJOR`]).
+pub const FORMAT_MINOR: u64 = 0;
+
+/// Why a scenario is ill-formed (from [`Scenario::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn jerr(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// Thread-safe, serializable recipe for a [`ValueSource`] (the sources
+/// themselves are `Rc`-shared and must be constructed on the running
+/// thread).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// `RandomSource::new(bound)`.
+    Random(u64),
+    /// `CoinSource::new(num, den)`.
+    Coin(u64, u64),
+    /// `KeyedSource` (deterministic per (phase, bin)).
+    Keyed,
+}
+
+impl SourceSpec {
+    /// Check the recipe's parameters satisfy the sources' own
+    /// preconditions (what [`SourceSpec::build`] would otherwise assert).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match *self {
+            SourceSpec::Random(0) => Err(ScenarioError("random source bound must be ≥ 1".into())),
+            SourceSpec::Coin(num, den) if den == 0 || num > den => Err(ScenarioError(format!(
+                "coin source needs num ≤ den and den ≥ 1, got {num}/{den}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Instantiate on the current thread.
+    pub fn build(&self) -> Rc<dyn ValueSource> {
+        match *self {
+            SourceSpec::Random(bound) => Rc::new(RandomSource::new(bound)),
+            SourceSpec::Coin(num, den) => Rc::new(CoinSource::new(num, den)),
+            SourceSpec::Keyed => Rc::new(KeyedSource),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            SourceSpec::Random(bound) => Json::Obj(vec![
+                ("kind".into(), Json::Str("random".into())),
+                ("bound".into(), Json::UInt(*bound)),
+            ]),
+            SourceSpec::Coin(num, den) => Json::Obj(vec![
+                ("kind".into(), Json::Str("coin".into())),
+                ("num".into(), Json::UInt(*num)),
+                ("den".into(), Json::UInt(*den)),
+            ]),
+            SourceSpec::Keyed => Json::Obj(vec![("kind".into(), Json::Str("keyed".into()))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.get("kind")?.as_str()? {
+            "random" => Ok(SourceSpec::Random(v.get("bound")?.as_u64()?)),
+            "coin" => Ok(SourceSpec::Coin(
+                v.get("num")?.as_u64()?,
+                v.get("den")?.as_u64()?,
+            )),
+            "keyed" => Ok(SourceSpec::Keyed),
+            other => Err(jerr(format!("unknown source kind {other:?}"))),
+        }
+    }
+}
+
+/// Engine knobs: how the machine executes, never what it computes
+/// (batching is tick-transparent; the tick budget only moves the
+/// stall-detection bar).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineKnobs {
+    /// Scheduler prefetch batch size (`None` keeps the machine default).
+    pub batch: Option<usize>,
+    /// Per-subphase (scheme mode) / per-phase (agreement mode) stall
+    /// budget in work units (`None` derives a generous default).
+    pub tick_budget: Option<u64>,
+}
+
+impl EngineKnobs {
+    fn to_json(self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, Json::UInt);
+        Json::Obj(vec![
+            ("batch".into(), opt(self.batch.map(|b| b as u64))),
+            ("tick_budget".into(), opt(self.tick_budget)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let opt = |v: Option<&Json>| -> Result<Option<u64>, JsonError> {
+            match v {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => x.as_u64().map(Some),
+            }
+        };
+        Ok(EngineKnobs {
+            batch: opt(v.get_opt("batch"))?
+                .map(|b| {
+                    usize::try_from(b).map_err(|_| jerr(format!("batch {b} does not fit usize")))
+                })
+                .transpose()?,
+            tick_budget: opt(v.get_opt("tick_budget"))?,
+        })
+    }
+}
+
+/// What a scenario runs: a PRAM program through an execution scheme, or
+/// the raw bin-array agreement protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mode {
+    /// Execute a synchronous PRAM program through an execution scheme and
+    /// verify it against the ideal replay.
+    Scheme {
+        /// Execution scheme.
+        scheme: SchemeKind,
+        /// Workload.
+        program: ProgramSource,
+        /// Variable replication factor K.
+        replicas: ReplicaK,
+    },
+    /// Run `phases` phases of the agreement protocol itself, with the
+    /// Theorem-1 validators watching.
+    Agreement {
+        /// Participants / values per phase.
+        n: usize,
+        /// Value-source recipe.
+        source: SourceSpec,
+        /// Phases to run.
+        phases: usize,
+        /// Instrumentation switches.
+        instrument: InstrumentOpts,
+    },
+}
+
+/// One fully-described run: everything the paper's claim is parameterized
+/// over — workload, scheme, oblivious adversary, seed, constants — in one
+/// declarative, JSON-serializable value.
+///
+/// A `Scenario` is the workspace's single entry point: benchmarks, the
+/// fuzzer's reproducers, the examples, and hand-written experiments all
+/// name their runs this way, so any run anyone constructs is a shareable
+/// JSON file that reproduces bit-for-bit (`apex-synth run scenario.json`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// What runs.
+    pub mode: Mode,
+    /// The oblivious adversary.
+    pub schedule: ScheduleKind,
+    /// Master seed (private random sources + schedule streams).
+    pub seed: u64,
+    /// Override the protocol constants (`None` derives them from the mode).
+    pub agreement: Option<AgreementConfig>,
+    /// Engine knobs.
+    pub engine: EngineKnobs,
+}
+
+impl Scenario {
+    /// A scheme-mode scenario with the harness defaults (uniform
+    /// adversary, K = 2, derived constants).
+    pub fn scheme(scheme: SchemeKind, program: ProgramSource, seed: u64) -> Self {
+        Scenario {
+            mode: Mode::Scheme {
+                scheme,
+                program,
+                replicas: ReplicaK::default(),
+            },
+            schedule: ScheduleKind::Uniform,
+            seed,
+            agreement: None,
+            engine: EngineKnobs::default(),
+        }
+    }
+
+    /// An agreement-mode scenario with the harness defaults.
+    pub fn agreement(n: usize, source: SourceSpec, phases: usize, seed: u64) -> Self {
+        Scenario {
+            mode: Mode::Agreement {
+                n,
+                source,
+                phases,
+                instrument: InstrumentOpts::default(),
+            },
+            schedule: ScheduleKind::Uniform,
+            seed,
+            agreement: None,
+            engine: EngineKnobs::default(),
+        }
+    }
+
+    /// Set the adversary.
+    pub fn schedule(mut self, s: ScheduleKind) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Set the replication factor (scheme mode only; no-op otherwise).
+    pub fn replicas(mut self, k: usize) -> Self {
+        if let Mode::Scheme { replicas, .. } = &mut self.mode {
+            *replicas = ReplicaK(k);
+        }
+        self
+    }
+
+    /// Set the instrumentation switches (agreement mode only; no-op
+    /// otherwise).
+    pub fn instrument(mut self, opts: InstrumentOpts) -> Self {
+        if let Mode::Agreement { instrument, .. } = &mut self.mode {
+            *instrument = opts;
+        }
+        self
+    }
+
+    /// Override the protocol constants.
+    pub fn agreement_config(mut self, cfg: AgreementConfig) -> Self {
+        self.agreement = Some(cfg);
+        self
+    }
+
+    /// Set the engine batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.engine.batch = Some(batch);
+        self
+    }
+
+    /// Set the stall budget.
+    pub fn tick_budget(mut self, budget: u64) -> Self {
+        self.engine.tick_budget = Some(budget);
+        self
+    }
+
+    /// Processor count of the described machine.
+    pub fn n(&self) -> usize {
+        match &self.mode {
+            Mode::Scheme { program, .. } => program.n_threads(),
+            Mode::Agreement { n, .. } => *n,
+        }
+    }
+
+    /// Check the scenario names a well-formed point of the run space —
+    /// resolvable program, in-range schedule and source parameters,
+    /// compatible constants — *before* any machine is assembled.
+    /// [`Scenario::run`] calls this and panics on failure; untrusted
+    /// inputs (files, CLI) should validate first and surface the error.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.validate_resolving().map(|_| ())
+    }
+
+    /// [`Scenario::validate`], returning the resolved program of a
+    /// scheme-mode scenario so `build_scheme` resolves exactly once.
+    fn validate_resolving(&self) -> Result<Option<Program>, ScenarioError> {
+        let fail = |msg: String| Err(ScenarioError(msg));
+        if self.engine.batch == Some(0) {
+            return fail("engine batch must be ≥ 1".into());
+        }
+        let resolved = match &self.mode {
+            Mode::Scheme {
+                program, replicas, ..
+            } => {
+                if replicas.0 < 1 {
+                    return fail("replica factor K must be ≥ 1".into());
+                }
+                let p = program.resolve()?;
+                if p.n_steps() < 1 {
+                    return fail(format!("program {:?} has no steps", p.name));
+                }
+                if p.n_threads < 2 {
+                    return fail(format!(
+                        "program {:?} has {} threads; the agreement layout needs ≥ 2",
+                        p.name, p.n_threads
+                    ));
+                }
+                if let Some(cfg) = &self.agreement {
+                    if cfg.n != p.n_threads {
+                        return fail(format!(
+                            "agreement constants sized for n={}, program has {} threads",
+                            cfg.n, p.n_threads
+                        ));
+                    }
+                    if cfg.eval_cost < eval_cost(replicas.0) {
+                        return fail(format!(
+                            "eval budget {} too small for K={} (needs ≥ {})",
+                            cfg.eval_cost,
+                            replicas.0,
+                            eval_cost(replicas.0)
+                        ));
+                    }
+                }
+                Some(p)
+            }
+            Mode::Agreement {
+                n, source, phases, ..
+            } => {
+                if *n < 2 {
+                    return fail(format!("agreement needs ≥ 2 participants, got {n}"));
+                }
+                if *phases < 1 {
+                    return fail("agreement scenario must run ≥ 1 phase".into());
+                }
+                source.validate()?;
+                if let Some(cfg) = &self.agreement {
+                    if cfg.n != *n {
+                        return fail(format!(
+                            "agreement constants sized for n={}, scenario has n={n}",
+                            cfg.n
+                        ));
+                    }
+                    // Safe now: the parameters passed `source.validate()`.
+                    let cost = source.build().max_cost();
+                    if cost > cfg.eval_cost {
+                        return fail(format!(
+                            "source cost {cost} exceeds configured eval budget {}",
+                            cfg.eval_cost
+                        ));
+                    }
+                }
+                None
+            }
+        };
+        self.validate_schedule()?;
+        Ok(resolved)
+    }
+
+    fn validate_schedule(&self) -> Result<(), ScenarioError> {
+        let fail = |msg: String| Err(ScenarioError(msg));
+        let frac = |x: f64, what: &str| -> Result<(), ScenarioError> {
+            if (0.0..=1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(ScenarioError(format!("{what} must be in [0, 1], got {x}")))
+            }
+        };
+        match &self.schedule {
+            ScheduleKind::RoundRobin | ScheduleKind::Uniform => Ok(()),
+            ScheduleKind::Zipf { s } => {
+                if *s > 0.0 {
+                    Ok(())
+                } else {
+                    fail(format!("zipf exponent must be > 0, got {s}"))
+                }
+            }
+            ScheduleKind::TwoClass { slow_frac, ratio } => {
+                frac(*slow_frac, "two-class slow_frac")?;
+                if *ratio >= 1.0 {
+                    Ok(())
+                } else {
+                    fail(format!("two-class ratio must be ≥ 1, got {ratio}"))
+                }
+            }
+            ScheduleKind::Bursty { mean_burst } => {
+                if *mean_burst >= 1 {
+                    Ok(())
+                } else {
+                    fail("bursty mean_burst must be ≥ 1".into())
+                }
+            }
+            ScheduleKind::Sleepy {
+                sleepy_frac, awake, ..
+            } => {
+                frac(*sleepy_frac, "sleepy sleepy_frac")?;
+                if *awake >= 1 {
+                    Ok(())
+                } else {
+                    fail("sleepy awake window must be ≥ 1".into())
+                }
+            }
+            ScheduleKind::Crash { crash_frac, .. } => frac(*crash_frac, "crash crash_frac"),
+            ScheduleKind::Scripted(spec) => {
+                spec.validate().map_err(ScenarioError)?;
+                if spec.n != self.n() {
+                    return fail(format!(
+                        "scripted schedule written for {} processors, scenario has {}",
+                        spec.n,
+                        self.n()
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Assemble the scheme-mode run without executing it (the layered
+    /// entry point the trial runner's recipes use).
+    ///
+    /// # Panics
+    /// If the scenario is invalid or not scheme-mode.
+    pub fn build_scheme(&self) -> SchemeRun {
+        let program = match self.validate_resolving() {
+            Ok(Some(p)) => p,
+            Ok(None) => panic!("scenario is not scheme-mode"),
+            Err(e) => panic!("invalid scenario: {e}"),
+        };
+        let Mode::Scheme {
+            scheme, replicas, ..
+        } = &self.mode
+        else {
+            unreachable!("validate_resolving returned a program");
+        };
+        let mut cfg = SchemeRunConfig::new(*scheme, self.seed).schedule(self.schedule.clone());
+        cfg.k = *replicas;
+        cfg.agreement = self.agreement;
+        cfg.batch = self.engine.batch;
+        cfg.tick_budget = self.engine.tick_budget;
+        SchemeRun::new(program, cfg)
+    }
+
+    /// Assemble the agreement-mode run without executing it.
+    ///
+    /// # Panics
+    /// If the scenario is invalid or not agreement-mode.
+    pub fn build_agreement(&self) -> AgreementRun {
+        if let Err(e) = self.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let Mode::Agreement {
+            n,
+            source,
+            instrument,
+            ..
+        } = &self.mode
+        else {
+            panic!("scenario is not agreement-mode");
+        };
+        let source = source.build();
+        let cfg = self
+            .agreement
+            .unwrap_or_else(|| AgreementConfig::for_n(*n, source.max_cost()));
+        let mut run = AgreementRun::with_schedule_batched(
+            cfg,
+            self.seed,
+            self.schedule.build(cfg.n, self.seed),
+            source,
+            *instrument,
+            self.engine.batch,
+        );
+        run.stall_budget = self.engine.tick_budget;
+        run
+    }
+
+    /// Validate, assemble, and execute the scenario.
+    ///
+    /// ```
+    /// use apex_scenario::{ProgramSource, Scenario};
+    /// use apex_scheme::SchemeKind;
+    ///
+    /// // Run a randomized program on 8 asynchronous processors.
+    /// let report = Scenario::scheme(
+    ///     SchemeKind::Nondet,
+    ///     ProgramSource::library("coin-sum", 8, vec![32]),
+    ///     1,
+    /// )
+    /// .run();
+    /// assert!(report.ok());
+    /// ```
+    ///
+    /// # Panics
+    /// If [`Scenario::validate`] fails (validate first when the scenario
+    /// comes from an untrusted file) or the run trips a stall budget.
+    pub fn run(&self) -> ScenarioReport {
+        match &self.mode {
+            Mode::Scheme { .. } => ScenarioReport::Scheme(self.build_scheme().run()),
+            Mode::Agreement { phases, .. } => {
+                let phases = *phases;
+                let mut run = self.build_agreement();
+                let outcomes = run.run_phases(phases);
+                ScenarioReport::Agreement(AgreementRunReport {
+                    outcomes,
+                    ticks: run.machine().ticks(),
+                    stability_violations: run.stability_violations(),
+                })
+            }
+        }
+    }
+
+    /// Serialize to the versioned JSON value (canonical field order).
+    pub fn to_json(&self) -> Json {
+        let mode = match &self.mode {
+            Mode::Scheme {
+                scheme,
+                program,
+                replicas,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("scheme".into())),
+                ("scheme".into(), Json::Str(scheme.label().into())),
+                ("replicas".into(), Json::UInt(replicas.0 as u64)),
+                ("program".into(), program.to_json()),
+            ]),
+            Mode::Agreement {
+                n,
+                source,
+                phases,
+                instrument,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("agreement".into())),
+                ("n".into(), Json::UInt(*n as u64)),
+                ("phases".into(), Json::UInt(*phases as u64)),
+                ("source".into(), source.to_json()),
+                (
+                    "instrument".into(),
+                    Json::Obj(vec![
+                        ("record_events".into(), Json::Bool(instrument.record_events)),
+                        (
+                            "count_clobbers".into(),
+                            Json::Bool(instrument.count_clobbers),
+                        ),
+                    ]),
+                ),
+            ]),
+        };
+        Json::Obj(vec![
+            (
+                "version".into(),
+                Json::Obj(vec![
+                    ("major".into(), Json::UInt(FORMAT_MAJOR)),
+                    ("minor".into(), Json::UInt(FORMAT_MINOR)),
+                ]),
+            ),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("mode".into(), mode),
+            ("schedule".into(), self.schedule.to_json()),
+            (
+                "agreement".into(),
+                self.agreement
+                    .as_ref()
+                    .map_or(Json::Null, agreement_config_to_json),
+            ),
+            ("engine".into(), self.engine.to_json()),
+        ])
+    }
+
+    /// Deserialize from a JSON value. Rejects unknown major versions;
+    /// unknown minor versions are read (the format only grows additively
+    /// within a major). Structural validation happens here; semantic
+    /// validation is [`Scenario::validate`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v
+            .get("version")
+            .map_err(|_| jerr("scenario document has no version field"))?;
+        let major = version.get("major")?.as_u64()?;
+        if major != FORMAT_MAJOR {
+            return Err(jerr(format!(
+                "unsupported scenario format major version {major} (this build reads {FORMAT_MAJOR})"
+            )));
+        }
+        let mode_v = v.get("mode")?;
+        let mode = match mode_v.get("kind")?.as_str()? {
+            "scheme" => Mode::Scheme {
+                scheme: scheme_from_label(mode_v.get("scheme")?.as_str()?)?,
+                replicas: ReplicaK(mode_v.get("replicas")?.as_usize()?),
+                program: ProgramSource::from_json(mode_v.get("program")?)?,
+            },
+            "agreement" => {
+                let instr = mode_v.get("instrument")?;
+                let flag = |key: &str| -> Result<bool, JsonError> {
+                    match instr.get(key)? {
+                        Json::Bool(b) => Ok(*b),
+                        other => Err(jerr(format!("expected bool {key}, got {other:?}"))),
+                    }
+                };
+                Mode::Agreement {
+                    n: mode_v.get("n")?.as_usize()?,
+                    phases: mode_v.get("phases")?.as_usize()?,
+                    source: SourceSpec::from_json(mode_v.get("source")?)?,
+                    instrument: InstrumentOpts {
+                        record_events: flag("record_events")?,
+                        count_clobbers: flag("count_clobbers")?,
+                    },
+                }
+            }
+            other => return Err(jerr(format!("unknown scenario mode {other:?}"))),
+        };
+        Ok(Scenario {
+            mode,
+            schedule: ScheduleKind::from_json(v.get("schedule")?)?,
+            seed: v.get("seed")?.as_u64()?,
+            agreement: match v.get_opt("agreement") {
+                None | Some(Json::Null) => None,
+                Some(cfg) => Some(agreement_config_from_json(cfg)?),
+            },
+            engine: match v.get_opt("engine") {
+                None | Some(Json::Null) => EngineKnobs::default(),
+                Some(e) => EngineKnobs::from_json(e)?,
+            },
+        })
+    }
+
+    /// Parse a complete scenario document.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// The canonical pretty-printed document (what [`Scenario::load`]
+    /// reads and the golden-file test pins).
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Write the canonical document to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render_pretty())
+    }
+
+    /// Load and parse a scenario file (structural errors only; call
+    /// [`Scenario::validate`] before running it).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Serialize the agreement constants (all fields explicit, so a scenario
+/// pins the exact protocol point even if defaults change).
+pub fn agreement_config_to_json(cfg: &AgreementConfig) -> Json {
+    Json::Obj(vec![
+        ("n".into(), Json::UInt(cfg.n as u64)),
+        ("beta".into(), Json::UInt(cfg.beta as u64)),
+        ("cells_per_bin".into(), Json::UInt(cfg.cells_per_bin as u64)),
+        ("omega".into(), Json::UInt(cfg.omega)),
+        (
+            "clock_read_period".into(),
+            Json::UInt(cfg.clock_read_period),
+        ),
+        ("update_period".into(), Json::UInt(cfg.update_period)),
+        ("eval_cost".into(), Json::UInt(cfg.eval_cost)),
+        ("clock_threshold".into(), Json::UInt(cfg.clock_threshold)),
+    ])
+}
+
+/// Deserialize the agreement constants.
+pub fn agreement_config_from_json(v: &Json) -> Result<AgreementConfig, JsonError> {
+    Ok(AgreementConfig {
+        n: v.get("n")?.as_usize()?,
+        beta: v.get("beta")?.as_usize()?,
+        cells_per_bin: v.get("cells_per_bin")?.as_usize()?,
+        omega: v.get("omega")?.as_u64()?,
+        clock_read_period: v.get("clock_read_period")?.as_u64()?,
+        update_period: v.get("update_period")?.as_u64()?,
+        eval_cost: v.get("eval_cost")?.as_u64()?,
+        clock_threshold: v.get("clock_threshold")?.as_u64()?,
+    })
+}

@@ -27,6 +27,12 @@ pub struct SchemeRunConfig {
     pub k: ReplicaK,
     /// Override the agreement constants (default: sized from the program).
     pub agreement: Option<AgreementConfig>,
+    /// Engine batch size (`None` keeps the machine default; batching is
+    /// tick-transparent, so this changes throughput, never results).
+    pub batch: Option<usize>,
+    /// Override for the per-subphase stall budget in work units (`None`
+    /// derives a generous default from the agreement constants).
+    pub tick_budget: Option<u64>,
 }
 
 impl SchemeRunConfig {
@@ -38,6 +44,8 @@ impl SchemeRunConfig {
             schedule: ScheduleKind::Uniform,
             k: ReplicaK::default(),
             agreement: None,
+            batch: None,
+            tick_budget: None,
         }
     }
 
@@ -52,6 +60,18 @@ impl SchemeRunConfig {
         self.k = ReplicaK(k);
         self
     }
+
+    /// Set the engine batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Set the per-subphase stall budget.
+    pub fn tick_budget(mut self, budget: u64) -> Self {
+        self.tick_budget = Some(budget);
+        self
+    }
 }
 
 /// A fully assembled scheme execution.
@@ -64,6 +84,7 @@ pub struct SchemeRun {
     lw: Rc<LastWriteTable>,
     events: EventsHandle,
     schedule_desc: String,
+    tick_budget: Option<u64>,
 }
 
 impl SchemeRun {
@@ -111,13 +132,16 @@ impl SchemeRun {
             sink,
         };
 
-        let machine = MachineBuilder::new(n, alloc.total())
+        let mut builder = MachineBuilder::new(n, alloc.total())
             .seed(run_cfg.seed)
-            .schedule_kind(&run_cfg.schedule)
-            .build(move |ctx| {
-                let p = proc_template.clone();
-                p.run(ctx)
-            });
+            .schedule_kind(&run_cfg.schedule);
+        if let Some(b) = run_cfg.batch {
+            builder = builder.batch(b);
+        }
+        let machine = builder.build(move |ctx| {
+            let p = proc_template.clone();
+            p.run(ctx)
+        });
 
         // Install the initial program-variable values into every replica
         // with stamp 0 (the "input" state of the machine).
@@ -137,6 +161,7 @@ impl SchemeRun {
             lw,
             events,
             schedule_desc,
+            tick_budget: run_cfg.tick_budget,
         }
     }
 
@@ -158,8 +183,9 @@ impl SchemeRun {
         let mut observed = ObservedRun::default();
         let mut subphase_work = Vec::with_capacity(done as usize);
         let mut boundary = 0u64; // next clock value whose crossing we await
-        let subphase_budget =
-            64 * self.cfg.nominal_cycles_per_phase().max(1) * self.cfg.omega + 2_000_000;
+        let subphase_budget = self.tick_budget.unwrap_or_else(|| {
+            64 * self.cfg.nominal_cycles_per_phase().max(1) * self.cfg.omega + 2_000_000
+        });
         while boundary < done {
             let budget = self.machine.work() + subphase_budget;
             loop {

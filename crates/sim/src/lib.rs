@@ -20,7 +20,7 @@
 //!
 //! Protocol code is plain `async` Rust over a [`Ctx`]; every `await` of a
 //! `Ctx` operation is exactly one atomic step, granted by the adversary
-//! schedule one tick at a time (see [`exec`]). This gives exact, replayable
+//! schedule one tick at a time (the `exec` engine). This gives exact, replayable
 //! work accounting — the measurement the paper's theorems are stated in —
 //! which physical threads cannot provide.
 //!

@@ -31,6 +31,11 @@ pub struct CampaignConfig {
     pub sched: SchedGenConfig,
     /// Run the DetBaseline differential leg on nondeterministic programs.
     pub det_leg: bool,
+    /// Run the comparator legs ([`SchemeKind::ScanConsensus`] and
+    /// [`SchemeKind::IdealCas`]) on every triple. Both are expected to be
+    /// clean — divergences land in
+    /// [`CampaignOutcome::comparator_divergences`] and are bugs.
+    pub comparator_legs: bool,
     /// Force every program nondeterministic (maximizes the differential
     /// leg's coverage).
     pub nondet_only: bool,
@@ -51,6 +56,7 @@ impl CampaignConfig {
             gen: GenConfig::default(),
             sched: SchedGenConfig::default(),
             det_leg: true,
+            comparator_legs: false,
             nondet_only: true,
             max_secs: None,
             chunk: 256,
@@ -84,6 +90,11 @@ pub struct CampaignOutcome {
     /// DetBaseline divergences — expected witnesses of prior-work
     /// unsoundness.
     pub det_divergences: Vec<Finding>,
+    /// Comparator-leg trials run (two per triple when enabled).
+    pub comparator_trials_run: usize,
+    /// Comparator-leg divergences — like the Nondet leg, **any entry is a
+    /// bug**: both comparators are sound on the synthesized space.
+    pub comparator_divergences: Vec<Finding>,
     /// Clock-stall aborts (liveness budget trips, counted per scheme leg).
     pub stalls: usize,
     /// Campaign wall time in seconds.
@@ -125,15 +136,26 @@ pub fn run_campaign(
         let end = (next + cfg.chunk.max(1)).min(cfg.trials);
         let indices: Vec<usize> = (next..end).collect();
         // Each worker generates its own triple from the index (cheap and
-        // Send-friendly) and runs both oracle legs.
-        let results: Vec<(Triple, Verdict, Option<Verdict>)> = run_trials(&indices, |&i| {
+        // Send-friendly) and runs every enabled oracle leg. All legs of a
+        // triple are scenarios differing only in `mode.scheme`
+        // ([`Triple::scenario`]).
+        type LegResults = (Triple, Verdict, Option<Verdict>, Vec<(SchemeKind, Verdict)>);
+        let results: Vec<LegResults> = run_trials(&indices, |&i| {
             let triple = campaign_triple(cfg, i);
             let nondet = check_triple(&triple, SchemeKind::Nondet);
             let det = (cfg.det_leg && triple.program.is_nondeterministic())
                 .then(|| check_triple(&triple, SchemeKind::DetBaseline));
-            (triple, nondet, det)
+            let comparators = if cfg.comparator_legs {
+                [SchemeKind::ScanConsensus, SchemeKind::IdealCas]
+                    .into_iter()
+                    .map(|kind| (kind, check_triple(&triple, kind)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (triple, nondet, det, comparators)
         });
-        for (offset, (triple, nondet, det)) in results.into_iter().enumerate() {
+        for (offset, (triple, nondet, det, comparators)) in results.into_iter().enumerate() {
             let index = next + offset;
             outcome.trials_run += 1;
             outcome.stalls += usize::from(nondet.stalled);
@@ -151,9 +173,21 @@ pub fn run_campaign(
                 if det.diverged() {
                     outcome.det_divergences.push(Finding {
                         index,
-                        triple,
+                        triple: triple.clone(),
                         scheme: SchemeKind::DetBaseline,
                         verdict: det,
+                    });
+                }
+            }
+            for (scheme, verdict) in comparators {
+                outcome.comparator_trials_run += 1;
+                outcome.stalls += usize::from(verdict.stalled);
+                if verdict.diverged() {
+                    outcome.comparator_divergences.push(Finding {
+                        index,
+                        triple: triple.clone(),
+                        scheme,
+                        verdict,
                     });
                 }
             }
@@ -162,7 +196,9 @@ pub fn run_campaign(
         if let Some(cb) = progress.as_deref_mut() {
             cb(
                 outcome.trials_run,
-                outcome.nondet_divergences.len() + outcome.det_divergences.len(),
+                outcome.nondet_divergences.len()
+                    + outcome.det_divergences.len()
+                    + outcome.comparator_divergences.len(),
             );
         }
     }
@@ -185,6 +221,28 @@ mod tests {
             outcome.nondet_divergences
         );
         assert!(outcome.det_trials_run > 0);
+    }
+
+    /// The comparator legs (scan-consensus and ideal-CAS) must verify
+    /// clean over a fixed-seed campaign — the ROADMAP's differential
+    /// follow-on, pinned as campaign evidence.
+    #[test]
+    fn comparator_legs_are_clean_on_a_fixed_seed_campaign() {
+        let mut cfg = CampaignConfig::new(10, 0xBEEF);
+        cfg.det_leg = false;
+        cfg.comparator_legs = true;
+        let outcome = run_campaign(&cfg, None);
+        assert_eq!(outcome.trials_run, 10);
+        assert_eq!(outcome.comparator_trials_run, 20);
+        assert!(
+            outcome.comparator_divergences.is_empty(),
+            "{:?}",
+            outcome
+                .comparator_divergences
+                .iter()
+                .map(|f| (f.index, f.scheme, f.verdict.clone()))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -12,20 +12,23 @@
 //! * [`sched_gen`] — seeded synthesis of adversarial scripted schedules
 //!   (phase-aligned starvation, tardy-writer windows, crash fallbacks)
 //!   beyond the built-in gallery;
-//! * [`oracle`] — the differential oracle: run a (program, schedule,
-//!   seed) triple through a scheme on the batched engine, replay the
-//!   agreed choices through the ideal executor, and fail on any memory /
-//!   output / work-accounting divergence;
+//! * [`oracle`] — the differential oracle: lift a (program, schedule,
+//!   seed) triple plus a scheme into a full
+//!   [`Scenario`](apex_scenario::Scenario), run it on the batched engine,
+//!   replay the agreed choices through the ideal executor, and fail on any
+//!   memory / output / work-accounting divergence — the legs of a
+//!   comparison are scenarios differing in exactly one field;
 //! * [`campaign`] — seeded sweeps on the parallel trial runner:
 //!   [`SchemeKind::Nondet`](apex_scheme::SchemeKind) must stay clean,
 //!   while the DetBaseline leg *finds* divergences (E10 generalized);
-//! * [`shrink`] — greedy minimization of failing triples (drop steps /
+//! * [`shrink`](mod@shrink) — greedy minimization of failing triples (drop steps /
 //!   instructions / threads / schedule segments, re-validating EREW);
-//! * [`repro`] — self-contained JSON reproducers in `corpus/`, replayed
-//!   by `cargo test` forever after.
+//! * [`repro`] — self-contained JSON reproducers in `corpus/` (format v2:
+//!   an embedded scenario document plus the expected outcome; v1 still
+//!   reads), replayed by `cargo test` forever after.
 //!
 //! The `apex-synth` binary drives it all:
-//! `cargo run --release -p apex-synth -- gen|fuzz|shrink|replay …`.
+//! `cargo run --release -p apex-synth -- gen|fuzz|shrink|replay|run|migrate …`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,7 +42,7 @@ pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, Finding};
 pub use gen::{conflicting_mutation, generate_nondet_program, generate_program, GenConfig};
-pub use oracle::{check_triple, judge, run_triple, Triple, Verdict};
+pub use oracle::{check_scenario, check_triple, judge, run_scenario, run_triple, Triple, Verdict};
 pub use repro::{Expectation, Reproducer};
 pub use sched_gen::{generate_schedule, SchedGenConfig};
 pub use shrink::{shrink, ShrinkStats};

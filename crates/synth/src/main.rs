@@ -1,36 +1,45 @@
 //! `apex-synth` — the scenario-synthesis / differential-fuzzing CLI.
 //!
 //! ```text
-//! apex-synth gen    --seed S --count K [--show-schedule]
-//! apex-synth fuzz   --seed S --trials K [--out DIR] [--keep N]
-//!                   [--max-secs T] [--shrink-budget R] [--no-det] [--no-write]
-//! apex-synth shrink --file REPRO.json [--out DIR] [--shrink-budget R]
-//! apex-synth replay --file REPRO.json | --dir DIR
+//! apex-synth gen     --seed S --count K [--show-schedule]
+//! apex-synth fuzz    --seed S --trials K [--out DIR] [--keep N]
+//!                    [--max-secs T] [--shrink-budget R] [--no-det]
+//!                    [--comparators] [--no-write]
+//! apex-synth shrink  --file REPRO.json [--out DIR] [--shrink-budget R]
+//! apex-synth replay  --file REPRO.json | --dir DIR
+//! apex-synth run     SCENARIO.json [--emit OUT.json]
+//! apex-synth migrate [--dir DIR]
 //! ```
 //!
 //! `fuzz` sweeps seeded triples through the differential oracle on the
 //! parallel trial runner (`APEX_RUNNER_THREADS` controls fan-out), shrinks
 //! up to `--keep` DetBaseline divergences, and writes them as JSON
 //! reproducers; any Nondet-scheme divergence is written too and fails the
-//! process — that would be a real bug.
+//! process — that would be a real bug. `run` executes any scenario file —
+//! fuzzer-found, benchmark, or hand-written — so every run in the
+//! workspace is a shareable JSON document. `migrate` rewrites legacy (v1)
+//! corpus artifacts in the current format.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use apex_scenario::Scenario;
 use apex_scheme::SchemeKind;
 use apex_synth::campaign::{campaign_triple, run_campaign, CampaignConfig, Finding};
-use apex_synth::repro::{Expectation, Reproducer};
+use apex_synth::repro::{Expectation, Reproducer, VERSION};
 use apex_synth::{check_triple, shrink};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apex-synth <gen|fuzz|shrink|replay> [options]\n\
+        "usage: apex-synth <gen|fuzz|shrink|replay|run|migrate> [options]\n\
          \n\
-         gen    --seed S --count K [--show-schedule]   print generated programs\n\
-         fuzz   --seed S --trials K [--out DIR] [--keep N] [--max-secs T]\n\
-                [--shrink-budget R] [--no-det] [--no-write]\n\
-         shrink --file F [--out DIR] [--shrink-budget R]\n\
-         replay --file F | --dir DIR"
+         gen     --seed S --count K [--show-schedule]   print generated programs\n\
+         fuzz    --seed S --trials K [--out DIR] [--keep N] [--max-secs T]\n\
+                 [--shrink-budget R] [--no-det] [--comparators] [--no-write]\n\
+         shrink  --file F [--out DIR] [--shrink-budget R]\n\
+         replay  --file F | --dir DIR\n\
+         run     SCENARIO.json [--emit OUT.json]       execute a scenario file\n\
+         migrate [--dir DIR]                           rewrite artifacts at v{VERSION}"
     );
     std::process::exit(2)
 }
@@ -85,14 +94,91 @@ impl Args {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
+    if cmd == "run" {
+        // `run` takes a positional scenario file.
+        return cmd_run(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..]);
     match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "fuzz" => cmd_fuzz(&args),
         "shrink" => cmd_shrink(&args),
         "replay" => cmd_replay(&args),
+        "migrate" => cmd_migrate(&args),
         _ => usage(),
     }
+}
+
+/// Execute one scenario file: validate, (optionally) re-emit the
+/// canonical serialized form, run, and report. Exit code 0 iff the run
+/// met its mode's correctness bar.
+fn cmd_run(raw: &[String]) -> ExitCode {
+    let (file, rest) = match raw.first() {
+        Some(f) if !f.starts_with("--") => (Some(f.clone()), &raw[1..]),
+        _ => (None, raw),
+    };
+    let args = Args::parse(rest);
+    let Some(file) = file.or_else(|| args.get("file").map(str::to_string)) else {
+        usage()
+    };
+    let scenario = match Scenario::load(Path::new(&file)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = scenario.validate() {
+        eprintln!("{file}: invalid scenario: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = args.get("emit") {
+        if let Err(e) = scenario.save(Path::new(out)) {
+            eprintln!("failed to write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote canonical form to {out}");
+    }
+    let report = scenario.run();
+    println!("{}", report.summary());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Rewrite every artifact in a corpus directory in the current format
+/// (legacy v1 files come back v2 under their new content-derived names).
+fn cmd_migrate(args: &Args) -> ExitCode {
+    let dir = PathBuf::from(args.get("dir").unwrap_or("corpus"));
+    let entries = match Reproducer::load_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (path, repro) in &entries {
+        let new_path = match repro.save(&dir) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("failed to rewrite {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if *path != new_path {
+            if let Err(e) = std::fs::remove_file(path) {
+                eprintln!("failed to remove superseded {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("migrated {} -> {}", path.display(), new_path.display());
+        } else {
+            println!("rewrote {} in place", path.display());
+        }
+    }
+    println!("{} artifacts now at format v{VERSION}", entries.len());
+    ExitCode::SUCCESS
 }
 
 fn cmd_gen(args: &Args) -> ExitCode {
@@ -125,12 +211,7 @@ fn cmd_gen(args: &Args) -> ExitCode {
 }
 
 fn write_reproducer(finding: &Finding, expected: Expectation, note: String, out: &std::path::Path) {
-    let repro = Reproducer {
-        scheme: finding.scheme,
-        expected,
-        note,
-        triple: finding.triple.clone(),
-    };
+    let repro = Reproducer::new(finding.scheme, expected, note, &finding.triple);
     match repro.save(out) {
         Ok(path) => println!("  wrote {}", path.display()),
         Err(e) => eprintln!("  failed to write reproducer: {e}"),
@@ -147,13 +228,14 @@ fn cmd_fuzz(args: &Args) -> ExitCode {
 
     let mut cfg = CampaignConfig::new(trials, seed);
     cfg.det_leg = !args.has("no-det");
+    cfg.comparator_legs = args.has("comparators");
     if args.has("max-secs") {
         cfg.max_secs = Some(args.num("max-secs", 30.0));
     }
 
     println!(
-        "fuzz: {} triples from seed {} (det leg: {})",
-        trials, seed, cfg.det_leg
+        "fuzz: {} triples from seed {} (det leg: {}, comparator legs: {})",
+        trials, seed, cfg.det_leg, cfg.comparator_legs
     );
     let mut last_print = std::time::Instant::now();
     let mut progress = move |done: usize, findings: usize| {
@@ -176,19 +258,34 @@ fn cmd_fuzz(args: &Args) -> ExitCode {
         "det-baseline divergences:  {} (witnesses of prior-work unsoundness)",
         outcome.det_divergences.len()
     );
-
-    // A paper-scheme divergence is a real bug: record it and fail loudly.
-    for finding in &outcome.nondet_divergences {
+    if cfg.comparator_legs {
         println!(
-            "BUG: nondet scheme diverged on triple {} ({:?})",
-            finding.index, finding.verdict
+            "comparator divergences:    {} over {} legs (must be 0)",
+            outcome.comparator_divergences.len(),
+            outcome.comparator_trials_run
+        );
+    }
+
+    // A paper-scheme (or comparator) divergence is a real bug: record it
+    // and fail loudly.
+    for finding in outcome
+        .nondet_divergences
+        .iter()
+        .chain(&outcome.comparator_divergences)
+    {
+        println!(
+            "BUG: {} diverged on triple {} ({:?})",
+            finding.scheme.label(),
+            finding.index,
+            finding.verdict
         );
         if write {
             write_reproducer(
                 finding,
                 Expectation::Diverges,
                 format!(
-                    "UNEXPECTED nondet-scheme divergence; campaign seed {seed}, triple {}",
+                    "UNEXPECTED {} divergence; campaign seed {seed}, triple {}",
+                    finding.scheme.label(),
                     finding.index
                 ),
                 &out,
@@ -233,7 +330,7 @@ fn cmd_fuzz(args: &Args) -> ExitCode {
         }
     }
 
-    if !outcome.nondet_divergences.is_empty() {
+    if !outcome.nondet_divergences.is_empty() || !outcome.comparator_divergences.is_empty() {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -256,24 +353,26 @@ fn cmd_shrink(args: &Args) -> ExitCode {
         eprintln!("only divergence reproducers can be shrunk");
         return ExitCode::FAILURE;
     }
-    let verdict = check_triple(&repro.triple, repro.scheme);
+    let triple = repro.triple();
+    let verdict = check_triple(&triple, repro.scheme());
     if !verdict.diverged() {
         eprintln!("triple no longer diverges; nothing to shrink");
         return ExitCode::FAILURE;
     }
-    let (small, stats) = shrink(&repro.triple, repro.scheme, shrink_budget);
+    let (small, stats) = shrink(&triple, repro.scheme(), shrink_budget);
     println!(
         "shrunk {:?} -> {:?} in {} runs",
         stats.before, stats.after, stats.runs
     );
-    let new = Reproducer {
-        triple: small,
-        note: format!(
+    let new = Reproducer::new(
+        repro.scheme(),
+        repro.expected,
+        format!(
             "{} (re-shrunk: {:?} -> {:?})",
             repro.note, stats.before, stats.after
         ),
-        ..repro
-    };
+        &small,
+    );
     match new.save(&out) {
         Ok(path) => {
             println!("wrote {}", path.display());
@@ -314,7 +413,7 @@ fn cmd_replay(args: &Args) -> ExitCode {
             Ok(verdict) => println!(
                 "ok   {} ({}, expect {:?}, violations={})",
                 path.display(),
-                repro.scheme.label(),
+                repro.scheme().label(),
                 repro.expected,
                 verdict.violations
             ),

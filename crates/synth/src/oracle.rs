@@ -2,7 +2,11 @@
 //!
 //! One triple fixes an entire asynchronous execution: the program, the
 //! oblivious adversary, and the master seed that derives every private
-//! random source. The oracle runs the triple through an execution scheme
+//! random source. A triple plus a scheme is a full [`Scenario`]
+//! ([`Triple::scenario`]), and every oracle leg goes through
+//! [`Scenario::run`] — so the legs of a differential comparison are
+//! scenarios differing in exactly one field, `mode.scheme`. The oracle
+//! runs the scenario through its execution scheme
 //! on the batched engine; the scheme harness then replays the agreed
 //! choices through the ideal executor with `Choices::Injected` and
 //! compares memory, per-instruction outputs, and admissibility
@@ -20,10 +24,12 @@
 //! hand-written workload to the synthesized program space).
 
 use apex_pram::Program;
-use apex_scheme::{SchemeKind, SchemeReport, SchemeRun, SchemeRunConfig};
+use apex_scenario::{ProgramSource, Scenario};
+use apex_scheme::{SchemeKind, SchemeReport};
 use apex_sim::ScheduleKind;
 
-/// One generated scenario.
+/// One generated scenario point: the workload and adversary, with the
+/// scheme left open (the differential axis).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Triple {
     /// The synthesized strict-EREW program.
@@ -32,6 +38,20 @@ pub struct Triple {
     pub schedule: ScheduleKind,
     /// Master seed (private random sources + schedule fallback stream).
     pub seed: u64,
+}
+
+impl Triple {
+    /// The full [`Scenario`] this triple describes under `kind` — the
+    /// oracle's legs differ **only** in this one field, which is the whole
+    /// differential argument.
+    pub fn scenario(&self, kind: SchemeKind) -> Scenario {
+        Scenario::scheme(
+            kind,
+            ProgramSource::Explicit(self.program.clone()),
+            self.seed,
+        )
+        .schedule(self.schedule.clone())
+    }
 }
 
 /// Why a scheme run aborted instead of completing.
@@ -69,14 +89,14 @@ impl Verdict {
     }
 }
 
-/// Execute `triple` under `kind`, classifying panics: the harness's
+/// Execute a scheme-mode scenario, classifying panics: the harness's
 /// clock-stall assertion becomes [`RunAbort::ClockStall`]; any other panic
-/// is [`RunAbort::Panic`] and must be treated as a failure by callers.
-pub fn run_triple(triple: &Triple, kind: SchemeKind) -> Result<SchemeReport, RunAbort> {
-    let cfg = SchemeRunConfig::new(kind, triple.seed).schedule(triple.schedule.clone());
-    let program = triple.program.clone();
+/// (including a failed [`Scenario::validate`]) is [`RunAbort::Panic`] and
+/// must be treated as a failure by callers.
+pub fn run_scenario(scenario: &Scenario) -> Result<SchemeReport, RunAbort> {
+    let scenario = scenario.clone();
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        SchemeRun::new(program, cfg).run()
+        scenario.run().into_scheme()
     }))
     .map_err(|payload| {
         let msg = payload
@@ -90,6 +110,11 @@ pub fn run_triple(triple: &Triple, kind: SchemeKind) -> Result<SchemeReport, Run
             RunAbort::Panic(msg)
         }
     })
+}
+
+/// [`run_scenario`] for a (triple, scheme) pair.
+pub fn run_triple(triple: &Triple, kind: SchemeKind) -> Result<SchemeReport, RunAbort> {
+    run_scenario(&triple.scenario(kind))
 }
 
 /// Apply the oracle's checks to a completed run.
@@ -127,12 +152,12 @@ pub fn judge(report: &SchemeReport) -> Verdict {
     }
 }
 
-/// [`run_triple`] + [`judge`] in one call. A clock stall yields a verdict
-/// with `stalled = true` and no divergence; any other panic *is* a
+/// [`run_scenario`] + [`judge`] in one call. A clock stall yields a
+/// verdict with `stalled = true` and no divergence; any other panic *is* a
 /// divergence (recorded as a work anomaly so campaigns and reproducers
 /// fail loudly on engine crashes).
-pub fn check_triple(triple: &Triple, kind: SchemeKind) -> Verdict {
-    match run_triple(triple, kind) {
+pub fn check_scenario(scenario: &Scenario) -> Verdict {
+    match run_scenario(scenario) {
         Ok(report) => judge(&report),
         Err(RunAbort::ClockStall(_)) => Verdict {
             stalled: true,
@@ -143,6 +168,11 @@ pub fn check_triple(triple: &Triple, kind: SchemeKind) -> Verdict {
             ..Verdict::default()
         },
     }
+}
+
+/// [`check_scenario`] for a (triple, scheme) pair.
+pub fn check_triple(triple: &Triple, kind: SchemeKind) -> Verdict {
+    check_scenario(&triple.scenario(kind))
 }
 
 #[cfg(test)]
@@ -197,6 +227,45 @@ mod tests {
         let v = judge(&report);
         assert!(v.work_anomalies.len() >= 2, "{v:?}");
         assert!(v.diverged());
+    }
+
+    #[test]
+    fn oracle_legs_differ_only_in_the_scheme_field() {
+        let t = triple(2);
+        let a = t.scenario(SchemeKind::Nondet);
+        let b = t.scenario(SchemeKind::DetBaseline);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.agreement, b.agreement);
+        assert_eq!(a.engine, b.engine);
+        let (
+            apex_scenario::Mode::Scheme {
+                program: pa,
+                replicas: ka,
+                ..
+            },
+            apex_scenario::Mode::Scheme {
+                program: pb,
+                replicas: kb,
+                ..
+            },
+        ) = (&a.mode, &b.mode)
+        else {
+            panic!("triple scenarios are scheme-mode");
+        };
+        assert_eq!(pa, pb);
+        assert_eq!(ka, kb);
+        assert_ne!(a, b, "the one differing field");
+    }
+
+    #[test]
+    fn comparator_schemes_are_clean_on_a_synthesized_triple() {
+        let t = triple(4);
+        for kind in [SchemeKind::ScanConsensus, SchemeKind::IdealCas] {
+            let v = check_triple(&t, kind);
+            assert!(!v.stalled, "{kind:?} stalled");
+            assert!(!v.diverged(), "{kind:?}: {v:?}");
+        }
     }
 
     #[test]

@@ -8,175 +8,40 @@
 //! `cargo test`, so every past divergence of the deterministic baseline
 //! stays pinned, and the paper scheme's cleanliness on the same triples is
 //! re-asserted forever.
+//!
+//! **Format v2** (current): the artifact embeds a full
+//! [`Scenario`] document — the workspace's single declarative run
+//! description — plus the expected outcome and a provenance note. A
+//! reproducer is therefore an ordinary scenario file with an assertion
+//! attached; `apex-synth run` executes the scenario half directly.
+//! **Format v1** (legacy) spelled the scheme/seed/schedule/program fields
+//! inline; the reader still accepts it (and `apex-synth migrate` rewrites
+//! old artifacts in place).
 
 use std::path::{Path, PathBuf};
 
-use apex_pram::{Instr, Op, Operand, Program, VarId};
+use apex_scenario::{Mode, ProgramSource, Scenario};
 use apex_scheme::SchemeKind;
 use apex_sim::{Json, JsonError, ScheduleKind};
 
-use crate::oracle::{check_triple, Triple, Verdict};
+// The stable program/op JSON codec moved to `apex-scenario` with the
+// Scenario redesign; re-exported here for the original importers.
+pub use apex_scenario::{
+    op_from_name, op_name, program_from_json, program_to_json, scheme_from_label,
+};
 
-/// Artifact format version.
-pub const VERSION: u64 = 1;
+use crate::oracle::{check_scenario, Triple, Verdict};
+
+/// Current artifact format version.
+pub const VERSION: u64 = 2;
+/// Oldest artifact format version the reader still accepts.
+pub const OLDEST_READABLE_VERSION: u64 = 1;
 
 fn jerr(msg: impl Into<String>) -> JsonError {
     JsonError {
         msg: msg.into(),
         at: 0,
     }
-}
-
-/// `Op` → stable artifact name.
-pub fn op_name(op: Op) -> &'static str {
-    match op {
-        Op::Add => "add",
-        Op::Sub => "sub",
-        Op::Mul => "mul",
-        Op::Min => "min",
-        Op::Max => "max",
-        Op::Xor => "xor",
-        Op::And => "and",
-        Op::Or => "or",
-        Op::Shl => "shl",
-        Op::Shr => "shr",
-        Op::Lt => "lt",
-        Op::Eq => "eq",
-        Op::Mov => "mov",
-        Op::RandBit => "rand-bit",
-        Op::RandBelow => "rand-below",
-    }
-}
-
-/// Stable artifact name → `Op`.
-pub fn op_from_name(name: &str) -> Result<Op, JsonError> {
-    Ok(match name {
-        "add" => Op::Add,
-        "sub" => Op::Sub,
-        "mul" => Op::Mul,
-        "min" => Op::Min,
-        "max" => Op::Max,
-        "xor" => Op::Xor,
-        "and" => Op::And,
-        "or" => Op::Or,
-        "shl" => Op::Shl,
-        "shr" => Op::Shr,
-        "lt" => Op::Lt,
-        "eq" => Op::Eq,
-        "mov" => Op::Mov,
-        "rand-bit" => Op::RandBit,
-        "rand-below" => Op::RandBelow,
-        other => return Err(jerr(format!("unknown op {other:?}"))),
-    })
-}
-
-fn operand_to_json(o: &Operand) -> Json {
-    match o {
-        Operand::Var(v) => Json::Obj(vec![("var".into(), Json::UInt(*v as u64))]),
-        Operand::Const(c) => Json::Obj(vec![("const".into(), Json::UInt(*c))]),
-    }
-}
-
-fn operand_from_json(v: &Json) -> Result<Operand, JsonError> {
-    if let Some(var) = v.get_opt("var") {
-        Ok(Operand::Var(var.as_usize()?))
-    } else if let Some(c) = v.get_opt("const") {
-        Ok(Operand::Const(c.as_u64()?))
-    } else {
-        Err(jerr(format!("operand needs var or const: {v:?}")))
-    }
-}
-
-fn instr_to_json(i: &Instr) -> Json {
-    Json::Obj(vec![
-        ("dst".into(), Json::UInt(i.dst as u64)),
-        ("op".into(), Json::Str(op_name(i.op).into())),
-        ("a".into(), operand_to_json(&i.a)),
-        ("b".into(), operand_to_json(&i.b)),
-    ])
-}
-
-fn instr_from_json(v: &Json) -> Result<Instr, JsonError> {
-    Ok(Instr::new(
-        v.get("dst")?.as_usize()? as VarId,
-        op_from_name(v.get("op")?.as_str()?)?,
-        operand_from_json(v.get("a")?)?,
-        operand_from_json(v.get("b")?)?,
-    ))
-}
-
-/// Serialize a program to its JSON artifact form.
-pub fn program_to_json(p: &Program) -> Json {
-    Json::Obj(vec![
-        ("name".into(), Json::Str(p.name.clone())),
-        ("n_threads".into(), Json::UInt(p.n_threads as u64)),
-        ("mem_size".into(), Json::UInt(p.mem_size as u64)),
-        (
-            "init".into(),
-            Json::Arr(p.init.iter().map(|v| Json::UInt(*v)).collect()),
-        ),
-        (
-            "steps".into(),
-            Json::Arr(
-                p.steps
-                    .iter()
-                    .map(|row| {
-                        Json::Arr(
-                            row.iter()
-                                .map(|slot| match slot {
-                                    None => Json::Null,
-                                    Some(i) => instr_to_json(i),
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Deserialize and **validate** a program from its JSON artifact form.
-pub fn program_from_json(v: &Json) -> Result<Program, JsonError> {
-    let p = Program {
-        name: v.get("name")?.as_str()?.to_string(),
-        n_threads: v.get("n_threads")?.as_usize()?,
-        mem_size: v.get("mem_size")?.as_usize()?,
-        init: v
-            .get("init")?
-            .as_arr()?
-            .iter()
-            .map(|x| x.as_u64())
-            .collect::<Result<_, _>>()?,
-        steps: v
-            .get("steps")?
-            .as_arr()?
-            .iter()
-            .map(|row| {
-                row.as_arr()?
-                    .iter()
-                    .map(|slot| match slot {
-                        Json::Null => Ok(None),
-                        other => instr_from_json(other).map(Some),
-                    })
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .collect::<Result<_, _>>()?,
-    };
-    p.validate()
-        .map_err(|e| jerr(format!("invalid program in artifact: {e}")))?;
-    Ok(p)
-}
-
-/// Scheme label round-trip (uses [`SchemeKind::label`] names).
-pub fn scheme_from_label(label: &str) -> Result<SchemeKind, JsonError> {
-    Ok(match label {
-        "nondet-scheme" => SchemeKind::Nondet,
-        "det-baseline" => SchemeKind::DetBaseline,
-        "scan-consensus" => SchemeKind::ScanConsensus,
-        "ideal-cas" => SchemeKind::IdealCas,
-        other => return Err(jerr(format!("unknown scheme {other:?}"))),
-    })
 }
 
 /// What a reproducer asserts about its run.
@@ -205,50 +70,106 @@ impl Expectation {
     }
 }
 
-/// A committed fuzz finding: a triple, the scheme it ran under, and the
-/// outcome the replay must reproduce.
+/// A committed fuzz finding: a scheme-mode [`Scenario`] and the outcome
+/// its replay must reproduce.
 #[derive(Clone, Debug)]
 pub struct Reproducer {
-    /// Scheme the triple runs under.
-    pub scheme: SchemeKind,
     /// Outcome the replay asserts.
     pub expected: Expectation,
     /// Provenance (campaign seed, shrink stats — free text).
     pub note: String,
-    /// The scenario itself.
-    pub triple: Triple,
+    /// The scenario itself (always scheme-mode with an explicit program).
+    pub scenario: Scenario,
 }
 
 impl Reproducer {
-    /// Serialize to the artifact JSON.
+    /// A reproducer for `triple` under `scheme`.
+    pub fn new(scheme: SchemeKind, expected: Expectation, note: String, triple: &Triple) -> Self {
+        Reproducer {
+            expected,
+            note,
+            scenario: triple.scenario(scheme),
+        }
+    }
+
+    /// The scheme the scenario runs under.
+    ///
+    /// # Panics
+    /// If the scenario is not scheme-mode (impossible for loaded
+    /// artifacts — the reader enforces it).
+    pub fn scheme(&self) -> SchemeKind {
+        match &self.scenario.mode {
+            Mode::Scheme { scheme, .. } => *scheme,
+            Mode::Agreement { .. } => panic!("reproducer scenario is not scheme-mode"),
+        }
+    }
+
+    /// The (program, schedule, seed) triple of the scenario.
+    ///
+    /// # Panics
+    /// If the scenario is not scheme-mode or its program fails to resolve
+    /// (the reader validates both).
+    pub fn triple(&self) -> Triple {
+        let Mode::Scheme { program, .. } = &self.scenario.mode else {
+            panic!("reproducer scenario is not scheme-mode");
+        };
+        Triple {
+            program: program.resolve().expect("validated reproducer program"),
+            schedule: self.scenario.schedule.clone(),
+            seed: self.scenario.seed,
+        }
+    }
+
+    /// Serialize to the (v2) artifact JSON.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("version".into(), Json::UInt(VERSION)),
-            ("scheme".into(), Json::Str(self.scheme.label().into())),
             ("expected".into(), Json::Str(self.expected.label().into())),
-            ("seed".into(), Json::UInt(self.triple.seed)),
             ("note".into(), Json::Str(self.note.clone())),
-            ("schedule".into(), self.triple.schedule.to_json()),
-            ("program".into(), program_to_json(&self.triple.program)),
+            ("scenario".into(), self.scenario.to_json()),
         ])
     }
 
-    /// Deserialize from artifact JSON (validates the program and the
-    /// schedule spec).
+    /// Deserialize from artifact JSON, accepting both the current v2 form
+    /// and the legacy v1 form; the scenario is validated either way.
     pub fn from_json(v: &Json) -> Result<Self, JsonError> {
         let version = v.get("version")?.as_u64()?;
-        if version != VERSION {
-            return Err(jerr(format!("unsupported artifact version {version}")));
+        let repro = match version {
+            1 => Self::from_json_v1(v)?,
+            2 => Reproducer {
+                expected: Expectation::from_label(v.get("expected")?.as_str()?)?,
+                note: v.get("note")?.as_str()?.to_string(),
+                scenario: Scenario::from_json(v.get("scenario")?)?,
+            },
+            other => {
+                return Err(jerr(format!(
+                    "unsupported artifact version {other} (this build reads \
+                     {OLDEST_READABLE_VERSION}..={VERSION})"
+                )))
+            }
+        };
+        if !matches!(repro.scenario.mode, Mode::Scheme { .. }) {
+            return Err(jerr("reproducer scenario must be scheme-mode"));
         }
+        repro
+            .scenario
+            .validate()
+            .map_err(|e| jerr(format!("invalid scenario in artifact: {e}")))?;
+        Ok(repro)
+    }
+
+    /// The legacy v1 layout: scheme / seed / schedule / program spelled
+    /// inline instead of an embedded scenario document.
+    fn from_json_v1(v: &Json) -> Result<Self, JsonError> {
+        let scheme = scheme_from_label(v.get("scheme")?.as_str()?)?;
+        let program = program_from_json(v.get("program")?)?;
+        let schedule = ScheduleKind::from_json(v.get("schedule")?)?;
+        let seed = v.get("seed")?.as_u64()?;
         Ok(Reproducer {
-            scheme: scheme_from_label(v.get("scheme")?.as_str()?)?,
             expected: Expectation::from_label(v.get("expected")?.as_str()?)?,
             note: v.get("note")?.as_str()?.to_string(),
-            triple: Triple {
-                program: program_from_json(v.get("program")?)?,
-                schedule: ScheduleKind::from_json(v.get("schedule")?)?,
-                seed: v.get("seed")?.as_u64()?,
-            },
+            scenario: Scenario::scheme(scheme, ProgramSource::Explicit(program), seed)
+                .schedule(schedule),
         })
     }
 
@@ -263,7 +184,7 @@ impl Reproducer {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        format!("{}-{:016x}.json", self.scheme.label(), h)
+        format!("{}-{:016x}.json", self.scheme().label(), h)
     }
 
     /// Write the pretty-printed artifact into `dir`; returns the path.
@@ -295,9 +216,9 @@ impl Reproducer {
             .collect()
     }
 
-    /// Replay the triple and check the recorded expectation holds.
+    /// Replay the scenario and check the recorded expectation holds.
     pub fn check(&self) -> Result<Verdict, String> {
-        let verdict = check_triple(&self.triple, self.scheme);
+        let verdict = check_scenario(&self.scenario);
         match self.expected {
             Expectation::Clean if verdict.stalled => {
                 Err("expected clean run, but the clock stalled".to_string())
@@ -319,20 +240,40 @@ mod tests {
     use super::*;
     use crate::gen::{generate_nondet_program, GenConfig};
     use crate::sched_gen::{generate_schedule, SchedGenConfig};
+    use apex_pram::Op;
 
-    fn reproducer(seed: u64) -> Reproducer {
+    fn triple(seed: u64) -> Triple {
         let program = generate_nondet_program(&GenConfig::default(), seed);
         let schedule = generate_schedule(&SchedGenConfig::default(), program.n_threads, seed);
-        Reproducer {
-            scheme: SchemeKind::Nondet,
-            expected: Expectation::Clean,
-            note: format!("test artifact seed {seed}"),
-            triple: Triple {
-                program,
-                schedule,
-                seed,
-            },
+        Triple {
+            program,
+            schedule,
+            seed,
         }
+    }
+
+    fn reproducer(seed: u64) -> Reproducer {
+        Reproducer::new(
+            SchemeKind::Nondet,
+            Expectation::Clean,
+            format!("test artifact seed {seed}"),
+            &triple(seed),
+        )
+    }
+
+    /// Render a reproducer in the legacy v1 layout (what pre-migration
+    /// corpus files look like).
+    fn to_json_v1(r: &Reproducer) -> Json {
+        let t = r.triple();
+        Json::Obj(vec![
+            ("version".into(), Json::UInt(1)),
+            ("scheme".into(), Json::Str(r.scheme().label().into())),
+            ("expected".into(), Json::Str(r.expected.label().into())),
+            ("seed".into(), Json::UInt(t.seed)),
+            ("note".into(), Json::Str(r.note.clone())),
+            ("schedule".into(), t.schedule.to_json()),
+            ("program".into(), program_to_json(&t.program)),
+        ])
     }
 
     #[test]
@@ -377,32 +318,69 @@ mod tests {
         let r = reproducer(5);
         let text = r.to_json().render_pretty();
         let back = Reproducer::from_json(&Json::parse(&text).unwrap()).unwrap();
-        assert_eq!(back.scheme, r.scheme);
+        assert_eq!(back.scheme(), r.scheme());
         assert_eq!(back.expected, r.expected);
         assert_eq!(back.note, r.note);
-        assert_eq!(back.triple, r.triple);
+        assert_eq!(back.scenario, r.scenario);
+        assert_eq!(back.triple(), r.triple());
+    }
+
+    #[test]
+    fn v1_artifacts_read_as_the_same_reproducer() {
+        let r = reproducer(9);
+        let v1_text = to_json_v1(&r).render_pretty();
+        let legacy = Reproducer::from_json(&Json::parse(&v1_text).unwrap()).unwrap();
+        assert_eq!(legacy.scheme(), r.scheme());
+        assert_eq!(legacy.expected, r.expected);
+        assert_eq!(legacy.note, r.note);
+        // The legacy reader lifts v1 fields into a full scenario — equal to
+        // the native v2 one, so re-saving migrates the artifact.
+        assert_eq!(legacy.scenario, r.scenario);
+        assert_eq!(
+            legacy.to_json().get("version").unwrap().as_u64().unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        let mut json = reproducer(3).to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::UInt(99);
+        }
+        let e = Reproducer::from_json(&json).unwrap_err();
+        assert!(e.msg.contains("unsupported artifact version"), "{e}");
     }
 
     #[test]
     fn invalid_programs_are_rejected_on_load() {
         let r = reproducer(6);
+        // Corrupt the embedded program's mem_size so bounds checks fail.
         let mut json = r.to_json();
-        // Corrupt: point two threads of step 0 at one destination… easiest
-        // to corrupt mem_size so bounds fail.
-        if let Json::Obj(fields) = &mut json {
-            for (k, v) in fields.iter_mut() {
-                if k == "program" {
-                    if let Json::Obj(pf) = v {
-                        for (pk, pv) in pf.iter_mut() {
-                            if pk == "mem_size" {
-                                *pv = Json::UInt(1);
-                            }
-                        }
+        fn corrupt(v: &mut Json) {
+            if let Json::Obj(fields) = v {
+                for (k, val) in fields.iter_mut() {
+                    if k == "mem_size" {
+                        *val = Json::UInt(1);
+                    } else {
+                        corrupt(val);
                     }
                 }
             }
         }
+        corrupt(&mut json);
         assert!(Reproducer::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn agreement_mode_scenarios_are_rejected_as_reproducers() {
+        use apex_scenario::SourceSpec;
+        let bad = Reproducer {
+            expected: Expectation::Clean,
+            note: String::new(),
+            scenario: Scenario::agreement(8, SourceSpec::Random(10), 1, 1),
+        };
+        assert!(Reproducer::from_json(&bad.to_json()).is_err());
     }
 
     #[test]
@@ -421,7 +399,7 @@ mod tests {
         let r = reproducer(8);
         let path = r.save(&dir).unwrap();
         let loaded = Reproducer::load(&path).unwrap();
-        assert_eq!(loaded.triple, r.triple);
+        assert_eq!(loaded.scenario, r.scenario);
         let entries = Reproducer::load_dir(&dir).unwrap();
         assert_eq!(entries.len(), 1);
         // The nondet scheme must verify clean, which is what this artifact

@@ -7,13 +7,14 @@
 //! Runs the same randomized PRAM program (parallel ±1 random walks) through
 //! the paper's execution scheme under every standard adversary schedule and
 //! prints the measured total work, the overhead, and the verifier verdict.
-//! The oblivious adversary may skew, burst, or put processors to sleep —
-//! the scheme's work stays within the same O(n log n log log n)-per-step
-//! envelope and the execution stays correct.
+//! Each run is one [`Scenario`]; the sweep varies exactly one field (the
+//! schedule). The oblivious adversary may skew, burst, or put processors to
+//! sleep — the scheme's work stays within the same
+//! O(n log n log log n)-per-step envelope and the execution stays correct.
 
-use apex::pram::library::random_walks;
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 fn main() {
     let n = 32;
@@ -23,12 +24,14 @@ fn main() {
     );
     println!("{}", "-".repeat(88));
     for kind in ScheduleKind::gallery() {
-        let built = random_walks(&vec![1_000_000; n], 4);
-        let report = SchemeRun::new(
-            built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, 7).schedule(kind.clone()),
+        let report = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::library("random-walks", n, vec![1_000_000, 4]),
+            7,
         )
-        .run();
+        .schedule(kind.clone())
+        .run()
+        .into_scheme();
         println!(
             "{:<52} {:>14} {:>9.0}x {:>6}",
             report.schedule,

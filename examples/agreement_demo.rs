@@ -4,30 +4,30 @@
 //! cargo run --release --example agreement_demo
 //! ```
 //!
-//! 16 asynchronous processors agree on 16 random words per phase. The demo
-//! runs three phases, prints Theorem 1's four properties per phase, and
-//! renders one bin's cells (value@stamp) so you can see the copy-forward
-//! structure and the stale cells left over from earlier phases.
+//! 16 asynchronous processors agree on 16 random words per phase. The run
+//! is described by an agreement-mode [`Scenario`] (the same declarative
+//! form the benchmarks and the fuzzer use), assembled with
+//! [`Scenario::build_agreement`] so the demo can step it one phase at a
+//! time. It runs three phases, prints Theorem 1's four properties per
+//! phase, and renders one bin's cells (value@stamp) so you can see the
+//! copy-forward structure and the stale cells left over from earlier
+//! phases.
 
-use std::rc::Rc;
-
-use apex::core::{AgreementRun, BinLayout, InstrumentOpts, RandomSource, ValueSource};
+use apex::core::{BinLayout, InstrumentOpts};
+use apex::scenario::SourceSpec;
 use apex::sim::ScheduleKind;
+use apex::Scenario;
 
 fn main() {
     let n = 16;
-    let source: Rc<dyn ValueSource> = Rc::new(RandomSource::new(90));
-    let mut run = AgreementRun::with_default_config(
-        n,
-        42,
-        &ScheduleKind::Sleepy {
+    let scenario = Scenario::agreement(n, SourceSpec::Random(90), 3, 42)
+        .schedule(ScheduleKind::Sleepy {
             sleepy_frac: 0.25,
             awake: 4000,
             asleep: 20_000,
-        },
-        source,
-        InstrumentOpts::full(),
-    );
+        })
+        .instrument(InstrumentOpts::full());
+    let mut run = scenario.build_agreement();
     println!("agreement config: {}", run.cfg.sizing_rationale());
 
     for _ in 0..3 {

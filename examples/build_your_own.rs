@@ -13,8 +13,9 @@
 
 use apex::pram::refexec::{execute, Choices};
 use apex::pram::{Op, Operand, ProgramBuilder};
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 fn main() {
     let n = 16usize;
@@ -120,12 +121,12 @@ fn main() {
     );
 
     // Asynchronous run under a bursty adversary (its own coin flips).
-    let report = SchemeRun::new(
-        program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 7)
-            .schedule(ScheduleKind::Bursty { mean_burst: 48 }),
-    )
-    .run();
+    // A hand-built program rides in a Scenario as an explicit source —
+    // `scenario.render_pretty()` would make this run a shareable JSON file.
+    let report = Scenario::scheme(SchemeKind::Nondet, ProgramSource::Explicit(program), 7)
+        .schedule(ScheduleKind::Bursty { mean_burst: 48 })
+        .run()
+        .into_scheme();
     let hits = report.final_memory[total];
     println!("asynchronous run:        {hits} / {n} darts hit");
     println!(

@@ -15,11 +15,13 @@
 //! This demo runs the same randomized program through the deterministic
 //! prior-work baseline and through the paper's agreement-based scheme,
 //! under the *resonant sleeper* adversary (sleeps tuned to the subphase
-//! length), and prints the verifier's violation counts.
+//! length), and prints the verifier's violation counts. The two legs are
+//! [`Scenario`]s differing in exactly one field — `mode.scheme` — which is
+//! the differential argument in miniature.
 
 use apex::baselines::adversary::resonant_sleepy;
-use apex::pram::library::random_walks;
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
+use apex::{ProgramSource, Scenario};
 
 fn main() {
     let n = 32;
@@ -33,13 +35,15 @@ fn main() {
     let mut nondet_total = 0usize;
     for kind in [SchemeKind::DetBaseline, SchemeKind::Nondet] {
         for seed in 0..seeds {
-            let built = random_walks(&vec![1000u64; n], 16);
             let cfg = apex::core::AgreementConfig::for_n(n, apex::scheme::tasks::eval_cost(2));
-            let report = SchemeRun::new(
-                built.program,
-                SchemeRunConfig::new(kind, seed).schedule(resonant_sleepy(&cfg, 0.5)),
+            let report = Scenario::scheme(
+                kind,
+                ProgramSource::library("random-walks", n, vec![1000, 16]),
+                seed,
             )
-            .run();
+            .schedule(resonant_sleepy(&cfg, 0.5))
+            .run()
+            .into_scheme();
             let v = report.verify.violations();
             match kind {
                 SchemeKind::DetBaseline => det_total += v,

@@ -8,6 +8,10 @@
 //! updates each clock level consumed (the paper's α₁·n … α₂·n window),
 //! the counter spread kept tight by the two-choice rule, and shows a stale
 //! write by a "tardy processor" being jump-repaired.
+//!
+//! (This demo deliberately assembles raw machines: the clock is the
+//! substrate *below* the workspace's declarative `Scenario` layer, which
+//! the other examples use.)
 
 use apex::clock::{measure_advances, ClockConfig, PhaseClock};
 use apex::sim::{MachineBuilder, RegionAllocator, ScheduleKind, Stamped};

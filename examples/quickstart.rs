@@ -1,4 +1,4 @@
-//! Quickstart: run a randomized PRAM program on an asynchronous machine.
+//! Quickstart: one declarative `Scenario` from description to verdict.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,32 +7,31 @@
 //! A 32-thread randomized program (each thread draws a random value, a tree
 //! sums them) is written for an ideal synchronous EREW PRAM — and executed
 //! on 32 *asynchronous* processors under a random adversary schedule, using
-//! the paper's agreement-based execution scheme. The verifier then replays
-//! the agreed random choices on the ideal machine and confirms the
+//! the paper's agreement-based execution scheme. The whole run is named by
+//! a single serializable [`Scenario`]: the JSON printed below is a complete,
+//! shareable description that reproduces this exact run bit-for-bit
+//! (`cargo run -p apex-synth -- run scenario.json`). The verifier then
+//! replays the agreed random choices on the ideal machine and confirms the
 //! asynchronous execution was equivalent to a legal synchronous one.
 
-use apex::pram::library::coin_sum;
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 fn main() {
-    let n = 32;
-    let built = coin_sum(n, 100);
-    println!(
-        "program: {} ({} threads, {} steps, {} instructions)",
-        built.program.name,
-        built.program.n_threads,
-        built.program.n_steps(),
-        built.program.n_instructions()
-    );
-
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 0xC0FFEE).schedule(ScheduleKind::Uniform),
+    let scenario = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::library("coin-sum", 32, vec![100]),
+        0xC0FFEE,
     )
-    .run();
+    .schedule(ScheduleKind::Uniform);
 
-    println!("\n== asynchronous execution (paper's scheme) ==");
+    println!("== the scenario (a complete, shareable run description) ==");
+    println!("{}", scenario.render_pretty());
+
+    let report = scenario.run().into_scheme();
+
+    println!("== asynchronous execution (paper's scheme) ==");
     println!(
         "total work:        {} atomic ops (busy-waiting included)",
         report.total_work

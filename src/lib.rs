@@ -18,6 +18,9 @@
 //! * [`scheme`] — the execution schemes: the paper's nondeterministic
 //!   scheme, the deterministic prior-work baseline, and the scan-consensus /
 //!   ideal-CAS comparators, plus the end-to-end verifier (§2);
+//! * [`scenario`] — the single declarative entry point: a serializable
+//!   [`Scenario`] describing any run in the workspace, with a versioned
+//!   JSON round-trip and a one-call executor;
 //! * [`baselines`] — ablations (linear search, stampless bins) and crafted
 //!   oblivious adversaries.
 //!
@@ -29,5 +32,8 @@ pub use apex_baselines as baselines;
 pub use apex_clock as clock;
 pub use apex_core as core;
 pub use apex_pram as pram;
+pub use apex_scenario as scenario;
 pub use apex_scheme as scheme;
 pub use apex_sim as sim;
+
+pub use apex_scenario::{ProgramSource, Scenario, ScenarioReport};

@@ -4,11 +4,14 @@
 //! pushes the *whole catalog* through the paper's execution scheme and
 //! verifies each run against the synchronous replay — deterministic and
 //! randomized workloads alike, plus spot checks of the actual outputs.
+//! Runs are constructed as [`Scenario`]s (explicit-program sources, since
+//! the catalog builders carry I/O conventions the scenario JSON does not).
 
 use apex::pram::library::{deterministic_catalog, randomized_catalog};
 use apex::pram::refexec::{execute, Choices};
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 #[test]
 fn deterministic_catalog_runs_and_matches_the_reference_exactly() {
@@ -16,12 +19,14 @@ fn deterministic_catalog_runs_and_matches_the_reference_exactly() {
     for built in deterministic_catalog(n, 3) {
         let name = built.program.name.clone();
         let reference = execute(&built.program, &Choices::Seeded(0));
-        let report = SchemeRun::new(
-            built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, 11)
-                .schedule(ScheduleKind::Bursty { mean_burst: 24 }),
+        let report = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::Explicit(built.program),
+            11,
         )
-        .run();
+        .schedule(ScheduleKind::Bursty { mean_burst: 24 })
+        .run()
+        .into_scheme();
         assert!(report.verify.ok(), "{name}: {report}");
         // Deterministic programs admit exactly one execution: the final
         // memory must match the reference bit for bit.
@@ -34,15 +39,17 @@ fn randomized_catalog_runs_and_verifies() {
     let n = 8;
     for built in randomized_catalog(n, 4) {
         let name = built.program.name.clone();
-        let report = SchemeRun::new(
-            built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, 13).schedule(ScheduleKind::TwoClass {
-                slow_frac: 0.25,
-                ratio: 8.0,
-            }),
+        let report = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::Explicit(built.program),
+            13,
         )
+        .schedule(ScheduleKind::TwoClass {
+            slow_frac: 0.25,
+            ratio: 8.0,
+        })
         .run();
-        assert!(report.verify.ok(), "{name}: {report}");
+        assert!(report.ok(), "{name}: {}", report.summary());
     }
 }
 
@@ -54,8 +61,13 @@ fn catalog_work_scales_with_step_count() {
     let mut per_step: Vec<f64> = Vec::new();
     for built in deterministic_catalog(n, 5) {
         let t = built.program.n_steps() as f64;
-        let report =
-            SchemeRun::new(built.program, SchemeRunConfig::new(SchemeKind::Nondet, 17)).run();
+        let report = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::Explicit(built.program),
+            17,
+        )
+        .run()
+        .into_scheme();
         per_step.push(report.total_work as f64 / t);
     }
     let min = per_step.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -1,9 +1,11 @@
-//! End-to-end scheme matrix: every scheme × program class × adversary.
+//! End-to-end scheme matrix: every scheme × program class × adversary,
+//! all driven through the declarative [`Scenario`] entry point.
 
 use apex::pram::library::{blelloch_scan, coin_sum, odd_even_sort, tree_reduce};
 use apex::pram::Op;
-use apex::scheme::{SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::SchemeKind;
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 #[test]
 fn all_schemes_run_deterministic_programs_correctly() {
@@ -15,7 +17,9 @@ fn all_schemes_run_deterministic_programs_correctly() {
         SchemeKind::IdealCas,
     ] {
         let built = tree_reduce(Op::Max, &vals);
-        let report = SchemeRun::new(built.program, SchemeRunConfig::new(kind, 3)).run();
+        let report = Scenario::scheme(kind, ProgramSource::Explicit(built.program), 3)
+            .run()
+            .into_scheme();
         assert!(report.verify.ok(), "{report}");
         assert_eq!(
             report.final_memory[built.outputs.at(0)],
@@ -30,7 +34,9 @@ fn all_schemes_run_deterministic_programs_correctly() {
 fn sound_schemes_run_randomized_programs_correctly() {
     for kind in [SchemeKind::Nondet, SchemeKind::IdealCas] {
         let built = coin_sum(8, 64);
-        let report = SchemeRun::new(built.program, SchemeRunConfig::new(kind, 5)).run();
+        let report = Scenario::scheme(kind, ProgramSource::Explicit(built.program), 5)
+            .run()
+            .into_scheme();
         assert!(report.verify.ok(), "{report}");
         // The total is the sum of the agreed draws; the verifier replayed it.
         let total = report.final_memory[built.outputs.at(0)];
@@ -46,12 +52,14 @@ fn sound_schemes_run_randomized_programs_correctly() {
 fn sort_comes_out_sorted_through_the_asynchronous_machine() {
     let vals = [13u64, 1, 12, 2, 11, 3, 10, 4];
     let built = odd_even_sort(&vals);
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 9)
-            .schedule(ScheduleKind::Bursty { mean_burst: 32 }),
+    let report = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::Explicit(built.program),
+        9,
     )
-    .run();
+    .schedule(ScheduleKind::Bursty { mean_burst: 32 })
+    .run()
+    .into_scheme();
     assert!(report.verify.ok(), "{report}");
     let got: Vec<u64> = (0..8)
         .map(|i| report.final_memory[built.outputs.at(i)])
@@ -63,14 +71,17 @@ fn sort_comes_out_sorted_through_the_asynchronous_machine() {
 fn scan_comes_out_exact_through_the_asynchronous_machine() {
     let vals = [5u64, 1, 0, 2, 4, 3, 7, 6];
     let built = blelloch_scan(&vals);
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 17).schedule(ScheduleKind::TwoClass {
-            slow_frac: 0.25,
-            ratio: 8.0,
-        }),
+    let report = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::Explicit(built.program),
+        17,
     )
-    .run();
+    .schedule(ScheduleKind::TwoClass {
+        slow_frac: 0.25,
+        ratio: 8.0,
+    })
+    .run()
+    .into_scheme();
     assert!(report.verify.ok(), "{report}");
     let got: Vec<u64> = (0..8)
         .map(|i| report.final_memory[built.outputs.at(i)])
@@ -84,11 +95,12 @@ fn overhead_ordering_matches_the_paper() {
     // cheating CAS floor but stays in the same polylog family, while the
     // Θ(n)-per-value scan baseline grows linearly — orderings that E8
     // quantifies. Here we just pin the cheap end: CAS ≤ scan and CAS ≤
-    // nondet at n = 16.
+    // nondet at n = 16. The three runs are scenarios differing only in
+    // `mode.scheme`.
     let run = |kind| {
-        let built = coin_sum(16, 8);
-        SchemeRun::new(built.program, SchemeRunConfig::new(kind, 2))
+        Scenario::scheme(kind, ProgramSource::library("coin-sum", 16, vec![8]), 2)
             .run()
+            .into_scheme()
             .total_work
     };
     let nondet = run(SchemeKind::Nondet);
@@ -101,16 +113,18 @@ fn overhead_ordering_matches_the_paper() {
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
     let mk = |seed| {
-        let built = coin_sum(8, 32);
-        let r = SchemeRun::new(
-            built.program,
-            SchemeRunConfig::new(SchemeKind::Nondet, seed).schedule(ScheduleKind::Sleepy {
-                sleepy_frac: 0.25,
-                awake: 1000,
-                asleep: 8000,
-            }),
+        let r = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::library("coin-sum", 8, vec![32]),
+            seed,
         )
-        .run();
+        .schedule(ScheduleKind::Sleepy {
+            sleepy_frac: 0.25,
+            awake: 1000,
+            asleep: 8000,
+        })
+        .run()
+        .into_scheme();
         (r.total_work, r.final_memory, r.verify.violations())
     };
     assert_eq!(mk(77), mk(77));
@@ -122,11 +136,30 @@ fn identical_seeds_reproduce_identical_runs() {
 
 #[test]
 fn replica_factor_one_still_works_under_benign_schedules() {
-    let built = coin_sum(8, 16);
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 4).replicas(1),
+    let report = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::library("coin-sum", 8, vec![16]),
+        4,
     )
+    .replicas(1)
     .run();
-    assert!(report.verify.ok(), "{report}");
+    assert!(report.ok(), "{}", report.summary());
+}
+
+#[test]
+fn a_run_survives_the_json_round_trip_bit_for_bit() {
+    // The redesign's headline property: serialize the scenario, parse it
+    // back, and the replay reproduces the exact run.
+    let scenario = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::Explicit(coin_sum(8, 32).program),
+        0xFEED,
+    )
+    .schedule(ScheduleKind::Bursty { mean_burst: 24 });
+    let replayed = Scenario::parse(&scenario.render_pretty()).unwrap().run();
+    let original = scenario.run();
+    let (a, b) = (original.scheme(), replayed.scheme());
+    assert_eq!(a.total_work, b.total_work);
+    assert_eq!(a.final_memory, b.final_memory);
+    assert_eq!(a.subphase_work, b.subphase_work);
 }

@@ -4,19 +4,23 @@ use std::rc::Rc;
 
 use apex::baselines::adversary::{gun_volley, resonant_sleepy};
 use apex::core::{AgreementConfig, ValueSource};
-use apex::pram::library::random_walks;
-use apex::scheme::{tasks::eval_cost, SchemeKind, SchemeRun, SchemeRunConfig};
+use apex::scheme::{tasks::eval_cost, SchemeKind};
 use apex::sim::ScheduleKind;
+use apex::{ProgramSource, Scenario};
 
 fn violations_over_seeds(kind: SchemeKind, sched: &ScheduleKind, seeds: u64) -> usize {
     (0..seeds)
         .map(|seed| {
-            let built = random_walks(&vec![1000u64; 32], 12);
-            SchemeRun::new(
-                built.program,
-                SchemeRunConfig::new(kind, seed).schedule(sched.clone()),
+            // One scenario per seed; the two schemes' runs differ only in
+            // the scheme field.
+            Scenario::scheme(
+                kind,
+                ProgramSource::library("random-walks", 32, vec![1000, 12]),
+                seed,
             )
+            .schedule(sched.clone())
             .run()
+            .into_scheme()
             .verify
             .violations()
         })
@@ -43,16 +47,17 @@ fn deterministic_scheme_breaks_where_the_paper_scheme_does_not() {
 /// the whole random-task-choice design).
 #[test]
 fn crash_faults_are_absorbed() {
-    let built = random_walks(&[500u64; 16], 6);
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::Nondet, 8).schedule(ScheduleKind::Crash {
-            crash_frac: 0.5,
-            horizon: 200_000,
-        }),
+    let report = Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::library("random-walks", 16, vec![500, 6]),
+        8,
     )
+    .schedule(ScheduleKind::Crash {
+        crash_frac: 0.5,
+        horizon: 200_000,
+    })
     .run();
-    assert!(report.verify.ok(), "{report}");
+    assert!(report.ok(), "{}", report.summary());
 }
 
 /// The gun volley stresses the replica defense; with the default K = 2 the
@@ -99,13 +104,11 @@ fn stampless_bins_fail_on_reuse() {
 /// (documented comparator limitation; see DESIGN.md §6).
 #[test]
 fn scan_consensus_is_sound_on_deterministic_programs() {
-    use apex::pram::library::tree_reduce;
-    use apex::pram::Op;
-    let built = tree_reduce(Op::Add, &[1, 2, 3, 4, 5, 6, 7, 8]);
-    let report = SchemeRun::new(
-        built.program,
-        SchemeRunConfig::new(SchemeKind::ScanConsensus, 2),
+    let report = Scenario::scheme(
+        SchemeKind::ScanConsensus,
+        ProgramSource::library("tree-reduce-add", 8, vec![1]),
+        2,
     )
     .run();
-    assert!(report.verify.ok(), "{report}");
+    assert!(report.ok(), "{}", report.summary());
 }

@@ -1,0 +1,255 @@
+//! Property + golden suite for the `Scenario` JSON format.
+//!
+//! The format's contract: every scenario in the generator space —
+//! all eight `ScheduleKind` families, both program sources, both modes,
+//! every knob — round-trips through its JSON document **exactly**;
+//! documents with an unknown major version are rejected; and the
+//! canonical serialized form of one pinned scenario never drifts
+//! (`tests/golden/canonical-scenario.json`, also replayed by CI's
+//! scenario smoke step).
+
+use apex::core::{AgreementConfig, InstrumentOpts};
+use apex::scenario::{EngineKnobs, Mode, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR};
+use apex::scheme::tasks::eval_cost;
+use apex::scheme::SchemeKind;
+use apex::sim::{Json, ScheduleKind, ScriptSegment, ScriptSpec};
+use apex_synth::gen::{generate_program, GenConfig};
+use proptest::prelude::*;
+
+/// Deterministic splitter for deriving independent sub-seeds.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One of the eight schedule families, with parameters that are exact in
+/// the JSON number model (quarters for fractions).
+fn schedule_from_seed(sel: u64, n: usize, seed: u64) -> ScheduleKind {
+    let x = mix(seed, 11);
+    let quarter = |v: u64| (v % 5) as f64 / 4.0;
+    match sel % 8 {
+        0 => ScheduleKind::RoundRobin,
+        1 => ScheduleKind::Uniform,
+        2 => ScheduleKind::Zipf {
+            s: 0.25 + (x % 16) as f64 / 4.0,
+        },
+        3 => ScheduleKind::TwoClass {
+            slow_frac: quarter(x),
+            ratio: 1.0 + (x % 31) as f64,
+        },
+        4 => ScheduleKind::Bursty {
+            mean_burst: 1 + x % 256,
+        },
+        5 => ScheduleKind::Sleepy {
+            sleepy_frac: quarter(x >> 3),
+            awake: 1 + x % 4096,
+            asleep: x % 65_536,
+        },
+        6 => ScheduleKind::Crash {
+            crash_frac: quarter(x >> 5),
+            horizon: x % 1_000_000,
+        },
+        _ => ScheduleKind::Scripted(
+            ScriptSpec::new(
+                n,
+                vec![
+                    ScriptSegment::Run {
+                        proc: (x as usize) % n,
+                        ticks: x % 512,
+                    },
+                    ScriptSegment::RoundRobin {
+                        procs: (0..n).step_by(2).collect(),
+                        rounds: 1 + x % 16,
+                    },
+                    ScriptSegment::AllExcept {
+                        excluded: vec![(x as usize >> 4) % n],
+                        rounds: x % 8,
+                    },
+                ],
+            )
+            .fallback(ScheduleKind::Bursty {
+                mean_burst: 1 + x % 64,
+            }),
+        ),
+    }
+}
+
+fn scheme_mode_from_seed(seed: u64) -> (Mode, usize) {
+    let scheme = [
+        SchemeKind::Nondet,
+        SchemeKind::DetBaseline,
+        SchemeKind::ScanConsensus,
+        SchemeKind::IdealCas,
+    ][(mix(seed, 2) % 4) as usize];
+    let (program, n) = if mix(seed, 3).is_multiple_of(2) {
+        // Library source, cycling the whole catalog.
+        let names = ProgramSource::library_names();
+        let (name, params) = names[(mix(seed, 4) as usize) % names.len()];
+        let n = 4usize << (mix(seed, 5) % 2); // 4 or 8
+        let params: Vec<u64> = (0..params.len() as u64)
+            .map(|i| 1 + mix(seed, 6 + i) % 8)
+            .collect();
+        (ProgramSource::library(name, n, params), n)
+    } else {
+        // Explicit source: a synthesized strict-EREW program.
+        let p = generate_program(&GenConfig::default(), mix(seed, 7));
+        let n = p.n_threads;
+        (ProgramSource::Explicit(p), n)
+    };
+    (
+        Mode::Scheme {
+            scheme,
+            program,
+            replicas: apex::scheme::ReplicaK(1 + (mix(seed, 8) as usize) % 3),
+        },
+        n,
+    )
+}
+
+fn agreement_mode_from_seed(seed: u64) -> (Mode, usize) {
+    let n = 4usize << (mix(seed, 2) % 3); // 4, 8, 16
+    let source = match mix(seed, 3) % 3 {
+        0 => SourceSpec::Random(1 + mix(seed, 4) % (1 << 40)),
+        1 => {
+            let den = 1 + mix(seed, 6) % 8;
+            SourceSpec::Coin(mix(seed, 5) % (den + 1), den)
+        }
+        _ => SourceSpec::Keyed,
+    };
+    (
+        Mode::Agreement {
+            n,
+            source,
+            phases: 1 + (mix(seed, 7) as usize) % 4,
+            instrument: InstrumentOpts {
+                record_events: mix(seed, 8).is_multiple_of(2),
+                count_clobbers: mix(seed, 9).is_multiple_of(2),
+            },
+        },
+        n,
+    )
+}
+
+/// A scenario anywhere in the full generator space, derived
+/// deterministically from one seed.
+fn scenario_from_seed(seed: u64) -> Scenario {
+    let (mode, n) = if mix(seed, 1).is_multiple_of(3) {
+        agreement_mode_from_seed(seed)
+    } else {
+        scheme_mode_from_seed(seed)
+    };
+    let agreement = (mix(seed, 20).is_multiple_of(4)).then(|| {
+        // A valid override: sized for this n, with room for K ≤ 3.
+        AgreementConfig::for_n(n, eval_cost(3))
+    });
+    let engine = EngineKnobs {
+        batch: (mix(seed, 21).is_multiple_of(3)).then(|| 1 + (mix(seed, 22) as usize) % 256),
+        tick_budget: (mix(seed, 23).is_multiple_of(4))
+            .then(|| 1_000_000 + mix(seed, 24) % (1 << 50)),
+    };
+    Scenario {
+        mode,
+        schedule: schedule_from_seed(mix(seed, 10), n, seed),
+        seed: mix(seed, 30),
+        agreement,
+        engine,
+    }
+}
+
+fn canonical_scenario() -> Scenario {
+    Scenario::scheme(
+        SchemeKind::Nondet,
+        ProgramSource::library("coin-sum", 8, vec![32]),
+        0xC0FFEE,
+    )
+    .schedule(ScheduleKind::Bursty { mean_burst: 24 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Exact JSON round-trip over the full generator space, compact and
+    /// pretty forms both.
+    #[test]
+    fn scenario_json_round_trips_exactly(seed in any::<u64>()) {
+        let s = scenario_from_seed(seed);
+        prop_assert!(s.validate().is_ok(), "{s:?}: {:?}", s.validate());
+        let compact = Scenario::parse(&s.to_json().render()).unwrap();
+        let pretty = Scenario::parse(&s.render_pretty()).unwrap();
+        prop_assert_eq!(&compact, &s);
+        prop_assert_eq!(&pretty, &s);
+        // Serialization is canonical: one more trip is byte-stable.
+        prop_assert_eq!(compact.render_pretty(), s.render_pretty());
+    }
+
+    /// Unknown major versions are rejected no matter the payload; the
+    /// minor version is ignorable.
+    #[test]
+    fn unknown_major_versions_are_rejected(seed in any::<u64>(), bump in 1u64..1000) {
+        let s = scenario_from_seed(seed);
+        let mut json = s.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Obj(vec![
+                ("major".into(), Json::UInt(FORMAT_MAJOR + bump)),
+                ("minor".into(), Json::UInt(0)),
+            ]);
+        }
+        let err = Scenario::from_json(&json).unwrap_err();
+        prop_assert!(err.msg.contains("major version"), "{}", err);
+    }
+}
+
+/// Every `ScheduleKind` family and both program sources are exercised by
+/// construction (the proptest above samples; this pins coverage).
+#[test]
+fn every_schedule_family_and_source_round_trips() {
+    for family in 0..8u64 {
+        for source_sel in 0..2u64 {
+            // Steer the mode picker: seed salt-1 ≠ 0 mod 3 → scheme mode;
+            // then force the source branch and the schedule family.
+            let p = generate_program(&GenConfig::default(), family * 31 + source_sel);
+            let n = p.n_threads;
+            let program = if source_sel == 0 {
+                ProgramSource::library("coin-sum", 8, vec![16])
+            } else {
+                ProgramSource::Explicit(p)
+            };
+            let n = if source_sel == 0 { 8 } else { n };
+            let s = Scenario::scheme(SchemeKind::Nondet, program, family)
+                .schedule(schedule_from_seed(family, n, family * 7 + source_sel));
+            s.validate().unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            let back = Scenario::parse(&s.render_pretty()).unwrap();
+            assert_eq!(back, s, "family {family} source {source_sel}");
+        }
+    }
+}
+
+/// The canonical scenario's serialized form is pinned byte-for-byte.
+#[test]
+fn golden_scenario_form_is_pinned() {
+    let golden = include_str!("golden/canonical-scenario.json");
+    let canonical = canonical_scenario();
+    assert_eq!(
+        canonical.render_pretty(),
+        golden,
+        "canonical-scenario.json drifted; regenerate with \
+         `apex-synth run tests/golden/canonical-scenario.json --emit …` \
+         only for a deliberate format change"
+    );
+    let parsed = Scenario::parse(golden).unwrap();
+    assert_eq!(parsed, canonical);
+    parsed.validate().unwrap();
+}
+
+/// The golden scenario also *runs* — and reproducibly.
+#[test]
+fn golden_scenario_runs_reproducibly() {
+    let a = canonical_scenario().run();
+    let b = canonical_scenario().run();
+    assert!(a.ok(), "{}", a.summary());
+    let (a, b) = (a.scheme(), b.scheme());
+    assert_eq!(a.total_work, b.total_work);
+    assert_eq!(a.final_memory, b.final_memory);
+}
