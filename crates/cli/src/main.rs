@@ -1,0 +1,213 @@
+//! `apex` — the workspace's single front door.
+//!
+//! ```text
+//! apex suite run    SUITE.json [--store DIR]    expand, execute, record
+//! apex suite expand SUITE.json                  print the deterministic cell list
+//! apex drift        SUITE.json [--store DIR]    re-run and compare against the store
+//! apex drift        --compare BASELINE CANDIDATE  byte-compare two stores
+//! apex run          SCENARIO.json [--emit F] [--json]   execute one scenario
+//! apex synth        <gen|fuzz|shrink|replay|run|migrate|corpus-dedup> …
+//! ```
+//!
+//! `suite`/`drift` front [`apex_lab`]; `run` and `synth` delegate to
+//! [`apex_synth::cli`], so every entry point in the workspace is
+//! reachable from one binary.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use apex_lab::{check_against_store, compare_stores, run_suite, LabStore, Suite};
+use apex_synth::cli::{self, Args};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: apex <suite|drift|run|synth> …\n\
+         \n\
+         suite run    SUITE.json [--store DIR]   expand, execute, and record a suite\n\
+         suite expand SUITE.json                 print the deterministic cell list\n\
+         drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
+         drift        --compare BASE CAND        byte-compare two stores\n\
+         run          SCENARIO.json [--emit OUT.json] [--json]\n\
+         synth        <subcommand> …             the apex-synth command set\n\
+         \n\
+         the default store is {:?}",
+        apex_lab::DEFAULT_STORE_ROOT
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    match cmd.as_str() {
+        "suite" => cmd_suite(&argv[1..]),
+        "drift" => cmd_drift(&argv[1..]),
+        "run" => cli::cmd_run(&argv[1..]),
+        "synth" => cli::dispatch(&argv[1..]),
+        _ => usage(),
+    }
+}
+
+/// Split one positional argument (a file path) off an argv tail.
+fn positional(raw: &[String]) -> (Option<String>, &[String]) {
+    match raw.first() {
+        Some(f) if !f.starts_with("--") => (Some(f.clone()), &raw[1..]),
+        _ => (None, raw),
+    }
+}
+
+fn load_suite(file: &str) -> Result<Suite, ExitCode> {
+    let suite = Suite::load(Path::new(file)).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    suite.validate().map_err(|e| {
+        eprintln!("{file}: {e}");
+        ExitCode::FAILURE
+    })?;
+    Ok(suite)
+}
+
+fn store_from(args: &Args) -> LabStore {
+    match args.get("store") {
+        Some(dir) => LabStore::new(dir),
+        None => LabStore::default_location(),
+    }
+}
+
+fn cmd_suite(raw: &[String]) -> ExitCode {
+    let Some(verb) = raw.first() else { usage() };
+    let (file, rest) = positional(&raw[1..]);
+    let args = Args::parse(rest);
+    let Some(file) = file else { usage() };
+    let suite = match load_suite(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match verb.as_str() {
+        "expand" => {
+            let cells = suite.expand().expect("validated above");
+            println!(
+                "suite {:?} ({}) expands to {} cells:",
+                suite.name,
+                suite.digest(),
+                cells.len()
+            );
+            for cell in &cells {
+                println!(
+                    "  [{:>4}] {} {}",
+                    cell.index,
+                    cell.digest,
+                    one_line(&cell.scenario)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let store = store_from(&args);
+            let run = match run_suite(&suite) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let manifest = match store.write_run(&run) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("failed to write store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "suite {:?}: {} cells run, {} ok — records in {}",
+                run.name,
+                run.records.len(),
+                run.ok_count(),
+                store.suite_dir(&run.suite_digest).display()
+            );
+            for cell in &manifest.cells {
+                println!(
+                    "  [{:>4}] {} {} {}",
+                    cell.index,
+                    if cell.ok { "ok  " } else { "FAIL" },
+                    cell.digest,
+                    cell.summary
+                );
+            }
+            if run.ok_count() == run.records.len() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_drift(raw: &[String]) -> ExitCode {
+    if raw.first().is_some_and(|a| a == "--compare") {
+        // --compare BASELINE CANDIDATE: byte-compare two store roots.
+        let [base, cand] = &raw[1..] else { usage() };
+        let report = match compare_stores(&LabStore::new(base), &LabStore::new(cand)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.summary());
+        return if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let (file, rest) = positional(raw);
+    let args = Args::parse(rest);
+    let Some(file) = file else { usage() };
+    let suite = match load_suite(&file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let report = match check_against_store(&suite, &store_from(&args)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One-line scenario description for `suite expand` listings.
+fn one_line(s: &apex_scenario::Scenario) -> String {
+    use apex_scenario::{Mode, ProgramSource};
+    match &s.mode {
+        Mode::Scheme {
+            scheme, program, ..
+        } => {
+            let prog = match program {
+                ProgramSource::Library { name, n, .. } => format!("{name}(n={n})"),
+                ProgramSource::Explicit(p) => format!("explicit {:?}", p.name),
+            };
+            format!(
+                "{} {} schedule={} seed={}",
+                scheme.label(),
+                prog,
+                s.schedule.to_json().render(),
+                s.seed
+            )
+        }
+        Mode::Agreement { n, phases, .. } => format!(
+            "agreement n={n} phases={phases} schedule={} seed={}",
+            s.schedule.to_json().render(),
+            s.seed
+        ),
+    }
+}

@@ -1,0 +1,349 @@
+//! Drift detection: a stored suite run is ground truth, and any
+//! byte-level difference on re-execution is a real regression.
+//!
+//! The whole pipeline below the store is deterministic — seeded sources,
+//! oblivious schedules, canonical JSON — so the strongest possible check
+//! is also the simplest: render the fresh record and `==` the stored
+//! bytes. When bytes differ, the parsed JSON trees are diffed to name the
+//! paths that moved (verdict, work counters, final memory, …) so a drift
+//! report reads like a regression report, not a checksum mismatch.
+
+use apex_sim::Json;
+
+use crate::runner::run_cells;
+use crate::store::LabStore;
+use crate::suite::Suite;
+
+/// What kind of divergence a cell showed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The store has no record at the cell's address (deleted, or the
+    /// scenario changed and now hashes elsewhere).
+    MissingRecord,
+    /// The store holds a record the suite no longer names.
+    ExtraRecord,
+    /// Stored and fresh record bytes differ.
+    RecordDiffers,
+    /// The manifest disagrees with the records next to it.
+    ManifestMismatch,
+}
+
+impl std::fmt::Display for DriftKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DriftKind::MissingRecord => "missing record",
+            DriftKind::ExtraRecord => "extra record",
+            DriftKind::RecordDiffers => "record differs",
+            DriftKind::ManifestMismatch => "manifest mismatch",
+        })
+    }
+}
+
+/// One divergent cell.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The cell's scenario digest (record address).
+    pub cell: String,
+    /// Position in the suite's expansion order, when the cell is named by
+    /// the suite (extra records are not).
+    pub index: Option<usize>,
+    /// Divergence class.
+    pub kind: DriftKind,
+    /// Human-readable detail (differing JSON paths, file errors).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "cell {i} ({}): {} — {}",
+                self.cell, self.kind, self.detail
+            ),
+            None => write!(f, "record {}: {} — {}", self.cell, self.kind, self.detail),
+        }
+    }
+}
+
+/// Outcome of a drift check.
+#[derive(Clone, Debug)]
+pub struct DriftReport {
+    /// Digest of the suite that was checked.
+    pub suite_digest: String,
+    /// Cells compared (suite cells plus extra stored records).
+    pub checked: usize,
+    /// Every divergence found, in cell order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DriftReport {
+    /// No divergence anywhere.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        if self.clean() {
+            format!(
+                "drift: {} cells checked vs {} — no divergence",
+                self.checked, self.suite_digest
+            )
+        } else {
+            let mut out = format!(
+                "drift: {} cells checked vs {} — {} DIVERGENCES\n",
+                self.checked,
+                self.suite_digest,
+                self.divergences.len()
+            );
+            for d in &self.divergences {
+                out.push_str(&format!("  {d}\n"));
+            }
+            out.pop();
+            out
+        }
+    }
+}
+
+/// Re-run `suite` and compare every fresh record against `store`,
+/// byte-for-byte. Also cross-checks the stored manifest and flags stored
+/// records the suite no longer names.
+pub fn check_against_store(suite: &Suite, store: &LabStore) -> Result<DriftReport, String> {
+    let cells = suite.expand()?;
+    let suite_digest = suite.digest();
+    let manifest = store.read_manifest(&suite_digest).map_err(|e| {
+        format!("no stored run for suite {suite_digest} (run `apex suite run` first): {e}")
+    })?;
+    let fresh = run_cells(suite, &cells);
+
+    let mut divergences = Vec::new();
+    for (cell, record) in cells.iter().zip(&fresh.records) {
+        let fresh_text = record.render_pretty();
+        // Compare raw bytes, not parsed records: a present-but-corrupt
+        // file is drift of the "differs" kind, and only a genuinely
+        // absent file is "missing".
+        let path = store.record_path(&suite_digest, &cell.digest);
+        match std::fs::read_to_string(&path) {
+            Err(e) => divergences.push(Divergence {
+                cell: cell.digest.clone(),
+                index: Some(cell.index),
+                kind: DriftKind::MissingRecord,
+                detail: format!("{}: {e}", path.display()),
+            }),
+            Ok(stored_text) if stored_text == fresh_text => {}
+            Ok(stored_text) => {
+                let detail = match (Json::parse(&stored_text), Json::parse(&fresh_text)) {
+                    (Ok(stored), Ok(fresh)) => {
+                        let diffs = json_diff(&stored, &fresh, 4);
+                        if diffs.is_empty() {
+                            // Same tree, different bytes: whitespace or
+                            // field-order tampering.
+                            "stored bytes are not the canonical rendering".to_string()
+                        } else {
+                            diffs.join("; ")
+                        }
+                    }
+                    _ => "stored record is not parseable JSON".to_string(),
+                };
+                divergences.push(Divergence {
+                    cell: cell.digest.clone(),
+                    index: Some(cell.index),
+                    kind: DriftKind::RecordDiffers,
+                    detail,
+                });
+            }
+        }
+    }
+
+    // Stored records the suite no longer names.
+    let named: std::collections::HashSet<&str> = cells.iter().map(|c| c.digest.as_str()).collect();
+    let mut extra = 0;
+    for stored in store.record_digests(&suite_digest)? {
+        if !named.contains(stored.as_str()) {
+            extra += 1;
+            divergences.push(Divergence {
+                cell: stored,
+                index: None,
+                kind: DriftKind::ExtraRecord,
+                detail: "present in the store but not in the suite expansion".to_string(),
+            });
+        }
+    }
+
+    // Manifest cross-check: same cells, same order, same verdicts.
+    let expect: Vec<(usize, String, bool)> = fresh
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.digest(), r.ok()))
+        .collect();
+    let got: Vec<(usize, String, bool)> = manifest
+        .cells
+        .iter()
+        .map(|c| (c.index, c.digest.clone(), c.ok))
+        .collect();
+    if expect != got {
+        divergences.push(Divergence {
+            cell: suite_digest.clone(),
+            index: None,
+            kind: DriftKind::ManifestMismatch,
+            detail: format!(
+                "manifest lists {} cells, fresh run produced {} (or order/verdicts differ)",
+                got.len(),
+                expect.len()
+            ),
+        });
+    }
+
+    divergences.sort_by_key(|d| (d.index.unwrap_or(usize::MAX), d.cell.clone()));
+    Ok(DriftReport {
+        suite_digest,
+        checked: cells.len() + extra,
+        divergences,
+    })
+}
+
+/// Compare two stores (e.g. runs of the same suites under two builds):
+/// for every suite directory in `baseline`, every record must exist in
+/// `candidate` with identical bytes, and vice versa.
+pub fn compare_stores(baseline: &LabStore, candidate: &LabStore) -> Result<DriftReport, String> {
+    let mut divergences = Vec::new();
+    let mut checked = 0;
+    let base_suites = baseline.suite_digests()?;
+    for suite_digest in &base_suites {
+        let base_records = baseline.record_digests(suite_digest)?;
+        for cell in &base_records {
+            checked += 1;
+            let base_path = baseline.record_path(suite_digest, cell);
+            let base_text = std::fs::read_to_string(&base_path)
+                .map_err(|e| format!("{}: {e}", base_path.display()))?;
+            let cand_path = candidate.record_path(suite_digest, cell);
+            match std::fs::read_to_string(&cand_path) {
+                Err(e) => divergences.push(Divergence {
+                    cell: cell.clone(),
+                    index: None,
+                    kind: DriftKind::MissingRecord,
+                    detail: format!("{}: {e}", cand_path.display()),
+                }),
+                Ok(cand_text) if cand_text == base_text => {}
+                Ok(cand_text) => {
+                    let detail = match (Json::parse(&base_text), Json::parse(&cand_text)) {
+                        (Ok(a), Ok(b)) => json_diff(&a, &b, 4).join("; "),
+                        _ => "unparseable record".to_string(),
+                    };
+                    divergences.push(Divergence {
+                        cell: cell.clone(),
+                        index: None,
+                        kind: DriftKind::RecordDiffers,
+                        detail,
+                    });
+                }
+            }
+        }
+        // Records only the candidate has.
+        if let Ok(cand_records) = candidate.record_digests(suite_digest) {
+            for cell in cand_records {
+                if !base_records.contains(&cell) {
+                    checked += 1;
+                    divergences.push(Divergence {
+                        cell,
+                        index: None,
+                        kind: DriftKind::ExtraRecord,
+                        detail: "present in candidate store only".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    for suite_digest in candidate.suite_digests()? {
+        if !base_suites.contains(&suite_digest) {
+            checked += 1;
+            divergences.push(Divergence {
+                cell: suite_digest,
+                index: None,
+                kind: DriftKind::ExtraRecord,
+                detail: "suite present in candidate store only".to_string(),
+            });
+        }
+    }
+    Ok(DriftReport {
+        suite_digest: format!(
+            "baseline store {} (candidate {})",
+            baseline.root().display(),
+            candidate.root().display()
+        ),
+        checked,
+        divergences,
+    })
+}
+
+/// Paths at which two JSON trees differ, depth-first, capped at `max`
+/// entries (the cap keeps a wildly-divergent record's report readable).
+pub fn json_diff(a: &Json, b: &Json, max: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_into(a, b, "", max, &mut out);
+    out
+}
+
+fn render_short(v: &Json) -> String {
+    let text = v.render();
+    if text.chars().count() > 40 {
+        let head: String = text.chars().take(39).collect();
+        format!("{head}…")
+    } else {
+        text
+    }
+}
+
+fn diff_into(a: &Json, b: &Json, path: &str, max: usize, out: &mut Vec<String>) {
+    if out.len() >= max || a == b {
+        return;
+    }
+    let here = |p: &str| {
+        if p.is_empty() {
+            "$".to_string()
+        } else {
+            p.to_string()
+        }
+    };
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (k, va) in fa {
+                let sub = format!("{path}.{k}");
+                match fb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => diff_into(va, vb, &sub, max, out),
+                    None => {
+                        if out.len() < max {
+                            out.push(format!("{} removed", here(&sub)));
+                        }
+                    }
+                }
+            }
+            for (k, _) in fb {
+                if !fa.iter().any(|(ka, _)| ka == k) && out.len() < max {
+                    out.push(format!("{}.{k} added", here(path)));
+                }
+            }
+        }
+        (Json::Arr(xa), Json::Arr(xb)) => {
+            if xa.len() != xb.len() && out.len() < max {
+                out.push(format!(
+                    "{} length {} != {}",
+                    here(path),
+                    xa.len(),
+                    xb.len()
+                ));
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                diff_into(va, vb, &format!("{path}[{i}]"), max, out);
+            }
+        }
+        _ => out.push(format!(
+            "{}: {} != {}",
+            here(path),
+            render_short(a),
+            render_short(b)
+        )),
+    }
+}

@@ -1,0 +1,207 @@
+//! # apex-lab — scenario suites, the lab results store, drift detection
+//!
+//! The rest of the workspace makes every run a declarative, serializable
+//! [`Scenario`](apex_scenario::Scenario); this crate makes whole
+//! *experiments* first-class and their *results* durable:
+//!
+//! * [`Suite`] — a versioned JSON document naming a list and/or grid of
+//!   scenarios (axes over schemes, sizes, adversaries, engine batches and
+//!   seed ranges), expanded deterministically into content-digested
+//!   [`Cell`]s;
+//! * [`run_suite`] — execute every cell on the workspace's parallel trial
+//!   runner, producing one [`ReportRecord`](apex_scenario::ReportRecord)
+//!   per cell;
+//! * [`LabStore`] — a filesystem-backed, content-addressed results store
+//!   (`.apex/lab/<suite-digest>/<cell-digest>.json` plus a deterministic
+//!   manifest — no timestamps, no database, diffable by hand);
+//! * [`check_against_store`] / [`compare_stores`] — drift detection: the
+//!   stored run is ground truth, the pipeline is deterministic end to
+//!   end, so *any* byte difference on re-execution is a real regression
+//!   (reported per cell with the JSON paths that moved).
+//!
+//! The `apex` binary (`crates/cli`) fronts all of it:
+//! `apex suite run|expand`, `apex drift`, `apex run`, `apex synth …`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod drift;
+pub mod runner;
+pub mod store;
+pub mod suite;
+
+pub use drift::{check_against_store, compare_stores, json_diff, DriftKind, DriftReport};
+pub use runner::{run_cells, run_suite, SuiteRun};
+pub use store::{LabStore, Manifest, ManifestCell, DEFAULT_STORE_ROOT};
+pub use suite::{Cell, Grid, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR};
+
+/// 16-hex-digit content digest (FNV-1a via
+/// [`apex_scenario::fnv1a64`]) — the store's address format.
+pub fn digest_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", apex_scenario::fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_scenario::{ProgramSource, Scenario, SourceSpec};
+    use apex_scheme::SchemeKind;
+    use apex_sim::ScheduleKind;
+
+    fn small_suite() -> Suite {
+        let mut suite = Suite::new("lab-unit");
+        suite
+            .cells
+            .push(Scenario::agreement(8, SourceSpec::Random(50), 1, 11));
+        let mut grid = Grid::new(Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::library("coin-sum", 8, vec![16]),
+            1,
+        ));
+        grid.schedules = vec![
+            ScheduleKind::Uniform,
+            ScheduleKind::Bursty { mean_burst: 4 },
+        ];
+        grid.seeds = Some(SeedRange { start: 1, count: 2 });
+        suite.grids.push(grid);
+        suite
+    }
+
+    fn temp_store(tag: &str) -> LabStore {
+        let dir = std::env::temp_dir().join(format!("apex-lab-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        LabStore::new(dir)
+    }
+
+    #[test]
+    fn run_store_drift_round_trip_and_mutation_detection() {
+        let suite = small_suite();
+        let store = temp_store("roundtrip");
+
+        // Run and store.
+        let run = run_suite(&suite).unwrap();
+        assert_eq!(run.records.len(), 5);
+        let manifest = store.write_run(&run).unwrap();
+        assert_eq!(manifest.cells.len(), 5);
+
+        // A fresh check is clean.
+        let report = check_against_store(&suite, &store).unwrap();
+        assert!(report.clean(), "{}", report.summary());
+
+        // Re-writing the same run is byte-idempotent.
+        let digest = suite.digest();
+        let before = store
+            .read_record(&digest, &manifest.cells[0].digest)
+            .unwrap()
+            .0;
+        store.write_run(&run).unwrap();
+        let after = store
+            .read_record(&digest, &manifest.cells[0].digest)
+            .unwrap()
+            .0;
+        assert_eq!(before, after);
+
+        // Mutating one record is flagged with a field-level detail.
+        let victim = store.record_path(&digest, &manifest.cells[1].digest);
+        let tampered =
+            std::fs::read_to_string(&victim)
+                .unwrap()
+                .replacen("\"ticks\": ", "\"ticks\": 1", 1);
+        std::fs::write(&victim, tampered).unwrap();
+        let report = check_against_store(&suite, &store).unwrap();
+        assert_eq!(report.divergences.len(), 1);
+        assert_eq!(report.divergences[0].kind, DriftKind::RecordDiffers);
+        assert!(
+            report.divergences[0].detail.contains("ticks"),
+            "{}",
+            report.summary()
+        );
+
+        // A present-but-unparseable record is "differs", not "missing".
+        store.write_run(&run).unwrap();
+        std::fs::write(
+            store.record_path(&digest, &manifest.cells[1].digest),
+            "not json at all",
+        )
+        .unwrap();
+        let report = check_against_store(&suite, &store).unwrap();
+        assert_eq!(report.divergences.len(), 1);
+        assert_eq!(report.divergences[0].kind, DriftKind::RecordDiffers);
+
+        // Deleting a record is flagged as missing.
+        store.write_run(&run).unwrap();
+        std::fs::remove_file(store.record_path(&digest, &manifest.cells[2].digest)).unwrap();
+        let report = check_against_store(&suite, &store).unwrap();
+        assert!(report
+            .divergences
+            .iter()
+            .any(|d| d.kind == DriftKind::MissingRecord));
+
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn changed_scenario_shows_up_as_missing_plus_extra() {
+        let mut suite = small_suite();
+        let store = temp_store("changed");
+        store.write_run(&run_suite(&suite).unwrap()).unwrap();
+
+        // Changing a cell moves its content address; checking the *edited*
+        // suite against the old store is a different suite digest, so pin
+        // the store by keeping the suite digest fixed: mutate a stored
+        // record's *name* instead (same effect as a scenario edit).
+        let manifest = store.read_manifest(&suite.digest()).unwrap();
+        let old = store.record_path(&suite.digest(), &manifest.cells[0].digest);
+        let renamed = store
+            .suite_dir(&suite.digest())
+            .join("feedfacefeedface.json");
+        std::fs::rename(&old, &renamed).unwrap();
+        let report = check_against_store(&suite, &store).unwrap();
+        assert!(report
+            .divergences
+            .iter()
+            .any(|d| d.kind == DriftKind::MissingRecord));
+        assert!(report
+            .divergences
+            .iter()
+            .any(|d| d.kind == DriftKind::ExtraRecord));
+
+        // And an edited suite simply has no stored run yet.
+        suite.cells[0].seed += 1;
+        assert!(check_against_store(&suite, &store).is_err());
+
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn store_comparison_flags_byte_differences() {
+        let suite = small_suite();
+        let a = temp_store("cmp-a");
+        let b = temp_store("cmp-b");
+        let run = run_suite(&suite).unwrap();
+        a.write_run(&run).unwrap();
+        b.write_run(&run).unwrap();
+        let report = compare_stores(&a, &b).unwrap();
+        assert!(report.clean(), "{}", report.summary());
+
+        let manifest = a.read_manifest(&suite.digest()).unwrap();
+        std::fs::remove_file(b.record_path(&suite.digest(), &manifest.cells[0].digest)).unwrap();
+        let report = compare_stores(&a, &b).unwrap();
+        assert!(!report.clean());
+
+        let _ = std::fs::remove_dir_all(a.root());
+        let _ = std::fs::remove_dir_all(b.root());
+    }
+
+    #[test]
+    fn json_diff_names_moved_paths() {
+        use apex_sim::Json;
+        let a = Json::parse(r#"{"x": 1, "y": [1, 2], "z": {"w": true}}"#).unwrap();
+        let b = Json::parse(r#"{"x": 2, "y": [1, 3], "z": {"w": true}}"#).unwrap();
+        let diffs = json_diff(&a, &b, 4);
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        assert!(diffs[0].contains(".x"));
+        assert!(diffs[1].contains(".y[1]"));
+        assert!(json_diff(&a, &a, 4).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Executing a suite on the workspace's parallel trial runner.
+
+use apex_bench::runner::run_trials;
+use apex_scenario::ReportRecord;
+
+use crate::suite::{Cell, Suite};
+
+/// A completed suite execution: one [`ReportRecord`] per cell, in
+/// expansion order (the runner collects results in config order, so the
+/// record list is identical whether the run was serial or parallel).
+#[derive(Clone, Debug)]
+pub struct SuiteRun {
+    /// Suite name.
+    pub name: String,
+    /// Digest of the canonical suite document.
+    pub suite_digest: String,
+    /// One record per cell, in expansion order.
+    pub records: Vec<ReportRecord>,
+}
+
+impl SuiteRun {
+    /// Number of cells whose run met its mode's correctness bar.
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.ok()).count()
+    }
+}
+
+/// Expand and execute every cell of `suite` across worker threads
+/// (`APEX_RUNNER_THREADS` controls fan-out, as everywhere else).
+///
+/// Fails up front if the suite is ill-formed; a cell that trips its stall
+/// budget panics the run (suites are trusted experiment descriptions, not
+/// fuzz inputs — the synthesis oracle is the layer that sandboxes runs).
+pub fn run_suite(suite: &Suite) -> Result<SuiteRun, String> {
+    let cells = suite.expand()?;
+    Ok(run_cells(suite, &cells))
+}
+
+/// [`run_suite`] over an already-expanded cell list (callers that need
+/// the cells anyway, e.g. drift, avoid expanding twice).
+pub fn run_cells(suite: &Suite, cells: &[Cell]) -> SuiteRun {
+    let records = run_trials(cells, |cell| ReportRecord::run(&cell.scenario));
+    SuiteRun {
+        name: suite.name.clone(),
+        suite_digest: suite.digest(),
+        records,
+    }
+}

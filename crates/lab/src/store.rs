@@ -1,0 +1,239 @@
+//! The content-addressed lab results store.
+//!
+//! Layout (filesystem-backed, no database, diffable by hand):
+//!
+//! ```text
+//! .apex/lab/
+//!   <suite-digest>/                 one directory per suite document
+//!     manifest.json                 name, digest, per-cell index
+//!     <cell-digest>.json            one ReportRecord per cell
+//! ```
+//!
+//! Every path component is a content digest: the suite directory is the
+//! FNV-1a digest of the canonical suite document, each record file the
+//! digest of its canonical scenario document. Re-running the same suite
+//! therefore rewrites the same files with the same bytes — anything else
+//! is drift. The manifest carries no timestamps for exactly that reason:
+//! two runs of one suite must be byte-identical, end to end.
+
+use std::path::{Path, PathBuf};
+
+use apex_scenario::ReportRecord;
+use apex_sim::{Json, JsonError};
+
+use crate::runner::SuiteRun;
+
+/// Default store root, relative to the working directory.
+pub const DEFAULT_STORE_ROOT: &str = ".apex/lab";
+
+fn jerr(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// One manifest row: where a cell's record lives and how the run went.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestCell {
+    /// Position in the suite's expansion order.
+    pub index: usize,
+    /// The cell's scenario digest (also the record file stem).
+    pub digest: String,
+    /// Whether the run met its mode's correctness bar.
+    pub ok: bool,
+    /// One-line human summary of the report.
+    pub summary: String,
+}
+
+/// The per-suite index the store writes next to the records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Suite name (from the document).
+    pub name: String,
+    /// Digest of the canonical suite document.
+    pub suite_digest: String,
+    /// One row per cell, in expansion order.
+    pub cells: Vec<ManifestCell>,
+}
+
+impl Manifest {
+    /// Serialize (canonical field order, no timestamps — deterministic).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("suite_digest".into(), Json::Str(self.suite_digest.clone())),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("index".into(), Json::UInt(c.index as u64)),
+                                ("digest".into(), Json::Str(c.digest.clone())),
+                                ("ok".into(), Json::Bool(c.ok)),
+                                ("summary".into(), Json::Str(c.summary.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserialize.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Manifest {
+            name: v.get("name")?.as_str()?.to_string(),
+            suite_digest: v.get("suite_digest")?.as_str()?.to_string(),
+            cells: v
+                .get("cells")?
+                .as_arr()?
+                .iter()
+                .map(|c| {
+                    Ok(ManifestCell {
+                        index: c.get("index")?.as_usize()?,
+                        digest: c.get("digest")?.as_str()?.to_string(),
+                        ok: match c.get("ok")? {
+                            Json::Bool(b) => *b,
+                            other => return Err(jerr(format!("expected bool ok, got {other:?}"))),
+                        },
+                        summary: c.get("summary")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+/// A filesystem-backed store of suite runs.
+#[derive(Clone, Debug)]
+pub struct LabStore {
+    root: PathBuf,
+}
+
+impl LabStore {
+    /// A store rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LabStore { root: root.into() }
+    }
+
+    /// The store at the default location, [`DEFAULT_STORE_ROOT`].
+    pub fn default_location() -> Self {
+        Self::new(DEFAULT_STORE_ROOT)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding one suite's records.
+    pub fn suite_dir(&self, suite_digest: &str) -> PathBuf {
+        self.root.join(suite_digest)
+    }
+
+    /// The record path for one cell of one suite.
+    pub fn record_path(&self, suite_digest: &str, cell_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest)
+            .join(format!("{cell_digest}.json"))
+    }
+
+    /// The manifest path of one suite.
+    pub fn manifest_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest).join("manifest.json")
+    }
+
+    /// Write a completed run: every record, content-addressed, plus the
+    /// manifest. Returns the manifest. Idempotent — re-running the same
+    /// suite rewrites the same files with the same bytes.
+    pub fn write_run(&self, run: &SuiteRun) -> std::io::Result<Manifest> {
+        let dir = self.suite_dir(&run.suite_digest);
+        std::fs::create_dir_all(&dir)?;
+        let mut cells = Vec::with_capacity(run.records.len());
+        for (index, record) in run.records.iter().enumerate() {
+            let digest = record.digest();
+            record.save(&dir.join(format!("{digest}.json")))?;
+            cells.push(ManifestCell {
+                index,
+                digest,
+                ok: record.ok(),
+                summary: record.report.summary(),
+            });
+        }
+        let manifest = Manifest {
+            name: run.name.clone(),
+            suite_digest: run.suite_digest.clone(),
+            cells,
+        };
+        std::fs::write(
+            self.manifest_path(&run.suite_digest),
+            manifest.to_json().render_pretty(),
+        )?;
+        Ok(manifest)
+    }
+
+    /// Load one suite's manifest.
+    pub fn read_manifest(&self, suite_digest: &str) -> Result<Manifest, String> {
+        let path = self.manifest_path(suite_digest);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Manifest::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Load one record, returning both the raw file text (what drift
+    /// compares byte-for-byte) and the parsed record.
+    pub fn read_record(
+        &self,
+        suite_digest: &str,
+        cell_digest: &str,
+    ) -> Result<(String, ReportRecord), String> {
+        let path = self.record_path(suite_digest, cell_digest);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let record = ReportRecord::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok((text, record))
+    }
+
+    /// The suite digests present in this store (sorted, for deterministic
+    /// iteration).
+    pub fn suite_digests(&self) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        let entries =
+            std::fs::read_dir(&self.root).map_err(|e| format!("{}: {e}", self.root.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", self.root.display()))?;
+            if entry.path().is_dir() {
+                if let Some(name) = entry.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The record digests present under one suite directory (sorted; the
+    /// manifest is excluded). Used to detect records a suite no longer
+    /// names.
+    pub fn record_digests(&self, suite_digest: &str) -> Result<Vec<String>, String> {
+        let dir = self.suite_dir(suite_digest);
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if stem != "manifest" {
+                        out.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}

@@ -30,15 +30,20 @@
 #![warn(rust_2018_idioms)]
 
 mod program;
+mod record;
 mod report;
 mod scenario;
 
 pub use program::{
     op_from_name, op_name, program_from_json, program_to_json, scheme_from_label, ProgramSource,
 };
-pub use report::{AgreementRunReport, ScenarioReport};
+pub use record::{ReportRecord, RECORD_FORMAT_MAJOR, RECORD_FORMAT_MINOR};
+pub use report::{
+    scheme_report_from_json, scheme_report_to_json, verify_report_from_json, verify_report_to_json,
+    AgreementRunReport, ScenarioReport,
+};
 pub use scenario::{
-    agreement_config_from_json, agreement_config_to_json, EngineKnobs, Mode, Scenario,
+    agreement_config_from_json, agreement_config_to_json, fnv1a64, EngineKnobs, Mode, Scenario,
     ScenarioError, SourceSpec, FORMAT_MAJOR, FORMAT_MINOR,
 };
 

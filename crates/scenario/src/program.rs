@@ -14,9 +14,9 @@
 
 use apex_pram::library::{
     blelloch_scan, coin_sum, gen_values, hypercube_allreduce, jacobi_smooth, leader_election,
-    matvec, odd_even_sort, random_walks, tree_reduce,
+    matvec, odd_even_sort, random_walks, tree_reduce, Built,
 };
-use apex_pram::{Instr, Op, Operand, Program, VarId};
+use apex_pram::{Instr, Op, Operand, Program, VarBlock, VarId};
 use apex_scheme::SchemeKind;
 use apex_sim::{Json, JsonError};
 
@@ -236,7 +236,23 @@ impl ProgramSource {
                     .map_err(|e| ScenarioError(format!("invalid explicit program: {e}")))?;
                 Ok(p.clone())
             }
-            ProgramSource::Library { name, n, params } => resolve_library(name, *n, params),
+            ProgramSource::Library { name, n, params } => {
+                resolve_library(name, *n, params).map(|b| b.program)
+            }
+        }
+    }
+
+    /// The named input/output [`VarBlock`]s of this workload, when the
+    /// source declares them. Library entries carry the [`Built`] I/O
+    /// conventions, so JSON-driven runs can assert program *results* (the
+    /// output block of the final memory), not just verifier cleanliness;
+    /// explicit programs declare no blocks and return `None`.
+    pub fn resolve_io(&self) -> Result<Option<(VarBlock, VarBlock)>, ScenarioError> {
+        match self {
+            ProgramSource::Explicit(_) => Ok(None),
+            ProgramSource::Library { name, n, params } => {
+                resolve_library(name, *n, params).map(|b| Some((b.inputs, b.outputs)))
+            }
         }
     }
 
@@ -286,7 +302,7 @@ impl ProgramSource {
     }
 }
 
-fn resolve_library(name: &str, n: usize, params: &[u64]) -> Result<Program, ScenarioError> {
+fn resolve_library(name: &str, n: usize, params: &[u64]) -> Result<Built, ScenarioError> {
     let fail = |msg: String| Err(ScenarioError(msg));
     if n < 2 || !n.is_power_of_two() {
         return fail(format!(
@@ -337,7 +353,7 @@ fn resolve_library(name: &str, n: usize, params: &[u64]) -> Result<Program, Scen
         "odd-even-sort" => odd_even_sort(&gen_values(n, params[0])),
         _ => unreachable!("arity table covers the catalog"),
     };
-    Ok(built.program)
+    Ok(built)
 }
 
 fn library_arity(name: &str) -> Option<usize> {

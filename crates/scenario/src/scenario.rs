@@ -7,7 +7,7 @@ use apex_core::{
     AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, RandomSource,
     ValueSource,
 };
-use apex_pram::Program;
+use apex_pram::{Program, VarBlock};
 use apex_scheme::tasks::eval_cost;
 use apex_scheme::{ReplicaK, SchemeKind, SchemeRun, SchemeRunConfig};
 use apex_sim::{Json, JsonError, ScheduleKind};
@@ -272,6 +272,26 @@ impl Scenario {
         match &self.mode {
             Mode::Scheme { program, .. } => program.n_threads(),
             Mode::Agreement { n, .. } => *n,
+        }
+    }
+
+    /// Content digest of the canonical compact scenario document: 16 hex
+    /// digits of FNV-1a over [`Scenario::to_json`]`.render()`. Two
+    /// scenarios share a digest iff they serialize identically, so the
+    /// digest is the scenario's *content address* — the lab store keys
+    /// every [`ReportRecord`](crate::ReportRecord) by it, and corpus dedup
+    /// treats a collision as a duplicate reproducer.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", fnv1a64(self.to_json().render().as_bytes()))
+    }
+
+    /// The named input/output [`VarBlock`]s of a scheme-mode scenario
+    /// whose program source declares them (library entries do; explicit
+    /// programs and agreement-mode scenarios return `None`).
+    pub fn io_blocks(&self) -> Option<(VarBlock, VarBlock)> {
+        match &self.mode {
+            Mode::Scheme { program, .. } => program.resolve_io().ok().flatten(),
+            Mode::Agreement { .. } => None,
         }
     }
 
@@ -644,6 +664,18 @@ impl Scenario {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
+}
+
+/// 64-bit FNV-1a over `bytes` — the workspace's content-address hash
+/// (dependency-free, stable across platforms and versions; the same
+/// construction names fuzz-corpus artifacts).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Serialize the agreement constants (all fields explicit, so a scenario

@@ -27,13 +27,15 @@
 //!   an embedded scenario document plus the expected outcome; v1 still
 //!   reads), replayed by `cargo test` forever after.
 //!
-//! The `apex-synth` binary drives it all:
-//! `cargo run --release -p apex-synth -- gen|fuzz|shrink|replay|run|migrate …`.
+//! The command set lives in [`cli`] so both the `apex-synth` binary and
+//! the top-level `apex` binary (`apex synth …`) front it:
+//! `cargo run --release -p apex-synth -- gen|fuzz|shrink|replay|run|migrate|corpus-dedup …`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;
+pub mod cli;
 pub mod gen;
 pub mod oracle;
 pub mod repro;
@@ -43,6 +45,6 @@ pub mod shrink;
 pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, Finding};
 pub use gen::{conflicting_mutation, generate_nondet_program, generate_program, GenConfig};
 pub use oracle::{check_scenario, check_triple, judge, run_scenario, run_triple, Triple, Verdict};
-pub use repro::{Expectation, Reproducer};
+pub use repro::{dedup_corpus, DedupOutcome, Expectation, Reproducer};
 pub use sched_gen::{generate_schedule, SchedGenConfig};
 pub use shrink::{shrink, ShrinkStats};

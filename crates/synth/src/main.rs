@@ -1,436 +1,11 @@
 //! `apex-synth` — the scenario-synthesis / differential-fuzzing CLI.
 //!
-//! ```text
-//! apex-synth gen     --seed S --count K [--show-schedule]
-//! apex-synth fuzz    --seed S --trials K [--out DIR] [--keep N]
-//!                    [--max-secs T] [--shrink-budget R] [--no-det]
-//!                    [--comparators] [--no-write]
-//! apex-synth shrink  --file REPRO.json [--out DIR] [--shrink-budget R]
-//! apex-synth replay  --file REPRO.json | --dir DIR
-//! apex-synth run     SCENARIO.json [--emit OUT.json]
-//! apex-synth migrate [--dir DIR]
-//! ```
-//!
-//! `fuzz` sweeps seeded triples through the differential oracle on the
-//! parallel trial runner (`APEX_RUNNER_THREADS` controls fan-out), shrinks
-//! up to `--keep` DetBaseline divergences, and writes them as JSON
-//! reproducers; any Nondet-scheme divergence is written too and fails the
-//! process — that would be a real bug. `run` executes any scenario file —
-//! fuzzer-found, benchmark, or hand-written — so every run in the
-//! workspace is a shareable JSON document. `migrate` rewrites legacy (v1)
-//! corpus artifacts in the current format.
+//! A thin shell over [`apex_synth::cli`]; the top-level `apex` binary
+//! fronts the same command set as `apex synth …`.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-use apex_scenario::Scenario;
-use apex_scheme::SchemeKind;
-use apex_synth::campaign::{campaign_triple, run_campaign, CampaignConfig, Finding};
-use apex_synth::repro::{Expectation, Reproducer, VERSION};
-use apex_synth::{check_triple, shrink};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: apex-synth <gen|fuzz|shrink|replay|run|migrate> [options]\n\
-         \n\
-         gen     --seed S --count K [--show-schedule]   print generated programs\n\
-         fuzz    --seed S --trials K [--out DIR] [--keep N] [--max-secs T]\n\
-                 [--shrink-budget R] [--no-det] [--comparators] [--no-write]\n\
-         shrink  --file F [--out DIR] [--shrink-budget R]\n\
-         replay  --file F | --dir DIR\n\
-         run     SCENARIO.json [--emit OUT.json]       execute a scenario file\n\
-         migrate [--dir DIR]                           rewrite artifacts at v{VERSION}"
-    );
-    std::process::exit(2)
-}
-
-struct Args {
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Args {
-    fn parse(raw: &[String]) -> Args {
-        let mut flags = Vec::new();
-        let mut it = raw.iter().peekable();
-        while let Some(arg) = it.next() {
-            let Some(name) = arg.strip_prefix("--") else {
-                eprintln!("unexpected argument {arg:?}");
-                usage();
-            };
-            let value = it
-                .peek()
-                .filter(|v| !v.starts_with("--"))
-                .map(|v| v.to_string());
-            if value.is_some() {
-                it.next();
-            }
-            flags.push((name.to_string(), value));
-        }
-        Args { flags }
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-
-    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        match self.get(name) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("invalid --{name} value {v:?}");
-                usage();
-            }),
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first() else { usage() };
-    if cmd == "run" {
-        // `run` takes a positional scenario file.
-        return cmd_run(&argv[1..]);
-    }
-    let args = Args::parse(&argv[1..]);
-    match cmd.as_str() {
-        "gen" => cmd_gen(&args),
-        "fuzz" => cmd_fuzz(&args),
-        "shrink" => cmd_shrink(&args),
-        "replay" => cmd_replay(&args),
-        "migrate" => cmd_migrate(&args),
-        _ => usage(),
-    }
-}
-
-/// Execute one scenario file: validate, (optionally) re-emit the
-/// canonical serialized form, run, and report. Exit code 0 iff the run
-/// met its mode's correctness bar.
-fn cmd_run(raw: &[String]) -> ExitCode {
-    let (file, rest) = match raw.first() {
-        Some(f) if !f.starts_with("--") => (Some(f.clone()), &raw[1..]),
-        _ => (None, raw),
-    };
-    let args = Args::parse(rest);
-    let Some(file) = file.or_else(|| args.get("file").map(str::to_string)) else {
-        usage()
-    };
-    let scenario = match Scenario::load(Path::new(&file)) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = scenario.validate() {
-        eprintln!("{file}: invalid scenario: {e}");
-        return ExitCode::FAILURE;
-    }
-    if let Some(out) = args.get("emit") {
-        if let Err(e) = scenario.save(Path::new(out)) {
-            eprintln!("failed to write {out}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("wrote canonical form to {out}");
-    }
-    let report = scenario.run();
-    println!("{}", report.summary());
-    if report.ok() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
-}
-
-/// Rewrite every artifact in a corpus directory in the current format
-/// (legacy v1 files come back v2 under their new content-derived names).
-fn cmd_migrate(args: &Args) -> ExitCode {
-    let dir = PathBuf::from(args.get("dir").unwrap_or("corpus"));
-    let entries = match Reproducer::load_dir(&dir) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    for (path, repro) in &entries {
-        let new_path = match repro.save(&dir) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("failed to rewrite {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        if *path != new_path {
-            if let Err(e) = std::fs::remove_file(path) {
-                eprintln!("failed to remove superseded {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-            println!("migrated {} -> {}", path.display(), new_path.display());
-        } else {
-            println!("rewrote {} in place", path.display());
-        }
-    }
-    println!("{} artifacts now at format v{VERSION}", entries.len());
-    ExitCode::SUCCESS
-}
-
-fn cmd_gen(args: &Args) -> ExitCode {
-    let seed: u64 = args.num("seed", 0);
-    let count: usize = args.num("count", 3);
-    let cfg = CampaignConfig::new(count, seed);
-    for i in 0..count {
-        let t = campaign_triple(&cfg, i);
-        println!(
-            "# {} — {} threads, {} steps, {} instructions, nondet={}",
-            t.program.name,
-            t.program.n_threads,
-            t.program.n_steps(),
-            t.program.n_instructions(),
-            t.program.is_nondeterministic()
-        );
-        for (step, row) in t.program.steps.iter().enumerate() {
-            for (thread, slot) in row.iter().enumerate() {
-                if let Some(instr) = slot {
-                    println!("  step {step} thread {thread}: {instr}");
-                }
-            }
-        }
-        if args.has("show-schedule") {
-            println!("  schedule: {}", t.schedule.to_json().render());
-        }
-        println!();
-    }
-    ExitCode::SUCCESS
-}
-
-fn write_reproducer(finding: &Finding, expected: Expectation, note: String, out: &std::path::Path) {
-    let repro = Reproducer::new(finding.scheme, expected, note, &finding.triple);
-    match repro.save(out) {
-        Ok(path) => println!("  wrote {}", path.display()),
-        Err(e) => eprintln!("  failed to write reproducer: {e}"),
-    }
-}
-
-fn cmd_fuzz(args: &Args) -> ExitCode {
-    let seed: u64 = args.num("seed", 1);
-    let trials: usize = args.num("trials", 1000);
-    let keep: usize = args.num("keep", 3);
-    let shrink_budget: usize = args.num("shrink-budget", 400);
-    let out = PathBuf::from(args.get("out").unwrap_or("corpus"));
-    let write = !args.has("no-write");
-
-    let mut cfg = CampaignConfig::new(trials, seed);
-    cfg.det_leg = !args.has("no-det");
-    cfg.comparator_legs = args.has("comparators");
-    if args.has("max-secs") {
-        cfg.max_secs = Some(args.num("max-secs", 30.0));
-    }
-
-    println!(
-        "fuzz: {} triples from seed {} (det leg: {}, comparator legs: {})",
-        trials, seed, cfg.det_leg, cfg.comparator_legs
-    );
-    let mut last_print = std::time::Instant::now();
-    let mut progress = move |done: usize, findings: usize| {
-        if last_print.elapsed().as_secs_f64() > 2.0 {
-            println!("  … {done}/{trials} triples, {findings} findings");
-            last_print = std::time::Instant::now();
-        }
-    };
-    let outcome = run_campaign(&cfg, Some(&mut progress));
-
-    println!(
-        "ran {} triples ({} det-baseline legs, {} stalls) in {:.1}s",
-        outcome.trials_run, outcome.det_trials_run, outcome.stalls, outcome.wall_secs
-    );
-    println!(
-        "nondet-scheme divergences: {} (must be 0)",
-        outcome.nondet_divergences.len()
-    );
-    println!(
-        "det-baseline divergences:  {} (witnesses of prior-work unsoundness)",
-        outcome.det_divergences.len()
-    );
-    if cfg.comparator_legs {
-        println!(
-            "comparator divergences:    {} over {} legs (must be 0)",
-            outcome.comparator_divergences.len(),
-            outcome.comparator_trials_run
-        );
-    }
-
-    // A paper-scheme (or comparator) divergence is a real bug: record it
-    // and fail loudly.
-    for finding in outcome
-        .nondet_divergences
-        .iter()
-        .chain(&outcome.comparator_divergences)
-    {
-        println!(
-            "BUG: {} diverged on triple {} ({:?})",
-            finding.scheme.label(),
-            finding.index,
-            finding.verdict
-        );
-        if write {
-            write_reproducer(
-                finding,
-                Expectation::Diverges,
-                format!(
-                    "UNEXPECTED {} divergence; campaign seed {seed}, triple {}",
-                    finding.scheme.label(),
-                    finding.index
-                ),
-                &out,
-            );
-        }
-    }
-
-    if write {
-        for finding in outcome.det_divergences.iter().take(keep) {
-            println!(
-                "shrinking det-baseline divergence at triple {} ({} instrs)…",
-                finding.index,
-                finding.triple.program.n_instructions()
-            );
-            let (small, stats) = shrink(&finding.triple, SchemeKind::DetBaseline, shrink_budget);
-            println!(
-                "  {:?} -> {:?} in {} runs ({} accepted)",
-                stats.before, stats.after, stats.runs, stats.accepted
-            );
-            // The differential pair: DetBaseline diverges, Nondet is clean
-            // on the very same shrunk triple.
-            let nondet = check_triple(&small, SchemeKind::Nondet);
-            let pair_note = if nondet.diverged() || nondet.stalled {
-                "; NOTE: nondet leg not clean on shrunk triple".to_string()
-            } else {
-                "; nondet scheme verified clean on this triple".to_string()
-            };
-            let shrunk_finding = Finding {
-                triple: small,
-                ..finding.clone()
-            };
-            write_reproducer(
-                &shrunk_finding,
-                Expectation::Diverges,
-                format!(
-                    "det-baseline divergence found by campaign seed {seed} at triple {}, \
-                     shrunk {:?} -> {:?} in {} oracle runs{pair_note}",
-                    finding.index, stats.before, stats.after, stats.runs
-                ),
-                &out,
-            );
-        }
-    }
-
-    if !outcome.nondet_divergences.is_empty() || !outcome.comparator_divergences.is_empty() {
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
-}
-
-fn cmd_shrink(args: &Args) -> ExitCode {
-    let Some(file) = args.get("file") else {
-        usage()
-    };
-    let shrink_budget: usize = args.num("shrink-budget", 400);
-    let out = PathBuf::from(args.get("out").unwrap_or("corpus"));
-    let repro = match Reproducer::load(&PathBuf::from(file)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if repro.expected != Expectation::Diverges {
-        eprintln!("only divergence reproducers can be shrunk");
-        return ExitCode::FAILURE;
-    }
-    let triple = repro.triple();
-    let verdict = check_triple(&triple, repro.scheme());
-    if !verdict.diverged() {
-        eprintln!("triple no longer diverges; nothing to shrink");
-        return ExitCode::FAILURE;
-    }
-    let (small, stats) = shrink(&triple, repro.scheme(), shrink_budget);
-    println!(
-        "shrunk {:?} -> {:?} in {} runs",
-        stats.before, stats.after, stats.runs
-    );
-    let new = Reproducer::new(
-        repro.scheme(),
-        repro.expected,
-        format!(
-            "{} (re-shrunk: {:?} -> {:?})",
-            repro.note, stats.before, stats.after
-        ),
-        &small,
-    );
-    match new.save(&out) {
-        Ok(path) => {
-            println!("wrote {}", path.display());
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("failed to write: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn cmd_replay(args: &Args) -> ExitCode {
-    let entries: Vec<(PathBuf, Reproducer)> = if let Some(file) = args.get("file") {
-        let path = PathBuf::from(file);
-        match Reproducer::load(&path) {
-            Ok(r) => vec![(path, r)],
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else if let Some(dir) = args.get("dir") {
-        match Reproducer::load_dir(&PathBuf::from(dir)) {
-            Ok(rs) => rs,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        usage()
-    };
-
-    let mut failures = 0;
-    for (path, repro) in &entries {
-        match repro.check() {
-            Ok(verdict) => println!(
-                "ok   {} ({}, expect {:?}, violations={})",
-                path.display(),
-                repro.scheme().label(),
-                repro.expected,
-                verdict.violations
-            ),
-            Err(e) => {
-                failures += 1;
-                println!("FAIL {}: {e}", path.display());
-            }
-        }
-    }
-    println!(
-        "{}/{} reproducers replayed as recorded",
-        entries.len() - failures,
-        entries.len()
-    );
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    apex_synth::cli::dispatch(&argv)
 }

@@ -179,11 +179,7 @@ impl Reproducer {
         let mut hashed = self.clone();
         hashed.note = String::new();
         let text = hashed.to_json().render();
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in text.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
+        let h = apex_scenario::fnv1a64(text.as_bytes());
         format!("{}-{:016x}.json", self.scheme().label(), h)
     }
 
@@ -216,6 +212,13 @@ impl Reproducer {
             .collect()
     }
 
+    /// Canonical scenario digest — the reproducer's identity for corpus
+    /// dedup ([`dedup_corpus`]): two artifacts whose scenarios serialize
+    /// identically witness the same finding, whatever their notes say.
+    pub fn scenario_digest(&self) -> String {
+        self.scenario.digest()
+    }
+
     /// Replay the scenario and check the recorded expectation holds.
     pub fn check(&self) -> Result<Verdict, String> {
         let verdict = check_scenario(&self.scenario);
@@ -233,6 +236,44 @@ impl Reproducer {
             _ => Ok(verdict),
         }
     }
+}
+
+/// What a [`dedup_corpus`] pass found (and, unless dry-run, did).
+#[derive(Clone, Debug, Default)]
+pub struct DedupOutcome {
+    /// Artifacts kept: the first file (in sorted path order) of each
+    /// distinct canonical scenario digest.
+    pub kept: Vec<PathBuf>,
+    /// Removed duplicates, paired with the kept artifact they collided
+    /// with.
+    pub removed: Vec<(PathBuf, PathBuf)>,
+}
+
+/// Remove corpus artifacts whose canonical scenario digests collide —
+/// the first step of the corpus lifecycle. For each digest the first
+/// file in sorted path order is kept (stable across runs); later files
+/// are deleted unless `dry_run`. Notes and expectations are deliberately
+/// ignored: the scenario *is* the finding.
+pub fn dedup_corpus(dir: &Path, dry_run: bool) -> Result<DedupOutcome, String> {
+    let entries = Reproducer::load_dir(dir)?;
+    let mut first: std::collections::HashMap<String, PathBuf> = Default::default();
+    let mut outcome = DedupOutcome::default();
+    for (path, repro) in entries {
+        match first.entry(repro.scenario_digest()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(path.clone());
+                outcome.kept.push(path);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if !dry_run {
+                    std::fs::remove_file(&path)
+                        .map_err(|err| format!("{}: {err}", path.display()))?;
+                }
+                outcome.removed.push((path, e.get().clone()));
+            }
+        }
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -390,6 +431,41 @@ mod tests {
         b.note = "different provenance".into();
         assert_eq!(a.file_name(), b.file_name());
         assert!(a.file_name().starts_with("nondet-scheme-"));
+    }
+
+    #[test]
+    fn dedup_removes_digest_collisions_and_keeps_the_first() {
+        let dir =
+            std::env::temp_dir().join(format!("apex-synth-dedup-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = reproducer(11);
+        let b = reproducer(12);
+        let a_path = a.save(&dir).unwrap();
+        let b_path = b.save(&dir).unwrap();
+        // A synthetic duplicate: same scenario as `a` under another name
+        // (different note, hand-copied file — the digest ignores both).
+        let mut dup = a.clone();
+        dup.note = "copied by hand".into();
+        let dup_path = dir.join("zzz-manual-copy.json");
+        std::fs::write(&dup_path, dup.to_json().render_pretty()).unwrap();
+
+        // Dry run reports but touches nothing.
+        let outcome = dedup_corpus(&dir, true).unwrap();
+        assert_eq!(outcome.kept.len(), 2);
+        assert_eq!(outcome.removed, vec![(dup_path.clone(), a_path.clone())]);
+        assert!(dup_path.exists());
+
+        // Real run deletes the duplicate, keeps both originals.
+        let outcome = dedup_corpus(&dir, false).unwrap();
+        assert_eq!(outcome.removed.len(), 1);
+        assert!(!dup_path.exists());
+        assert!(a_path.exists() && b_path.exists());
+
+        // Idempotent.
+        let outcome = dedup_corpus(&dir, false).unwrap();
+        assert!(outcome.removed.is_empty());
+        assert_eq!(outcome.kept.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
