@@ -24,7 +24,7 @@ use std::sync::{mpsc, OnceLock};
 use apex_core::{AgreementConfig, AgreementRun, InstrumentOpts};
 use apex_scenario::{ProgramSource, Scenario, ScenarioReport};
 use apex_scheme::{SchemeKind, SchemeReport};
-use apex_sim::ScheduleKind;
+use apex_sim::AdversarySpec;
 
 pub use apex_scenario::{AgreementRunReport as AgreementTrialResult, SourceSpec};
 
@@ -121,8 +121,8 @@ pub struct AgreementTrial {
     pub n: usize,
     /// Master seed.
     pub seed: u64,
-    /// Adversary family.
-    pub kind: ScheduleKind,
+    /// Adversary (any algebra spec; legacy kinds lower via [`Into`]).
+    pub kind: AdversarySpec,
     /// Value source recipe.
     pub source: SourceSpec,
     /// Instrumentation switches.
@@ -136,11 +136,17 @@ pub struct AgreementTrial {
 
 impl AgreementTrial {
     /// Default-config trial.
-    pub fn new(n: usize, seed: u64, kind: ScheduleKind, source: SourceSpec, phases: usize) -> Self {
+    pub fn new(
+        n: usize,
+        seed: u64,
+        kind: impl Into<AdversarySpec>,
+        source: SourceSpec,
+        phases: usize,
+    ) -> Self {
         AgreementTrial {
             n,
             seed,
-            kind,
+            kind: kind.into(),
             source,
             opts: InstrumentOpts::default(),
             phases,
@@ -237,7 +243,7 @@ pub struct SchemeTrial {
     /// Master seed.
     pub seed: u64,
     /// Adversary; `None` uses the scheme harness default.
-    pub schedule: Option<ScheduleKind>,
+    pub schedule: Option<AdversarySpec>,
     /// Variable replica factor; `None` uses the harness default.
     pub replicas: Option<usize>,
 }
@@ -255,8 +261,8 @@ impl SchemeTrial {
     }
 
     /// Set the adversary.
-    pub fn schedule(mut self, kind: ScheduleKind) -> Self {
-        self.schedule = Some(kind);
+    pub fn schedule(mut self, kind: impl Into<AdversarySpec>) -> Self {
+        self.schedule = Some(kind.into());
         self
     }
 
@@ -293,6 +299,7 @@ pub fn run_scheme_trials(trials: &[SchemeTrial]) -> Vec<SchemeReport> {
 mod tests {
     use super::*;
     use apex_pram::library::coin_sum;
+    use apex_sim::ScheduleKind;
 
     #[test]
     fn results_arrive_in_config_order_regardless_of_threads() {

@@ -6,10 +6,12 @@
 //! apex drift        SUITE.json [--store DIR]    re-run and compare against the store
 //! apex drift        --compare BASELINE CANDIDATE  byte-compare two stores
 //! apex run          SCENARIO.json [--emit F] [--json]   execute one scenario
+//! apex adversary    <validate|describe|gallery> …  lint/inspect adversary specs
 //! apex synth        <gen|fuzz|shrink|replay|run|migrate|corpus-dedup> …
 //! ```
 //!
-//! `suite`/`drift` front [`apex_lab`]; `run` and `synth` delegate to
+//! `suite`/`drift` front [`apex_lab`]; `adversary` fronts the
+//! [`apex_sim::AdversarySpec`] algebra; `run` and `synth` delegate to
 //! [`apex_synth::cli`], so every entry point in the workspace is
 //! reachable from one binary.
 
@@ -17,17 +19,21 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use apex_lab::{check_against_store, compare_stores, run_suite, LabStore, Suite};
+use apex_sim::{AdversarySpec, Json};
 use apex_synth::cli::{self, Args};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apex <suite|drift|run|synth> …\n\
+        "usage: apex <suite|drift|run|adversary|synth> …\n\
          \n\
          suite run    SUITE.json [--store DIR]   expand, execute, and record a suite\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
          drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
          drift        --compare BASE CAND        byte-compare two stores\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
+         adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
+         adversary describe SPEC.json --n N [--seed S]  compile and describe it\n\
+         adversary gallery  [--n N]              print the composed-adversary gallery\n\
          synth        <subcommand> …             the apex-synth command set\n\
          \n\
          the default store is {:?}",
@@ -43,7 +49,69 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&argv[1..]),
         "drift" => cmd_drift(&argv[1..]),
         "run" => cli::cmd_run(&argv[1..]),
+        "adversary" => cmd_adversary(&argv[1..]),
         "synth" => cli::dispatch(&argv[1..]),
+        _ => usage(),
+    }
+}
+
+/// `apex adversary <validate|describe|gallery>` — author-side tooling for
+/// the composable adversary algebra: lint a spec file against a machine
+/// size, compile one and print its live description, or emit the standard
+/// composed gallery as suite-ready JSON.
+fn cmd_adversary(raw: &[String]) -> ExitCode {
+    let Some(verb) = raw.first() else { usage() };
+    let (file, rest) = positional(&raw[1..]);
+    let args = Args::parse(rest);
+    let n: usize = args.get("n").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let load = |file: &str| -> Result<AdversarySpec, String> {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        AdversarySpec::from_json(&json).map_err(|e| format!("{file}: {e}"))
+    };
+    match (verb.as_str(), file) {
+        ("validate", Some(file)) => match load(&file).and_then(|spec| {
+            spec.validate(n).map_err(|e| format!("{file}: {e}"))?;
+            Ok(spec)
+        }) {
+            Ok(spec) => {
+                println!(
+                    "ok: {} (depth {}) is a valid adversary for n={n}",
+                    spec.label(),
+                    spec.depth()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        ("describe", Some(file)) => {
+            let seed: u64 = args.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+            match load(&file).and_then(|spec| {
+                spec.validate(n).map_err(|e| format!("{file}: {e}"))?;
+                Ok(spec)
+            }) {
+                Ok(spec) => {
+                    let schedule = spec.build(n, seed);
+                    println!("label:    {}", spec.label());
+                    println!("depth:    {}", spec.depth());
+                    println!("compiled: {}", schedule.describe());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("gallery", None) => {
+            let specs = AdversarySpec::composed_gallery(n);
+            let arr = Json::Arr(specs.iter().map(AdversarySpec::to_json).collect());
+            println!("{}", arr.render_pretty());
+            ExitCode::SUCCESS
+        }
         _ => usage(),
     }
 }
@@ -135,7 +203,10 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                     cell.summary
                 );
             }
-            if run.ok_count() == run.records.len() {
+            for mismatch in &run.output_mismatches {
+                println!("  output assertion FAILED: {mismatch}");
+            }
+            if run.all_ok() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -31,9 +31,11 @@ pub mod store;
 pub mod suite;
 
 pub use drift::{check_against_store, compare_stores, json_diff, DriftKind, DriftReport};
-pub use runner::{run_cells, run_suite, SuiteRun};
+pub use runner::{run_cells, run_suite, OutputMismatch, SuiteRun};
 pub use store::{LabStore, Manifest, ManifestCell, DEFAULT_STORE_ROOT};
-pub use suite::{Cell, Grid, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR};
+pub use suite::{
+    Cell, Grid, OutputExpectation, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR,
+};
 
 /// 16-hex-digit content digest (FNV-1a via
 /// [`apex_scenario::fnv1a64`]) — the store's address format.
@@ -59,8 +61,8 @@ mod tests {
             1,
         ));
         grid.schedules = vec![
-            ScheduleKind::Uniform,
-            ScheduleKind::Bursty { mean_burst: 4 },
+            ScheduleKind::Uniform.into(),
+            ScheduleKind::Bursty { mean_burst: 4 }.into(),
         ];
         grid.seeds = Some(SeedRange { start: 1, count: 2 });
         suite.grids.push(grid);
@@ -138,6 +140,41 @@ mod tests {
             .any(|d| d.kind == DriftKind::MissingRecord));
 
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn output_assertions_gate_the_run() {
+        use apex_pram::library::gen_values;
+        // tree-reduce-max writes max(gen_values(8, 3)) into its output.
+        let cell = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::library("tree-reduce-max", 8, vec![3]),
+            1,
+        );
+        let digest = cell.digest();
+        let truth = gen_values(8, 3).iter().copied().fold(0, u64::max);
+
+        let mut suite = Suite::new("pinned");
+        suite.cells.push(cell);
+        suite.expect.push(OutputExpectation {
+            cell: digest.clone(),
+            outputs: vec![truth],
+        });
+        let run = run_suite(&suite).unwrap();
+        assert!(run.all_ok(), "{:?}", run.output_mismatches);
+
+        // The same suite pinning the wrong value fails the run even
+        // though the verifier is clean on every cell.
+        suite.expect[0].outputs = vec![truth + 1];
+        let run = run_suite(&suite).unwrap();
+        assert_eq!(run.ok_count(), run.records.len(), "verifier stays clean");
+        assert!(!run.all_ok());
+        assert_eq!(run.output_mismatches.len(), 1);
+        let m = &run.output_mismatches[0];
+        assert_eq!(m.digest, digest);
+        assert_eq!(m.expected, vec![truth + 1]);
+        assert_eq!(m.actual, Some(vec![truth]));
+        assert!(m.to_string().contains("expected outputs"));
     }
 
     #[test]

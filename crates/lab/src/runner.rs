@@ -5,9 +5,35 @@ use apex_scenario::ReportRecord;
 
 use crate::suite::{Cell, Suite};
 
+/// A pinned cell whose run produced the wrong results: the suite's
+/// [`OutputExpectation`](crate::suite::OutputExpectation) disagreed with
+/// the record's named outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputMismatch {
+    /// Cell index in expansion order.
+    pub index: usize,
+    /// The cell's scenario digest.
+    pub digest: String,
+    /// What the suite pinned.
+    pub expected: Vec<u64>,
+    /// What the run produced (`None` if the record carried no outputs).
+    pub actual: Option<Vec<u64>>,
+}
+
+impl std::fmt::Display for OutputMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} ({}): expected outputs {:?}, got {:?}",
+            self.index, self.digest, self.expected, self.actual
+        )
+    }
+}
+
 /// A completed suite execution: one [`ReportRecord`] per cell, in
 /// expansion order (the runner collects results in config order, so the
-/// record list is identical whether the run was serial or parallel).
+/// record list is identical whether the run was serial or parallel),
+/// plus any failed output assertions.
 #[derive(Clone, Debug)]
 pub struct SuiteRun {
     /// Suite name.
@@ -16,12 +42,21 @@ pub struct SuiteRun {
     pub suite_digest: String,
     /// One record per cell, in expansion order.
     pub records: Vec<ReportRecord>,
+    /// Output assertions that failed: pinned cells whose run produced
+    /// different results even though the verifier may have been clean.
+    pub output_mismatches: Vec<OutputMismatch>,
 }
 
 impl SuiteRun {
     /// Number of cells whose run met its mode's correctness bar.
     pub fn ok_count(&self) -> usize {
         self.records.iter().filter(|r| r.ok()).count()
+    }
+
+    /// Whether every cell verified clean *and* every pinned output
+    /// assertion held.
+    pub fn all_ok(&self) -> bool {
+        self.ok_count() == self.records.len() && self.output_mismatches.is_empty()
     }
 }
 
@@ -40,9 +75,28 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteRun, String> {
 /// the cells anyway, e.g. drift, avoid expanding twice).
 pub fn run_cells(suite: &Suite, cells: &[Cell]) -> SuiteRun {
     let records = run_trials(cells, |cell| ReportRecord::run(&cell.scenario));
+    // Check the suite's pinned outputs against what actually ran
+    // (expansion validated that every pinned digest names a cell).
+    let mut output_mismatches = Vec::new();
+    for expect in &suite.expect {
+        for (cell, record) in cells.iter().zip(&records) {
+            if cell.digest != expect.cell {
+                continue;
+            }
+            if record.outputs.as_deref() != Some(expect.outputs.as_slice()) {
+                output_mismatches.push(OutputMismatch {
+                    index: cell.index,
+                    digest: cell.digest.clone(),
+                    expected: expect.outputs.clone(),
+                    actual: record.outputs.clone(),
+                });
+            }
+        }
+    }
     SuiteRun {
         name: suite.name.clone(),
         suite_digest: suite.digest(),
         records,
+        output_mismatches,
     }
 }

@@ -13,13 +13,18 @@
 
 use apex_scenario::{Scenario, ScenarioError};
 use apex_scheme::SchemeKind;
-use apex_sim::{Json, JsonError, ScheduleKind};
+use apex_sim::{AdversarySpec, Json, JsonError};
 
 use crate::digest_hex;
 
 /// Major version of the suite JSON format (mismatches are rejected).
 pub const SUITE_FORMAT_MAJOR: u64 = 1;
 /// Minor version of the suite JSON format (additive extensions only).
+///
+/// The optional `expect` output-assertion list is additive and emitted
+/// only when non-empty, and digests hash the canonical document — so
+/// the version stanza stays untouched and every pre-existing suite
+/// keeps its store address.
 pub const SUITE_FORMAT_MINOR: u64 = 0;
 
 fn jerr(msg: impl Into<String>) -> JsonError {
@@ -66,8 +71,9 @@ pub struct Grid {
     /// Machine-size axis: overrides the library program's `n` (scheme
     /// mode) or the participant count (agreement mode).
     pub ns: Vec<usize>,
-    /// Adversary axis.
-    pub schedules: Vec<ScheduleKind>,
+    /// Adversary axis: any specs of the composable algebra (legacy
+    /// base kinds included).
+    pub schedules: Vec<AdversarySpec>,
     /// Engine batch-size axis.
     pub batches: Vec<usize>,
     /// Seed-range axis; `None` keeps the base seed.
@@ -189,7 +195,7 @@ impl Grid {
             ),
             (
                 "schedules".into(),
-                Json::Arr(self.schedules.iter().map(ScheduleKind::to_json).collect()),
+                Json::Arr(self.schedules.iter().map(AdversarySpec::to_json).collect()),
             ),
             (
                 "batches".into(),
@@ -221,7 +227,7 @@ impl Grid {
                 .collect::<Result<_, _>>()?,
             schedules: arr("schedules")?
                 .iter()
-                .map(ScheduleKind::from_json)
+                .map(AdversarySpec::from_json)
                 .collect::<Result<_, _>>()?,
             batches: arr("batches")?
                 .iter()
@@ -231,6 +237,43 @@ impl Grid {
                 None | Some(Json::Null) => None,
                 Some(r) => Some(SeedRange::from_json(r)?),
             },
+        })
+    }
+}
+
+/// A pinned result: the cell named by `cell` (a [`Scenario::digest`])
+/// must produce exactly `outputs` as its named output-block values
+/// ([`ReportRecord::outputs`](apex_scenario::ReportRecord)). This makes a
+/// suite fail on wrong *results* even when the run's verifier is clean —
+/// the check is on what the program computed, not on how it ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputExpectation {
+    /// Digest of the cell's scenario (stable under grid re-ordering).
+    pub cell: String,
+    /// Expected output-block values, in block order.
+    pub outputs: Vec<u64>,
+}
+
+impl OutputExpectation {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cell".into(), Json::Str(self.cell.clone())),
+            (
+                "outputs".into(),
+                Json::Arr(self.outputs.iter().map(|v| Json::UInt(*v)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(OutputExpectation {
+            cell: v.get("cell")?.as_str()?.to_string(),
+            outputs: v
+                .get("outputs")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Result<_, _>>()?,
         })
     }
 }
@@ -258,6 +301,9 @@ pub struct Suite {
     pub cells: Vec<Scenario>,
     /// Grids, expanded after the explicit cells, in document order.
     pub grids: Vec<Grid>,
+    /// Output assertions: cells (by scenario digest) whose named outputs
+    /// are pinned. `suite run` fails when a pinned cell's outputs differ.
+    pub expect: Vec<OutputExpectation>,
 }
 
 impl Suite {
@@ -267,6 +313,7 @@ impl Suite {
             name: name.into(),
             cells: Vec::new(),
             grids: Vec::new(),
+            expect: Vec::new(),
         }
     }
 
@@ -324,30 +371,63 @@ impl Suite {
                 digest,
             });
         }
+        // Output assertions must name expanded cells (by digest, exactly
+        // once each) that actually declare named outputs.
+        let mut pinned: std::collections::HashSet<&str> = Default::default();
+        for (ei, expect) in self.expect.iter().enumerate() {
+            if !pinned.insert(&expect.cell) {
+                return Err(format!(
+                    "suite {:?}: expectation {ei} pins cell {} twice",
+                    self.name, expect.cell
+                ));
+            }
+            let Some(cell) = cells.iter().find(|c| c.digest == expect.cell) else {
+                return Err(format!(
+                    "suite {:?}: expectation {ei} names cell {}, which no cell expands to",
+                    self.name, expect.cell
+                ));
+            };
+            if cell.scenario.io_blocks().is_none() {
+                return Err(format!(
+                    "suite {:?}: expectation {ei} pins cell {} (index {}), whose scenario \
+                     declares no named outputs (library scheme-mode sources only)",
+                    self.name, expect.cell, cell.index
+                ));
+            }
+        }
         Ok(cells)
     }
 
     /// Serialize to the versioned suite document (canonical field order;
-    /// all axes rendered explicitly so the canonical form is unique).
+    /// all axes rendered explicitly so the canonical form is unique —
+    /// except `expect`, emitted only when non-empty so expectation-free
+    /// documents keep their canonical bytes and digests).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             (
-                "version".into(),
+                "version".to_string(),
                 Json::Obj(vec![
                     ("major".into(), Json::UInt(SUITE_FORMAT_MAJOR)),
                     ("minor".into(), Json::UInt(SUITE_FORMAT_MINOR)),
                 ]),
             ),
-            ("name".into(), Json::Str(self.name.clone())),
+            ("name".to_string(), Json::Str(self.name.clone())),
             (
-                "cells".into(),
+                "cells".to_string(),
                 Json::Arr(self.cells.iter().map(Scenario::to_json).collect()),
             ),
             (
-                "grids".into(),
+                "grids".to_string(),
                 Json::Arr(self.grids.iter().map(Grid::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.expect.is_empty() {
+            fields.push((
+                "expect".to_string(),
+                Json::Arr(self.expect.iter().map(OutputExpectation::to_json).collect()),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserialize a suite document (rejects unknown major versions;
@@ -379,6 +459,10 @@ impl Suite {
                 .iter()
                 .map(Grid::from_json)
                 .collect::<Result<_, _>>()?,
+            expect: arr("expect")?
+                .iter()
+                .map(OutputExpectation::from_json)
+                .collect::<Result<_, _>>()?,
         })
     }
 
@@ -408,6 +492,7 @@ impl Suite {
 mod tests {
     use super::*;
     use apex_scenario::{ProgramSource, SourceSpec};
+    use apex_sim::ScheduleKind;
 
     fn scheme_base() -> Scenario {
         Scenario::scheme(
@@ -425,8 +510,8 @@ mod tests {
         let mut grid = Grid::new(scheme_base());
         grid.schemes = vec![SchemeKind::Nondet, SchemeKind::DetBaseline];
         grid.schedules = vec![
-            ScheduleKind::Uniform,
-            ScheduleKind::Bursty { mean_burst: 8 },
+            ScheduleKind::Uniform.into(),
+            ScheduleKind::Bursty { mean_burst: 8 }.into(),
         ];
         grid.seeds = Some(SeedRange { start: 1, count: 3 });
         suite.grids.push(grid);
@@ -455,7 +540,7 @@ mod tests {
         assert_eq!(cells[3].scenario.seed, 3);
         assert_eq!(
             cells[4].scenario.schedule,
-            ScheduleKind::Bursty { mean_burst: 8 }
+            ScheduleKind::Bursty { mean_burst: 8 }.into()
         );
         // Digests are pairwise distinct.
         let mut digests: Vec<_> = cells.iter().map(|c| c.digest.clone()).collect();
@@ -520,6 +605,53 @@ mod tests {
     }
 
     #[test]
+    fn output_expectations_validate_and_round_trip() {
+        // A suite with a pinned output: tree-reduce-max over n=8 params=[3].
+        let mut suite = Suite::new("haspin");
+        let cell = scheme_base();
+        let digest = cell.digest();
+        suite.cells.push(cell);
+        suite.expect.push(OutputExpectation {
+            cell: digest.clone(),
+            outputs: vec![42],
+        });
+        suite.validate().unwrap();
+        // Round-trips exactly, and the `expect` field is emitted.
+        let back = Suite::parse(&suite.render_pretty()).unwrap();
+        assert_eq!(back, suite);
+        assert!(suite.to_json().render().contains("\"expect\":"));
+        // An expectation-free suite's canonical form has no expect field,
+        // so pre-1.1 documents keep their digests.
+        let mut bare = suite.clone();
+        bare.expect.clear();
+        assert!(!bare.to_json().render().contains("\"expect\":"));
+
+        // Unknown digests are rejected with the expectation index.
+        let mut dangling = suite.clone();
+        dangling.expect[0].cell = "feedfacefeedface".into();
+        assert!(dangling.validate().unwrap_err().contains("expectation 0"));
+
+        // Pinning one cell twice is rejected.
+        let mut twice = suite.clone();
+        twice.expect.push(OutputExpectation {
+            cell: digest,
+            outputs: vec![7],
+        });
+        assert!(twice.validate().unwrap_err().contains("twice"));
+
+        // Pinning a cell with no named outputs is rejected.
+        let mut ag = Suite::new("ag");
+        let cell = Scenario::agreement(8, SourceSpec::Keyed, 1, 42);
+        let digest = cell.digest();
+        ag.cells.push(cell);
+        ag.expect.push(OutputExpectation {
+            cell: digest,
+            outputs: vec![1],
+        });
+        assert!(ag.validate().unwrap_err().contains("no named outputs"));
+    }
+
+    #[test]
     fn n_axis_applies_to_both_modes() {
         use apex_scenario::Mode;
         let mut suite = Suite::new("ns");
@@ -543,7 +675,10 @@ mod tests {
         // A zero-count seed range is the one genuinely empty axis:
         // len/is_empty agree, and a suite of only-empty grids is rejected.
         let mut grid = Grid::new(scheme_base());
-        grid.schedules = vec![ScheduleKind::Uniform, ScheduleKind::RoundRobin];
+        grid.schedules = vec![
+            ScheduleKind::Uniform.into(),
+            ScheduleKind::RoundRobin.into(),
+        ];
         grid.seeds = Some(SeedRange { start: 1, count: 0 });
         assert_eq!(grid.len(), 0);
         assert!(grid.is_empty());

@@ -10,7 +10,7 @@ use apex_core::{
 use apex_pram::{Program, VarBlock};
 use apex_scheme::tasks::eval_cost;
 use apex_scheme::{ReplicaK, SchemeKind, SchemeRun, SchemeRunConfig};
-use apex_sim::{Json, JsonError, ScheduleKind};
+use apex_sim::{AdversarySpec, Json, JsonError, ScheduleKind};
 
 use crate::program::{scheme_from_label, ProgramSource};
 use crate::report::{AgreementRunReport, ScenarioReport};
@@ -20,6 +20,13 @@ use crate::report::{AgreementRunReport, ScenarioReport};
 /// ignorable extensions.
 pub const FORMAT_MAJOR: u64 = 1;
 /// Minor version of the scenario JSON format (see [`FORMAT_MAJOR`]).
+///
+/// Deliberately *not* bumped for the adversary algebra: digests are FNV
+/// over the canonical document, so changing the version stanza would
+/// re-address every store record and corpus artifact. The version is a
+/// compatibility gate (readers reject major mismatches), not a
+/// changelog; a pre-algebra reader meeting a combinator schedule fails
+/// with a clear "unknown schedule kind" parse error.
 pub const FORMAT_MINOR: u64 = 0;
 
 /// Why a scenario is ill-formed (from [`Scenario::validate`]).
@@ -183,8 +190,10 @@ pub enum Mode {
 pub struct Scenario {
     /// What runs.
     pub mode: Mode,
-    /// The oblivious adversary.
-    pub schedule: ScheduleKind,
+    /// The oblivious adversary: any tree of the composable adversary
+    /// algebra (legacy [`ScheduleKind`]s are the [`AdversarySpec::Base`]
+    /// leaves and serialize to the same bytes they always did).
+    pub schedule: AdversarySpec,
     /// Master seed (private random sources + schedule streams).
     pub seed: u64,
     /// Override the protocol constants (`None` derives them from the mode).
@@ -203,7 +212,7 @@ impl Scenario {
                 program,
                 replicas: ReplicaK::default(),
             },
-            schedule: ScheduleKind::Uniform,
+            schedule: AdversarySpec::Base(ScheduleKind::Uniform),
             seed,
             agreement: None,
             engine: EngineKnobs::default(),
@@ -219,16 +228,17 @@ impl Scenario {
                 phases,
                 instrument: InstrumentOpts::default(),
             },
-            schedule: ScheduleKind::Uniform,
+            schedule: AdversarySpec::Base(ScheduleKind::Uniform),
             seed,
             agreement: None,
             engine: EngineKnobs::default(),
         }
     }
 
-    /// Set the adversary.
-    pub fn schedule(mut self, s: ScheduleKind) -> Self {
-        self.schedule = s;
+    /// Set the adversary (accepts a legacy [`ScheduleKind`] or any
+    /// [`AdversarySpec`] composition).
+    pub fn schedule(mut self, s: impl Into<AdversarySpec>) -> Self {
+        self.schedule = s.into();
         self
     }
 
@@ -380,61 +390,11 @@ impl Scenario {
     }
 
     fn validate_schedule(&self) -> Result<(), ScenarioError> {
-        let fail = |msg: String| Err(ScenarioError(msg));
-        let frac = |x: f64, what: &str| -> Result<(), ScenarioError> {
-            if (0.0..=1.0).contains(&x) {
-                Ok(())
-            } else {
-                Err(ScenarioError(format!("{what} must be in [0, 1], got {x}")))
-            }
-        };
-        match &self.schedule {
-            ScheduleKind::RoundRobin | ScheduleKind::Uniform => Ok(()),
-            ScheduleKind::Zipf { s } => {
-                if *s > 0.0 {
-                    Ok(())
-                } else {
-                    fail(format!("zipf exponent must be > 0, got {s}"))
-                }
-            }
-            ScheduleKind::TwoClass { slow_frac, ratio } => {
-                frac(*slow_frac, "two-class slow_frac")?;
-                if *ratio >= 1.0 {
-                    Ok(())
-                } else {
-                    fail(format!("two-class ratio must be ≥ 1, got {ratio}"))
-                }
-            }
-            ScheduleKind::Bursty { mean_burst } => {
-                if *mean_burst >= 1 {
-                    Ok(())
-                } else {
-                    fail("bursty mean_burst must be ≥ 1".into())
-                }
-            }
-            ScheduleKind::Sleepy {
-                sleepy_frac, awake, ..
-            } => {
-                frac(*sleepy_frac, "sleepy sleepy_frac")?;
-                if *awake >= 1 {
-                    Ok(())
-                } else {
-                    fail("sleepy awake window must be ≥ 1".into())
-                }
-            }
-            ScheduleKind::Crash { crash_frac, .. } => frac(*crash_frac, "crash crash_frac"),
-            ScheduleKind::Scripted(spec) => {
-                spec.validate().map_err(ScenarioError)?;
-                if spec.n != self.n() {
-                    return fail(format!(
-                        "scripted schedule written for {} processors, scenario has {}",
-                        spec.n,
-                        self.n()
-                    ));
-                }
-                Ok(())
-            }
-        }
+        // Per-family parameter ranges, partition coverage, factor-vector
+        // sizes, scripted-n matching — all delegated to the algebra
+        // ([`AdversarySpec::validate`]), which checks every leaf of a
+        // composition against the machine size it will drive.
+        self.schedule.validate(self.n()).map_err(ScenarioError)
     }
 
     /// Assemble the scheme-mode run without executing it (the layered
@@ -629,7 +589,7 @@ impl Scenario {
         };
         Ok(Scenario {
             mode,
-            schedule: ScheduleKind::from_json(v.get("schedule")?)?,
+            schedule: AdversarySpec::from_json(v.get("schedule")?)?,
             seed: v.get("seed")?.as_u64()?,
             agreement: match v.get_opt("agreement") {
                 None | Some(Json::Null) => None,

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use apex_core::{new_sink, AgreementConfig, ValueSource};
 use apex_pram::{LastWriteTable, Program, Value};
-use apex_sim::{Machine, MachineBuilder, RegionAllocator, ScheduleKind, Stamped};
+use apex_sim::{AdversarySpec, Machine, MachineBuilder, RegionAllocator, ScheduleKind, Stamped};
 
 use crate::drivers::{SchemeKind, SchemeProcessor};
 use crate::map::{ReplicaK, SchemeMap};
@@ -21,8 +21,9 @@ pub struct SchemeRunConfig {
     pub kind: SchemeKind,
     /// Master seed.
     pub seed: u64,
-    /// Adversary.
-    pub schedule: ScheduleKind,
+    /// Adversary (any algebra spec; legacy [`ScheduleKind`]s lower via
+    /// [`Into`]).
+    pub schedule: AdversarySpec,
     /// Variable replication factor K.
     pub k: ReplicaK,
     /// Override the agreement constants (default: sized from the program).
@@ -41,7 +42,7 @@ impl SchemeRunConfig {
         SchemeRunConfig {
             kind,
             seed,
-            schedule: ScheduleKind::Uniform,
+            schedule: AdversarySpec::Base(ScheduleKind::Uniform),
             k: ReplicaK::default(),
             agreement: None,
             batch: None,
@@ -49,9 +50,10 @@ impl SchemeRunConfig {
         }
     }
 
-    /// Set the adversary.
-    pub fn schedule(mut self, s: ScheduleKind) -> Self {
-        self.schedule = s;
+    /// Set the adversary (accepts a [`ScheduleKind`] or any
+    /// [`AdversarySpec`]).
+    pub fn schedule(mut self, s: impl Into<AdversarySpec>) -> Self {
+        self.schedule = s.into();
         self
     }
 
@@ -134,7 +136,7 @@ impl SchemeRun {
 
         let mut builder = MachineBuilder::new(n, alloc.total())
             .seed(run_cfg.seed)
-            .schedule_kind(&run_cfg.schedule);
+            .schedule_spec(&run_cfg.schedule);
         if let Some(b) = run_cfg.batch {
             builder = builder.batch(b);
         }

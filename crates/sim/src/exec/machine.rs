@@ -127,6 +127,15 @@ impl MachineBuilder {
         self.schedule(kind.build(n, seed))
     }
 
+    /// Install an adversary by compiling an algebra spec (the open-ended
+    /// counterpart of [`MachineBuilder::schedule_kind`]; set the seed
+    /// first, it feeds the spec's derived streams).
+    pub fn schedule_spec(self, spec: &crate::sched::AdversarySpec) -> Self {
+        let n = self.n;
+        let seed = self.seed;
+        self.schedule(spec.build(n, seed))
+    }
+
     /// Policy for steps granted to completed processors.
     pub fn idle_policy(mut self, idle: IdlePolicy) -> Self {
         self.idle = idle;

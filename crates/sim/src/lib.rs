@@ -60,5 +60,8 @@ pub use exec::{Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 pub use json::{Json, JsonError};
 pub use memory::{Region, RegionAllocator, SharedMemory, WriteEvent, WriteHook};
 pub use metrics::WorkReport;
-pub use sched::{BoxedSchedule, Schedule, ScheduleKind, Script, ScriptSegment, ScriptSpec};
+pub use sched::{
+    AdversarySpec, BoxedSchedule, Group, OverlayKind, Schedule, ScheduleKind, Script,
+    ScriptSegment, ScriptSpec, Span, MAX_ADVERSARY_DEPTH,
+};
 pub use word::{ProcId, Stamp, Stamped, Value};

@@ -1,0 +1,551 @@
+//! Live schedules for the adversary-algebra combinators.
+//!
+//! Each type here is the compiled form of one [`AdversarySpec`] node
+//! (see [`super::algebra`]): it wraps already-built sub-schedules and
+//! transforms their decision streams. Every implementation upholds the
+//! batch-transparency invariant of [`Schedule`] by construction — the
+//! per-type rustdoc states the argument — so compositions remain safe to
+//! drive through the machine's prefetch queue at any batch size.
+//!
+//! [`AdversarySpec`]: super::AdversarySpec
+
+use super::Schedule;
+use crate::word::ProcId;
+use rand::rngs::SmallRng;
+
+/// Precomputed per-processor availability pattern of an overlay: a pure
+/// function of `(processor, tick)`, fixed before the run (oblivious by
+/// construction). Processor 0 is always available, so redirection always
+/// terminates and the composed schedule stays total.
+pub(crate) enum OverlayPattern {
+    /// Fail-stop overlay: each victim has a crash tick after which it is
+    /// never available.
+    Crash {
+        /// Per-processor crash tick (`None` = never crashes).
+        crash_at: Vec<Option<u64>>,
+    },
+    /// Tardy overlay: sleepers alternate awake/asleep windows with
+    /// per-processor phase offsets (`u64::MAX` marks always-awake).
+    Sleepy {
+        /// Ticks awake per period.
+        awake: u64,
+        /// Ticks asleep per period.
+        asleep: u64,
+        /// Per-processor phase offsets.
+        offsets: Vec<u64>,
+    },
+}
+
+impl OverlayPattern {
+    /// Crash overlay: the exact derivation of
+    /// [`CrashSchedule::uniform_crashes`](super::CrashSchedule::uniform_crashes)
+    /// (shared helper, so the two can never drift apart).
+    pub(crate) fn crash(n: usize, crash_frac: f64, horizon: u64, mut rng: SmallRng) -> Self {
+        OverlayPattern::Crash {
+            crash_at: super::crash::uniform_crash_times(n, crash_frac, horizon, &mut rng),
+        }
+    }
+
+    /// Sleepy overlay: the exact derivation of
+    /// [`Sleepy::new`](super::Sleepy::new) (shared helper).
+    pub(crate) fn sleepy(
+        n: usize,
+        sleepy_frac: f64,
+        awake: u64,
+        asleep: u64,
+        mut rng: SmallRng,
+    ) -> Self {
+        OverlayPattern::Sleepy {
+            awake,
+            asleep,
+            offsets: super::sleepy::sleep_offsets(n, sleepy_frac, awake, asleep, &mut rng),
+        }
+    }
+
+    /// Whether processor `p` is available at tick `t`.
+    pub(crate) fn is_active(&self, p: usize, t: u64) -> bool {
+        match self {
+            OverlayPattern::Crash { crash_at } => match crash_at[p] {
+                None => true,
+                Some(c) => t < c,
+            },
+            OverlayPattern::Sleepy {
+                awake,
+                asleep,
+                offsets,
+            } => {
+                let off = offsets[p];
+                if off == u64::MAX {
+                    return true;
+                }
+                (t + off) % (awake + asleep) < *awake
+            }
+        }
+    }
+
+    fn victims(&self) -> usize {
+        match self {
+            OverlayPattern::Crash { crash_at } => crash_at.iter().filter(|c| c.is_some()).count(),
+            OverlayPattern::Sleepy { offsets, .. } => {
+                offsets.iter().filter(|&&o| o != u64::MAX).count()
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            OverlayPattern::Crash { .. } => "crash",
+            OverlayPattern::Sleepy { .. } => "sleepy",
+        }
+    }
+}
+
+/// `Overlay`: a fault pattern layered onto any inner adversary. The inner
+/// schedule proposes a processor for each tick; if the overlay marks that
+/// processor unavailable at that tick, the step is redirected to the next
+/// available processor in cyclic order (processor 0 is always available).
+///
+/// **Batch transparency:** the redirection is a pure function of the
+/// proposed processor and the tick index. `next_batch` delegates the
+/// whole window to the inner schedule (itself batch-transparent) and then
+/// remaps slot `i` at tick `tick + i`, which is exactly the sequence of
+/// per-tick remaps `next` would have performed.
+pub struct OverlaySchedule {
+    inner: Box<dyn Schedule>,
+    pattern: OverlayPattern,
+    tick: u64,
+}
+
+impl OverlaySchedule {
+    pub(crate) fn new(inner: Box<dyn Schedule>, pattern: OverlayPattern) -> Self {
+        OverlaySchedule {
+            inner,
+            pattern,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn redirect(&self, p: ProcId, t: u64) -> ProcId {
+        if self.pattern.is_active(p.0, t) {
+            return p;
+        }
+        let n = self.inner.n();
+        for d in 1..n {
+            let q = (p.0 + d) % n;
+            if self.pattern.is_active(q, t) {
+                return ProcId(q);
+            }
+        }
+        // Processor 0 is always active, so this is unreachable; kept total.
+        ProcId(0)
+    }
+}
+
+impl Schedule for OverlaySchedule {
+    fn next(&mut self) -> ProcId {
+        let t = self.tick;
+        self.tick += 1;
+        let p = self.inner.next();
+        self.redirect(p, t)
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        self.inner.next_batch(out);
+        let mut t = self.tick;
+        for slot in out.iter_mut() {
+            *slot = self.redirect(*slot, t);
+            t += 1;
+        }
+        self.tick = t;
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "overlay({}:{} over {})",
+            self.pattern.label(),
+            self.pattern.victims(),
+            self.inner.describe()
+        )
+    }
+}
+
+/// `PhaseSwitch`: play each sub-schedule for a fixed tick window, in
+/// order, then the tail forever. The switch points are fixed before the
+/// run, so the composition is oblivious whenever its parts are.
+///
+/// **Batch transparency:** the span boundaries partition the global tick
+/// sequence; `next_batch` carves the window at exactly those boundaries
+/// and forwards each piece to the sub-schedule that `next` would have
+/// consulted tick by tick, so each sub-schedule sees the identical call
+/// sequence either way.
+pub struct PhaseSwitchSchedule {
+    spans: Vec<(u64, Box<dyn Schedule>)>,
+    tail: Box<dyn Schedule>,
+    /// Index of the current span (`spans.len()` once in the tail).
+    idx: usize,
+    /// Ticks already consumed from the current span.
+    used: u64,
+}
+
+impl PhaseSwitchSchedule {
+    pub(crate) fn new(spans: Vec<(u64, Box<dyn Schedule>)>, tail: Box<dyn Schedule>) -> Self {
+        PhaseSwitchSchedule {
+            spans,
+            tail,
+            idx: 0,
+            used: 0,
+        }
+    }
+}
+
+impl Schedule for PhaseSwitchSchedule {
+    fn next(&mut self) -> ProcId {
+        while self.idx < self.spans.len() && self.used == self.spans[self.idx].0 {
+            self.idx += 1;
+            self.used = 0;
+        }
+        match self.spans.get_mut(self.idx) {
+            Some((_, sched)) => {
+                self.used += 1;
+                sched.next()
+            }
+            None => self.tail.next(),
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let mut i = 0;
+        while i < out.len() {
+            if self.idx < self.spans.len() {
+                let (ticks, sched) = &mut self.spans[self.idx];
+                let left = *ticks - self.used;
+                if left == 0 {
+                    self.idx += 1;
+                    self.used = 0;
+                    continue;
+                }
+                let run = (left.min((out.len() - i) as u64)) as usize;
+                sched.next_batch(&mut out[i..i + run]);
+                self.used += run as u64;
+                i += run;
+            } else {
+                self.tail.next_batch(&mut out[i..]);
+                i = out.len();
+            }
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.tail.n()
+    }
+
+    fn describe(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(t, s)| format!("{t}:{}", s.describe()))
+            .collect();
+        format!(
+            "phase-switch([{}] then {})",
+            spans.join(", "),
+            self.tail.describe()
+        )
+    }
+}
+
+/// `Partition`: disjoint processor groups, each driven by its own
+/// sub-adversary built over the group's *local* machine size. Tick `t`
+/// belongs to the group that owns processor `t mod n`, so each round of
+/// `n` ticks grants every group exactly as many steps as it has members;
+/// within its ticks a group's sub-schedule picks the member (local ids
+/// mapped through the sorted member list).
+///
+/// **Batch transparency:** the tick-to-group assignment is a pure
+/// function of the tick index, and a window's ticks reach each group in
+/// increasing order — the same order `next` would poll that group's
+/// sub-schedule. `next_batch` therefore counts each group's share of the
+/// window, batches each sub-schedule once (sub-batches in stream order),
+/// and scatters the results back into tick order.
+pub struct PartitionSchedule {
+    /// `(sorted global member ids, local sub-schedule)` per group.
+    groups: Vec<(Vec<usize>, Box<dyn Schedule>)>,
+    /// `owner[slot]` = index of the group that owns processor `slot`.
+    owner: Vec<usize>,
+    /// `tick mod n`.
+    cursor: usize,
+    /// Per-group scratch for batched dispatch.
+    scratch: Vec<Vec<ProcId>>,
+    /// Per-group counters reused across `next_batch` calls (kept here so
+    /// the prefetch hot path stays allocation-free in steady state).
+    counts: Vec<usize>,
+    taken: Vec<usize>,
+}
+
+impl PartitionSchedule {
+    /// `groups` must exactly partition `0..n` (validated by the spec).
+    pub(crate) fn new(n: usize, groups: Vec<(Vec<usize>, Box<dyn Schedule>)>) -> Self {
+        let mut owner = vec![usize::MAX; n];
+        for (g, (procs, sched)) in groups.iter().enumerate() {
+            assert_eq!(
+                sched.n(),
+                procs.len(),
+                "group schedule built for wrong size"
+            );
+            for &p in procs {
+                assert!(owner[p] == usize::MAX, "processor {p} in two groups");
+                owner[p] = g;
+            }
+        }
+        assert!(
+            owner.iter().all(|&g| g != usize::MAX),
+            "groups must cover all processors"
+        );
+        let scratch = groups.iter().map(|_| Vec::new()).collect();
+        let counts = vec![0; groups.len()];
+        let taken = vec![0; groups.len()];
+        PartitionSchedule {
+            groups,
+            owner,
+            cursor: 0,
+            scratch,
+            counts,
+            taken,
+        }
+    }
+}
+
+impl Schedule for PartitionSchedule {
+    fn next(&mut self) -> ProcId {
+        let g = self.owner[self.cursor];
+        self.cursor = (self.cursor + 1) % self.owner.len();
+        let (procs, sched) = &mut self.groups[g];
+        let local = sched.next();
+        ProcId(procs[local.0])
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let n = self.owner.len();
+        // Count each group's share of this window.
+        self.counts.fill(0);
+        let mut slot = self.cursor;
+        for _ in 0..out.len() {
+            self.counts[self.owner[slot]] += 1;
+            slot = (slot + 1) % n;
+        }
+        // One batched draw per group, in stream order.
+        for (g, count) in self.counts.iter().enumerate() {
+            let buf = &mut self.scratch[g];
+            buf.resize(*count, ProcId(0));
+            if *count > 0 {
+                self.groups[g].1.next_batch(buf);
+            }
+        }
+        // Scatter back into tick order, mapping local ids to global.
+        self.taken.fill(0);
+        for slot_out in out.iter_mut() {
+            let g = self.owner[self.cursor];
+            self.cursor = (self.cursor + 1) % n;
+            let local = self.scratch[g][self.taken[g]];
+            self.taken[g] += 1;
+            *slot_out = ProcId(self.groups[g].0[local.0]);
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.owner.len()
+    }
+
+    fn describe(&self) -> String {
+        let groups: Vec<String> = self
+            .groups
+            .iter()
+            .map(|(procs, s)| format!("{}p:{}", procs.len(), s.describe()))
+            .collect();
+        format!("partition({})", groups.join(" | "))
+    }
+}
+
+/// `Scale`: a per-processor speed warp. Every decision of the inner
+/// schedule is stretched into `factors[p]` consecutive steps by processor
+/// `p`, so a factor-`k` processor advances `k` work units for every one
+/// the inner adversary granted it (relative speeds multiply).
+///
+/// **Batch transparency:** the expansion is a run-length state machine
+/// exactly like [`Bursty`](super::Bursty)'s — `(current, remaining)` —
+/// and `next_batch` fills whole runs with the identical draws from the
+/// inner schedule that `next` would make one tick at a time.
+pub struct ScaleSchedule {
+    inner: Box<dyn Schedule>,
+    factors: Vec<u64>,
+    current: ProcId,
+    remaining: u64,
+}
+
+impl ScaleSchedule {
+    /// `factors` must have one entry ≥ 1 per processor (validated by the
+    /// spec).
+    pub(crate) fn new(inner: Box<dyn Schedule>, factors: Vec<u64>) -> Self {
+        assert_eq!(factors.len(), inner.n(), "one factor per processor");
+        assert!(factors.iter().all(|&f| f >= 1), "factors must be >= 1");
+        ScaleSchedule {
+            inner,
+            factors,
+            current: ProcId(0),
+            remaining: 0,
+        }
+    }
+}
+
+impl Schedule for ScaleSchedule {
+    fn next(&mut self) -> ProcId {
+        if self.remaining == 0 {
+            self.current = self.inner.next();
+            self.remaining = self.factors[self.current.0];
+        }
+        self.remaining -= 1;
+        self.current
+    }
+
+    fn next_batch(&mut self, out: &mut [ProcId]) {
+        let mut i = 0;
+        while i < out.len() {
+            if self.remaining == 0 {
+                self.current = self.inner.next();
+                self.remaining = self.factors[self.current.0];
+            }
+            let run = self.remaining.min((out.len() - i) as u64) as usize;
+            out[i..i + run].fill(self.current);
+            self.remaining -= run as u64;
+            i += run;
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn describe(&self) -> String {
+        let max = self.factors.iter().max().copied().unwrap_or(1);
+        format!("scale(max={max} over {})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::small_rng;
+    use crate::sched::{RoundRobin, UniformRandom};
+
+    fn round_robin(n: usize) -> Box<dyn Schedule> {
+        Box::new(RoundRobin::new(n))
+    }
+
+    #[test]
+    fn overlay_redirects_only_inactive_ticks() {
+        // Processor 2 crashes at tick 3; before that the stream is
+        // untouched, after it every proposed 2 lands on 3 (next cyclic).
+        let pattern = OverlayPattern::Crash {
+            crash_at: vec![None, None, Some(3), None],
+        };
+        let mut s = OverlaySchedule::new(round_robin(4), pattern);
+        let picks: Vec<usize> = (0..8).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 3, 3]);
+    }
+
+    #[test]
+    fn overlay_sleepy_pattern_matches_sleepy_semantics() {
+        let pattern = OverlayPattern::sleepy(8, 0.5, 10, 30, small_rng(3));
+        for t in 0..200 {
+            assert!(pattern.is_active(0, t), "processor 0 never sleeps");
+        }
+    }
+
+    #[test]
+    fn phase_switch_changes_streams_at_exact_boundaries() {
+        let spans: Vec<(u64, Box<dyn Schedule>)> = vec![(3, round_robin(4))];
+        let mut s = PhaseSwitchSchedule::new(spans, Box::new(UniformRandom::new(4, small_rng(1))));
+        let mut t = UniformRandom::new(4, small_rng(1));
+        let picks: Vec<usize> = (0..7).map(|_| s.next().0).collect();
+        let tail: Vec<usize> = (0..4).map(|_| t.next().0).collect();
+        assert_eq!(&picks[..3], &[0, 1, 2]);
+        assert_eq!(&picks[3..], &tail[..]);
+    }
+
+    #[test]
+    fn partition_maps_local_ids_through_member_lists() {
+        // Group 0 owns {0, 2}, group 1 owns {1, 3}; both run round-robin
+        // locally. Ticks go 0,1,2,3 → owners 0,1,0,1.
+        let groups: Vec<(Vec<usize>, Box<dyn Schedule>)> =
+            vec![(vec![0, 2], round_robin(2)), (vec![1, 3], round_robin(2))];
+        let mut s = PartitionSchedule::new(4, groups);
+        let picks: Vec<usize> = (0..8).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scale_stretches_decisions_by_their_factor() {
+        let mut s = ScaleSchedule::new(round_robin(3), vec![1, 2, 3]);
+        let picks: Vec<usize> = (0..12).map(|_| s.next().0).collect();
+        assert_eq!(picks, vec![0, 1, 1, 2, 2, 2, 0, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn combinators_are_batch_transparent() {
+        let builders: Vec<fn() -> Box<dyn Schedule>> = vec![
+            || {
+                Box::new(OverlaySchedule::new(
+                    Box::new(UniformRandom::new(6, small_rng(7))),
+                    OverlayPattern::crash(6, 0.5, 100, small_rng(8)),
+                ))
+            },
+            || {
+                let spans: Vec<(u64, Box<dyn Schedule>)> = vec![
+                    (5, Box::new(RoundRobin::new(6))),
+                    (17, Box::new(UniformRandom::new(6, small_rng(9)))),
+                ];
+                Box::new(PhaseSwitchSchedule::new(
+                    spans,
+                    Box::new(UniformRandom::new(6, small_rng(10))),
+                ))
+            },
+            || {
+                let groups: Vec<(Vec<usize>, Box<dyn Schedule>)> = vec![
+                    (
+                        vec![0, 3, 4],
+                        Box::new(UniformRandom::new(3, small_rng(11))),
+                    ),
+                    (vec![1, 2, 5], Box::new(RoundRobin::new(3))),
+                ];
+                Box::new(PartitionSchedule::new(6, groups))
+            },
+            || {
+                Box::new(ScaleSchedule::new(
+                    Box::new(UniformRandom::new(6, small_rng(12))),
+                    vec![1, 2, 3, 1, 5, 1],
+                ))
+            },
+        ];
+        for mk in builders {
+            let mut reference = mk();
+            let mut batched = mk();
+            let serial: Vec<ProcId> = (0..500).map(|_| reference.next()).collect();
+            let mut got = Vec::new();
+            let mut buf = [ProcId(0); 128];
+            // Ragged batch sizes, including 1, crossing every boundary kind.
+            let sizes = [1usize, 7, 64, 3, 128, 31, 2, 64];
+            let mut k = 0;
+            while got.len() < serial.len() {
+                let take = sizes[k % sizes.len()].min(serial.len() - got.len());
+                batched.next_batch(&mut buf[..take]);
+                got.extend_from_slice(&buf[..take]);
+                k += 1;
+            }
+            assert_eq!(got, serial, "{}", reference.describe());
+        }
+    }
+}

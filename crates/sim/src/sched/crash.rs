@@ -39,15 +39,7 @@ impl CrashSchedule {
     /// `[0, horizon)`.
     pub fn uniform_crashes(n: usize, crash_frac: f64, horizon: u64, mut rng: SmallRng) -> Self {
         assert!(n > 0);
-        assert!((0.0..=1.0).contains(&crash_frac));
-        let mut crash_at = vec![None; n];
-        let k = ((crash_frac * n as f64).round() as usize).min(n.saturating_sub(1));
-        // Choose k distinct victims among 1..n.
-        let mut victims: Vec<usize> = (1..n).collect();
-        victims.shuffle(&mut rng);
-        for &v in victims.iter().take(k) {
-            crash_at[v] = Some(rng.gen_range(0..horizon.max(1)));
-        }
+        let crash_at = uniform_crash_times(n, crash_frac, horizon, &mut rng);
         Self::new(crash_at, rng)
     }
 
@@ -78,6 +70,28 @@ impl CrashSchedule {
         }
         ProcId(0)
     }
+}
+
+/// The fail-stop pattern derivation shared by [`CrashSchedule`] and the
+/// algebra's crash overlay: `crash_frac` of processors 1..n (processor 0
+/// is always exempt) crash at uniform times in `[0, max(horizon, 1))`.
+/// `None` marks a survivor.
+pub(crate) fn uniform_crash_times(
+    n: usize,
+    crash_frac: f64,
+    horizon: u64,
+    rng: &mut SmallRng,
+) -> Vec<Option<u64>> {
+    assert!((0.0..=1.0).contains(&crash_frac));
+    let mut crash_at = vec![None; n];
+    let k = ((crash_frac * n as f64).round() as usize).min(n.saturating_sub(1));
+    // Choose k distinct victims among 1..n.
+    let mut victims: Vec<usize> = (1..n).collect();
+    victims.shuffle(rng);
+    for &v in victims.iter().take(k) {
+        crash_at[v] = Some(rng.gen_range(0..horizon.max(1)));
+    }
+    crash_at
 }
 
 impl Schedule for CrashSchedule {

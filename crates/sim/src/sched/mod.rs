@@ -12,15 +12,19 @@
 //! ([`crate::rng::schedule_rng`]) and from its own tick counter, never from
 //! protocol state, so obliviousness holds by construction.
 
+mod algebra;
 mod basic;
 mod bursty;
+mod combinators;
 mod crash;
 mod scripted;
 mod sleepy;
 mod spec;
 
+pub use algebra::{AdversarySpec, Group, OverlayKind, Span, MAX_ADVERSARY_DEPTH};
 pub use basic::{RoundRobin, UniformRandom, WeightedSpeeds};
 pub use bursty::Bursty;
+pub use combinators::{OverlaySchedule, PartitionSchedule, PhaseSwitchSchedule, ScaleSchedule};
 pub use crash::CrashSchedule;
 pub use scripted::{Script, ScriptedSchedule};
 pub use sleepy::Sleepy;
@@ -75,6 +79,12 @@ pub type BoxedSchedule = Box<dyn Schedule>;
 /// Declarative schedule family, convenient for sweeping adversaries in
 /// experiments. `build` instantiates a concrete [`Schedule`] for a given
 /// processor count and master seed.
+///
+/// Since the adversary-algebra redesign this enum is the set of *base*
+/// adversaries: canonical sugar that [lowers](ScheduleKind::lower) into
+/// [`AdversarySpec::Base`] with a bit-identical decision stream. Open
+/// compositions (overlays, phase switches, partitions, speed warps) live
+/// in [`AdversarySpec`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum ScheduleKind {
     /// Perfectly fair rotation — the synchronous-like best case.

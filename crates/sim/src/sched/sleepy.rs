@@ -33,19 +33,9 @@ impl Sleepy {
     /// awake/asleep pattern. Processor 0 never sleeps, guaranteeing progress.
     pub fn new(n: usize, sleepy_frac: f64, awake: u64, asleep: u64, mut rng: SmallRng) -> Self {
         assert!(n > 0);
-        assert!((0.0..=1.0).contains(&sleepy_frac));
         assert!(awake >= 1);
-        let sleepy_count = ((sleepy_frac * n as f64).round() as usize).min(n.saturating_sub(1));
-        let period = awake + asleep;
-        let offsets: Vec<u64> = (0..n)
-            .map(|i| {
-                if i >= n - sleepy_count {
-                    rng.gen_range(0..period.max(1))
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect();
+        let offsets = sleep_offsets(n, sleepy_frac, awake, asleep, &mut rng);
+        let sleepy_count = offsets.iter().filter(|&&o| o != u64::MAX).count();
         Sleepy {
             n,
             awake,
@@ -88,6 +78,31 @@ impl Sleepy {
         // Processor 0 is always awake, so this is unreachable; kept total.
         ProcId(0)
     }
+}
+
+/// The tardy-processor pattern derivation shared by [`Sleepy`] and the
+/// algebra's sleepy overlay: the `sleepy_frac` highest-indexed processors
+/// get a random phase offset in `[0, awake + asleep)`; `u64::MAX` marks
+/// an always-awake processor (processor 0 is always exempt).
+pub(crate) fn sleep_offsets(
+    n: usize,
+    sleepy_frac: f64,
+    awake: u64,
+    asleep: u64,
+    rng: &mut SmallRng,
+) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&sleepy_frac));
+    let sleepy_count = ((sleepy_frac * n as f64).round() as usize).min(n.saturating_sub(1));
+    let period = awake + asleep;
+    (0..n)
+        .map(|i| {
+            if i >= n - sleepy_count {
+                rng.gen_range(0..period.max(1))
+            } else {
+                u64::MAX
+            }
+        })
+        .collect()
 }
 
 impl Schedule for Sleepy {

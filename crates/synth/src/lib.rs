@@ -46,5 +46,5 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, Finding};
 pub use gen::{conflicting_mutation, generate_nondet_program, generate_program, GenConfig};
 pub use oracle::{check_scenario, check_triple, judge, run_scenario, run_triple, Triple, Verdict};
 pub use repro::{dedup_corpus, DedupOutcome, Expectation, Reproducer};
-pub use sched_gen::{generate_schedule, SchedGenConfig};
+pub use sched_gen::{generate_adversary, generate_schedule, SchedGenConfig};
 pub use shrink::{shrink, ShrinkStats};

@@ -26,7 +26,7 @@
 use apex_pram::Program;
 use apex_scenario::{ProgramSource, Scenario};
 use apex_scheme::{SchemeKind, SchemeReport};
-use apex_sim::ScheduleKind;
+use apex_sim::AdversarySpec;
 
 /// One generated scenario point: the workload and adversary, with the
 /// scheme left open (the differential axis).
@@ -34,8 +34,8 @@ use apex_sim::ScheduleKind;
 pub struct Triple {
     /// The synthesized strict-EREW program.
     pub program: Program,
-    /// The synthesized oblivious adversary.
-    pub schedule: ScheduleKind,
+    /// The synthesized oblivious adversary (any algebra composition).
+    pub schedule: AdversarySpec,
     /// Master seed (private random sources + schedule fallback stream).
     pub seed: u64,
 }
@@ -179,11 +179,11 @@ pub fn check_triple(triple: &Triple, kind: SchemeKind) -> Verdict {
 mod tests {
     use super::*;
     use crate::gen::{generate_nondet_program, GenConfig};
-    use crate::sched_gen::{generate_schedule, SchedGenConfig};
+    use crate::sched_gen::{generate_adversary, SchedGenConfig};
 
     fn triple(seed: u64) -> Triple {
         let program = generate_nondet_program(&GenConfig::default(), seed);
-        let schedule = generate_schedule(&SchedGenConfig::default(), program.n_threads, seed);
+        let schedule = generate_adversary(&SchedGenConfig::default(), program.n_threads, seed);
         Triple {
             program,
             schedule,

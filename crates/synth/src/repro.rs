@@ -280,12 +280,12 @@ pub fn dedup_corpus(dir: &Path, dry_run: bool) -> Result<DedupOutcome, String> {
 mod tests {
     use super::*;
     use crate::gen::{generate_nondet_program, GenConfig};
-    use crate::sched_gen::{generate_schedule, SchedGenConfig};
+    use crate::sched_gen::{generate_adversary, SchedGenConfig};
     use apex_pram::Op;
 
     fn triple(seed: u64) -> Triple {
         let program = generate_nondet_program(&GenConfig::default(), seed);
-        let schedule = generate_schedule(&SchedGenConfig::default(), program.n_threads, seed);
+        let schedule = generate_adversary(&SchedGenConfig::default(), program.n_threads, seed);
         Triple {
             program,
             schedule,

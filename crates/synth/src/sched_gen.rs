@@ -16,7 +16,10 @@
 use apex_baselines::adversary::estimated_subphase_work;
 use apex_core::AgreementConfig;
 use apex_scheme::tasks::eval_cost;
-use apex_sim::{ScheduleKind, ScriptSegment, ScriptSpec};
+use apex_sim::{
+    AdversarySpec, Group, OverlayKind, ScheduleKind, ScriptSegment, ScriptSpec, Span,
+    MAX_ADVERSARY_DEPTH,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,6 +34,9 @@ pub struct SchedGenConfig {
     pub max_window: u64,
     /// Replica factor assumed when estimating subphase work.
     pub replicas: usize,
+    /// Maximum combinator depth of composed adversaries emitted by
+    /// [`generate_adversary`] (1 = base schedules only).
+    pub max_depth: usize,
 }
 
 impl Default for SchedGenConfig {
@@ -39,6 +45,7 @@ impl Default for SchedGenConfig {
             segments: (0, 5),
             max_window: 50_000,
             replicas: 2,
+            max_depth: 3,
         }
     }
 }
@@ -134,6 +141,94 @@ pub fn generate_schedule(config: &SchedGenConfig, n: usize, seed: u64) -> Schedu
     ScheduleKind::Scripted(spec)
 }
 
+/// Generate one *composed* adversary for an `n`-processor machine: a
+/// random well-formed [`AdversarySpec`] tree up to `config.max_depth`
+/// combinator levels deep, with the scripted generator
+/// ([`generate_schedule`]) at the leaves. Everything remains a pure
+/// function of `(config, n, seed)`, hence oblivious; every emission
+/// passes [`AdversarySpec::validate`] by construction (asserted in
+/// debug builds).
+pub fn generate_adversary(config: &SchedGenConfig, n: usize, seed: u64) -> AdversarySpec {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0_4B1A_7EE5);
+    let subphase = subphase_hint(n, config.replicas);
+    // Clamp so an over-eager config can never emit a tree that
+    // `AdversarySpec::build` would reject mid-campaign.
+    let depth = config.max_depth.min(MAX_ADVERSARY_DEPTH);
+    let spec = gen_spec(config, n, subphase, depth, &mut rng);
+    debug_assert_eq!(spec.validate(n), Ok(()));
+    spec
+}
+
+fn gen_spec(
+    config: &SchedGenConfig,
+    n: usize,
+    subphase: u64,
+    depth: usize,
+    rng: &mut SmallRng,
+) -> AdversarySpec {
+    // Leaves: the scripted generator already mixes starvation prefixes
+    // with every fallback family. Half the draws stop at a leaf so
+    // shallow trees stay common; partitions need ≥ 2 procs per side.
+    let leaf = |rng: &mut SmallRng| AdversarySpec::Base(generate_schedule(config, n, rng.gen()));
+    if depth <= 1 || rng.gen_range(0u32..2) == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0u32..4) {
+        // Overlay: a fault pattern on any sub-adversary.
+        0 => {
+            let layer = if rng.gen_range(0u32..2) == 0 {
+                OverlayKind::Crash {
+                    crash_frac: rng.gen_range(0.1..0.5),
+                    horizon: (subphase * 4).max(1024),
+                }
+            } else {
+                let quarters = rng.gen_range(4u64..9);
+                OverlayKind::Sleepy {
+                    sleepy_frac: rng.gen_range(0.1..0.6),
+                    awake: (subphase / 64).max(32),
+                    asleep: (subphase * quarters / 4).max(256),
+                }
+            };
+            AdversarySpec::Overlay {
+                layer,
+                base: Box::new(gen_spec(config, n, subphase, depth - 1, rng)),
+            }
+        }
+        // Phase switch: 1–2 subphase-scaled windows, then a tail.
+        1 => {
+            let n_spans = rng.gen_range(1usize..3);
+            let spans = (0..n_spans)
+                .map(|_| Span {
+                    ticks: (subphase * rng.gen_range(1u64..9) / 4).clamp(1, config.max_window),
+                    spec: gen_spec(config, n, subphase, depth - 1, rng),
+                })
+                .collect();
+            AdversarySpec::PhaseSwitch {
+                spans,
+                tail: Box::new(gen_spec(config, n, subphase, depth - 1, rng)),
+            }
+        }
+        // Partition: split the machine at a random contiguous boundary.
+        2 if n >= 4 => {
+            let cut = rng.gen_range(2..n - 1);
+            let groups = [(0, cut), (cut, n)]
+                .into_iter()
+                .map(|(lo, hi)| Group {
+                    procs: (lo..hi).collect(),
+                    spec: gen_spec(config, hi - lo, subphase, depth - 1, rng),
+                })
+                .collect();
+            AdversarySpec::Partition { groups }
+        }
+        // Scale: a small per-processor speed warp.
+        3 => AdversarySpec::Scale {
+            factors: (0..n).map(|_| rng.gen_range(1u64..9)).collect(),
+            base: Box::new(gen_spec(config, n, subphase, depth - 1, rng)),
+        },
+        _ => leaf(rng),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +280,49 @@ mod tests {
     fn window_scaling_tracks_subphase_estimate() {
         assert!(subphase_hint(8, 2) >= 64);
         assert!(subphase_hint(64, 2) > subphase_hint(8, 2));
+    }
+
+    #[test]
+    fn generated_adversaries_validate_and_are_reproducible() {
+        let cfg = SchedGenConfig::default();
+        for seed in 0..60 {
+            for n in [4usize, 8] {
+                let a = generate_adversary(&cfg, n, seed);
+                let b = generate_adversary(&cfg, n, seed);
+                assert_eq!(a, b, "seed {seed} n {n}");
+                assert_eq!(a.validate(n), Ok(()), "seed {seed} n {n}");
+                assert!(a.depth() <= cfg.max_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_adversaries_reach_composed_depth() {
+        let cfg = SchedGenConfig::default();
+        let deepest = (0..60)
+            .map(|seed| generate_adversary(&cfg, 8, seed).depth())
+            .max()
+            .unwrap();
+        assert!(
+            deepest >= 2,
+            "no composition in 60 draws (max depth {deepest})"
+        );
+    }
+
+    #[test]
+    fn generated_adversaries_round_trip_through_json_and_build() {
+        let cfg = SchedGenConfig::default();
+        for seed in 0..15 {
+            let spec = generate_adversary(&cfg, 8, seed);
+            let text = spec.to_json().render();
+            let back = AdversarySpec::from_json(&apex_sim::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+            let mut s = spec.build(8, seed);
+            let mut hist = [0u64; 8];
+            for _ in 0..2000 {
+                hist[s.next().0] += 1;
+            }
+            assert_eq!(hist.iter().sum::<u64>(), 2000);
+        }
     }
 }

@@ -7,18 +7,22 @@
 //!
 //! 1. drop whole program steps (from the tail first — later steps usually
 //!    only propagate the corruption);
-//! 2. drop single instructions;
-//! 3. drop idle trailing thread columns (remapping the scripted schedule
+//! 2. drop single instructions, then simplify surviving instructions'
+//!    variable operands to constants (each removes a shared-memory read);
+//! 3. drop idle trailing thread columns (remapping the schedule
 //!    to the smaller machine);
 //! 4. truncate unreferenced tail memory and zero initial values;
-//! 5. drop scripted-schedule segments and halve window lengths.
+//! 5. prune adversary-algebra combinator subtrees (peel overlays and
+//!    speed warps, drop phase-switch spans, collapse partitions);
+//! 6. drop scripted-schedule segments and halve window lengths.
 //!
 //! Programs are re-validated after every accepted reduction — a shrink can
 //! only *remove* accesses, so strict EREW is preserved, and the assert
 //! makes that assumption load-bearing.
 
+use apex_pram::Operand;
 use apex_scheme::SchemeKind;
-use apex_sim::{ScheduleKind, ScriptSegment};
+use apex_sim::{AdversarySpec, ScheduleKind, ScriptSegment, ScriptSpec, Span};
 
 use crate::oracle::{check_triple, Triple};
 
@@ -120,20 +124,60 @@ fn one_pass(
         }
     }
 
+    // 2b. Simplify variable operands to constants (candidates: the
+    //     variable's initial value, then 0). Each accepted rewrite
+    //     removes one shared-memory read; EREW can only get stricter,
+    //     which the validate() assert in try_candidate re-proves.
+    for step in (0..current.program.n_steps()).rev() {
+        for thread in 0..current.program.n_threads {
+            for pick_b in [false, true] {
+                let Some(instr) = current.program.instr(step, thread) else {
+                    continue;
+                };
+                let operand = if pick_b { instr.b } else { instr.a };
+                let Operand::Var(v) = operand else { continue };
+                let init = current.program.init.get(v).copied().unwrap_or(0);
+                let consts = if init == 0 { vec![0] } else { vec![init, 0] };
+                for value in consts {
+                    let Some(instr) = current.program.instr(step, thread) else {
+                        break;
+                    };
+                    let mut simplified = *instr;
+                    if pick_b {
+                        simplified.b = Operand::Const(value);
+                    } else {
+                        simplified.a = Operand::Const(value);
+                    }
+                    let mut candidate = current.clone();
+                    candidate.program.steps[step][thread] = Some(simplified);
+                    if try_candidate(current, candidate, stats) {
+                        accepted = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     // 3. Drop idle trailing thread columns (keep n ≥ 2 for the agreement
-    //    layout) and remap the schedule to the smaller machine.
+    //    layout) and remap the schedule to the smaller machine. Trees
+    //    whose structure pins processor ids (partitions) skip this
+    //    reduction; pass 5 usually collapses them first.
     while current.program.n_threads > 2 {
         let last = current.program.n_threads - 1;
         let idle = current.program.steps.iter().all(|row| row[last].is_none());
         if !idle {
             break;
         }
+        let Some(narrowed) = narrow_spec(&current.schedule, last) else {
+            break;
+        };
         let mut candidate = current.clone();
         for row in &mut candidate.program.steps {
             row.pop();
         }
         candidate.program.n_threads = last;
-        candidate.schedule = narrow_schedule(&candidate.schedule, last);
+        candidate.schedule = narrowed;
         if !try_candidate(current, candidate, stats) {
             break;
         }
@@ -166,11 +210,35 @@ fn one_pass(
         accepted |= try_candidate(current, candidate, stats);
     }
 
-    // 5. Schedule reductions (scripted adversaries only).
-    if let ScheduleKind::Scripted(spec) = &current.schedule {
+    // 5. Prune adversary-algebra combinator subtrees: repeatedly try the
+    //    one-step structural simplifications of the current tree (peel a
+    //    combinator, drop a branch) until none survives the oracle.
+    loop {
+        let n = current.program.n_threads;
+        let mut advanced = false;
+        for pruned in prune_candidates(&current.schedule) {
+            if pruned.validate(n).is_err() {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.schedule = pruned;
+            if try_candidate(current, candidate, stats) {
+                accepted = true;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+
+    // 6. Scripted reductions (a scripted base at the root — the common
+    //    shape once pruning has collapsed the tree).
+    if let Some(spec) = scripted_spec(&current.schedule) {
         // Drop segments, tail first.
         for i in (0..spec.segments.len()).rev() {
-            let ScheduleKind::Scripted(cur_spec) = &current.schedule else {
+            let Some(cur_spec) = scripted_spec(&current.schedule) else {
                 break;
             };
             if i >= cur_spec.segments.len() {
@@ -179,13 +247,13 @@ fn one_pass(
             let mut new_spec = cur_spec.clone();
             new_spec.segments.remove(i);
             let mut candidate = current.clone();
-            candidate.schedule = ScheduleKind::Scripted(new_spec);
+            candidate.schedule = AdversarySpec::Base(ScheduleKind::Scripted(new_spec));
             accepted |= try_candidate(current, candidate, stats);
         }
         // Halve window lengths.
-        if let ScheduleKind::Scripted(cur_spec) = &current.schedule {
+        if let Some(cur_spec) = scripted_spec(&current.schedule) {
             for i in 0..cur_spec.segments.len() {
-                let ScheduleKind::Scripted(cur_spec) = &current.schedule else {
+                let Some(cur_spec) = scripted_spec(&current.schedule) else {
                     break;
                 };
                 let mut new_spec = cur_spec.clone();
@@ -207,7 +275,7 @@ fn one_pass(
                     continue;
                 }
                 let mut candidate = current.clone();
-                candidate.schedule = ScheduleKind::Scripted(new_spec);
+                candidate.schedule = AdversarySpec::Base(ScheduleKind::Scripted(new_spec));
                 accepted |= try_candidate(current, candidate, stats);
             }
         }
@@ -216,12 +284,136 @@ fn one_pass(
     accepted
 }
 
-/// Rewrite a schedule for a machine one processor smaller: scripted
-/// segments drop references to removed processors (clamping `Run`
-/// targets); other families are size-agnostic.
-fn narrow_schedule(schedule: &ScheduleKind, n: usize) -> ScheduleKind {
-    let ScheduleKind::Scripted(spec) = schedule else {
-        return schedule.clone();
+/// The scripted base spec at the root of an adversary tree, if that is
+/// what the tree is.
+fn scripted_spec(schedule: &AdversarySpec) -> Option<&ScriptSpec> {
+    match schedule {
+        AdversarySpec::Base(ScheduleKind::Scripted(spec)) => Some(spec),
+        _ => None,
+    }
+}
+
+/// One-step structural simplifications of an adversary tree: each
+/// candidate replaces one combinator node by a child, drops one branch,
+/// or collapses a partition — anywhere in the tree. Candidates that do
+/// not fit the machine (e.g. a partition group's local spec hoisted to
+/// the full width) are filtered by the caller through
+/// [`AdversarySpec::validate`].
+fn prune_candidates(spec: &AdversarySpec) -> Vec<AdversarySpec> {
+    let mut out = Vec::new();
+    match spec {
+        AdversarySpec::Base(_) => {}
+        AdversarySpec::Overlay { layer, base } => {
+            out.push((**base).clone());
+            for c in prune_candidates(base) {
+                out.push(AdversarySpec::Overlay {
+                    layer: *layer,
+                    base: Box::new(c),
+                });
+            }
+        }
+        AdversarySpec::Scale { factors, base } => {
+            out.push((**base).clone());
+            for c in prune_candidates(base) {
+                out.push(AdversarySpec::Scale {
+                    factors: factors.clone(),
+                    base: Box::new(c),
+                });
+            }
+        }
+        AdversarySpec::PhaseSwitch { spans, tail } => {
+            out.push((**tail).clone());
+            for i in 0..spans.len() {
+                if spans.len() > 1 {
+                    let mut s = spans.clone();
+                    s.remove(i);
+                    out.push(AdversarySpec::PhaseSwitch {
+                        spans: s,
+                        tail: tail.clone(),
+                    });
+                }
+            }
+            for (i, span) in spans.iter().enumerate() {
+                for c in prune_candidates(&span.spec) {
+                    let mut s = spans.clone();
+                    s[i] = Span {
+                        ticks: span.ticks,
+                        spec: c,
+                    };
+                    out.push(AdversarySpec::PhaseSwitch {
+                        spans: s,
+                        tail: tail.clone(),
+                    });
+                }
+            }
+            for c in prune_candidates(tail) {
+                out.push(AdversarySpec::PhaseSwitch {
+                    spans: spans.clone(),
+                    tail: Box::new(c),
+                });
+            }
+        }
+        AdversarySpec::Partition { groups } => {
+            // Hoist a group's sub-adversary over the whole machine (only
+            // size-agnostic specs survive the caller's validate filter),
+            // or fall all the way back to uniform.
+            for g in groups {
+                out.push(g.spec.clone());
+            }
+            out.push(AdversarySpec::Base(ScheduleKind::Uniform));
+            for (i, g) in groups.iter().enumerate() {
+                for c in prune_candidates(&g.spec) {
+                    let mut gs = groups.clone();
+                    gs[i].spec = c;
+                    out.push(AdversarySpec::Partition { groups: gs });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rewrite an adversary tree for a machine one processor smaller:
+/// scripted segments drop references to removed processors (clamping
+/// `Run` targets), scale vectors lose their last factor, overlays and
+/// phase switches narrow recursively; partitions pin processor ids and
+/// cannot be narrowed (`None` — the caller then keeps the thread).
+fn narrow_spec(schedule: &AdversarySpec, n: usize) -> Option<AdversarySpec> {
+    match schedule {
+        AdversarySpec::Base(kind) => Some(AdversarySpec::Base(narrow_kind(kind, n))),
+        AdversarySpec::Overlay { layer, base } => Some(AdversarySpec::Overlay {
+            layer: *layer,
+            base: Box::new(narrow_spec(base, n)?),
+        }),
+        AdversarySpec::Scale { factors, base } => {
+            let mut factors = factors.clone();
+            factors.truncate(n);
+            Some(AdversarySpec::Scale {
+                factors,
+                base: Box::new(narrow_spec(base, n)?),
+            })
+        }
+        AdversarySpec::PhaseSwitch { spans, tail } => Some(AdversarySpec::PhaseSwitch {
+            spans: spans
+                .iter()
+                .map(|s| {
+                    narrow_spec(&s.spec, n).map(|spec| Span {
+                        ticks: s.ticks,
+                        spec,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            tail: Box::new(narrow_spec(tail, n)?),
+        }),
+        AdversarySpec::Partition { .. } => None,
+    }
+}
+
+/// [`narrow_spec`] for one base family; non-scripted families are
+/// size-agnostic.
+fn narrow_kind(kind: &ScheduleKind, n: usize) -> ScheduleKind {
+    let ScheduleKind::Scripted(spec) = kind else {
+        return kind.clone();
     };
     let mut new_spec = spec.clone();
     new_spec.n = n;
@@ -249,10 +441,10 @@ fn narrow_schedule(schedule: &ScheduleKind, n: usize) -> ScheduleKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apex_sim::ScriptSpec;
+    use apex_sim::{Group, OverlayKind};
 
     #[test]
-    fn narrow_schedule_remaps_scripted_segments() {
+    fn narrow_spec_remaps_scripted_segments() {
         let spec = ScriptSpec::new(
             4,
             vec![
@@ -267,8 +459,8 @@ mod tests {
                 },
             ],
         );
-        let narrowed = narrow_schedule(&ScheduleKind::Scripted(spec), 3);
-        let ScheduleKind::Scripted(spec) = narrowed else {
+        let narrowed = narrow_spec(&AdversarySpec::Base(ScheduleKind::Scripted(spec)), 3).unwrap();
+        let AdversarySpec::Base(ScheduleKind::Scripted(spec)) = narrowed else {
             panic!()
         };
         assert_eq!(spec.n, 3);
@@ -283,10 +475,142 @@ mod tests {
                 },
             ]
         );
-        // Non-scripted kinds pass through untouched.
+        // Non-scripted bases pass through untouched.
         assert_eq!(
-            narrow_schedule(&ScheduleKind::Uniform, 3),
-            ScheduleKind::Uniform
+            narrow_spec(&AdversarySpec::Base(ScheduleKind::Uniform), 3),
+            Some(AdversarySpec::Base(ScheduleKind::Uniform))
         );
+        // Combinators narrow through; partitions refuse.
+        let warped = AdversarySpec::Scale {
+            factors: vec![1, 2, 3, 4],
+            base: Box::new(AdversarySpec::Base(ScheduleKind::Uniform)),
+        };
+        let narrowed = narrow_spec(&warped, 3).unwrap();
+        assert_eq!(narrowed.validate(3), Ok(()));
+        let AdversarySpec::Scale { factors, .. } = &narrowed else {
+            panic!()
+        };
+        assert_eq!(factors, &vec![1, 2, 3]);
+        let pinned = AdversarySpec::Partition {
+            groups: vec![
+                Group {
+                    procs: vec![0, 1],
+                    spec: AdversarySpec::Base(ScheduleKind::Uniform),
+                },
+                Group {
+                    procs: vec![2, 3],
+                    spec: AdversarySpec::Base(ScheduleKind::Uniform),
+                },
+            ],
+        };
+        assert_eq!(narrow_spec(&pinned, 3), None);
+    }
+
+    /// End-to-end greedy shrink of the campaign's pinned ideal-CAS
+    /// finding (the triple behind `corpus/ideal-cas-….json`): the
+    /// divergence must survive, the program must get strictly smaller,
+    /// and the operand-to-const pass must have rewritten at least one
+    /// surviving instruction's variable operand into a constant.
+    #[test]
+    fn shrink_minimizes_the_pinned_ideal_cas_finding() {
+        use crate::campaign::{campaign_triple, CampaignConfig};
+        let mut cfg = CampaignConfig::new(10, 0xBEEF);
+        cfg.det_leg = false;
+        cfg.comparator_legs = true;
+        let triple = campaign_triple(&cfg, 8);
+        let (small, stats) = shrink(&triple, SchemeKind::IdealCas, 150);
+        assert!(
+            check_triple(&small, SchemeKind::IdealCas).diverged(),
+            "shrunk triple no longer diverges"
+        );
+        assert!(stats.after.0 < stats.before.0, "{stats:?}");
+        // Dropped steps shift positions, so match survivors to their
+        // originals by (thread, dst, op) identity.
+        let mut const_simplified = 0;
+        for row in &small.program.steps {
+            for (thread, instr) in row.iter().enumerate() {
+                let Some(new) = instr else { continue };
+                let Some(old) = triple
+                    .program
+                    .steps
+                    .iter()
+                    .filter_map(|r| r[thread].as_ref())
+                    .find(|old| old.dst == new.dst && old.op == new.op)
+                else {
+                    continue;
+                };
+                let became_const = |o: &Operand, n: &Operand| {
+                    matches!(o, Operand::Var(_)) && matches!(n, Operand::Const(_))
+                };
+                if became_const(&old.a, &new.a) || became_const(&old.b, &new.b) {
+                    const_simplified += 1;
+                }
+            }
+        }
+        assert!(
+            const_simplified >= 1,
+            "operand-to-const never fired: {:?}",
+            small.program
+        );
+    }
+
+    #[test]
+    fn prune_candidates_cover_every_combinator() {
+        let spec = AdversarySpec::PhaseSwitch {
+            spans: vec![Span {
+                ticks: 100,
+                spec: AdversarySpec::Overlay {
+                    layer: OverlayKind::Crash {
+                        crash_frac: 0.25,
+                        horizon: 64,
+                    },
+                    base: Box::new(AdversarySpec::Base(ScheduleKind::Zipf { s: 1.0 })),
+                },
+            }],
+            tail: Box::new(AdversarySpec::Partition {
+                groups: vec![
+                    Group {
+                        procs: vec![0, 1],
+                        spec: AdversarySpec::Base(ScheduleKind::Bursty { mean_burst: 8 }),
+                    },
+                    Group {
+                        procs: vec![2, 3],
+                        spec: AdversarySpec::Base(ScheduleKind::Uniform),
+                    },
+                ],
+            }),
+        };
+        let candidates = prune_candidates(&spec);
+        // The tail alone (partition hoisted to root).
+        assert!(candidates
+            .iter()
+            .any(|c| matches!(c, AdversarySpec::Partition { .. })));
+        // The overlay peeled inside the span.
+        assert!(candidates.iter().any(|c| matches!(
+            c,
+            AdversarySpec::PhaseSwitch { spans, .. }
+                if matches!(spans[0].spec, AdversarySpec::Base(ScheduleKind::Zipf { .. }))
+        )));
+        // Every candidate is strictly structurally smaller, so greedy
+        // pruning terminates.
+        fn size(s: &AdversarySpec) -> usize {
+            match s {
+                AdversarySpec::Base(_) => 1,
+                AdversarySpec::Overlay { base, .. } | AdversarySpec::Scale { base, .. } => {
+                    1 + size(base)
+                }
+                AdversarySpec::PhaseSwitch { spans, tail } => {
+                    1 + spans.iter().map(|s| size(&s.spec)).sum::<usize>() + size(tail)
+                }
+                AdversarySpec::Partition { groups } => {
+                    1 + groups.iter().map(|g| size(&g.spec)).sum::<usize>()
+                }
+            }
+        }
+        for c in &candidates {
+            assert!(size(c) < size(&spec), "{c:?}");
+        }
+        // Candidates that fit a 4-processor machine exist.
+        assert!(candidates.iter().any(|c| c.validate(4).is_ok()));
     }
 }

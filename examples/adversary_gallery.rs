@@ -1,45 +1,71 @@
-//! One program, five adversaries.
+//! One program, ten adversaries — five bases, five compositions.
 //!
 //! ```text
 //! cargo run --release --example adversary_gallery
 //! ```
 //!
 //! Runs the same randomized PRAM program (parallel ±1 random walks) through
-//! the paper's execution scheme under every standard adversary schedule and
-//! prints the measured total work, the overhead, and the verifier verdict.
-//! Each run is one [`Scenario`]; the sweep varies exactly one field (the
-//! schedule). The oblivious adversary may skew, burst, or put processors to
-//! sleep — the scheme's work stays within the same
+//! the paper's execution scheme under every standard base adversary *and*
+//! every composed adversary of the algebra's gallery — crash overlays,
+//! phase switches, partitions, speed warps, and a three-deep composition —
+//! and prints the measured total work, the overhead, and the verifier
+//! verdict. Each run is one [`Scenario`]; the sweep varies exactly one
+//! field (the schedule). The paper's claim is adversary-*arbitrary*: under
+//! every composition the scheme's work stays within the same
 //! O(n log n log log n)-per-step envelope and the execution stays correct.
+//!
+//! Composed adversaries are plain JSON values too — author them by hand,
+//! lint them with `apex adversary validate`, and sweep them in suite grids
+//! (`suites/adversary.json` commits this gallery as a drift-checked suite).
 
 use apex::scheme::SchemeKind;
-use apex::sim::ScheduleKind;
+use apex::sim::{AdversarySpec, ScheduleKind};
 use apex::{ProgramSource, Scenario};
 
 fn main() {
     let n = 32;
     println!(
-        "{:<52} {:>14} {:>10} {:>6}",
+        "{:<72} {:>14} {:>10} {:>6}",
         "adversary", "total work", "overhead", "ok"
     );
-    println!("{}", "-".repeat(88));
-    for kind in ScheduleKind::gallery() {
+    println!("{}", "-".repeat(108));
+    let bases = ScheduleKind::gallery().into_iter().map(AdversarySpec::Base);
+    let composed = AdversarySpec::composed_gallery(n);
+    for spec in bases.chain(composed) {
         let report = Scenario::scheme(
             SchemeKind::Nondet,
             ProgramSource::library("random-walks", n, vec![1_000_000, 4]),
             7,
         )
-        .schedule(kind.clone())
+        .schedule(spec.clone())
         .run()
         .into_scheme();
+        let label = if spec.depth() > 1 {
+            format!(
+                "{} (depth {}): {}",
+                spec.label(),
+                spec.depth(),
+                report.schedule
+            )
+        } else {
+            report.schedule.clone()
+        };
+        let label = if label.chars().count() > 72 {
+            let cut: String = label.chars().take(71).collect();
+            format!("{cut}…")
+        } else {
+            label
+        };
         println!(
-            "{:<52} {:>14} {:>9.0}x {:>6}",
-            report.schedule,
+            "{:<72} {:>14} {:>9.0}x {:>6}",
+            label,
             report.total_work,
             report.overhead(),
             if report.verify.ok() { "yes" } else { "NO" }
         );
         assert!(report.verify.ok());
     }
-    println!("\nEvery adversary produced a correct execution (verifier-checked).");
+    println!(
+        "\nEvery adversary — base or composed — produced a correct execution (verifier-checked)."
+    );
 }

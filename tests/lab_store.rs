@@ -25,8 +25,9 @@ fn store_round_trip_is_byte_identical() {
     let store = temp_store("roundtrip");
     let run = run_suite(&suite).unwrap();
     let manifest = store.write_run(&run).unwrap();
-    assert_eq!(run.records.len(), 12);
-    assert_eq!(run.ok_count(), 12, "every smoke cell verifies clean");
+    assert_eq!(run.records.len(), 13);
+    assert_eq!(run.ok_count(), 13, "every smoke cell verifies clean");
+    assert!(run.all_ok(), "{:?}", run.output_mismatches);
 
     // Read every record back: the parsed record re-renders to exactly the
     // stored bytes, and a full load/save cycle is the identity.
@@ -65,7 +66,7 @@ fn drift_is_clean_until_a_record_is_mutated_or_deleted() {
 
     let report = check_against_store(&suite, &store).unwrap();
     assert!(report.clean(), "{}", report.summary());
-    assert_eq!(report.checked, 12);
+    assert_eq!(report.checked, 13);
 
     // Mutate one record's measured work: flagged as RecordDiffers with
     // the JSON path in the detail.

@@ -12,7 +12,9 @@ use apex::core::{AgreementConfig, InstrumentOpts};
 use apex::scenario::{EngineKnobs, Mode, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR};
 use apex::scheme::tasks::eval_cost;
 use apex::scheme::SchemeKind;
-use apex::sim::{Json, ScheduleKind, ScriptSegment, ScriptSpec};
+use apex::sim::{
+    AdversarySpec, Group, Json, OverlayKind, ScheduleKind, ScriptSegment, ScriptSpec, Span,
+};
 use apex_synth::gen::{generate_program, GenConfig};
 use proptest::prelude::*;
 
@@ -73,6 +75,61 @@ fn schedule_from_seed(sel: u64, n: usize, seed: u64) -> ScheduleKind {
                 mean_burst: 1 + x % 64,
             }),
         ),
+    }
+}
+
+/// An adversary anywhere in the algebra: a base family, or one of the
+/// four combinators wrapped around bases (parameters exact in the JSON
+/// number model).
+fn adversary_from_seed(sel: u64, n: usize, seed: u64) -> AdversarySpec {
+    let x = mix(seed, 17);
+    let base = |salt: u64| AdversarySpec::Base(schedule_from_seed(mix(seed, salt), n, seed));
+    match sel % 6 {
+        0 | 1 => base(41), // plain bases stay the most common case
+        2 => AdversarySpec::Overlay {
+            layer: if x.is_multiple_of(2) {
+                OverlayKind::Crash {
+                    crash_frac: (x % 5) as f64 / 4.0,
+                    horizon: 1 + x % 10_000,
+                }
+            } else {
+                OverlayKind::Sleepy {
+                    sleepy_frac: (x % 5) as f64 / 4.0,
+                    awake: 1 + x % 512,
+                    asleep: x % 4096,
+                }
+            },
+            base: Box::new(base(42)),
+        },
+        3 => AdversarySpec::PhaseSwitch {
+            spans: (0..1 + (x as usize) % 2)
+                .map(|i| Span {
+                    ticks: 1 + mix(seed, 50 + i as u64) % 20_000,
+                    spec: base(60 + i as u64),
+                })
+                .collect(),
+            tail: Box::new(base(43)),
+        },
+        4 if n >= 4 => {
+            // Groups of ≥ 2 keep every scripted leaf shape well-formed.
+            let cut = 2 + (x as usize) % (n - 3);
+            AdversarySpec::Partition {
+                groups: vec![
+                    Group {
+                        procs: (0..cut).collect(),
+                        spec: AdversarySpec::Base(schedule_from_seed(mix(seed, 44), cut, seed)),
+                    },
+                    Group {
+                        procs: (cut..n).collect(),
+                        spec: AdversarySpec::Base(schedule_from_seed(mix(seed, 45), n - cut, seed)),
+                    },
+                ],
+            }
+        }
+        _ => AdversarySpec::Scale {
+            factors: (0..n).map(|i| 1 + mix(seed, 70 + i as u64) % 8).collect(),
+            base: Box::new(base(46)),
+        },
     }
 }
 
@@ -151,7 +208,7 @@ fn scenario_from_seed(seed: u64) -> Scenario {
     };
     Scenario {
         mode,
-        schedule: schedule_from_seed(mix(seed, 10), n, seed),
+        schedule: adversary_from_seed(mix(seed, 10), n, seed),
         seed: mix(seed, 30),
         agreement,
         engine,

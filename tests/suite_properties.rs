@@ -77,7 +77,7 @@ fn suite_from_seed(seed: u64) -> Suite {
     ];
     let rot = (mix(seed, 14) % 4) as usize;
     grid.schedules = (0..(mix(seed, 15) % 4) as usize)
-        .map(|i| families[(rot + i) % 4].clone())
+        .map(|i| families[(rot + i) % 4].clone().into())
         .collect();
 
     if mix(seed, 16).is_multiple_of(3) {
@@ -110,7 +110,10 @@ fn canonical_suite() -> Suite {
     ));
     grid.schemes = vec![SchemeKind::Nondet, SchemeKind::IdealCas];
     grid.ns = vec![4, 8];
-    grid.schedules = vec![ScheduleKind::Uniform, ScheduleKind::Zipf { s: 1.5 }];
+    grid.schedules = vec![
+        ScheduleKind::Uniform.into(),
+        ScheduleKind::Zipf { s: 1.5 }.into(),
+    ];
     grid.batches = vec![1, 32];
     grid.seeds = Some(SeedRange {
         start: 100,
