@@ -56,6 +56,11 @@ pub fn default_threads() -> usize {
 /// `f` must be a pure function of its config (up to its own seeding): the
 /// runner guarantees ordering, and purity then guarantees serial-identical
 /// output. Machines built inside `f` stay on the worker thread.
+///
+/// # Panics
+/// If any trial panics — but only **after** every other trial has run to
+/// completion (see [`try_run_trials`]); one bad config no longer aborts
+/// the in-flight remainder of a sweep.
 pub fn run_trials<C, T, F>(configs: &[C], f: F) -> Vec<T>
 where
     C: Sync,
@@ -73,41 +78,80 @@ where
     T: Send,
     F: Fn(&C) -> T + Sync,
 {
+    try_run_trials_threaded(configs, threads, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|msg| panic!("trial {i} worker panicked: {msg}")))
+        .collect()
+}
+
+/// Panic-isolating [`run_trials`]: each trial runs under
+/// [`std::panic::catch_unwind`], and a panicking trial yields
+/// `Err(panic message)` in its result slot instead of tearing down the
+/// whole `std::thread::scope` (which used to abort every in-flight trial).
+/// Campaign infrastructure builds on this to record poisoned cells and
+/// keep going.
+pub fn try_run_trials<C, T, F>(configs: &[C], f: F) -> Vec<Result<T, String>>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    try_run_trials_threaded(configs, default_threads(), f)
+}
+
+/// [`try_run_trials`] with an explicit thread count.
+pub fn try_run_trials_threaded<C, T, F>(
+    configs: &[C],
+    threads: usize,
+    f: F,
+) -> Vec<Result<T, String>>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    let run_one = |c: &C| -> Result<T, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c))).map_err(|payload| {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        })
+    };
+
     let threads = threads.max(1).min(configs.len().max(1));
     if threads <= 1 {
-        return configs.iter().map(f).collect();
+        return configs.iter().map(run_one).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
-            let f = &f;
+            let run_one = &run_one;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
-                // A worker panic drops `tx`; the collector below then sees
-                // a closed channel with missing slots and panics in turn.
-                let out = f(&configs[i]);
-                if tx.send((i, out)).is_err() {
+                if tx.send((i, run_one(&configs[i]))).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
 
-        let mut slots: Vec<Option<T>> = (0..configs.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<T, String>>> = (0..configs.len()).map(|_| None).collect();
         for (i, out) in rx {
             slots[i] = Some(out);
         }
         slots
             .into_iter()
-            .enumerate()
-            .map(|(i, s)| s.unwrap_or_else(|| panic!("trial {i} worker panicked")))
+            .map(|s| s.unwrap_or_else(|| Err("worker died before reporting".into())))
             .collect()
     })
 }
@@ -372,5 +416,27 @@ mod tests {
             }
             c
         });
+    }
+
+    #[test]
+    fn one_panicking_trial_does_not_abort_the_rest() {
+        let configs: Vec<u32> = (0..16).collect();
+        for threads in [1, 4] {
+            let results = try_run_trials_threaded(&configs, threads, |&c| {
+                if c == 5 {
+                    panic!("injected fault: trial {c}");
+                }
+                c * 2
+            });
+            assert_eq!(results.len(), 16);
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("injected fault"), "{msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2);
+                }
+            }
+        }
     }
 }

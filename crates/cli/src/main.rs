@@ -1,35 +1,45 @@
 //! `apex` — the workspace's single front door.
 //!
 //! ```text
-//! apex suite run    SUITE.json [--store DIR]    expand, execute, record
+//! apex suite run    SUITE.json [--store DIR] [--resume] [--faults PLAN.json]
+//!                   journaled expand-execute-record (crash-safe, resumable)
 //! apex suite expand SUITE.json                  print the deterministic cell list
 //! apex drift        SUITE.json [--store DIR]    re-run and compare against the store
 //! apex drift        --compare BASELINE CANDIDATE  byte-compare two stores
+//! apex lab fsck     [--store DIR] [--repair]    integrity-scan the store
+//! apex lab gc       [--store DIR] [--keep-last N] [--dry-run]  reclaim old suites
 //! apex run          SCENARIO.json [--emit F] [--json]   execute one scenario
 //! apex adversary    <validate|describe|gallery> …  lint/inspect adversary specs
 //! apex synth        <gen|fuzz|shrink|replay|run|migrate|corpus-dedup> …
 //! ```
 //!
-//! `suite`/`drift` front [`apex_lab`]; `adversary` fronts the
+//! `suite`/`drift`/`lab` front [`apex_lab`]; `adversary` fronts the
 //! [`apex_sim::AdversarySpec`] algebra; `run` and `synth` delegate to
 //! [`apex_synth::cli`], so every entry point in the workspace is
 //! reachable from one binary.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use apex_lab::{check_against_store, compare_stores, run_suite, LabStore, Suite};
+use apex_lab::{
+    check_against_store, compare_stores, fsck, gc, run_suite_journaled, FaultInjector, FaultPlan,
+    JournalOpts, LabStore, Suite,
+};
 use apex_sim::{AdversarySpec, Json};
 use apex_synth::cli::{self, Args};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apex <suite|drift|run|adversary|synth> …\n\
+        "usage: apex <suite|drift|lab|run|adversary|synth> …\n\
          \n\
-         suite run    SUITE.json [--store DIR]   expand, execute, and record a suite\n\
+         suite run    SUITE.json [--store DIR] [--resume] [--faults PLAN.json] [--threads N]\n\
+         \x20                                        journaled expand-execute-record\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
          drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
          drift        --compare BASE CAND        byte-compare two stores\n\
+         lab fsck     [--store DIR] [--repair]   integrity-scan (--repair quarantines)\n\
+         lab gc       [--store DIR] [--keep-last N] [--dry-run]  delete old suite dirs\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
          adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
          adversary describe SPEC.json --n N [--seed S]  compile and describe it\n\
@@ -48,6 +58,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "suite" => cmd_suite(&argv[1..]),
         "drift" => cmd_drift(&argv[1..]),
+        "lab" => cmd_lab(&argv[1..]),
         "run" => cli::cmd_run(&argv[1..]),
         "adversary" => cmd_adversary(&argv[1..]),
         "synth" => cli::dispatch(&argv[1..]),
@@ -172,29 +183,40 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let store = store_from(&args);
-            let run = match run_suite(&suite) {
-                Ok(r) => r,
+            let mut store = store_from(&args);
+            if let Some(plan_file) = args.get("faults") {
+                // Deterministic fault injection — test/CI harness only.
+                let plan = match FaultPlan::load(Path::new(plan_file)) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                store = store.with_faults(Arc::new(FaultInjector::new(plan)));
+            }
+            let opts = JournalOpts {
+                resume: args.has("resume"),
+                threads: args.get("threads").and_then(|v| v.parse().ok()),
+            };
+            let done = match run_suite_journaled(&suite, &store, &opts) {
+                Ok(d) => d,
                 Err(e) => {
                     eprintln!("{file}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let manifest = match store.write_run(&run) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("failed to write store: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let run = &done.run;
             println!(
-                "suite {:?}: {} cells run, {} ok — records in {}",
+                "suite {:?}: {} cells ({} resumed from store, {} executed), {} ok — records in {}",
                 run.name,
-                run.records.len(),
+                run.outcomes.len(),
+                done.skipped.len(),
+                done.executed.len(),
                 run.ok_count(),
                 store.suite_dir(&run.suite_digest).display()
             );
-            for cell in &manifest.cells {
+            for cell in &done.manifest.cells {
                 println!(
                     "  [{:>4}] {} {} {}",
                     cell.index,
@@ -253,6 +275,47 @@ fn cmd_drift(raw: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `apex lab <fsck|gc>` — store maintenance. `fsck` integrity-scans every
+/// suite directory (exit 1 on any issue; `--repair` moves bad files to
+/// `quarantine/`, never deletes); `gc` removes finished suite directories
+/// beyond the `--keep-last N` newest (quarantine and in-flight suites are
+/// never touched).
+fn cmd_lab(raw: &[String]) -> ExitCode {
+    let Some(verb) = raw.first() else { usage() };
+    let args = Args::parse(&raw[1..]);
+    let store = store_from(&args);
+    match verb.as_str() {
+        "fsck" => {
+            let report = match fsck(&store, args.has("repair")) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", report.summary());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "gc" => {
+            let keep: usize = args.num("keep-last", 8);
+            let report = match gc(&store, keep, args.has("dry-run")) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", report.summary());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
     }
 }
 

@@ -118,12 +118,30 @@ pub fn check_against_store(suite: &Suite, store: &LabStore) -> Result<DriftRepor
     let fresh = run_cells(suite, &cells);
 
     let mut divergences = Vec::new();
-    for (cell, record) in cells.iter().zip(&fresh.records) {
+    for (cell, outcome) in cells.iter().zip(&fresh.outcomes) {
+        let path = store.record_path(&suite_digest, &cell.digest);
+        let Some(record) = outcome.record() else {
+            // The fresh run did not complete this cell (exhausted or
+            // poisoned). A stored record at its address then *is* drift
+            // — the stored run completed where this one cannot. No
+            // stored record is the consistent state.
+            if path.exists() {
+                divergences.push(Divergence {
+                    cell: cell.digest.clone(),
+                    index: Some(cell.index),
+                    kind: DriftKind::RecordDiffers,
+                    detail: format!(
+                        "stored record exists but the fresh run did not complete ({})",
+                        outcome.summary()
+                    ),
+                });
+            }
+            continue;
+        };
         let fresh_text = record.render_pretty();
         // Compare raw bytes, not parsed records: a present-but-corrupt
         // file is drift of the "differs" kind, and only a genuinely
         // absent file is "missing".
-        let path = store.record_path(&suite_digest, &cell.digest);
         match std::fs::read_to_string(&path) {
             Err(e) => divergences.push(Divergence {
                 cell: cell.digest.clone(),
@@ -173,10 +191,10 @@ pub fn check_against_store(suite: &Suite, store: &LabStore) -> Result<DriftRepor
 
     // Manifest cross-check: same cells, same order, same verdicts.
     let expect: Vec<(usize, String, bool)> = fresh
-        .records
+        .outcomes
         .iter()
         .enumerate()
-        .map(|(i, r)| (i, r.digest(), r.ok()))
+        .map(|(i, o)| (i, o.digest(), o.ok()))
         .collect();
     let got: Vec<(usize, String, bool)> = manifest
         .cells

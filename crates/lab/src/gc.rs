@@ -1,0 +1,89 @@
+//! Store garbage collection (`apex lab gc`).
+//!
+//! Deletes whole suite directories that fall outside the keep set:
+//! the `--keep-last N` most recently finished suites (by manifest
+//! modification time, digest as tie-break) always stay, in-flight
+//! suites (journal but no manifest yet) always stay, and the
+//! `quarantine/` directory is never touched — gc reclaims space, fsck
+//! owns evidence.
+
+use crate::store::LabStore;
+
+/// What one gc pass decided (and, unless dry-run, did).
+#[derive(Clone, Debug, Default)]
+pub struct GcReport {
+    /// Suites kept, sorted by digest.
+    pub kept: Vec<String>,
+    /// Suites deleted (or, on dry-run, that would be), sorted by digest.
+    pub deleted: Vec<String>,
+    /// Whether this was a dry run (nothing was actually removed).
+    pub dry_run: bool,
+}
+
+impl GcReport {
+    /// One-line-per-suite deterministic summary.
+    pub fn summary(&self) -> String {
+        let verb = if self.dry_run {
+            "would delete"
+        } else {
+            "deleted"
+        };
+        let mut out = format!(
+            "gc: kept {} suites, {verb} {}",
+            self.kept.len(),
+            self.deleted.len()
+        );
+        for d in &self.deleted {
+            out.push_str(&format!("\n  {verb} {d}"));
+        }
+        out
+    }
+}
+
+/// Collect all suite directories of `store` except the `keep_last` most
+/// recently finished ones. In-flight suites (journal present, manifest
+/// not yet written) are never deleted, and `quarantine/` is never
+/// entered. With `dry_run`, reports without removing anything.
+pub fn gc(store: &LabStore, keep_last: usize, dry_run: bool) -> Result<GcReport, String> {
+    let mut report = GcReport {
+        dry_run,
+        ..GcReport::default()
+    };
+    if !store.root().exists() {
+        return Ok(report);
+    }
+
+    // Rank finished suites by manifest mtime (newest first); mtime is
+    // only an *ordering* heuristic for the keep set — everything the
+    // store asserts about content stays timestamp-free.
+    let mut finished: Vec<(std::time::SystemTime, String)> = Vec::new();
+    for suite in store.suite_digests()? {
+        let manifest = store.manifest_path(&suite);
+        if manifest.exists() {
+            let mtime = std::fs::metadata(&manifest)
+                .and_then(|m| m.modified())
+                .map_err(|e| format!("{}: {e}", manifest.display()))?;
+            finished.push((mtime, suite));
+        } else {
+            // In-flight (or junk) — a journal marks a run someone may
+            // resume; without one there is still nothing safe to rank,
+            // so gc leaves it alone either way.
+            report.kept.push(suite);
+        }
+    }
+    finished.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    for (rank, (_, suite)) in finished.into_iter().enumerate() {
+        if rank < keep_last {
+            report.kept.push(suite);
+        } else {
+            if !dry_run {
+                let dir = store.suite_dir(&suite);
+                std::fs::remove_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+            report.deleted.push(suite);
+        }
+    }
+    report.kept.sort();
+    report.deleted.sort();
+    Ok(report)
+}

@@ -1,0 +1,406 @@
+//! The write-ahead journal for suite execution.
+//!
+//! One append-only JSONL file per suite directory
+//! (`.apex/lab/<suite-digest>/journal.jsonl`) records the life of a run:
+//! `started`, then per cell `claimed` → (`committed` | `poisoned`), then
+//! `finished`. Every line is a versioned, self-contained compact-JSON
+//! record, appended with a single write and fsynced, so after a crash
+//! the journal is a prefix of a valid history (at worst the final line
+//! is torn — [`read_journal`] tolerates exactly that and nothing else).
+//!
+//! Resume does **not** trust the journal for results — record files are
+//! content-addressed and digest-verified independently. The journal is
+//! the *intent* log: which cells a previous run claimed and how far it
+//! got, so `apex suite run --resume` can report what it is skipping and
+//! fsck can tell an in-flight suite directory from an abandoned one.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use apex_sim::{Json, JsonError};
+
+use crate::fault::FaultInjector;
+
+/// File name of the journal inside a suite directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Major version stamped on every journal line (mismatches are rejected).
+pub const JOURNAL_FORMAT_MAJOR: u64 = 1;
+
+fn jerr(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// One journal line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// A run began (fresh or resumed).
+    Started {
+        /// Digest of the suite being run.
+        suite: String,
+        /// Suite name (human context when reading journals by hand).
+        name: String,
+        /// Total cells in the expansion.
+        cells: u64,
+        /// Whether this run resumed an interrupted one.
+        resumed: bool,
+    },
+    /// A worker took ownership of a cell (written *before* the cell
+    /// runs — the write-ahead half of the protocol).
+    Claimed {
+        /// Cell index in expansion order.
+        index: u64,
+        /// The cell's scenario digest.
+        cell: String,
+    },
+    /// A cell completed and its record file is durably on disk.
+    Committed {
+        /// Cell index in expansion order.
+        index: u64,
+        /// The cell's scenario digest.
+        cell: String,
+        /// Whether the run met its mode's correctness bar.
+        ok: bool,
+    },
+    /// A cell failed without a record: the scenario panicked
+    /// (`status: "poisoned"`) or exhausted its tick budget
+    /// (`status: "exhausted"`).
+    Poisoned {
+        /// Cell index in expansion order.
+        index: u64,
+        /// The cell's scenario digest.
+        cell: String,
+        /// `"poisoned"` or `"exhausted"`.
+        status: String,
+        /// The classified panic / exhaustion message.
+        message: String,
+    },
+    /// The run completed: every cell reached a terminal state and the
+    /// manifest is on disk.
+    Finished {
+        /// Whether every cell verified ok.
+        ok: bool,
+    },
+}
+
+impl JournalEntry {
+    /// The entry's `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEntry::Started { .. } => "started",
+            JournalEntry::Claimed { .. } => "claimed",
+            JournalEntry::Committed { .. } => "committed",
+            JournalEntry::Poisoned { .. } => "poisoned",
+            JournalEntry::Finished { .. } => "finished",
+        }
+    }
+
+    /// Serialize to one compact-JSON journal line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("v".to_string(), Json::UInt(JOURNAL_FORMAT_MAJOR)),
+            ("kind".to_string(), Json::Str(self.kind().into())),
+        ];
+        match self {
+            JournalEntry::Started {
+                suite,
+                name,
+                cells,
+                resumed,
+            } => {
+                fields.push(("suite".into(), Json::Str(suite.clone())));
+                fields.push(("name".into(), Json::Str(name.clone())));
+                fields.push(("cells".into(), Json::UInt(*cells)));
+                fields.push(("resumed".into(), Json::Bool(*resumed)));
+            }
+            JournalEntry::Claimed { index, cell } => {
+                fields.push(("index".into(), Json::UInt(*index)));
+                fields.push(("cell".into(), Json::Str(cell.clone())));
+            }
+            JournalEntry::Committed { index, cell, ok } => {
+                fields.push(("index".into(), Json::UInt(*index)));
+                fields.push(("cell".into(), Json::Str(cell.clone())));
+                fields.push(("ok".into(), Json::Bool(*ok)));
+            }
+            JournalEntry::Poisoned {
+                index,
+                cell,
+                status,
+                message,
+            } => {
+                fields.push(("index".into(), Json::UInt(*index)));
+                fields.push(("cell".into(), Json::Str(cell.clone())));
+                fields.push(("status".into(), Json::Str(status.clone())));
+                fields.push(("message".into(), Json::Str(message.clone())));
+            }
+            JournalEntry::Finished { ok } => {
+                fields.push(("ok".into(), Json::Bool(*ok)));
+            }
+        }
+        Json::Obj(fields).render()
+    }
+
+    /// Parse one journal line.
+    pub fn parse_line(line: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(line)?;
+        let version = v.get("v")?.as_u64()?;
+        if version != JOURNAL_FORMAT_MAJOR {
+            return Err(jerr(format!(
+                "unsupported journal version {version} (this build reads {JOURNAL_FORMAT_MAJOR})"
+            )));
+        }
+        let bool_field = |key: &str| -> Result<bool, JsonError> {
+            match v.get(key)? {
+                Json::Bool(b) => Ok(*b),
+                other => Err(jerr(format!("expected bool {key}, got {other:?}"))),
+            }
+        };
+        match v.get("kind")?.as_str()? {
+            "started" => Ok(JournalEntry::Started {
+                suite: v.get("suite")?.as_str()?.to_string(),
+                name: v.get("name")?.as_str()?.to_string(),
+                cells: v.get("cells")?.as_u64()?,
+                resumed: bool_field("resumed")?,
+            }),
+            "claimed" => Ok(JournalEntry::Claimed {
+                index: v.get("index")?.as_u64()?,
+                cell: v.get("cell")?.as_str()?.to_string(),
+            }),
+            "committed" => Ok(JournalEntry::Committed {
+                index: v.get("index")?.as_u64()?,
+                cell: v.get("cell")?.as_str()?.to_string(),
+                ok: bool_field("ok")?,
+            }),
+            "poisoned" => Ok(JournalEntry::Poisoned {
+                index: v.get("index")?.as_u64()?,
+                cell: v.get("cell")?.as_str()?.to_string(),
+                status: v.get("status")?.as_str()?.to_string(),
+                message: v.get("message")?.as_str()?.to_string(),
+            }),
+            "finished" => Ok(JournalEntry::Finished {
+                ok: bool_field("ok")?,
+            }),
+            other => Err(jerr(format!("unknown journal entry kind {other:?}"))),
+        }
+    }
+}
+
+/// An append-only journal writer bound to one file, optionally gated by
+/// a [`FaultInjector`] (each append asks the injector first, so a plan
+/// can kill the process at any journal boundary).
+#[derive(Clone, Debug)]
+pub struct Journal {
+    path: PathBuf,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl Journal {
+    /// A journal at `path` (the file is created on first append).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Journal {
+            path: path.into(),
+            faults: None,
+        }
+    }
+
+    /// Gate every append through `faults`.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry durably: a single `write` of the full line plus
+    /// newline, then fsync — a crash between appends never tears an
+    /// earlier line.
+    pub fn append(&self, entry: &JournalEntry) -> std::io::Result<()> {
+        if let Some(f) = &self.faults {
+            f.on_journal_append().map_err(std::io::Error::other)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(format!("{}\n", entry.to_line()).as_bytes())?;
+        file.sync_all()
+    }
+}
+
+/// The replayed state of a journal: which cells reached which terminal
+/// state, plus bookkeeping resume and fsck ask about.
+#[derive(Clone, Debug, Default)]
+pub struct JournalState {
+    /// Every entry, in file order.
+    pub entries: Vec<JournalEntry>,
+    /// Indices with a `claimed` entry.
+    pub claimed: Vec<u64>,
+    /// Indices with a `committed` entry.
+    pub committed: Vec<u64>,
+    /// Indices with a `poisoned` entry.
+    pub poisoned: Vec<u64>,
+    /// Whether a `finished` entry is present.
+    pub finished: bool,
+    /// Whether the final line was torn (unparseable — the one corruption
+    /// a crash during append can produce; tolerated and reported).
+    pub torn_tail: bool,
+}
+
+/// Read and replay a journal file. A torn **final** line is tolerated
+/// (`torn_tail` is set); a corrupt line anywhere else is an error — the
+/// append discipline cannot produce one, so it means real tampering.
+pub fn read_journal(path: &Path) -> Result<JournalState, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut state = JournalState::default();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse_line(line) {
+            Ok(entry) => {
+                match &entry {
+                    JournalEntry::Claimed { index, .. } => state.claimed.push(*index),
+                    JournalEntry::Committed { index, .. } => state.committed.push(*index),
+                    JournalEntry::Poisoned { index, .. } => state.poisoned.push(*index),
+                    JournalEntry::Finished { .. } => state.finished = true,
+                    JournalEntry::Started { .. } => {}
+                }
+                state.entries.push(entry);
+            }
+            Err(e) if i + 1 == lines.len() => {
+                state.torn_tail = true;
+                let _ = e; // a torn tail is expected after a mid-append crash
+            }
+            Err(e) => {
+                return Err(format!(
+                    "{}:{}: corrupt journal line: {e}",
+                    path.display(),
+                    i + 1
+                ));
+            }
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry::Started {
+                suite: "0123456789abcdef".into(),
+                name: "smoke".into(),
+                cells: 3,
+                resumed: false,
+            },
+            JournalEntry::Claimed {
+                index: 0,
+                cell: "aaaaaaaaaaaaaaaa".into(),
+            },
+            JournalEntry::Committed {
+                index: 0,
+                cell: "aaaaaaaaaaaaaaaa".into(),
+                ok: true,
+            },
+            JournalEntry::Claimed {
+                index: 1,
+                cell: "bbbbbbbbbbbbbbbb".into(),
+            },
+            JournalEntry::Poisoned {
+                index: 1,
+                cell: "bbbbbbbbbbbbbbbb".into(),
+                status: "poisoned".into(),
+                message: "injected fault: cell panic".into(),
+            },
+            JournalEntry::Finished { ok: false },
+        ]
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("apex-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(JOURNAL_FILE)
+    }
+
+    #[test]
+    fn entries_round_trip_through_lines() {
+        for entry in sample_entries() {
+            let line = entry.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(JournalEntry::parse_line(&line).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn append_then_replay_recovers_the_history() {
+        let path = temp_journal("replay");
+        let journal = Journal::new(&path);
+        for entry in sample_entries() {
+            journal.append(&entry).unwrap();
+        }
+        let state = read_journal(&path).unwrap();
+        assert_eq!(state.entries, sample_entries());
+        assert_eq!(state.claimed, vec![0, 1]);
+        assert_eq!(state.committed, vec![0]);
+        assert_eq!(state.poisoned, vec![1]);
+        assert!(state.finished);
+        assert!(!state.torn_tail);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_inner_corruption_is_not() {
+        let path = temp_journal("torn");
+        let journal = Journal::new(&path);
+        for entry in &sample_entries()[..3] {
+            journal.append(entry).unwrap();
+        }
+        // Tear the tail: append half a line without newline discipline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"kind\":\"clai");
+        std::fs::write(&path, &text).unwrap();
+        let state = read_journal(&path).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.entries.len(), 3);
+
+        // Corrupt an inner line: hard error.
+        let broken = text.replacen("\"kind\":\"claimed\"", "\"kind\":\"cl", 1);
+        std::fs::write(&path, broken).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.contains("corrupt journal line"), "{err}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn fault_injected_appends_kill_at_the_boundary() {
+        use crate::fault::{is_kill, FaultInjector, FaultPlan};
+        let path = temp_journal("kill");
+        let inj = Arc::new(FaultInjector::new(FaultPlan {
+            kill_after_journal: Some(2),
+            ..FaultPlan::default()
+        }));
+        let journal = Journal::new(&path).with_faults(inj);
+        let entries = sample_entries();
+        journal.append(&entries[0]).unwrap();
+        journal.append(&entries[1]).unwrap();
+        let err = journal.append(&entries[2]).unwrap_err();
+        assert!(is_kill(&err.to_string()), "{err}");
+        // Exactly two durable lines; replay sees a clean prefix.
+        let state = read_journal(&path).unwrap();
+        assert_eq!(state.entries.len(), 2);
+        assert!(!state.torn_tail);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -26,13 +26,30 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drift;
+pub mod fault;
+pub mod fsck;
+pub mod gc;
+pub mod journal;
 pub mod runner;
 pub mod store;
 pub mod suite;
 
 pub use drift::{check_against_store, compare_stores, json_diff, DriftKind, DriftReport};
-pub use runner::{run_cells, run_suite, OutputMismatch, SuiteRun};
-pub use store::{LabStore, Manifest, ManifestCell, DEFAULT_STORE_ROOT};
+pub use fault::{
+    is_kill, BitFlip, FaultInjector, FaultPlan, TornWrite, TransientFault, WriteDirective,
+    CELL_PANIC_MARKER, KILL_MARKER,
+};
+pub use fsck::{fsck, FsckIssue, FsckIssueKind, FsckReport};
+pub use gc::{gc, GcReport};
+pub use journal::{
+    read_journal, Journal, JournalEntry, JournalState, JOURNAL_FILE, JOURNAL_FORMAT_MAJOR,
+};
+pub use runner::{
+    run_cells, run_suite, run_suite_journaled, JournalOpts, JournaledRun, OutputMismatch, SuiteRun,
+};
+pub use store::{
+    LabStore, Manifest, ManifestCell, DEFAULT_STORE_ROOT, MAX_WRITE_ATTEMPTS, QUARANTINE_DIR,
+};
 pub use suite::{
     Cell, Grid, OutputExpectation, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR,
 };
@@ -82,9 +99,12 @@ mod tests {
 
         // Run and store.
         let run = run_suite(&suite).unwrap();
-        assert_eq!(run.records.len(), 5);
+        assert_eq!(run.outcomes.len(), 5);
+        assert_eq!(run.records().count(), 5);
         let manifest = store.write_run(&run).unwrap();
         assert_eq!(manifest.cells.len(), 5);
+        assert!(manifest.cells.iter().all(|c| c.status == "complete"));
+        assert!(manifest.cells.iter().all(|c| c.checksum.is_some()));
 
         // A fresh check is clean.
         let report = check_against_store(&suite, &store).unwrap();
@@ -167,7 +187,7 @@ mod tests {
         // though the verifier is clean on every cell.
         suite.expect[0].outputs = vec![truth + 1];
         let run = run_suite(&suite).unwrap();
-        assert_eq!(run.ok_count(), run.records.len(), "verifier stays clean");
+        assert_eq!(run.ok_count(), run.outcomes.len(), "verifier stays clean");
         assert!(!run.all_ok());
         assert_eq!(run.output_mismatches.len(), 1);
         let m = &run.output_mismatches[0];

@@ -1,8 +1,15 @@
-//! Executing a suite on the workspace's parallel trial runner.
+//! Executing a suite on the workspace's parallel trial runner, with
+//! per-cell panic isolation and (optionally) write-ahead journaling.
 
-use apex_bench::runner::run_trials;
-use apex_scenario::ReportRecord;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
+use apex_bench::runner::{default_threads, run_trials};
+use apex_scenario::{ReportRecord, RunOutcome};
+
+use crate::fault::CELL_PANIC_MARKER;
+use crate::journal::{Journal, JournalEntry};
+use crate::store::{LabStore, Manifest};
 use crate::suite::{Cell, Suite};
 
 /// A pinned cell whose run produced the wrong results: the suite's
@@ -16,7 +23,8 @@ pub struct OutputMismatch {
     pub digest: String,
     /// What the suite pinned.
     pub expected: Vec<u64>,
-    /// What the run produced (`None` if the record carried no outputs).
+    /// What the run produced (`None` if the record carried no outputs or
+    /// the cell did not complete).
     pub actual: Option<Vec<u64>>,
 }
 
@@ -30,42 +38,54 @@ impl std::fmt::Display for OutputMismatch {
     }
 }
 
-/// A completed suite execution: one [`ReportRecord`] per cell, in
+/// A completed suite execution: one [`RunOutcome`] per cell, in
 /// expansion order (the runner collects results in config order, so the
-/// record list is identical whether the run was serial or parallel),
+/// outcome list is identical whether the run was serial or parallel),
 /// plus any failed output assertions.
+///
+/// Every cell reaches a *typed* terminal state — complete, exhausted
+/// (tick budget), or poisoned (panic) — and one bad cell never aborts
+/// the rest of the campaign.
 #[derive(Clone, Debug)]
 pub struct SuiteRun {
     /// Suite name.
     pub name: String,
     /// Digest of the canonical suite document.
     pub suite_digest: String,
-    /// One record per cell, in expansion order.
-    pub records: Vec<ReportRecord>,
+    /// One outcome per cell, in expansion order.
+    pub outcomes: Vec<RunOutcome>,
     /// Output assertions that failed: pinned cells whose run produced
     /// different results even though the verifier may have been clean.
     pub output_mismatches: Vec<OutputMismatch>,
 }
 
 impl SuiteRun {
-    /// Number of cells whose run met its mode's correctness bar.
-    pub fn ok_count(&self) -> usize {
-        self.records.iter().filter(|r| r.ok()).count()
+    /// The completed records, in expansion order (cells that exhausted
+    /// or poisoned have none).
+    pub fn records(&self) -> impl Iterator<Item = &ReportRecord> {
+        self.outcomes.iter().filter_map(|o| o.record())
     }
 
-    /// Whether every cell verified clean *and* every pinned output
+    /// Number of cells whose run completed and met its mode's
+    /// correctness bar.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.ok()).count()
+    }
+
+    /// Whether every cell completed clean *and* every pinned output
     /// assertion held.
     pub fn all_ok(&self) -> bool {
-        self.ok_count() == self.records.len() && self.output_mismatches.is_empty()
+        self.ok_count() == self.outcomes.len() && self.output_mismatches.is_empty()
     }
 }
 
 /// Expand and execute every cell of `suite` across worker threads
 /// (`APEX_RUNNER_THREADS` controls fan-out, as everywhere else).
 ///
-/// Fails up front if the suite is ill-formed; a cell that trips its stall
-/// budget panics the run (suites are trusted experiment descriptions, not
-/// fuzz inputs — the synthesis oracle is the layer that sandboxes runs).
+/// Fails up front if the suite is ill-formed. Each cell runs under
+/// `catch_unwind` ([`RunOutcome::capture`]): a stall-budget trip becomes
+/// a typed `exhausted` outcome, any other panic a `poisoned` one, and
+/// the remaining cells run regardless.
 pub fn run_suite(suite: &Suite) -> Result<SuiteRun, String> {
     let cells = suite.expand()?;
     Ok(run_cells(suite, &cells))
@@ -74,21 +94,27 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteRun, String> {
 /// [`run_suite`] over an already-expanded cell list (callers that need
 /// the cells anyway, e.g. drift, avoid expanding twice).
 pub fn run_cells(suite: &Suite, cells: &[Cell]) -> SuiteRun {
-    let records = run_trials(cells, |cell| ReportRecord::run(&cell.scenario));
+    let outcomes = run_trials(cells, |cell| RunOutcome::capture(&cell.scenario));
+    finish_run(suite, cells, outcomes)
+}
+
+/// Check pinned outputs and assemble the [`SuiteRun`].
+fn finish_run(suite: &Suite, cells: &[Cell], outcomes: Vec<RunOutcome>) -> SuiteRun {
     // Check the suite's pinned outputs against what actually ran
     // (expansion validated that every pinned digest names a cell).
     let mut output_mismatches = Vec::new();
     for expect in &suite.expect {
-        for (cell, record) in cells.iter().zip(&records) {
+        for (cell, outcome) in cells.iter().zip(&outcomes) {
             if cell.digest != expect.cell {
                 continue;
             }
-            if record.outputs.as_deref() != Some(expect.outputs.as_slice()) {
+            let actual = outcome.record().and_then(|r| r.outputs.clone());
+            if actual.as_deref() != Some(expect.outputs.as_slice()) {
                 output_mismatches.push(OutputMismatch {
                     index: cell.index,
                     digest: cell.digest.clone(),
                     expected: expect.outputs.clone(),
-                    actual: record.outputs.clone(),
+                    actual,
                 });
             }
         }
@@ -96,7 +122,244 @@ pub fn run_cells(suite: &Suite, cells: &[Cell]) -> SuiteRun {
     SuiteRun {
         name: suite.name.clone(),
         suite_digest: suite.digest(),
-        records,
+        outcomes,
         output_mismatches,
     }
+}
+
+/// Options for [`run_suite_journaled`].
+#[derive(Clone, Debug, Default)]
+pub struct JournalOpts {
+    /// Resume an interrupted run: keep the existing journal and skip
+    /// cells whose stored records digest-verify byte-for-byte.
+    pub resume: bool,
+    /// Explicit worker-thread count (`None` uses
+    /// [`default_threads`]; `Some(1)` forces the serial path, whose
+    /// journal line order is fully deterministic).
+    pub threads: Option<usize>,
+}
+
+/// The result of a journaled run: the run itself plus what resume
+/// skipped vs executed.
+#[derive(Clone, Debug)]
+pub struct JournaledRun {
+    /// The completed run.
+    pub run: SuiteRun,
+    /// The manifest written at the end.
+    pub manifest: Manifest,
+    /// Cell indices skipped because their stored record verified.
+    pub skipped: Vec<usize>,
+    /// Cell indices actually executed this time.
+    pub executed: Vec<usize>,
+}
+
+/// Execute `suite` with a write-ahead journal in `store`.
+///
+/// Protocol, per cell: append `claimed`, run the cell under
+/// `catch_unwind`, then either write the record atomically and append
+/// `committed`, or append `poisoned` (no record). The run starts with a
+/// `started` entry and — once the manifest is durably written — ends
+/// with `finished`. A crash at *any* boundary leaves a journal prefix
+/// plus a set of verified record files; re-running with
+/// `opts.resume = true` skips every cell whose content-addressed record
+/// already exists, parses, digest-verifies, and is byte-identical to
+/// its canonical rendering, then executes only the remainder. The final
+/// manifest and record set are byte-identical to an uninterrupted run
+/// (the determinism the whole store is built on).
+///
+/// With a [`FaultInjector`](crate::fault::FaultInjector) installed on
+/// `store`, injected kills surface as `Err` mid-run — exactly like a
+/// real crash, minus the process exit.
+pub fn run_suite_journaled(
+    suite: &Suite,
+    store: &LabStore,
+    opts: &JournalOpts,
+) -> Result<JournaledRun, String> {
+    let cells = suite.expand()?;
+    let suite_digest = suite.digest();
+    let dir = store.suite_dir(&suite_digest);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let journal_path = store.journal_path(&suite_digest);
+    if !opts.resume && journal_path.exists() {
+        // A fresh run owns its journal; the previous history is not part
+        // of this run's story. Records stay — they are content-addressed
+        // and will be rewritten with identical bytes anyway.
+        std::fs::remove_file(&journal_path)
+            .map_err(|e| format!("{}: {e}", journal_path.display()))?;
+    }
+    let mut journal = Journal::new(&journal_path);
+    if let Some(f) = store.faults() {
+        journal = journal.with_faults(f.clone());
+    }
+
+    // Resume: trust nothing but verified bytes. A record is skippable
+    // only if it exists, parses (which digest-verifies the embedded
+    // scenario), sits at its own address, and is byte-identical to its
+    // canonical rendering.
+    let mut slots: Vec<Option<RunOutcome>> = vec![None; cells.len()];
+    let mut skipped = Vec::new();
+    if opts.resume {
+        for cell in &cells {
+            if let Ok((text, record)) = store.read_record(&suite_digest, &cell.digest) {
+                if record.digest() == cell.digest && text == record.render_pretty() {
+                    slots[cell.index] = Some(RunOutcome::Complete(Box::new(record)));
+                    skipped.push(cell.index);
+                }
+            }
+        }
+    }
+
+    let jerr = |e: std::io::Error| format!("journal append failed: {e}");
+    journal
+        .append(&JournalEntry::Started {
+            suite: suite_digest.clone(),
+            name: suite.name.clone(),
+            cells: cells.len() as u64,
+            resumed: opts.resume,
+        })
+        .map_err(jerr)?;
+
+    let pending: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+    let executed = pending.clone();
+
+    let run_one = |cell: &Cell| -> RunOutcome {
+        if store.faults().is_some_and(|f| f.panics_cell(cell.index)) {
+            RunOutcome::capture_with(&cell.scenario, |_| {
+                panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
+            })
+        } else {
+            RunOutcome::capture(&cell.scenario)
+        }
+    };
+
+    // Journal + store writes all happen on this thread, in a strict
+    // claimed → (committed | poisoned) order per cell; workers only run
+    // scenarios. `threads = 1` takes the fully deterministic serial
+    // path (the golden-journal test pins its exact line sequence).
+    let commit = |journal: &Journal, cell: &Cell, outcome: &RunOutcome| -> Result<(), String> {
+        match outcome.record() {
+            Some(record) => {
+                store
+                    .write_record(&suite_digest, record)
+                    .map_err(|e| format!("record write failed: {e}"))?;
+                journal
+                    .append(&JournalEntry::Committed {
+                        index: cell.index as u64,
+                        cell: cell.digest.clone(),
+                        ok: outcome.ok(),
+                    })
+                    .map_err(jerr)
+            }
+            None => journal
+                .append(&JournalEntry::Poisoned {
+                    index: cell.index as u64,
+                    cell: cell.digest.clone(),
+                    status: outcome.status().to_string(),
+                    message: match outcome {
+                        RunOutcome::Exhausted { message, .. }
+                        | RunOutcome::Poisoned { message, .. } => message.clone(),
+                        RunOutcome::Complete(_) => unreachable!("record() is None"),
+                    },
+                })
+                .map_err(jerr),
+        }
+    };
+
+    let threads = opts
+        .threads
+        .unwrap_or_else(default_threads)
+        .max(1)
+        .min(pending.len().max(1));
+    if threads <= 1 {
+        for &i in &pending {
+            let cell = &cells[i];
+            journal
+                .append(&JournalEntry::Claimed {
+                    index: cell.index as u64,
+                    cell: cell.digest.clone(),
+                })
+                .map_err(jerr)?;
+            let outcome = run_one(cell);
+            commit(&journal, cell, &outcome)?;
+            slots[i] = Some(outcome);
+        }
+    } else {
+        // One message per cell on a bounded campaign; the size skew is
+        // irrelevant next to the run each message reports on.
+        #[allow(clippy::large_enum_variant)]
+        enum Msg {
+            Claimed(usize),
+            Done(usize, RunOutcome),
+        }
+        let stop = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let result: Result<(), String> = std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (cursor, stop, pending, cells) = (&cursor, &stop, &pending, &cells);
+                let run_one = &run_one;
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(k) else { break };
+                    if tx.send(Msg::Claimed(i)).is_err() {
+                        break;
+                    }
+                    let outcome = run_one(&cells[i]);
+                    if tx.send(Msg::Done(i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut first_err = None;
+            for msg in rx {
+                if first_err.is_some() {
+                    continue; // drain so workers exit promptly
+                }
+                let step = match msg {
+                    Msg::Claimed(i) => journal
+                        .append(&JournalEntry::Claimed {
+                            index: cells[i].index as u64,
+                            cell: cells[i].digest.clone(),
+                        })
+                        .map_err(jerr),
+                    Msg::Done(i, outcome) => commit(&journal, &cells[i], &outcome).map(|()| {
+                        slots[i] = Some(outcome);
+                    }),
+                };
+                if let Err(e) = step {
+                    stop.store(true, Ordering::SeqCst);
+                    first_err = Some(e);
+                }
+            }
+            first_err.map_or(Ok(()), Err)
+        });
+        result?;
+        if let Some(i) = slots.iter().position(Option::is_none) {
+            return Err(format!("cell {i} never reached a terminal state"));
+        }
+    }
+
+    let outcomes: Vec<RunOutcome> = slots.into_iter().map(Option::unwrap).collect();
+    let run = finish_run(suite, &cells, outcomes);
+    // Records are already durable (committed incrementally above); only
+    // the manifest remains.
+    let manifest = Manifest::from_run(&run);
+    store
+        .write_manifest(&manifest)
+        .map_err(|e| format!("manifest write failed: {e}"))?;
+    journal
+        .append(&JournalEntry::Finished { ok: run.all_ok() })
+        .map_err(jerr)?;
+    Ok(JournaledRun {
+        run,
+        manifest,
+        skipped,
+        executed,
+    })
 }

@@ -6,7 +6,10 @@
 //! .apex/lab/
 //!   <suite-digest>/                 one directory per suite document
 //!     manifest.json                 name, digest, per-cell index
-//!     <cell-digest>.json            one ReportRecord per cell
+//!     journal.jsonl                 write-ahead execution journal
+//!     <cell-digest>.json            one ReportRecord per completed cell
+//!   quarantine/                     fsck's holding pen (never run over)
+//!     <suite-digest>/<file>         corrupt files, moved — not deleted
 //! ```
 //!
 //! Every path component is a content digest: the suite directory is the
@@ -15,16 +18,36 @@
 //! therefore rewrites the same files with the same bytes — anything else
 //! is drift. The manifest carries no timestamps for exactly that reason:
 //! two runs of one suite must be byte-identical, end to end.
+//!
+//! **Crash safety.** Every write goes through temp + fsync + rename
+//! ([`apex_scenario::atomic_write`]), so a kill at any instant leaves
+//! old bytes, new bytes, or a stale `.tmp` sibling — never a torn file
+//! at a final path. Transient I/O errors are retried a bounded number of
+//! times with *attempt-indexed* backoff (the delay is a pure function of
+//! the attempt number, never of wall-clock readings), so a run's
+//! fault-handling behavior is as reproducible as its results. A
+//! [`FaultInjector`] can be installed to exercise all of this
+//! deterministically — see `tests/lab_faults.rs`.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use apex_scenario::ReportRecord;
 use apex_sim::{Json, JsonError};
 
+use crate::digest_hex;
+use crate::fault::{FaultInjector, WriteDirective, KILL_MARKER};
 use crate::runner::SuiteRun;
 
 /// Default store root, relative to the working directory.
 pub const DEFAULT_STORE_ROOT: &str = ".apex/lab";
+
+/// Name of the quarantine directory under the store root. fsck moves
+/// corrupt files here; runs, drift checks, and gc never touch it.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Bounded retry: total attempts per store write (1 initial + 3 retries).
+pub const MAX_WRITE_ATTEMPTS: u32 = 4;
 
 fn jerr(msg: impl Into<String>) -> JsonError {
     JsonError {
@@ -40,10 +63,18 @@ pub struct ManifestCell {
     pub index: usize,
     /// The cell's scenario digest (also the record file stem).
     pub digest: String,
-    /// Whether the run met its mode's correctness bar.
+    /// Terminal state: `complete`, `exhausted`, or `poisoned`.
+    pub status: String,
+    /// Whether the run met its mode's correctness bar (always false for
+    /// non-complete cells).
     pub ok: bool,
     /// One-line human summary of the report.
     pub summary: String,
+    /// FNV-1a digest of the record file's exact bytes (`None` for cells
+    /// with no record — exhausted/poisoned). Computed from the *intended*
+    /// bytes at write time, so any later corruption of the file is
+    /// detectable by `apex lab fsck`.
+    pub checksum: Option<String>,
 }
 
 /// The per-suite index the store writes next to the records.
@@ -58,8 +89,33 @@ pub struct Manifest {
 }
 
 impl Manifest {
-    /// Serialize (canonical field order, no timestamps — deterministic).
-    pub fn to_json(&self) -> Json {
+    /// Build the manifest for a completed run: one row per outcome in
+    /// expansion order, record checksums computed from the canonical
+    /// (intended) record bytes.
+    pub fn from_run(run: &SuiteRun) -> Self {
+        Manifest {
+            name: run.name.clone(),
+            suite_digest: run.suite_digest.clone(),
+            cells: run
+                .outcomes
+                .iter()
+                .enumerate()
+                .map(|(index, outcome)| ManifestCell {
+                    index,
+                    digest: outcome.digest(),
+                    status: outcome.status().to_string(),
+                    ok: outcome.ok(),
+                    summary: outcome.summary(),
+                    checksum: outcome
+                        .record()
+                        .map(|r| digest_hex(r.render_pretty().as_bytes())),
+                })
+                .collect(),
+        }
+    }
+
+    /// The manifest's core document, without the self-checksum field.
+    fn core_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("suite_digest".into(), Json::Str(self.suite_digest.clone())),
@@ -72,8 +128,15 @@ impl Manifest {
                             Json::Obj(vec![
                                 ("index".into(), Json::UInt(c.index as u64)),
                                 ("digest".into(), Json::Str(c.digest.clone())),
+                                ("status".into(), Json::Str(c.status.clone())),
                                 ("ok".into(), Json::Bool(c.ok)),
                                 ("summary".into(), Json::Str(c.summary.clone())),
+                                (
+                                    "checksum".into(),
+                                    c.checksum
+                                        .as_ref()
+                                        .map_or(Json::Null, |s| Json::Str(s.clone())),
+                                ),
                             ])
                         })
                         .collect(),
@@ -82,9 +145,27 @@ impl Manifest {
         ])
     }
 
-    /// Deserialize.
+    /// The manifest's self-checksum: FNV-1a over the compact rendering
+    /// of the core document. Emitted as the final `checksum` field and
+    /// verified on read, so a bit flip anywhere in a stored manifest —
+    /// including one that keeps the JSON well-formed — is detected.
+    pub fn self_checksum(&self) -> String {
+        digest_hex(self.core_json().render().as_bytes())
+    }
+
+    /// Serialize (canonical field order, no timestamps — deterministic).
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.core_json() else {
+            unreachable!("core_json renders an object");
+        };
+        fields.push(("checksum".into(), Json::Str(self.self_checksum())));
+        Json::Obj(fields)
+    }
+
+    /// Deserialize, verifying the self-checksum when present (manifests
+    /// written before the checksum existed are tolerated).
     pub fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(Manifest {
+        let manifest = Manifest {
             name: v.get("name")?.as_str()?.to_string(),
             suite_digest: v.get("suite_digest")?.as_str()?.to_string(),
             cells: v
@@ -95,15 +176,34 @@ impl Manifest {
                     Ok(ManifestCell {
                         index: c.get("index")?.as_usize()?,
                         digest: c.get("digest")?.as_str()?.to_string(),
+                        status: match c.get_opt("status") {
+                            Some(s) => s.as_str()?.to_string(),
+                            None => "complete".to_string(),
+                        },
                         ok: match c.get("ok")? {
                             Json::Bool(b) => *b,
                             other => return Err(jerr(format!("expected bool ok, got {other:?}"))),
                         },
                         summary: c.get("summary")?.as_str()?.to_string(),
+                        checksum: match c.get_opt("checksum") {
+                            None | Some(Json::Null) => None,
+                            Some(s) => Some(s.as_str()?.to_string()),
+                        },
                     })
                 })
                 .collect::<Result<_, JsonError>>()?,
-        })
+        };
+        if let Some(stored) = v.get_opt("checksum") {
+            let stored = stored.as_str()?;
+            let actual = manifest.self_checksum();
+            if stored != actual {
+                return Err(jerr(format!(
+                    "manifest checksum {stored:?} does not match its contents (expected \
+                     {actual:?}) — the file was corrupted after it was written"
+                )));
+            }
+        }
+        Ok(manifest)
     }
 }
 
@@ -111,12 +211,16 @@ impl Manifest {
 #[derive(Clone, Debug)]
 pub struct LabStore {
     root: PathBuf,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl LabStore {
     /// A store rooted at `root` (created lazily on first write).
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        LabStore { root: root.into() }
+        LabStore {
+            root: root.into(),
+            faults: None,
+        }
     }
 
     /// The store at the default location, [`DEFAULT_STORE_ROOT`].
@@ -124,9 +228,26 @@ impl LabStore {
         Self::new(DEFAULT_STORE_ROOT)
     }
 
+    /// Route every write of this store through `faults` (the test-only
+    /// seam for deterministic kill / torn-write / bit-flip injection).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The installed fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The quarantine root ([`QUARANTINE_DIR`]) under this store.
+    pub fn quarantine_root(&self) -> PathBuf {
+        self.root.join(QUARANTINE_DIR)
     }
 
     /// The directory holding one suite's records.
@@ -145,36 +266,121 @@ impl LabStore {
         self.suite_dir(suite_digest).join("manifest.json")
     }
 
-    /// Write a completed run: every record, content-addressed, plus the
-    /// manifest. Returns the manifest. Idempotent — re-running the same
-    /// suite rewrites the same files with the same bytes.
+    /// The journal path of one suite.
+    pub fn journal_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest)
+            .join(crate::journal::JOURNAL_FILE)
+    }
+
+    /// Write `text` to `path` atomically, retrying transient I/O errors
+    /// up to [`MAX_WRITE_ATTEMPTS`] times with attempt-indexed backoff
+    /// (attempt *a* sleeps *a²* ms — a pure function of the attempt
+    /// number, so retry behavior is deterministic). Errors carrying
+    /// [`KILL_MARKER`] are fatal and never retried: a dead process
+    /// cannot try again.
+    pub fn write_text(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        let write_idx = self.faults.as_ref().map(|f| f.next_store_write());
+        let mut last_err = None;
+        for attempt in 0..MAX_WRITE_ATTEMPTS {
+            let directive = match (&self.faults, write_idx) {
+                (Some(f), Some(i)) => {
+                    if f.killed() {
+                        return Err(std::io::Error::other(format!(
+                            "{KILL_MARKER} (process already dead)"
+                        )));
+                    }
+                    f.directive(i, attempt)
+                }
+                _ => WriteDirective::Proceed,
+            };
+            let result = match directive {
+                WriteDirective::Proceed => apex_scenario::atomic_write(path, text),
+                WriteDirective::Flip { byte, mask } => {
+                    // Silent corruption: the write "succeeds" with one
+                    // byte XORed — only integrity checking can tell.
+                    let mut bytes = text.as_bytes().to_vec();
+                    if !bytes.is_empty() {
+                        let i = byte.min(bytes.len() - 1);
+                        bytes[i] ^= mask;
+                    }
+                    atomic_write_bytes(path, &bytes)
+                }
+                WriteDirective::Torn(keep) => {
+                    // A torn write lands a prefix at the *final* path
+                    // (simulating a crash without atomic-write
+                    // discipline), then the process dies.
+                    let keep = keep.min(text.len());
+                    std::fs::write(path, &text.as_bytes()[..keep])?;
+                    if let Some(f) = &self.faults {
+                        f.kill();
+                    }
+                    return Err(std::io::Error::other(format!(
+                        "{KILL_MARKER} after torn write of {}",
+                        path.display()
+                    )));
+                }
+                WriteDirective::Transient => Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("injected fault: transient write error (attempt {attempt})"),
+                )),
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if e.to_string().contains(KILL_MARKER) => return Err(e),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < MAX_WRITE_ATTEMPTS {
+                        // Attempt-indexed, bounded, wall-clock-free
+                        // backoff: 1 ms, 4 ms, 9 ms.
+                        let ms = u64::from(attempt + 1) * u64::from(attempt + 1);
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("write failed with no error")))
+    }
+
+    /// Write one cell record durably, returning the checksum of the
+    /// intended bytes (what the manifest rows pin).
+    pub fn write_record(
+        &self,
+        suite_digest: &str,
+        record: &ReportRecord,
+    ) -> std::io::Result<String> {
+        let text = record.render_pretty();
+        let checksum = digest_hex(text.as_bytes());
+        self.write_text(&self.record_path(suite_digest, &record.digest()), &text)?;
+        Ok(checksum)
+    }
+
+    /// Write one suite manifest durably.
+    pub fn write_manifest(&self, manifest: &Manifest) -> std::io::Result<()> {
+        std::fs::create_dir_all(self.suite_dir(&manifest.suite_digest))?;
+        self.write_text(
+            &self.manifest_path(&manifest.suite_digest),
+            &manifest.to_json().render_pretty(),
+        )
+    }
+
+    /// Write a completed run: every completed cell's record,
+    /// content-addressed, plus the manifest. Returns the manifest.
+    /// Idempotent — re-running the same suite rewrites the same files
+    /// with the same bytes.
     pub fn write_run(&self, run: &SuiteRun) -> std::io::Result<Manifest> {
         let dir = self.suite_dir(&run.suite_digest);
         std::fs::create_dir_all(&dir)?;
-        let mut cells = Vec::with_capacity(run.records.len());
-        for (index, record) in run.records.iter().enumerate() {
-            let digest = record.digest();
-            record.save(&dir.join(format!("{digest}.json")))?;
-            cells.push(ManifestCell {
-                index,
-                digest,
-                ok: record.ok(),
-                summary: record.report.summary(),
-            });
+        for outcome in &run.outcomes {
+            if let Some(record) = outcome.record() {
+                self.write_record(&run.suite_digest, record)?;
+            }
         }
-        let manifest = Manifest {
-            name: run.name.clone(),
-            suite_digest: run.suite_digest.clone(),
-            cells,
-        };
-        std::fs::write(
-            self.manifest_path(&run.suite_digest),
-            manifest.to_json().render_pretty(),
-        )?;
+        let manifest = Manifest::from_run(run);
+        self.write_manifest(&manifest)?;
         Ok(manifest)
     }
 
-    /// Load one suite's manifest.
+    /// Load one suite's manifest (verifying its self-checksum).
     pub fn read_manifest(&self, suite_digest: &str) -> Result<Manifest, String> {
         let path = self.manifest_path(suite_digest);
         let text =
@@ -198,7 +404,8 @@ impl LabStore {
     }
 
     /// The suite digests present in this store (sorted, for deterministic
-    /// iteration).
+    /// iteration). The quarantine directory is not a suite and is never
+    /// listed.
     pub fn suite_digests(&self) -> Result<Vec<String>, String> {
         let mut out = Vec::new();
         let entries =
@@ -207,7 +414,9 @@ impl LabStore {
             let entry = entry.map_err(|e| format!("{}: {e}", self.root.display()))?;
             if entry.path().is_dir() {
                 if let Some(name) = entry.file_name().to_str() {
-                    out.push(name.to_string());
+                    if name != QUARANTINE_DIR {
+                        out.push(name.to_string());
+                    }
                 }
             }
         }
@@ -216,8 +425,8 @@ impl LabStore {
     }
 
     /// The record digests present under one suite directory (sorted; the
-    /// manifest is excluded). Used to detect records a suite no longer
-    /// names.
+    /// manifest is excluded, and the `.jsonl` journal never matches).
+    /// Used to detect records a suite no longer names.
     pub fn record_digests(&self, suite_digest: &str) -> Result<Vec<String>, String> {
         let dir = self.suite_dir(suite_digest);
         let mut out = Vec::new();
@@ -236,4 +445,28 @@ impl LabStore {
         out.sort();
         Ok(out)
     }
+}
+
+/// Byte-level sibling of [`apex_scenario::atomic_write`] (bit-flip
+/// injection can produce non-UTF-8 content, which must still be written
+/// with full temp + fsync + rename discipline).
+fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other(format!("{}: no file name", path.display())))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }

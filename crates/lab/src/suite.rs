@@ -476,9 +476,10 @@ impl Suite {
         self.to_json().render_pretty()
     }
 
-    /// Write the canonical document to `path`.
+    /// Write the canonical document to `path` atomically
+    /// (temp + fsync + rename).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.render_pretty())
+        apex_scenario::atomic_write(path, &self.render_pretty())
     }
 
     /// Load and parse a suite file.

@@ -29,15 +29,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod outcome;
 mod program;
 mod record;
 mod report;
 mod scenario;
 
+pub use outcome::{RunOutcome, OUTCOME_FORMAT_MAJOR, OUTCOME_FORMAT_MINOR};
 pub use program::{
     op_from_name, op_name, program_from_json, program_to_json, scheme_from_label, ProgramSource,
 };
-pub use record::{ReportRecord, RECORD_FORMAT_MAJOR, RECORD_FORMAT_MINOR};
+pub use record::{atomic_write, ReportRecord, RECORD_FORMAT_MAJOR, RECORD_FORMAT_MINOR};
 pub use report::{
     scheme_report_from_json, scheme_report_to_json, verify_report_from_json, verify_report_to_json,
     AgreementRunReport, ScenarioReport,

@@ -28,6 +28,34 @@ fn jerr(msg: impl Into<String>) -> JsonError {
     }
 }
 
+/// Write `text` to `path` atomically: write a `.tmp` sibling, fsync it,
+/// rename it over `path`, then fsync the parent directory. A crash at any
+/// point leaves either the old bytes, the new bytes, or a stale `.tmp`
+/// sibling — never a torn file at the final path. This is the one write
+/// primitive every store/artifact writer in the workspace goes through.
+pub fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other(format!("{}: no file name", path.display())))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; best-effort on filesystems that do
+        // not support opening directories for sync.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// A recorded scenario run: scenario, named outputs (when the program
 /// source declares I/O blocks), and the full report.
 #[derive(Clone, Debug)]
@@ -149,9 +177,10 @@ impl ReportRecord {
         self.to_json().render_pretty()
     }
 
-    /// Write the canonical document to `path`.
+    /// Write the canonical document to `path` atomically
+    /// (temp + fsync + rename; see [`atomic_write`]).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.render_pretty())
+        atomic_write(path, &self.render_pretty())
     }
 
     /// Load and parse a record file.

@@ -613,9 +613,10 @@ impl Scenario {
         self.to_json().render_pretty()
     }
 
-    /// Write the canonical document to `path`.
+    /// Write the canonical document to `path` atomically
+    /// (temp + fsync + rename; see [`crate::atomic_write`]).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.render_pretty())
+        crate::record::atomic_write(path, &self.render_pretty())
     }
 
     /// Load and parse a scenario file (structural errors only; call

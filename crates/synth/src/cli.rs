@@ -19,7 +19,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use apex_scenario::{ReportRecord, Scenario};
+use apex_scenario::{RunOutcome, Scenario};
 use apex_scheme::SchemeKind;
 
 use crate::campaign::{campaign_triple, run_campaign, CampaignConfig, Finding};
@@ -119,7 +119,7 @@ pub fn dispatch(argv: &[String]) -> ExitCode {
 
 /// Execute one scenario file: validate, (optionally) re-emit the
 /// canonical serialized form, run, and report — human-readable by
-/// default, the full [`ReportRecord`] document on stdout with `--json`
+/// default, the full [`ReportRecord`](apex_scenario::ReportRecord) document on stdout with `--json`
 /// (for scripts and CI). Exit code 0 iff the run met its mode's
 /// correctness bar.
 pub fn cmd_run(raw: &[String]) -> ExitCode {
@@ -153,19 +153,26 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
             println!("wrote canonical form to {out}");
         }
     }
-    let record = ReportRecord::run(&scenario);
+    // Captured, not raw: a panicking or budget-exhausted scenario becomes
+    // a typed outcome document and a failing exit code instead of an
+    // abort, so campaign scripts can tell the failure classes apart.
+    let outcome = RunOutcome::capture(&scenario);
     if args.has("json") {
-        // Stdout carries exactly one record document; the summary goes to
+        // Stdout carries exactly one document (the record when the run
+        // completed, the typed outcome otherwise); the summary goes to
         // stderr so pipelines stay parseable.
-        print!("{}", record.render_pretty());
-        eprintln!("{}", record.report.summary());
+        match outcome.record() {
+            Some(record) => print!("{}", record.render_pretty()),
+            None => print!("{}", outcome.to_json().render_pretty()),
+        }
+        eprintln!("{}", outcome.summary());
     } else {
-        println!("{}", record.report.summary());
-        if let Some(outputs) = &record.outputs {
+        println!("{}", outcome.summary());
+        if let Some(outputs) = outcome.record().and_then(|r| r.outputs.as_ref()) {
             println!("named outputs: {outputs:?}");
         }
     }
-    if record.ok() {
+    if outcome.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

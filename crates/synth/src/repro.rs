@@ -187,7 +187,7 @@ impl Reproducer {
     pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
-        std::fs::write(&path, self.to_json().render_pretty())?;
+        apex_scenario::atomic_write(&path, &self.to_json().render_pretty())?;
         Ok(path)
     }
 

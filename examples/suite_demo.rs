@@ -35,7 +35,7 @@ fn main() {
     let manifest = store.write_run(&run).expect("store writes");
     println!(
         "ran {} cells ({} ok) -> {}",
-        run.records.len(),
+        run.outcomes.len(),
         run.ok_count(),
         store.suite_dir(&run.suite_digest).display()
     );
@@ -53,7 +53,7 @@ fn main() {
 
     // The named outputs satellite: library workloads declare their output
     // block, so records carry program *results*, not just verdicts.
-    if let Some(outputs) = &run.records[0].outputs {
+    if let Some(outputs) = run.outcomes[0].record().and_then(|r| r.outputs.as_ref()) {
         println!("cell 0 named outputs (tree-reduce-max result): {outputs:?}");
     }
 

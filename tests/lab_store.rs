@@ -25,7 +25,8 @@ fn store_round_trip_is_byte_identical() {
     let store = temp_store("roundtrip");
     let run = run_suite(&suite).unwrap();
     let manifest = store.write_run(&run).unwrap();
-    assert_eq!(run.records.len(), 13);
+    assert_eq!(run.outcomes.len(), 13);
+    assert_eq!(run.records().count(), 13, "every smoke cell completes");
     assert_eq!(run.ok_count(), 13, "every smoke cell verifies clean");
     assert!(run.all_ok(), "{:?}", run.output_mismatches);
 
