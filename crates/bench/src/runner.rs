@@ -49,6 +49,15 @@ pub fn default_threads() -> usize {
     })
 }
 
+/// The one thread-count resolver every runner-facing command shares
+/// (`apex suite run --threads`, `apex farm worker --threads`): an
+/// explicit value wins (clamped to at least 1), otherwise
+/// [`default_threads`] — `APEX_RUNNER_THREADS` if set and valid, else
+/// all cores.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit.map(|t| t.max(1)).unwrap_or_else(default_threads)
+}
+
 /// Map `f` over `configs` on up to [`default_threads`] scoped OS threads,
 /// returning results in config order (exactly what a serial
 /// `configs.iter().map(f).collect()` would return).

@@ -1,45 +1,58 @@
 //! `apex` — the workspace's single front door.
 //!
 //! ```text
-//! apex suite run    SUITE.json [--store DIR] [--resume] [--faults PLAN.json]
-//!                   journaled expand-execute-record (crash-safe, resumable)
+//! apex suite run    SUITE.json [--store DIR] [--resume] [--cached] [--faults PLAN.json]
+//!                   journaled expand-execute-record (crash-safe, resumable, memoizing)
 //! apex suite expand SUITE.json                  print the deterministic cell list
 //! apex drift        SUITE.json [--store DIR]    re-run and compare against the store
 //! apex drift        --compare BASELINE CANDIDATE  byte-compare two stores
 //! apex lab fsck     [--store DIR] [--repair]    integrity-scan the store
 //! apex lab gc       [--store DIR] [--keep-last N] [--dry-run]  reclaim old suites
+//! apex farm submit  SUITE.json [--queue DIR]    enqueue a suite for the workers
+//! apex farm worker  [--queue DIR] [--store DIR] [--threads N] …  drain the queue
+//! apex farm status  [--queue DIR] [--store DIR] per-suite queue progress
+//! apex farm query   SCENARIO.json [--queue DIR] [--store DIR]  answer or enqueue
 //! apex run          SCENARIO.json [--emit F] [--json]   execute one scenario
 //! apex adversary    <validate|describe|gallery> …  lint/inspect adversary specs
 //! apex synth        <gen|fuzz|shrink|replay|run|migrate|corpus-dedup> …
 //! ```
 //!
-//! `suite`/`drift`/`lab` front [`apex_lab`]; `adversary` fronts the
-//! [`apex_sim::AdversarySpec`] algebra; `run` and `synth` delegate to
-//! [`apex_synth::cli`], so every entry point in the workspace is
-//! reachable from one binary.
+//! `suite`/`drift`/`lab` front [`apex_lab`]; `farm` fronts
+//! [`apex_farm`]; `adversary` fronts the [`apex_sim::AdversarySpec`]
+//! algebra; `run` and `synth` delegate to [`apex_synth::cli`], so every
+//! entry point in the workspace is reachable from one binary.
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use apex_farm::{query, run_worker, FarmQueue, QueryAnswer, WorkerOpts};
 use apex_lab::{
     check_against_store, compare_stores, fsck, gc, run_suite_journaled, FaultInjector, FaultPlan,
     JournalOpts, LabStore, Suite,
 };
+use apex_scenario::Scenario;
 use apex_sim::{AdversarySpec, Json};
 use apex_synth::cli::{self, Args};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apex <suite|drift|lab|run|adversary|synth> …\n\
+        "usage: apex <suite|drift|lab|farm|run|adversary|synth> …\n\
          \n\
-         suite run    SUITE.json [--store DIR] [--resume] [--faults PLAN.json] [--threads N]\n\
-         \x20                                        journaled expand-execute-record\n\
+         suite run    SUITE.json [--store DIR] [--resume] [--cached] [--faults PLAN.json]\n\
+         \x20            [--threads N]               journaled expand-execute-record\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
          drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
          drift        --compare BASE CAND        byte-compare two stores\n\
-         lab fsck     [--store DIR] [--repair]   integrity-scan (--repair quarantines)\n\
+         lab fsck     [--store DIR] [--repair]   integrity-scan (--repair quarantines;\n\
+         \x20                                        stale leases are reclaimed)\n\
          lab gc       [--store DIR] [--keep-last N] [--dry-run]  delete old suite dirs\n\
+         farm submit  SUITE.json [--queue DIR]   enqueue a suite for the workers\n\
+         farm worker  [--queue DIR] [--store DIR] [--threads N] [--worker ID]\n\
+         \x20            [--shard N] [--ttl N] [--faults PLAN.json]  drain the queue\n\
+         farm status  [--queue DIR] [--store DIR]  per-suite queue progress\n\
+         farm query   SCENARIO.json [--queue DIR] [--store DIR] [--json]\n\
+         \x20                                        answer from cache, or enqueue\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
          adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
          adversary describe SPEC.json --n N [--seed S]  compile and describe it\n\
@@ -59,6 +72,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&argv[1..]),
         "drift" => cmd_drift(&argv[1..]),
         "lab" => cmd_lab(&argv[1..]),
+        "farm" => cmd_farm(&argv[1..]),
         "run" => cli::cmd_run(&argv[1..]),
         "adversary" => cmd_adversary(&argv[1..]),
         "synth" => cli::dispatch(&argv[1..]),
@@ -197,6 +211,7 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
             }
             let opts = JournalOpts {
                 resume: args.has("resume"),
+                cached: args.has("cached"),
                 threads: args.get("threads").and_then(|v| v.parse().ok()),
             };
             let done = match run_suite_journaled(&suite, &store, &opts) {
@@ -216,6 +231,9 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                 run.ok_count(),
                 store.suite_dir(&run.suite_digest).display()
             );
+            if opts.cached {
+                println!("  {}", done.cache.summary());
+            }
             for cell in &done.manifest.cells {
                 println!(
                     "  [{:>4}] {} {} {}",
@@ -314,6 +332,141 @@ fn cmd_lab(raw: &[String]) -> ExitCode {
             };
             println!("{}", report.summary());
             ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// `apex farm <submit|worker|status|query>` — the memoizing campaign
+/// farm. `submit` enqueues a suite document (content-addressed,
+/// idempotent); `worker` drains the queue by leasing cell shards and
+/// executing only cache misses; `status` surveys queue progress against
+/// the store; `query` answers one scenario from verified store bytes or
+/// enqueues it as a one-cell suite.
+fn cmd_farm(raw: &[String]) -> ExitCode {
+    let Some(verb) = raw.first() else { usage() };
+    let (file, rest) = positional(&raw[1..]);
+    let args = Args::parse(rest);
+    let queue = match args.get("queue") {
+        Some(dir) => FarmQueue::new(dir),
+        None => FarmQueue::default_location(),
+    };
+    match (verb.as_str(), file) {
+        ("submit", Some(file)) => {
+            let suite = match load_suite(&file) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            match queue.submit(&suite) {
+                Ok((digest, path, fresh)) => {
+                    println!(
+                        "{} suite {:?} ({digest}) at {}",
+                        if fresh { "enqueued" } else { "already queued:" },
+                        suite.name,
+                        path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("worker", None) => {
+            let mut store = store_from(&args);
+            if let Some(plan_file) = args.get("faults") {
+                // Deterministic fault injection — test/CI harness only.
+                let plan = match FaultPlan::load(Path::new(plan_file)) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                store = store.with_faults(Arc::new(FaultInjector::new(plan)));
+            }
+            let mut opts = WorkerOpts::default();
+            if let Some(id) = args.get("worker") {
+                opts.worker = id.to_string();
+            }
+            opts.shard_cells = args.num("shard", opts.shard_cells);
+            opts.ttl = args.num("ttl", opts.ttl);
+            opts.threads = args.get("threads").and_then(|v| v.parse().ok());
+            match run_worker(&queue, &store, &opts) {
+                Ok(report) => {
+                    println!("{}", report.summary());
+                    for d in &report.divergences {
+                        println!("  DIVERGENCE: {d}");
+                    }
+                    if report.divergences.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("farm worker: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("status", None) => match queue.status(&store_from(&args)) {
+            Ok(status) => {
+                println!("{}", status.summary());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("farm status: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        ("query", Some(file)) => {
+            let scenario = match Scenario::load(Path::new(&file)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match query(&store_from(&args), &queue, &scenario) {
+                Ok(QueryAnswer::Hit {
+                    suite,
+                    text,
+                    record,
+                }) => {
+                    if args.has("json") {
+                        print!("{text}");
+                    } else {
+                        println!(
+                            "hit: {} (cached under suite {suite}) — {}",
+                            record.scenario.digest(),
+                            if record.ok() { "ok" } else { "FAIL" }
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(QueryAnswer::Enqueued {
+                    suite_digest,
+                    path,
+                    fresh,
+                }) => {
+                    println!(
+                        "miss: {} as one-cell suite {suite_digest} at {} — run `apex farm worker`",
+                        if fresh {
+                            "enqueued"
+                        } else {
+                            "already enqueued"
+                        },
+                        path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => usage(),
     }

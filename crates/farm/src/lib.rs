@@ -1,0 +1,47 @@
+//! # apex-farm — a memoizing campaign service over the lab store
+//!
+//! The paper's subject is executing nondeterministic parallel programs
+//! efficiently on asynchronous machines; this crate makes the campaign
+//! layer itself such a system. It is the shape of a queue-dispatch
+//! asynchronous system: uncoordinated workers drain a dispatch queue at
+//! arbitrary relative speeds, and correctness is checked mechanically
+//! rather than assumed — here for free, because every result write is
+//! content-addressed and idempotent, so the only thing workers ever
+//! race on is *who does the work*, never *what the bytes are*.
+//!
+//! Three pieces:
+//!
+//! * [`FarmQueue`] — a file-based work queue (`apex farm submit`
+//!   enqueues a suite document; entries are content-addressed and
+//!   idempotent like everything else);
+//! * [`run_worker`] — drain the queue ([`apex farm worker`]): lease
+//!   cell shards with fsynced lease files whose expiry is
+//!   *operation-indexed* on the suite journal (never wall-clock), answer
+//!   cells from verified store bytes, execute only true misses, and
+//!   finalize each suite with a manifest byte-identical to a
+//!   single-runner run. Any two workers that produce bytes for the same
+//!   cell are diffed against each other ([`Divergence`]) — a free
+//!   integrity check on the whole deterministic pipeline;
+//! * [`query`] — the front-end (`apex farm query`): answer a single
+//!   scenario from cache, or enqueue it as a one-cell suite for the
+//!   workers.
+//!
+//! A crashed worker leaves, at worst, a journal prefix, verified
+//! records, and a lease that lapses once the operation clock passes its
+//! ttl — after which any worker (or `apex lab fsck`, which *reclaims*
+//! rather than quarantines leases) takes the shard over. Nothing a
+//! worker does requires coordination beyond the lease, and the lease
+//! itself is only an optimization against duplicated work.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod query;
+mod queue;
+mod worker;
+
+pub use query::{query, QueryAnswer};
+pub use queue::{FarmQueue, FarmStatus, SuiteProgress, DEFAULT_QUEUE_ROOT};
+pub use worker::{
+    run_worker, Divergence, WorkerOpts, WorkerReport, DEFAULT_SHARD_CELLS, DEFAULT_TTL,
+};

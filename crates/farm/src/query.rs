@@ -1,0 +1,64 @@
+//! The query front-end (`apex farm query`): answer one scenario from
+//! the store, or enqueue it for the workers.
+//!
+//! A query is a scenario document; its content digest is the cache key.
+//! If *any* suite in the store holds a verified record for that digest
+//! (the scan trusts only bytes that parse, digest-verify, and sit at
+//! their own address — the same bar as `--cached`), the stored record
+//! is the answer, byte-for-byte. Otherwise the scenario is wrapped in a
+//! one-cell suite named `query-<digest>` and submitted to the queue;
+//! once a worker drains it, re-issuing the same query is a hit.
+
+use apex_lab::{LabStore, Suite};
+use apex_scenario::{ReportRecord, Scenario};
+
+use crate::queue::FarmQueue;
+
+/// The two ways a query resolves.
+#[derive(Clone, Debug)]
+pub enum QueryAnswer {
+    /// A verified record already in the store answers the query.
+    Hit {
+        /// Digest of the suite the record was found under.
+        suite: String,
+        /// The record's exact stored bytes.
+        text: String,
+        /// The parsed record.
+        record: Box<ReportRecord>,
+    },
+    /// No verified record exists; a one-cell suite was (idempotently)
+    /// enqueued for the workers.
+    Enqueued {
+        /// Digest of the enqueued one-cell suite.
+        suite_digest: String,
+        /// Queue file path.
+        path: std::path::PathBuf,
+        /// False when an identical entry was already queued.
+        fresh: bool,
+    },
+}
+
+/// Answer `scenario` from `store`, or enqueue it on `queue`.
+pub fn query(
+    store: &LabStore,
+    queue: &FarmQueue,
+    scenario: &Scenario,
+) -> Result<QueryAnswer, String> {
+    scenario.validate().map_err(|e| e.to_string())?;
+    let digest = scenario.digest();
+    if let Some((suite, text, record)) = store.find_record(&digest) {
+        return Ok(QueryAnswer::Hit {
+            suite,
+            text,
+            record,
+        });
+    }
+    let mut suite = Suite::new(format!("query-{digest}"));
+    suite.cells.push(scenario.clone());
+    let (suite_digest, path, fresh) = queue.submit(&suite)?;
+    Ok(QueryAnswer::Enqueued {
+        suite_digest,
+        path,
+        fresh,
+    })
+}

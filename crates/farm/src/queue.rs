@@ -1,0 +1,208 @@
+//! The file-based dispatch queue (`apex farm submit` / `apex farm status`).
+//!
+//! A queue is a directory of suite documents, one file per suite, named
+//! by the suite's content digest (`<suite-digest>.json`). Submission is
+//! therefore idempotent — submitting the same suite twice writes the
+//! same file with the same bytes — and the queue needs no locking: it
+//! is append-only in the same sense the store is, and workers treat a
+//! fully-cached entry as already drained. Entries are never dequeued;
+//! a drained entry is simply one whose suite has a finished manifest in
+//! the store, which `apex farm status` reports.
+
+use std::path::{Path, PathBuf};
+
+use apex_lab::{read_journal, read_leases, LabStore, Suite};
+
+/// Default queue root, relative to the working directory (a sibling of
+/// the lab store's `.apex/lab`).
+pub const DEFAULT_QUEUE_ROOT: &str = ".apex/farm";
+
+/// A directory of enqueued suite documents.
+#[derive(Clone, Debug)]
+pub struct FarmQueue {
+    root: PathBuf,
+}
+
+impl FarmQueue {
+    /// A queue rooted at `root` (created lazily on first submit).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        FarmQueue { root: root.into() }
+    }
+
+    /// The queue at the default location, [`DEFAULT_QUEUE_ROOT`].
+    pub fn default_location() -> Self {
+        Self::new(DEFAULT_QUEUE_ROOT)
+    }
+
+    /// The queue's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The queue file path for a suite digest.
+    pub fn entry_path(&self, suite_digest: &str) -> PathBuf {
+        self.root.join(format!("{suite_digest}.json"))
+    }
+
+    /// Enqueue a suite: validate, then write its canonical document at
+    /// its content address. Returns `(digest, path, fresh)`; `fresh` is
+    /// false when an identical entry was already queued (idempotent).
+    pub fn submit(&self, suite: &Suite) -> Result<(String, PathBuf, bool), String> {
+        suite.validate()?;
+        let digest = suite.digest();
+        let path = self.entry_path(&digest);
+        let text = suite.render_pretty();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            if existing == text {
+                return Ok((digest, path, false));
+            }
+        }
+        std::fs::create_dir_all(&self.root).map_err(|e| format!("{}: {e}", self.root.display()))?;
+        apex_scenario::atomic_write(&path, &text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok((digest, path, true))
+    }
+
+    /// Every queued suite, sorted by digest (deterministic worker scan
+    /// order). Each entry is re-validated: its digest must match its
+    /// file name, so a corrupted queue file is an error, not a silently
+    /// different workload.
+    pub fn entries(&self) -> Result<Vec<(String, Suite)>, String> {
+        if !self.root.exists() {
+            return Ok(Vec::new());
+        }
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&self.root)
+            .map_err(|e| format!("{}: {e}", self.root.display()))?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("{}: {e}", self.root.display()))?;
+        paths.sort();
+        let mut out = Vec::new();
+        for path in paths {
+            if path.is_dir() || path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let suite = Suite::load(&path)?;
+            let digest = suite.digest();
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if stem != digest {
+                return Err(format!(
+                    "{}: queue entry digests to {digest}, not its file name",
+                    path.display()
+                ));
+            }
+            out.push((digest, suite));
+        }
+        Ok(out)
+    }
+
+    /// Survey every queue entry against `store` (what `apex farm
+    /// status` prints).
+    pub fn status(&self, store: &LabStore) -> Result<FarmStatus, String> {
+        let mut out = FarmStatus::default();
+        for (digest, suite) in self.entries()? {
+            let cells = suite.expand()?;
+            let journal = read_journal(&store.journal_path(&digest)).ok();
+            let poisoned: std::collections::BTreeSet<u64> = journal
+                .as_ref()
+                .map(|s| s.poisoned.iter().copied().collect())
+                .unwrap_or_default();
+            let records = cells
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        store.lookup_record(&digest, &c.digest, None),
+                        apex_lab::CacheLookup::Hit(..)
+                    )
+                })
+                .count();
+            let finished = journal.as_ref().is_some_and(|s| s.finished)
+                && store.read_manifest(&digest).is_ok();
+            let leases = read_leases(store, &digest)?.len();
+            out.suites.push(SuiteProgress {
+                digest,
+                name: suite.name.clone(),
+                cells: cells.len(),
+                records,
+                poisoned: poisoned.len(),
+                leases,
+                finished,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Progress of one queued suite against a store.
+#[derive(Clone, Debug)]
+pub struct SuiteProgress {
+    /// Suite digest.
+    pub digest: String,
+    /// Suite name.
+    pub name: String,
+    /// Cells in the expansion.
+    pub cells: usize,
+    /// Cells with a verified record in the store.
+    pub records: usize,
+    /// Cells whose journal says they poisoned/exhausted (no record).
+    pub poisoned: usize,
+    /// Live lease files currently present.
+    pub leases: usize,
+    /// Whether the journal has a `finished` entry and the manifest is
+    /// readable.
+    pub finished: bool,
+}
+
+impl SuiteProgress {
+    /// Every cell reached a terminal state.
+    pub fn done(&self) -> bool {
+        self.records + self.poisoned >= self.cells
+    }
+}
+
+/// What `apex farm status` prints: one row per queue entry.
+#[derive(Clone, Debug, Default)]
+pub struct FarmStatus {
+    /// Per-suite progress, in queue (digest) order.
+    pub suites: Vec<SuiteProgress>,
+}
+
+impl FarmStatus {
+    /// Whether every queued suite is finalized.
+    pub fn all_finished(&self) -> bool {
+        self.suites.iter().all(|s| s.finished)
+    }
+
+    /// Deterministic multi-line summary.
+    pub fn summary(&self) -> String {
+        if self.suites.is_empty() {
+            return "farm: queue is empty".to_string();
+        }
+        let mut out = format!(
+            "farm: {} queued suites, {} finished",
+            self.suites.len(),
+            self.suites.iter().filter(|s| s.finished).count()
+        );
+        for s in &self.suites {
+            let state = if s.finished {
+                "finished".to_string()
+            } else if s.leases > 0 {
+                format!("in-flight ({} leases)", s.leases)
+            } else if s.records + s.poisoned > 0 {
+                "in-flight".to_string()
+            } else {
+                "queued".to_string()
+            };
+            out.push_str(&format!(
+                "\n  {} {}: {}/{} cells ({} records, {} poisoned) — {state}",
+                s.digest,
+                s.name,
+                s.records + s.poisoned,
+                s.cells,
+                s.records,
+                s.poisoned
+            ));
+        }
+        out
+    }
+}

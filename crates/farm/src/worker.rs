@@ -1,0 +1,454 @@
+//! The farm worker: drain queued suites by leasing cell shards.
+//!
+//! Per suite, the worker sweeps the shard list; for each shard it can
+//! claim (no lease, its own lease, or a torn/expired one), it appends
+//! `claimed` journal entries for the shard's unterminated cells, runs
+//! them on the shared trial runner (thread fan-out via the workspace's
+//! one resolver, [`resolve_threads`]), writes records content-addressed,
+//! and appends `committed`/`poisoned` — the exact per-cell protocol of
+//! `apex suite run`, so the journal replays identically and fsck needs
+//! no new record rules. Once every cell of a suite is terminal, whoever
+//! gets there finalizes: outcomes are reconstructed from verified
+//! records (and journal `poisoned` entries for record-less cells),
+//! assembled through the runner's own finish path, and the manifest
+//! written — byte-identical to a single-worker run.
+//!
+//! **Stalls cannot deadlock.** Lease expiry is operation-indexed on the
+//! journal; when a sweep makes no progress because another worker holds
+//! every remaining shard, this worker appends a probe entry (a duplicate
+//! `claimed` — journals are telemetry, not store identity) to advance
+//! the clock. A live holder keeps appending and stays ahead of its ttl;
+//! a dead one's lease lapses after at most `ttl` probes and the shard is
+//! taken over. Stealing from a *slow but live* holder is safe too:
+//! record writes are idempotent, and any byte disagreement between two
+//! workers' results for one cell is surfaced as a [`Divergence`] instead
+//! of being silently overwritten.
+
+use apex_bench::runner::{resolve_threads, run_trials_threaded};
+use apex_lab::{
+    assemble_run, json_diff, lease_dir, lease_path, next_finish_seq, read_journal, read_leases,
+    CacheLookup, Cell, FaultInjector, Journal, JournalEntry, LabStore, Lease, Manifest, Suite,
+    CELL_PANIC_MARKER,
+};
+use apex_scenario::{CacheStats, RunOutcome};
+use apex_sim::Json;
+
+use crate::queue::FarmQueue;
+
+/// Default cells per shard (the lease granularity).
+pub const DEFAULT_SHARD_CELLS: usize = 4;
+
+/// Default lease ttl in journal appends.
+pub const DEFAULT_TTL: u64 = 32;
+
+/// Options for [`run_worker`].
+#[derive(Clone, Debug)]
+pub struct WorkerOpts {
+    /// Worker identifier (lands in lease files; diagnostic only).
+    pub worker: String,
+    /// Cells per shard — the unit of lease-based work stealing.
+    pub shard_cells: usize,
+    /// Lease ttl, in journal appends (operation clock, never wall-clock).
+    pub ttl: u64,
+    /// Explicit thread count for cell execution (`None` resolves through
+    /// [`resolve_threads`]: `APEX_RUNNER_THREADS`, else all cores —
+    /// identical semantics to `apex suite run --threads`).
+    pub threads: Option<usize>,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        WorkerOpts {
+            worker: format!("worker-{}", std::process::id()),
+            shard_cells: DEFAULT_SHARD_CELLS,
+            ttl: DEFAULT_TTL,
+            threads: None,
+        }
+    }
+}
+
+/// Two workers produced different bytes for one cell — the free
+/// integrity check the merger performs. The first durable record stays
+/// ground truth; the disagreement is reported with JSON-path precision.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Suite the cell belongs to.
+    pub suite: String,
+    /// The cell's scenario digest.
+    pub cell: String,
+    /// JSON paths that differ between the stored and fresh documents
+    /// (byte-level detail when the documents do not even parse).
+    pub paths: Vec<String>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "divergent results for cell {} of suite {}: {}",
+            self.cell,
+            self.suite,
+            self.paths.join("; ")
+        )
+    }
+}
+
+/// What one [`run_worker`] invocation did.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Queue entries visited.
+    pub suites: usize,
+    /// Cells this worker actually executed.
+    pub executed: usize,
+    /// Memoization tally across the first scan of every visited suite.
+    pub cache: CacheStats,
+    /// Suites this worker finalized (wrote the manifest + `finished`).
+    pub finalized: Vec<String>,
+    /// Byte disagreements between this worker's results and records
+    /// already in the store (empty on a healthy deterministic pipeline).
+    pub divergences: Vec<Divergence>,
+}
+
+impl WorkerReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "worker: {} suites, {} executed, {} — finalized {}, {} divergences",
+            self.suites,
+            self.executed,
+            self.cache.summary(),
+            self.finalized.len(),
+            self.divergences.len()
+        )
+    }
+}
+
+/// Drain every queued suite: claim shards, execute misses, finalize
+/// completed suites. Returns when the whole queue is drained. Injected
+/// faults (via the store's [`FaultInjector`]) surface as `Err`, exactly
+/// like a crashed worker process.
+pub fn run_worker(
+    queue: &FarmQueue,
+    store: &LabStore,
+    opts: &WorkerOpts,
+) -> Result<WorkerReport, String> {
+    let mut report = WorkerReport::default();
+    for (digest, suite) in queue.entries()? {
+        report.suites += 1;
+        drain_suite(store, &digest, &suite, opts, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Is this cell terminal — a verified record on disk, or a journal
+/// `poisoned`/`exhausted` entry?
+fn terminal(store: &LabStore, digest: &str, cell: &Cell, poisoned: &[u64]) -> bool {
+    if poisoned.contains(&(cell.index as u64)) {
+        return true;
+    }
+    matches!(
+        store.lookup_record(digest, &cell.digest, None),
+        CacheLookup::Hit(..)
+    )
+}
+
+fn drain_suite(
+    store: &LabStore,
+    digest: &str,
+    suite: &Suite,
+    opts: &WorkerOpts,
+    report: &mut WorkerReport,
+) -> Result<(), String> {
+    let cells = suite.expand()?;
+    let dir = store.suite_dir(digest);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let journal_path = store.journal_path(digest);
+    let mut journal = Journal::new(&journal_path);
+    if let Some(f) = store.faults() {
+        journal = journal.with_faults(f.clone());
+    }
+    let jerr = |e: std::io::Error| format!("journal append failed: {e}");
+
+    // First scan: the memoization tally for this visit.
+    for cell in &cells {
+        match store.lookup_record(digest, &cell.digest, None) {
+            CacheLookup::Hit(..) => report.cache.hits += 1,
+            CacheLookup::Miss => report.cache.misses += 1,
+            CacheLookup::Rejected(_) => report.cache.rejected += 1,
+        }
+    }
+
+    // Fast path: already finalized. Still sweep leases so a crashed
+    // worker's debris does not outlive the run it belonged to.
+    if read_journal(&journal_path).is_ok_and(|s| s.finished) && store.read_manifest(digest).is_ok()
+    {
+        reclaim_all_leases(store, digest)?;
+        return Ok(());
+    }
+
+    journal
+        .append(&JournalEntry::Started {
+            suite: digest.to_string(),
+            name: suite.name.clone(),
+            cells: cells.len() as u64,
+            resumed: journal_path.exists(),
+        })
+        .map_err(jerr)?;
+
+    let shard_cells = opts.shard_cells.max(1);
+    let n_shards = cells.len().div_ceil(shard_cells);
+    let threads = resolve_threads(opts.threads);
+    // Probes advance the operation clock when every remaining shard is
+    // held by someone else; after this many fruitless sweeps even the
+    // longest-ttl lease must have lapsed, so no progress then means the
+    // queue is genuinely wedged (e.g. a fault injector killed the world).
+    let probe_budget = opts.ttl.max(1) * (n_shards as u64 + 1) + 64;
+    let mut probes = 0u64;
+
+    loop {
+        let state = read_journal(&journal_path).unwrap_or_default();
+        if state.finished && store.read_manifest(digest).is_ok() {
+            reclaim_all_leases(store, digest)?;
+            return Ok(());
+        }
+        let mut progress = false;
+
+        for shard in 0..n_shards {
+            let lo = shard * shard_cells;
+            let hi = (lo + shard_cells).min(cells.len());
+            let state = read_journal(&journal_path).unwrap_or_default();
+            let pending: Vec<&Cell> = cells[lo..hi]
+                .iter()
+                .filter(|c| !terminal(store, digest, c, &state.poisoned))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            let journal_len = state.entries.len() as u64;
+            let path = lease_path(store, digest, shard as u64);
+            let claimable = match std::fs::read_to_string(&path) {
+                Err(_) => true, // no lease (or unreadable debris)
+                Ok(text) => match Lease::parse(&text) {
+                    Err(_) => true,                           // torn — reclaim
+                    Ok(l) if l.worker == opts.worker => true, // already ours
+                    Ok(l) => l.expired(journal_len),          // steal only lapsed claims
+                },
+            };
+            if !claimable {
+                continue;
+            }
+            let lease = Lease {
+                suite: digest.to_string(),
+                shard: shard as u64,
+                start: lo as u64,
+                count: (hi - lo) as u64,
+                worker: opts.worker.clone(),
+                issued_at: journal_len,
+                ttl: opts.ttl,
+            };
+            let ldir = lease_dir(store, digest);
+            std::fs::create_dir_all(&ldir).map_err(|e| format!("{}: {e}", ldir.display()))?;
+            store
+                .write_text(&path, &lease.render_pretty())
+                .map_err(|e| format!("lease write failed: {e}"))?;
+
+            // Write-ahead: claim every pending cell of the shard, then
+            // run them with the shared thread fan-out, then commit.
+            for cell in &pending {
+                journal
+                    .append(&JournalEntry::Claimed {
+                        index: cell.index as u64,
+                        cell: cell.digest.clone(),
+                    })
+                    .map_err(jerr)?;
+            }
+            let outcomes = run_trials_threaded(&pending, threads.min(pending.len()), |cell| {
+                run_one(store.faults(), cell)
+            });
+            for (cell, outcome) in pending.iter().zip(&outcomes) {
+                commit_cell(store, digest, &journal, cell, outcome, report)?;
+                report.executed += 1;
+            }
+            let _ = std::fs::remove_file(&path); // release our claim
+            progress = true;
+        }
+
+        let state = read_journal(&journal_path).unwrap_or_default();
+        let all_terminal = cells
+            .iter()
+            .all(|c| terminal(store, digest, c, &state.poisoned));
+        if all_terminal {
+            if !state.finished || store.read_manifest(digest).is_err() {
+                finalize(store, digest, suite, &cells, &journal)?;
+                report.finalized.push(digest.to_string());
+            }
+            reclaim_all_leases(store, digest)?;
+            return Ok(());
+        }
+        if !progress {
+            // Someone else holds every remaining shard. Advance the
+            // operation clock so a dead holder's lease lapses.
+            probes += 1;
+            if probes > probe_budget {
+                return Err(format!(
+                    "suite {digest}: no progress after {probes} probes — \
+                     remaining shards are leased but never complete"
+                ));
+            }
+            let first_pending = cells
+                .iter()
+                .find(|c| !terminal(store, digest, c, &state.poisoned))
+                .expect("!all_terminal implies a pending cell");
+            journal
+                .append(&JournalEntry::Claimed {
+                    index: first_pending.index as u64,
+                    cell: first_pending.digest.clone(),
+                })
+                .map_err(jerr)?;
+            // Bounded, probe-indexed politeness pause (real concurrent
+            // workers spin less hot; in-process fault tests, which use
+            // tiny ttls, barely wait).
+            std::thread::sleep(std::time::Duration::from_millis(probes.min(10)));
+        }
+    }
+}
+
+/// Run one cell (honoring an installed fault injector's panic plan).
+fn run_one(faults: Option<&std::sync::Arc<FaultInjector>>, cell: &Cell) -> RunOutcome {
+    if faults.is_some_and(|f| f.panics_cell(cell.index)) {
+        RunOutcome::capture_with(&cell.scenario, |_| {
+            panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
+        })
+    } else {
+        RunOutcome::capture(&cell.scenario)
+    }
+}
+
+/// Durably record one outcome: write the record (unless verified
+/// identical bytes are already there) and append the journal entry.
+/// A byte disagreement with an existing verified record becomes a
+/// [`Divergence`]; the stored bytes stay ground truth.
+fn commit_cell(
+    store: &LabStore,
+    digest: &str,
+    journal: &Journal,
+    cell: &Cell,
+    outcome: &RunOutcome,
+    report: &mut WorkerReport,
+) -> Result<(), String> {
+    let jerr = |e: std::io::Error| format!("journal append failed: {e}");
+    match outcome.record() {
+        Some(record) => {
+            let fresh = record.render_pretty();
+            match store.lookup_record(digest, &cell.digest, None) {
+                CacheLookup::Hit(stored, _) if stored != fresh => {
+                    let paths = match (Json::parse(&stored), Json::parse(&fresh)) {
+                        (Ok(a), Ok(b)) => json_diff(&a, &b, 8),
+                        _ => vec!["(stored bytes are not JSON)".to_string()],
+                    };
+                    report.divergences.push(Divergence {
+                        suite: digest.to_string(),
+                        cell: cell.digest.clone(),
+                        paths,
+                    });
+                }
+                CacheLookup::Hit(..) => {} // identical bytes already durable
+                _ => {
+                    store
+                        .write_record(digest, record)
+                        .map_err(|e| format!("record write failed: {e}"))?;
+                }
+            }
+            journal
+                .append(&JournalEntry::Committed {
+                    index: cell.index as u64,
+                    cell: cell.digest.clone(),
+                    ok: outcome.ok(),
+                })
+                .map_err(jerr)
+        }
+        None => journal
+            .append(&JournalEntry::Poisoned {
+                index: cell.index as u64,
+                cell: cell.digest.clone(),
+                status: outcome.status().to_string(),
+                message: match outcome {
+                    RunOutcome::Exhausted { message, .. }
+                    | RunOutcome::Poisoned { message, .. } => message.clone(),
+                    RunOutcome::Complete(_) => unreachable!("record() is None"),
+                },
+            })
+            .map_err(jerr),
+    }
+}
+
+/// Merge + finalize: reconstruct every cell's outcome from verified
+/// records (or journal `poisoned` entries), run the suite's pinned
+/// output checks through the runner's own assembly path, and write the
+/// manifest — byte-identical to what a single `apex suite run` writes.
+fn finalize(
+    store: &LabStore,
+    digest: &str,
+    suite: &Suite,
+    cells: &[Cell],
+    journal: &Journal,
+) -> Result<(), String> {
+    let state = read_journal(&store.journal_path(digest)).unwrap_or_default();
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for cell in cells {
+        match store.lookup_record(digest, &cell.digest, None) {
+            CacheLookup::Hit(_, record) => outcomes.push(RunOutcome::Complete(record)),
+            _ => {
+                let (status, message) = state
+                    .entries
+                    .iter()
+                    .rev()
+                    .find_map(|e| match e {
+                        JournalEntry::Poisoned {
+                            index,
+                            status,
+                            message,
+                            ..
+                        } if *index == cell.index as u64 => Some((status.clone(), message.clone())),
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        format!("cell {} of suite {digest} is not terminal", cell.index)
+                    })?;
+                outcomes.push(if status == "exhausted" {
+                    RunOutcome::Exhausted {
+                        scenario: cell.scenario.clone(),
+                        message,
+                    }
+                } else {
+                    RunOutcome::Poisoned {
+                        scenario: cell.scenario.clone(),
+                        message,
+                    }
+                });
+            }
+        }
+    }
+    let run = assemble_run(suite, cells, outcomes);
+    let manifest = Manifest::from_run(&run);
+    store
+        .write_manifest(&manifest)
+        .map_err(|e| format!("manifest write failed: {e}"))?;
+    journal
+        .append(&JournalEntry::Finished {
+            ok: run.all_ok(),
+            seq: next_finish_seq(store),
+        })
+        .map_err(|e| format!("journal append failed: {e}"))?;
+    Ok(())
+}
+
+/// Delete every lease file of a finalized suite and the `leases/`
+/// directory itself — a converged store carries no queue debris.
+fn reclaim_all_leases(store: &LabStore, digest: &str) -> Result<(), String> {
+    for (path, _) in read_leases(store, digest)? {
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(lease_dir(store, digest));
+    Ok(())
+}

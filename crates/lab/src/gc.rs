@@ -1,11 +1,16 @@
 //! Store garbage collection (`apex lab gc`).
 //!
 //! Deletes whole suite directories that fall outside the keep set:
-//! the `--keep-last N` most recently finished suites (by manifest
-//! modification time, digest as tie-break) always stay, in-flight
-//! suites (journal but no manifest yet) always stay, and the
+//! the `--keep-last N` most recently finished suites always stay,
+//! in-flight suites (journal but no manifest yet) always stay, and the
 //! `quarantine/` directory is never touched — gc reclaims space, fsck
 //! owns evidence.
+//!
+//! "Most recently finished" is ranked by the journal's `finished`
+//! sequence number (digest as tie-break), **not** by file mtime: mtimes
+//! skew across workers and filesystems and are rewritten by idempotent
+//! re-runs, so an mtime ranking made `--keep-last N` nondeterministic.
+//! The `seq` counter is an operation clock the runs themselves maintain.
 
 use crate::store::LabStore;
 
@@ -53,17 +58,15 @@ pub fn gc(store: &LabStore, keep_last: usize, dry_run: bool) -> Result<GcReport,
         return Ok(report);
     }
 
-    // Rank finished suites by manifest mtime (newest first); mtime is
-    // only an *ordering* heuristic for the keep set — everything the
-    // store asserts about content stays timestamp-free.
-    let mut finished: Vec<(std::time::SystemTime, String)> = Vec::new();
+    // Rank finished suites by their journal's `finished` seq (highest =
+    // most recent, digest ascending as tie-break). Suites with no
+    // usable journal rank at seq 0 — oldest, deleted first once the
+    // keep set is full.
+    let mut finished: Vec<(u64, String)> = Vec::new();
     for suite in store.suite_digests()? {
         let manifest = store.manifest_path(&suite);
         if manifest.exists() {
-            let mtime = std::fs::metadata(&manifest)
-                .and_then(|m| m.modified())
-                .map_err(|e| format!("{}: {e}", manifest.display()))?;
-            finished.push((mtime, suite));
+            finished.push((crate::journal::finish_seq(store, &suite), suite));
         } else {
             // In-flight (or junk) — a journal marks a run someone may
             // resume; without one there is still nothing safe to rank,

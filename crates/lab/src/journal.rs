@@ -84,6 +84,12 @@ pub enum JournalEntry {
     Finished {
         /// Whether every cell verified ok.
         ok: bool,
+        /// Store-wide finish sequence number: one more than the highest
+        /// `seq` of any `finished` entry across the store at finalize
+        /// time. This is the operation clock `apex lab gc` ranks by —
+        /// mtimes skew across workers and filesystems; this does not.
+        /// Journals written before the field existed read back as 0.
+        seq: u64,
     },
 }
 
@@ -137,8 +143,9 @@ impl JournalEntry {
                 fields.push(("status".into(), Json::Str(status.clone())));
                 fields.push(("message".into(), Json::Str(message.clone())));
             }
-            JournalEntry::Finished { ok } => {
+            JournalEntry::Finished { ok, seq } => {
                 fields.push(("ok".into(), Json::Bool(*ok)));
+                fields.push(("seq".into(), Json::UInt(*seq)));
             }
         }
         Json::Obj(fields).render()
@@ -183,6 +190,10 @@ impl JournalEntry {
             }),
             "finished" => Ok(JournalEntry::Finished {
                 ok: bool_field("ok")?,
+                seq: match v.get_opt("seq") {
+                    Some(s) => s.as_u64()?,
+                    None => 0,
+                },
             }),
             other => Err(jerr(format!("unknown journal entry kind {other:?}"))),
         }
@@ -248,9 +259,35 @@ pub struct JournalState {
     pub poisoned: Vec<u64>,
     /// Whether a `finished` entry is present.
     pub finished: bool,
+    /// Highest `seq` among `finished` entries (0 when none, or for
+    /// journals from before the field existed).
+    pub finish_seq: u64,
     /// Whether the final line was torn (unparseable — the one corruption
     /// a crash during append can produce; tolerated and reported).
     pub torn_tail: bool,
+}
+
+/// The finish sequence number of one suite: the highest `finished` seq
+/// in its journal, or 0 when the suite has no journal, an unreadable
+/// one, or no `finished` entry. Never an error — gc and fsck must rank
+/// whatever is actually on disk.
+pub fn finish_seq(store: &crate::store::LabStore, suite_digest: &str) -> u64 {
+    read_journal(&store.journal_path(suite_digest))
+        .map(|s| s.finish_seq)
+        .unwrap_or(0)
+}
+
+/// The next finish sequence number for a run finalizing now: one more
+/// than the highest `finished` seq across every suite in the store.
+/// This scan is what gives `finished` entries a store-wide total order
+/// without wall-clock timestamps.
+pub fn next_finish_seq(store: &crate::store::LabStore) -> u64 {
+    let suites = store.suite_digests().unwrap_or_default();
+    1 + suites
+        .iter()
+        .map(|s| finish_seq(store, s))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Read and replay a journal file. A torn **final** line is tolerated
@@ -270,7 +307,10 @@ pub fn read_journal(path: &Path) -> Result<JournalState, String> {
                     JournalEntry::Claimed { index, .. } => state.claimed.push(*index),
                     JournalEntry::Committed { index, .. } => state.committed.push(*index),
                     JournalEntry::Poisoned { index, .. } => state.poisoned.push(*index),
-                    JournalEntry::Finished { .. } => state.finished = true,
+                    JournalEntry::Finished { seq, .. } => {
+                        state.finished = true;
+                        state.finish_seq = state.finish_seq.max(*seq);
+                    }
                     JournalEntry::Started { .. } => {}
                 }
                 state.entries.push(entry);
@@ -322,7 +362,7 @@ mod tests {
                 status: "poisoned".into(),
                 message: "injected fault: cell panic".into(),
             },
-            JournalEntry::Finished { ok: false },
+            JournalEntry::Finished { ok: false, seq: 7 },
         ]
     }
 
@@ -356,6 +396,7 @@ mod tests {
         assert_eq!(state.committed, vec![0]);
         assert_eq!(state.poisoned, vec![1]);
         assert!(state.finished);
+        assert_eq!(state.finish_seq, 7);
         assert!(!state.torn_tail);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }

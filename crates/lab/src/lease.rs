@@ -1,0 +1,237 @@
+//! Shard leases — the only coordination farm workers use.
+//!
+//! A worker draining a suite claims a *shard* (a contiguous range of
+//! cell indices) by writing a lease file under the suite directory:
+//!
+//! ```text
+//! .apex/lab/<suite-digest>/leases/shard-<k>.json
+//! ```
+//!
+//! Leases are written through [`LabStore::write_text`], so they are
+//! fsynced, atomic, and fault-injectable like every other store write.
+//! They are **disposable**: record writes are content-addressed and
+//! idempotent, so the worst consequence of a stolen or expired lease is
+//! duplicated work, never corruption — which is why fsck *reclaims*
+//! (deletes) bad leases instead of quarantining them.
+//!
+//! **Expiry is operation-indexed, not wall-clock.** A lease stores the
+//! suite journal's entry count at claim time (`issued_at`) and a budget
+//! of further appends (`ttl`); it expires once the journal holds
+//! `issued_at + ttl` entries. Progress by any worker advances the
+//! clock, a waiting worker can advance it with probe entries, and the
+//! fault harness can drive every expiry deterministically — no test
+//! ever sleeps to make a lease lapse.
+
+use std::path::PathBuf;
+
+use apex_sim::{Json, JsonError};
+
+use crate::store::LabStore;
+
+/// Name of the lease directory inside a suite directory. The whole
+/// directory is removed when a suite finalizes — a converged store has
+/// no `leases/` at all.
+pub const LEASE_DIR: &str = "leases";
+
+/// Major version stamped on every lease file (mismatches read as torn).
+pub const LEASE_FORMAT_MAJOR: u64 = 1;
+
+fn jerr(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        msg: msg.into(),
+        at: 0,
+    }
+}
+
+/// One shard claim: who holds which cell range of which suite, and when
+/// the claim lapses on the journal's operation clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Digest of the suite the shard belongs to.
+    pub suite: String,
+    /// Shard number (file name is `shard-<shard>.json`).
+    pub shard: u64,
+    /// First cell index covered.
+    pub start: u64,
+    /// Number of cells covered.
+    pub count: u64,
+    /// Claiming worker's identifier (diagnostic only — expiry, not
+    /// identity, is what releases a lease).
+    pub worker: String,
+    /// Journal entry count at claim time.
+    pub issued_at: u64,
+    /// Journal appends until expiry.
+    pub ttl: u64,
+}
+
+impl Lease {
+    /// Whether the lease has lapsed given the journal's current entry
+    /// count.
+    pub fn expired(&self, journal_len: u64) -> bool {
+        // An overflowing budget can never be consumed: such a lease is
+        // immortal, not instantly expired.
+        match self.issued_at.checked_add(self.ttl) {
+            Some(deadline) => journal_len >= deadline,
+            None => false,
+        }
+    }
+
+    /// Serialize (canonical field order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("v".into(), Json::UInt(LEASE_FORMAT_MAJOR)),
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("shard".into(), Json::UInt(self.shard)),
+            ("start".into(), Json::UInt(self.start)),
+            ("count".into(), Json::UInt(self.count)),
+            ("worker".into(), Json::Str(self.worker.clone())),
+            ("issued_at".into(), Json::UInt(self.issued_at)),
+            ("ttl".into(), Json::UInt(self.ttl)),
+        ])
+    }
+
+    /// Deserialize (rejects unknown major versions).
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.get("v")?.as_u64()?;
+        if version != LEASE_FORMAT_MAJOR {
+            return Err(jerr(format!(
+                "unsupported lease version {version} (this build reads {LEASE_FORMAT_MAJOR})"
+            )));
+        }
+        Ok(Lease {
+            suite: v.get("suite")?.as_str()?.to_string(),
+            shard: v.get("shard")?.as_u64()?,
+            start: v.get("start")?.as_u64()?,
+            count: v.get("count")?.as_u64()?,
+            worker: v.get("worker")?.as_str()?.to_string(),
+            issued_at: v.get("issued_at")?.as_u64()?,
+            ttl: v.get("ttl")?.as_u64()?,
+        })
+    }
+
+    /// Parse a complete lease file.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// The canonical pretty-printed document.
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+/// The lease directory of one suite.
+pub fn lease_dir(store: &LabStore, suite_digest: &str) -> PathBuf {
+    store.suite_dir(suite_digest).join(LEASE_DIR)
+}
+
+/// The lease file path for one shard of one suite.
+pub fn lease_path(store: &LabStore, suite_digest: &str, shard: u64) -> PathBuf {
+    lease_dir(store, suite_digest).join(format!("shard-{shard}.json"))
+}
+
+/// One lease file on disk: its path plus either the parsed lease or the
+/// parse failure (torn leases are data for fsck, not an error).
+pub type LeaseFile = (PathBuf, Result<Lease, String>);
+
+/// Every lease file under one suite, sorted by file name. An absent
+/// lease directory reads as empty.
+pub fn read_leases(store: &LabStore, suite_digest: &str) -> Result<Vec<LeaseFile>, String> {
+    let dir = lease_dir(store, suite_digest);
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            continue;
+        }
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Lease::parse(&text).map_err(|e| e.to_string()));
+        out.push((path, parsed));
+    }
+    Ok(out)
+}
+
+/// Remove the lease directory of one suite if it holds no leases (or
+/// nothing at all). Called at finalize so a converged store carries no
+/// queue debris.
+pub fn remove_lease_dir_if_empty(store: &LabStore, suite_digest: &str) {
+    let dir = lease_dir(store, suite_digest);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Lease {
+        Lease {
+            suite: "0123456789abcdef".into(),
+            shard: 2,
+            start: 8,
+            count: 4,
+            worker: "w1".into(),
+            issued_at: 11,
+            ttl: 6,
+        }
+    }
+
+    #[test]
+    fn leases_round_trip_byte_identically() {
+        let lease = sample();
+        let text = lease.render_pretty();
+        let back = Lease::parse(&text).unwrap();
+        assert_eq!(back, lease);
+        assert_eq!(back.render_pretty(), text);
+    }
+
+    #[test]
+    fn expiry_is_operation_indexed() {
+        let lease = sample();
+        assert!(!lease.expired(11), "fresh at claim time");
+        assert!(!lease.expired(16), "one append short of the budget");
+        assert!(lease.expired(17), "budget consumed");
+        let immortal = Lease {
+            ttl: u64::MAX,
+            ..sample()
+        };
+        assert!(!immortal.expired(u64::MAX), "saturating, not wrapping");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut json = sample().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::UInt(LEASE_FORMAT_MAJOR + 1);
+        }
+        assert!(Lease::from_json(&json)
+            .unwrap_err()
+            .msg
+            .contains("lease version"));
+    }
+
+    #[test]
+    fn reading_leases_tolerates_torn_files() {
+        let dir = std::env::temp_dir().join(format!("apex-lease-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LabStore::new(&dir);
+        let suite = "feedfacefeedface";
+        assert!(read_leases(&store, suite).unwrap().is_empty());
+        std::fs::create_dir_all(lease_dir(&store, suite)).unwrap();
+        std::fs::write(lease_path(&store, suite, 0), sample().render_pretty()).unwrap();
+        std::fs::write(lease_path(&store, suite, 1), "{\"v\":1,\"sui").unwrap();
+        let leases = read_leases(&store, suite).unwrap();
+        assert_eq!(leases.len(), 2);
+        assert!(leases[0].1.is_ok());
+        assert!(leases[1].1.is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

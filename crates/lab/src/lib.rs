@@ -30,6 +30,7 @@ pub mod fault;
 pub mod fsck;
 pub mod gc;
 pub mod journal;
+pub mod lease;
 pub mod runner;
 pub mod store;
 pub mod suite;
@@ -42,13 +43,20 @@ pub use fault::{
 pub use fsck::{fsck, FsckIssue, FsckIssueKind, FsckReport};
 pub use gc::{gc, GcReport};
 pub use journal::{
-    read_journal, Journal, JournalEntry, JournalState, JOURNAL_FILE, JOURNAL_FORMAT_MAJOR,
+    finish_seq, next_finish_seq, read_journal, Journal, JournalEntry, JournalState, JOURNAL_FILE,
+    JOURNAL_FORMAT_MAJOR,
+};
+pub use lease::{
+    lease_dir, lease_path, read_leases, remove_lease_dir_if_empty, Lease, LEASE_DIR,
+    LEASE_FORMAT_MAJOR,
 };
 pub use runner::{
-    run_cells, run_suite, run_suite_journaled, JournalOpts, JournaledRun, OutputMismatch, SuiteRun,
+    assemble_run, run_cells, run_suite, run_suite_journaled, JournalOpts, JournaledRun,
+    OutputMismatch, SuiteRun,
 };
 pub use store::{
-    LabStore, Manifest, ManifestCell, DEFAULT_STORE_ROOT, MAX_WRITE_ATTEMPTS, QUARANTINE_DIR,
+    CacheLookup, LabStore, Manifest, ManifestCell, CACHE_STATS_FILE, DEFAULT_STORE_ROOT,
+    MAX_WRITE_ATTEMPTS, QUARANTINE_DIR,
 };
 pub use suite::{
     Cell, Grid, OutputExpectation, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR,

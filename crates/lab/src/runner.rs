@@ -4,12 +4,12 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use apex_bench::runner::{default_threads, run_trials};
-use apex_scenario::{ReportRecord, RunOutcome};
+use apex_bench::runner::{resolve_threads, run_trials};
+use apex_scenario::{CacheStats, ReportRecord, RunOutcome};
 
 use crate::fault::CELL_PANIC_MARKER;
-use crate::journal::{Journal, JournalEntry};
-use crate::store::{LabStore, Manifest};
+use crate::journal::{next_finish_seq, Journal, JournalEntry};
+use crate::store::{CacheLookup, LabStore, Manifest};
 use crate::suite::{Cell, Suite};
 
 /// A pinned cell whose run produced the wrong results: the suite's
@@ -98,6 +98,14 @@ pub fn run_cells(suite: &Suite, cells: &[Cell]) -> SuiteRun {
     finish_run(suite, cells, outcomes)
 }
 
+/// Check pinned outputs and assemble the [`SuiteRun`] from outcomes
+/// gathered elsewhere — the farm's manifest merger reconstructs outcomes
+/// from verified records plus journal entries and finalizes through this
+/// same path, so its manifest is byte-identical to a single-runner one.
+pub fn assemble_run(suite: &Suite, cells: &[Cell], outcomes: Vec<RunOutcome>) -> SuiteRun {
+    finish_run(suite, cells, outcomes)
+}
+
 /// Check pinned outputs and assemble the [`SuiteRun`].
 fn finish_run(suite: &Suite, cells: &[Cell], outcomes: Vec<RunOutcome>) -> SuiteRun {
     // Check the suite's pinned outputs against what actually ran
@@ -133,9 +141,17 @@ pub struct JournalOpts {
     /// Resume an interrupted run: keep the existing journal and skip
     /// cells whose stored records digest-verify byte-for-byte.
     pub resume: bool,
-    /// Explicit worker-thread count (`None` uses
-    /// [`default_threads`]; `Some(1)` forces the serial path, whose
-    /// journal line order is fully deterministic).
+    /// Memoize: consult the store before executing any cell, skip
+    /// verified hits, tally a [`CacheStats`], and write the
+    /// `cache-stats.json` sidecar. Unlike `resume`, hits are also
+    /// checked against the existing manifest's pinned checksums, and the
+    /// tally distinguishes misses from rejected (present-but-unverified)
+    /// bytes.
+    pub cached: bool,
+    /// Explicit worker-thread count (`None` resolves through
+    /// [`resolve_threads`] — `APEX_RUNNER_THREADS` if set, else all
+    /// cores; `Some(1)` forces the serial path, whose journal line order
+    /// is fully deterministic).
     pub threads: Option<usize>,
 }
 
@@ -151,6 +167,9 @@ pub struct JournaledRun {
     pub skipped: Vec<usize>,
     /// Cell indices actually executed this time.
     pub executed: Vec<usize>,
+    /// Memoization tally (all zero unless `resume` or `cached` consulted
+    /// the store).
+    pub cache: CacheStats,
 }
 
 /// Execute `suite` with a write-ahead journal in `store`.
@@ -192,19 +211,29 @@ pub fn run_suite_journaled(
         journal = journal.with_faults(f.clone());
     }
 
-    // Resume: trust nothing but verified bytes. A record is skippable
-    // only if it exists, parses (which digest-verifies the embedded
-    // scenario), sits at its own address, and is byte-identical to its
-    // canonical rendering.
+    // Resume and the cache path share one rule: trust nothing but
+    // verified bytes. A record is skippable only if it exists, parses
+    // (which digest-verifies the embedded scenario), sits at its own
+    // address, and is byte-identical to its canonical rendering — and,
+    // on the cached path, matches the manifest row's pinned checksum.
     let mut slots: Vec<Option<RunOutcome>> = vec![None; cells.len()];
     let mut skipped = Vec::new();
-    if opts.resume {
+    let mut cache = CacheStats::default();
+    if opts.resume || opts.cached {
+        let manifest = if opts.cached {
+            store.read_manifest(&suite_digest).ok()
+        } else {
+            None
+        };
         for cell in &cells {
-            if let Ok((text, record)) = store.read_record(&suite_digest, &cell.digest) {
-                if record.digest() == cell.digest && text == record.render_pretty() {
-                    slots[cell.index] = Some(RunOutcome::Complete(Box::new(record)));
+            match store.lookup_record(&suite_digest, &cell.digest, manifest.as_ref()) {
+                CacheLookup::Hit(_, record) => {
+                    slots[cell.index] = Some(RunOutcome::Complete(record));
                     skipped.push(cell.index);
+                    cache.hits += 1;
                 }
+                CacheLookup::Miss => cache.misses += 1,
+                CacheLookup::Rejected(_) => cache.rejected += 1,
             }
         }
     }
@@ -265,11 +294,7 @@ pub fn run_suite_journaled(
         }
     };
 
-    let threads = opts
-        .threads
-        .unwrap_or_else(default_threads)
-        .max(1)
-        .min(pending.len().max(1));
+    let threads = resolve_threads(opts.threads).min(pending.len().max(1));
     if threads <= 1 {
         for &i in &pending {
             let cell = &cells[i];
@@ -353,13 +378,24 @@ pub fn run_suite_journaled(
     store
         .write_manifest(&manifest)
         .map_err(|e| format!("manifest write failed: {e}"))?;
+    if opts.cached {
+        // Telemetry sidecar, not store identity — written before the
+        // `finished` line so a crash right after finalize still has it.
+        store
+            .write_cache_stats(&suite_digest, &cache)
+            .map_err(|e| format!("cache-stats write failed: {e}"))?;
+    }
     journal
-        .append(&JournalEntry::Finished { ok: run.all_ok() })
+        .append(&JournalEntry::Finished {
+            ok: run.all_ok(),
+            seq: next_finish_seq(store),
+        })
         .map_err(jerr)?;
     Ok(JournaledRun {
         run,
         manifest,
         skipped,
         executed,
+        cache,
     })
 }

@@ -32,7 +32,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use apex_scenario::ReportRecord;
+use apex_scenario::{CacheStats, ReportRecord};
 use apex_sim::{Json, JsonError};
 
 use crate::digest_hex;
@@ -48,6 +48,29 @@ pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Bounded retry: total attempts per store write (1 initial + 3 retries).
 pub const MAX_WRITE_ATTEMPTS: u32 = 4;
+
+/// File name of the per-suite cache-stats sidecar. Like the journal,
+/// this is per-run telemetry, not part of the store's content-addressed
+/// identity: byte-identity comparisons exclude it (`diff -r
+/// --exclude=cache-stats.json`), and drift checking ignores it.
+pub const CACHE_STATS_FILE: &str = "cache-stats.json";
+
+/// The answer a store gives when asked for one cell's record by digest.
+///
+/// The cache trusts *only verified bytes*: a file at the right path that
+/// fails any verification step is [`Rejected`](CacheLookup::Rejected),
+/// never a hit — exactly the resume-verification path, plus the
+/// manifest-row checksum when a manifest is supplied.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// Verified bytes found: the exact file text and the parsed record.
+    Hit(String, Box<ReportRecord>),
+    /// No file at the cell's content address.
+    Miss,
+    /// Bytes present but untrustworthy; the reason they failed
+    /// verification.
+    Rejected(String),
+}
 
 fn jerr(msg: impl Into<String>) -> JsonError {
     JsonError {
@@ -272,6 +295,93 @@ impl LabStore {
             .join(crate::journal::JOURNAL_FILE)
     }
 
+    /// The cache-stats sidecar path of one suite.
+    pub fn cache_stats_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest).join(CACHE_STATS_FILE)
+    }
+
+    /// Write one suite's cache-stats sidecar durably.
+    pub fn write_cache_stats(&self, suite_digest: &str, stats: &CacheStats) -> std::io::Result<()> {
+        std::fs::create_dir_all(self.suite_dir(suite_digest))?;
+        self.write_text(&self.cache_stats_path(suite_digest), &stats.render_pretty())
+    }
+
+    /// Load one suite's cache-stats sidecar (absent for runs that never
+    /// consulted the cache).
+    pub fn read_cache_stats(&self, suite_digest: &str) -> Result<CacheStats, String> {
+        let path = self.cache_stats_path(suite_digest);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        CacheStats::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Look up one cell's record by digest, trusting only verified bytes.
+    ///
+    /// Verification is the resume path from the journal runner: the file
+    /// must parse (which digest-verifies the embedded scenario), the
+    /// record digest must equal `cell_digest`, and the file text must be
+    /// the record's canonical rendering. When `manifest` is supplied, the
+    /// matching row's pinned checksum must also match the file bytes —
+    /// the same invariant `apex lab fsck` enforces.
+    pub fn lookup_record(
+        &self,
+        suite_digest: &str,
+        cell_digest: &str,
+        manifest: Option<&Manifest>,
+    ) -> CacheLookup {
+        let path = self.record_path(suite_digest, cell_digest);
+        if !path.exists() {
+            return CacheLookup::Miss;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return CacheLookup::Rejected(format!("unreadable: {e}")),
+        };
+        let record = match ReportRecord::parse(&text) {
+            Ok(r) => r,
+            Err(e) => return CacheLookup::Rejected(format!("unparseable: {e}")),
+        };
+        if record.digest() != cell_digest {
+            return CacheLookup::Rejected(format!(
+                "digest mismatch: file claims scenario {}, address says {cell_digest}",
+                record.digest()
+            ));
+        }
+        if text != record.render_pretty() {
+            return CacheLookup::Rejected("not the canonical rendering of its contents".into());
+        }
+        if let Some(manifest) = manifest {
+            if let Some(row) = manifest.cells.iter().find(|c| c.digest == cell_digest) {
+                if let Some(pinned) = &row.checksum {
+                    let actual = digest_hex(text.as_bytes());
+                    if &actual != pinned {
+                        return CacheLookup::Rejected(format!(
+                            "manifest pins checksum {pinned}, file bytes hash to {actual}"
+                        ));
+                    }
+                }
+            }
+        }
+        CacheLookup::Hit(text, Box::new(record))
+    }
+
+    /// Cross-suite cache lookup: find a verified record for
+    /// `cell_digest` under *any* suite in the store (sorted suite order,
+    /// first verified hit wins). Each candidate is checked against its
+    /// suite's manifest when that manifest loads. This is what
+    /// `apex farm query` and `apex run --cached` answer from.
+    pub fn find_record(&self, cell_digest: &str) -> Option<(String, String, Box<ReportRecord>)> {
+        for suite in self.suite_digests().ok()? {
+            let manifest = self.read_manifest(&suite).ok();
+            if let CacheLookup::Hit(text, record) =
+                self.lookup_record(&suite, cell_digest, manifest.as_ref())
+            {
+                return Some((suite, text, record));
+            }
+        }
+        None
+    }
+
     /// Write `text` to `path` atomically, retrying transient I/O errors
     /// up to [`MAX_WRITE_ATTEMPTS`] times with attempt-indexed backoff
     /// (attempt *a* sleeps *a²* ms — a pure function of the attempt
@@ -425,8 +535,9 @@ impl LabStore {
     }
 
     /// The record digests present under one suite directory (sorted; the
-    /// manifest is excluded, and the `.jsonl` journal never matches).
-    /// Used to detect records a suite no longer names.
+    /// manifest and cache-stats sidecar are excluded, and the `.jsonl`
+    /// journal never matches). Used to detect records a suite no longer
+    /// names.
     pub fn record_digests(&self, suite_digest: &str) -> Result<Vec<String>, String> {
         let dir = self.suite_dir(suite_digest);
         let mut out = Vec::new();
@@ -434,9 +545,12 @@ impl LabStore {
         for entry in entries {
             let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
             let path = entry.path();
+            if path.is_dir() {
+                continue;
+            }
             if path.extension().is_some_and(|e| e == "json") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    if stem != "manifest" {
+                    if stem != "manifest" && stem != "cache-stats" {
                         out.push(stem.to_string());
                     }
                 }

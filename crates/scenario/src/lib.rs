@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
 mod outcome;
 mod program;
 mod record;
 mod report;
 mod scenario;
 
+pub use cache::{CacheStats, CACHE_FORMAT_MAJOR, CACHE_FORMAT_MINOR};
 pub use outcome::{RunOutcome, OUTCOME_FORMAT_MAJOR, OUTCOME_FORMAT_MINOR};
 pub use program::{
     op_from_name, op_name, program_from_json, program_to_json, scheme_from_label, ProgramSource,

@@ -11,7 +11,7 @@
 //!              [--shrink-budget R] [--no-det] [--comparators] [--no-write]
 //! shrink       --file REPRO.json [--out DIR] [--shrink-budget R]
 //! replay       --file REPRO.json | --dir DIR
-//! run          SCENARIO.json [--emit OUT.json] [--json]
+//! run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]
 //! migrate      [--dir DIR]
 //! corpus-dedup [--dir DIR] [--dry-run]
 //! ```
@@ -36,7 +36,8 @@ pub fn usage() -> ! {
          \x20             [--shrink-budget R] [--no-det] [--comparators] [--no-write]\n\
          shrink       --file F [--out DIR] [--shrink-budget R]\n\
          replay       --file F | --dir DIR\n\
-         run          SCENARIO.json [--emit OUT.json] [--json]   execute a scenario file\n\
+         run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]\n\
+         \x20             execute a scenario file (--cached answers from the lab store)\n\
          migrate      [--dir DIR]                     rewrite artifacts at v{VERSION}\n\
          corpus-dedup [--dir DIR] [--dry-run]         drop scenario-digest duplicates"
     );
@@ -151,6 +152,33 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
             eprintln!("wrote canonical form to {out}");
         } else {
             println!("wrote canonical form to {out}");
+        }
+    }
+    if args.has("cached") {
+        // Memoize through the lab store: a verified record anywhere in
+        // the store for this scenario digest answers without executing.
+        let store = match args.get("store") {
+            Some(dir) => apex_lab::LabStore::new(dir),
+            None => apex_lab::LabStore::default_location(),
+        };
+        if let Some((suite, text, record)) = store.find_record(&scenario.digest()) {
+            if args.has("json") {
+                print!("{text}");
+                eprintln!("cache hit (suite {suite})");
+            } else {
+                println!(
+                    "cache hit (suite {suite}): {}",
+                    if record.ok() { "ok" } else { "FAIL" }
+                );
+            }
+            return if record.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        if !args.has("json") {
+            println!("cache miss: executing");
         }
     }
     // Captured, not raw: a panicking or budget-exhausted scenario becomes

@@ -68,6 +68,7 @@ fn serial() -> JournalOpts {
     JournalOpts {
         resume: false,
         threads: Some(1),
+        ..JournalOpts::default()
     }
 }
 
@@ -75,6 +76,7 @@ fn resume_serial() -> JournalOpts {
     JournalOpts {
         resume: true,
         threads: Some(1),
+        ..JournalOpts::default()
     }
 }
 
@@ -420,7 +422,8 @@ fn fsck_flags_orphans_stale_temps_and_journal_corruption_and_quarantines() {
 #[test]
 fn gc_keeps_recent_suites_never_touches_quarantine_or_inflight() {
     let store = temp_store("gc");
-    // Three finished suites with distinct manifest mtimes.
+    // Three finished suites; their journals carry finish seqs 1, 2, 3 in
+    // run order — no sleeps, no mtime dependence.
     let mut digests = Vec::new();
     for seed in [21, 22, 23] {
         let mut suite = Suite::new(format!("gc-{seed}"));
@@ -429,8 +432,15 @@ fn gc_keeps_recent_suites_never_touches_quarantine_or_inflight() {
             .push(Scenario::agreement(8, SourceSpec::Random(50), 1, seed));
         run_suite_journaled(&suite, &store, &serial()).unwrap();
         digests.push(suite.digest());
-        std::thread::sleep(std::time::Duration::from_millis(20));
     }
+    // Adversarial mtimes: rewrite the *oldest-seq* suite's manifest with
+    // identical bytes, making it the mtime-newest file. A ranking by
+    // manifest mtime would now keep digests[0]; the journal-seq ranking
+    // this test pins must keep digests[2] regardless.
+    let oldest_manifest = store.manifest_path(&digests[0]);
+    let bytes = std::fs::read(&oldest_manifest).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    std::fs::write(&oldest_manifest, bytes).unwrap();
     // One in-flight suite: journal, no manifest.
     let mut inflight = Suite::new("gc-inflight");
     inflight
@@ -465,6 +475,42 @@ fn gc_keeps_recent_suites_never_touches_quarantine_or_inflight() {
     assert!(store.suite_dir(&inflight.digest()).exists());
     assert!(qfile.exists());
     assert!(!store.suite_dir(&digests[0]).exists());
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+#[test]
+fn gc_tie_breaks_equal_finish_seqs_by_digest() {
+    let store = temp_store("gc-tie");
+    let mut digests = Vec::new();
+    for seed in [31, 32] {
+        let mut suite = Suite::new(format!("gc-tie-{seed}"));
+        suite
+            .cells
+            .push(Scenario::agreement(8, SourceSpec::Random(50), 1, seed));
+        run_suite_journaled(&suite, &store, &serial()).unwrap();
+        digests.push(suite.digest());
+    }
+    // Strip the `seq` field from both journals (the pre-seq legacy form,
+    // which parses as seq 0) so the two suites rank equal and only the
+    // digest tie-break decides: ascending, so the smaller digest is kept.
+    for d in &digests {
+        let path = store.journal_path(d);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .map(|l| match l.find(",\"seq\":") {
+                Some(i) => format!("{}}}\n", &l[..i]),
+                None => format!("{l}\n"),
+            })
+            .collect();
+        assert_ne!(stripped, text, "expected a seq field to strip");
+        std::fs::write(&path, stripped).unwrap();
+    }
+    digests.sort();
+    let report = gc(&store, 1, false).unwrap();
+    assert_eq!(report.deleted, vec![digests[1].clone()]);
+    assert!(store.suite_dir(&digests[0]).exists());
+    assert!(!store.suite_dir(&digests[1]).exists());
     let _ = std::fs::remove_dir_all(store.root());
 }
 
