@@ -238,7 +238,7 @@ impl AgreementTrial {
 pub fn run_agreement_trials(trials: &[AgreementTrial]) -> Vec<AgreementTrialResult> {
     run_trials(trials, |t| match t.scenario().run() {
         ScenarioReport::Agreement(r) => r,
-        ScenarioReport::Scheme(_) => unreachable!("agreement scenario"),
+        _ => unreachable!("agreement scenario"),
     })
 }
 

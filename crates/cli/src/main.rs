@@ -28,8 +28,8 @@ use std::sync::Arc;
 
 use apex_farm::{query, run_worker, FarmQueue, QueryAnswer, WorkerOpts};
 use apex_lab::{
-    check_against_store, compare_stores, fsck, gc, run_suite_journaled, FaultInjector, FaultPlan,
-    JournalOpts, LabStore, Suite,
+    check_against_store, compare_stores, fsck, gc, run_suite_journaled, BenchDoc, BenchRun,
+    FaultInjector, FaultPlan, JournalOpts, LabStore, Suite,
 };
 use apex_scenario::Scenario;
 use apex_sim::{AdversarySpec, Json};
@@ -40,7 +40,9 @@ fn usage() -> ! {
         "usage: apex <suite|drift|lab|farm|run|adversary|synth> …\n\
          \n\
          suite run    SUITE.json [--store DIR] [--resume] [--cached] [--faults PLAN.json]\n\
-         \x20            [--threads N]               journaled expand-execute-record\n\
+         \x20            [--threads N] [--exec serial|ticketed [--workers N]] [--timing]\n\
+         \x20            [--bench OUT.json] [--bench-baseline BASE.json [--bench-tolerance F]]\n\
+         \x20                                        journaled expand-execute-record\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
          drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
          drift        --compare BASE CAND        byte-compare two stores\n\
@@ -49,11 +51,13 @@ fn usage() -> ! {
          lab gc       [--store DIR] [--keep-last N] [--dry-run]  delete old suite dirs\n\
          farm submit  SUITE.json [--queue DIR]   enqueue a suite for the workers\n\
          farm worker  [--queue DIR] [--store DIR] [--threads N] [--worker ID]\n\
-         \x20            [--shard N] [--ttl N] [--faults PLAN.json]  drain the queue\n\
+         \x20            [--shard N] [--ttl N] [--faults PLAN.json]\n\
+         \x20            [--exec serial|ticketed [--workers N]]  drain the queue\n\
          farm status  [--queue DIR] [--store DIR]  per-suite queue progress\n\
          farm query   SCENARIO.json [--queue DIR] [--store DIR] [--json]\n\
          \x20                                        answer from cache, or enqueue\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
+         \x20            [--exec serial|ticketed [--workers N]]  execute one scenario\n\
          adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
          adversary describe SPEC.json --n N [--seed S]  compile and describe it\n\
          adversary gallery  [--n N]              print the composed-adversary gallery\n\
@@ -209,10 +213,13 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                 };
                 store = store.with_faults(Arc::new(FaultInjector::new(plan)));
             }
+            let benching = args.has("bench") || args.has("bench-baseline");
             let opts = JournalOpts {
                 resume: args.has("resume"),
                 cached: args.has("cached"),
                 threads: args.get("threads").and_then(|v| v.parse().ok()),
+                exec: cli::exec_override(&args),
+                timing: benching || args.has("timing"),
             };
             let done = match run_suite_journaled(&suite, &store, &opts) {
                 Ok(d) => d,
@@ -231,8 +238,28 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                 run.ok_count(),
                 store.suite_dir(&run.suite_digest).display()
             );
+            println!(
+                "  {} exhausted, {} poisoned",
+                done.status_count("exhausted"),
+                done.status_count("poisoned")
+            );
             if opts.cached {
                 println!("  {}", done.cache.summary());
+            }
+            if opts.timing {
+                let exec = opts.exec.unwrap_or_default();
+                println!(
+                    "  {exec}: {} ticks in {} ms — {} ticks/s",
+                    done.executed_ticks,
+                    done.elapsed_ms,
+                    done.ticks_per_sec()
+                );
+            }
+            if benching {
+                if let Err(e) = bench_gate(&args, &suite, &done) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
             }
             for cell in &done.manifest.cells {
                 println!(
@@ -254,6 +281,57 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Fold this run's measured throughput into a `--bench` artifact and/or
+/// gate it against a committed `--bench-baseline` document. Telemetry
+/// only — nothing here touches the store's result bytes.
+fn bench_gate(args: &Args, suite: &Suite, done: &apex_lab::JournaledRun) -> Result<(), String> {
+    let exec = cli::exec_override(args).unwrap_or_default();
+    let fresh = BenchRun {
+        exec: exec.label().into(),
+        workers: exec.workers() as u64,
+        cells: done.executed.len() as u64,
+        ticks: done.executed_ticks,
+        elapsed_ms: done.elapsed_ms,
+        ticks_per_sec: done.ticks_per_sec(),
+    };
+    let digest = suite.digest();
+    let mut doc = match args.get("bench") {
+        Some(path) => BenchDoc::load_or_new(Path::new(path), &suite.name, &digest)?,
+        None => BenchDoc::new(&suite.name, &digest),
+    };
+    doc.upsert(fresh);
+    if exec.workers() > 1 {
+        if let Some(speedup) = doc.speedup(exec.workers() as u64) {
+            println!(
+                "  speedup over serial at {} workers: {speedup:.2}x",
+                exec.workers()
+            );
+        }
+    }
+    if let Some(path) = args.get("bench") {
+        doc.save(Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("  bench: wrote {path}");
+    }
+    if let Some(base_path) = args.get("bench-baseline") {
+        let text = std::fs::read_to_string(base_path).map_err(|e| format!("{base_path}: {e}"))?;
+        let baseline = BenchDoc::parse(&text).map_err(|e| format!("{base_path}: {e}"))?;
+        if baseline.digest != digest {
+            return Err(format!(
+                "{base_path}: baseline measures suite {} but this run is suite {digest}",
+                baseline.digest
+            ));
+        }
+        let tolerance: f64 = args.num("bench-tolerance", 0.5);
+        doc.gate_against(&baseline, tolerance)?;
+        println!(
+            "  bench gate vs {base_path}: ok (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    Ok(())
 }
 
 fn cmd_drift(raw: &[String]) -> ExitCode {
@@ -393,6 +471,7 @@ fn cmd_farm(raw: &[String]) -> ExitCode {
             opts.shard_cells = args.num("shard", opts.shard_cells);
             opts.ttl = args.num("ttl", opts.ttl);
             opts.threads = args.get("threads").and_then(|v| v.parse().ok());
+            opts.exec = cli::exec_override(&args);
             match run_worker(&queue, &store, &opts) {
                 Ok(report) => {
                     println!("{}", report.summary());
@@ -494,6 +573,12 @@ fn one_line(s: &apex_scenario::Scenario) -> String {
         Mode::Agreement { n, phases, .. } => format!(
             "agreement n={n} phases={phases} schedule={} seed={}",
             s.schedule.to_json().render(),
+            s.seed
+        ),
+        Mode::Kernel { kernel, n, ticks } => format!(
+            "kernel {}(n={n}) ticks={ticks} exec={} seed={}",
+            kernel.label(),
+            s.engine.exec,
             s.seed
         ),
     }

@@ -1,0 +1,40 @@
+//! Order-sensitive checksums shared by both engines.
+//!
+//! The serial reference folds every observed write through a machine
+//! hook; the ticketed committer folds the same tuple at commit time. An
+//! equal [`fold_write`] chain therefore pins the *entire ordered write
+//! log* — address, value, stamp, writer, and the global work stamp of
+//! every store — and an equal [`fold_image`] pins the final memory.
+
+use apex_sim::rng::splitmix64;
+use apex_sim::Stamped;
+
+const WRITE_SALT: u64 = 0xEC5E_11A7_0F01_D5E1;
+const IMAGE_SALT: u64 = 0x11A6_E5A1_D16E_57ED;
+
+/// Fold one observed write into the running events checksum.
+///
+/// `work` is the global work counter at the instant of the store (for a
+/// kernel run, the 1-based global tick position of the write).
+#[inline]
+pub fn fold_write(acc: u64, work: u64, addr: usize, word: Stamped, writer: usize) -> u64 {
+    let mut s = acc
+        ^ WRITE_SALT
+        ^ work
+        ^ (addr as u64).rotate_left(17)
+        ^ word.value.rotate_left(29)
+        ^ word.stamp.rotate_left(43)
+        ^ (writer as u64).rotate_left(53);
+    splitmix64(&mut s)
+}
+
+/// Checksum a full memory image (value and stamp of every cell, in
+/// address order).
+pub fn fold_image(image: &[Stamped]) -> u64 {
+    let mut acc = IMAGE_SALT;
+    for w in image {
+        let mut s = acc ^ w.value ^ w.stamp.rotate_left(31);
+        acc = splitmix64(&mut s);
+    }
+    acc
+}

@@ -1,0 +1,77 @@
+//! # apex-exec — ticketed intra-run parallel execution
+//!
+//! The paper is about *efficient execution of nondeterministic parallel
+//! programs on asynchronous systems*; this crate makes the execution of
+//! one big simulation itself parallel, without giving up a single
+//! observable bit. One large-n run is split into **tick-batch windows**:
+//!
+//! * a single-threaded **sequencer** pulls the next window of schedule
+//!   decisions from the oblivious adversary (`next_batch` — batch
+//!   transparency makes prefetching invisible) and assigns each window a
+//!   **ticket**: its index plus a derived seed
+//!   (`derive_seed(master, STREAM_TICKET, index)`, the same
+//!   domain-separated stream discipline as the adversary algebra);
+//! * N **workers** speculatively execute their processor group's slice of
+//!   the window against a private read snapshot of shared memory,
+//!   producing an ordered op log (every read's observed value, every
+//!   write's stamped word) and an undo log;
+//! * a single-threaded **committer** replays the op logs in global ticket
+//!   (= tick) order against the authoritative memory image, revalidating
+//!   every logged read. A mismatch means a cross-group race in this
+//!   window: the committer rolls the window back everywhere and
+//!   re-executes it serially — guaranteed progress, no abort/retry loop.
+//!
+//! Because every committed read is revalidated against the exact serial
+//! timeline, the committed execution *is* the serial execution: same
+//! memory image, same ordered write log (work stamps included), same
+//! counters, for every worker count. `tests/batch_determinism.rs` holds
+//! the engine to that oracle.
+//!
+//! The speculative workload is the [`KernelSpec`] family: explicit
+//! state-machine processors ([`KernelProc`]) that both engines drive
+//! through the same transition function — the serial reference via the
+//! [`apex_sim::Machine`] future engine, the ticketed engine directly —
+//! so bit-parity is by construction, not by careful duplication.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fold;
+mod kernel;
+mod mode;
+mod report;
+mod serial;
+mod ticketed;
+
+pub use fold::{fold_image, fold_write};
+pub use kernel::{KernelOp, KernelProc, KernelSpec};
+pub use mode::ExecMode;
+pub use report::{ExecStats, KernelReport};
+pub use serial::run_serial;
+pub use ticketed::run_ticketed;
+
+use apex_sim::AdversarySpec;
+
+/// Execute a kernel scenario under `mode`, returning the (engine
+/// independent) report plus the engine's (telemetry only) statistics.
+///
+/// The report is byte-for-byte identical across [`ExecMode::Serial`] and
+/// [`ExecMode::Ticketed`] at every worker count; the stats are not part
+/// of any stored artifact.
+pub fn run_kernel(
+    spec: KernelSpec,
+    n: usize,
+    ticks: u64,
+    schedule: &AdversarySpec,
+    seed: u64,
+    batch: Option<usize>,
+    mode: ExecMode,
+) -> (KernelReport, ExecStats) {
+    match mode {
+        ExecMode::Serial => (
+            run_serial(spec, n, ticks, schedule, seed, batch),
+            ExecStats::serial(),
+        ),
+        ExecMode::Ticketed { workers } => run_ticketed(spec, n, ticks, schedule, seed, workers),
+    }
+}

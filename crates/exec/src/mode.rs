@@ -1,0 +1,106 @@
+//! Execution-mode selection: serial reference vs. ticketed parallelism.
+
+use apex_sim::{Json, JsonError};
+
+/// How a kernel scenario is executed.
+///
+/// The mode is a pure *engine* choice: every observable artifact (report,
+/// counters, checksums) is byte-identical across modes and worker counts.
+/// Scenario documents serialize it inside their engine stanza, with the
+/// field omitted entirely when [`ExecMode::Serial`] so that pre-existing
+/// documents and their content digests are untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The tick-for-tick reference: one thread drives the
+    /// [`apex_sim::Machine`] future engine. Default.
+    #[default]
+    Serial,
+    /// The sequencer / speculative-workers / committer engine with the
+    /// given worker-thread count. `workers = 1` still exercises the full
+    /// window/commit machinery (useful as a cheap oracle).
+    Ticketed {
+        /// Worker threads (≥ 1).
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// Short label for summaries and bench artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Serial => "serial",
+            ExecMode::Ticketed { .. } => "ticketed",
+        }
+    }
+
+    /// Worker-thread count (1 for the serial engine).
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Ticketed { workers } => *workers,
+        }
+    }
+
+    /// Reject degenerate configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ExecMode::Ticketed { workers: 0 } => Err("ticketed exec needs workers >= 1".into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Serialize: `{"mode": "serial"}` or `{"mode": "ticketed", "workers": N}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ExecMode::Serial => Json::Obj(vec![("mode".into(), Json::Str("serial".into()))]),
+            ExecMode::Ticketed { workers } => Json::Obj(vec![
+                ("mode".into(), Json::Str("ticketed".into())),
+                ("workers".into(), Json::UInt(*workers as u64)),
+            ]),
+        }
+    }
+
+    /// Deserialize the output of [`ExecMode::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.get("mode")?.as_str()? {
+            "serial" => Ok(ExecMode::Serial),
+            "ticketed" => Ok(ExecMode::Ticketed {
+                workers: v.get("workers")?.as_usize()?,
+            }),
+            other => Err(JsonError {
+                msg: format!("unknown exec mode {other:?}"),
+                at: 0,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Serial => write!(f, "serial"),
+            ExecMode::Ticketed { workers } => write!(f, "ticketed({workers})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_validates() {
+        for mode in [ExecMode::Serial, ExecMode::Ticketed { workers: 4 }] {
+            mode.validate().unwrap();
+            assert_eq!(ExecMode::from_json(&mode.to_json()).unwrap(), mode);
+        }
+        assert!(ExecMode::Ticketed { workers: 0 }.validate().is_err());
+        assert_eq!(ExecMode::default(), ExecMode::Serial);
+        assert_eq!(ExecMode::Serial.workers(), 1);
+        assert_eq!(ExecMode::Ticketed { workers: 8 }.workers(), 8);
+        assert_eq!(
+            format!("{}", ExecMode::Ticketed { workers: 2 }),
+            "ticketed(2)"
+        );
+    }
+}

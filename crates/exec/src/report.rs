@@ -1,0 +1,180 @@
+//! Kernel run results: the engine-independent report and the
+//! engine-private statistics.
+
+use apex_sim::{Json, JsonError};
+
+use crate::kernel::KernelSpec;
+
+/// The observable outcome of a kernel run.
+///
+/// This is the byte-identity contract of the ticketed engine: for a fixed
+/// `(kernel, n, ticks, schedule, seed)` every execution mode and worker
+/// count produces the *same* `KernelReport`, field for field — the ordered
+/// write log (pinned by `events_checksum`, work stamps included), the
+/// final memory image (`mem_checksum`), and the exact model-level
+/// operation counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelReport {
+    /// Kernel family label ([`KernelSpec::label`]).
+    pub kernel: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Schedule ticks executed.
+    pub ticks: u64,
+    /// Total work units (equals `ticks`: kernels never complete, so every
+    /// tick is live work).
+    pub work: u64,
+    /// Model-level shared-memory loads performed.
+    pub reads: u64,
+    /// Model-level shared-memory stores performed.
+    pub writes: u64,
+    /// [`crate::fold_image`] over the final memory image.
+    pub mem_checksum: u64,
+    /// [`crate::fold_write`] chain over every store in commit order.
+    pub events_checksum: u64,
+}
+
+impl KernelReport {
+    /// Internal consistency: every tick accounted, op counts bounded by
+    /// ticks.
+    pub fn ok(&self) -> bool {
+        self.work == self.ticks && self.reads + self.writes <= self.ticks
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "kernel {} n={} ticks={} reads={} writes={} mem={:016x} events={:016x}",
+            self.kernel,
+            self.n,
+            self.ticks,
+            self.reads,
+            self.writes,
+            self.mem_checksum,
+            self.events_checksum
+        )
+    }
+
+    /// Serialize (canonical field order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kernel".into(), Json::Str(self.kernel.clone())),
+            ("n".into(), Json::UInt(self.n as u64)),
+            ("ticks".into(), Json::UInt(self.ticks)),
+            ("work".into(), Json::UInt(self.work)),
+            ("reads".into(), Json::UInt(self.reads)),
+            ("writes".into(), Json::UInt(self.writes)),
+            ("mem_checksum".into(), Json::UInt(self.mem_checksum)),
+            ("events_checksum".into(), Json::UInt(self.events_checksum)),
+        ])
+    }
+
+    /// Deserialize the output of [`KernelReport::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(KernelReport {
+            kernel: v.get("kernel")?.as_str()?.to_string(),
+            n: v.get("n")?.as_usize()?,
+            ticks: v.get("ticks")?.as_u64()?,
+            work: v.get("work")?.as_u64()?,
+            reads: v.get("reads")?.as_u64()?,
+            writes: v.get("writes")?.as_u64()?,
+            mem_checksum: v.get("mem_checksum")?.as_u64()?,
+            events_checksum: v.get("events_checksum")?.as_u64()?,
+        })
+    }
+}
+
+/// Engine telemetry from one ticketed run — deliberately **not** part of
+/// [`KernelReport`]: conflict counts depend on worker count and window
+/// partitioning, so they live beside the report, never inside a stored,
+/// digested artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker threads used (1 for the serial engine).
+    pub workers: usize,
+    /// Tick-batch windows issued by the sequencer.
+    pub windows: u64,
+    /// Windows whose commit-time revalidation found a cross-group race.
+    pub conflicts: u64,
+    /// Windows re-executed serially by the committer (equals `conflicts`
+    /// in the current engine; kept separate so a future partial-repair
+    /// strategy stays observable).
+    pub serial_reruns: u64,
+}
+
+impl ExecStats {
+    /// Stats for a serial-engine run (everything trivial).
+    pub fn serial() -> Self {
+        ExecStats {
+            workers: 1,
+            ..ExecStats::default()
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "workers={} windows={} conflicts={} serial-reruns={}",
+            self.workers, self.windows, self.conflicts, self.serial_reruns
+        )
+    }
+}
+
+/// Convenience: report skeleton shared by both engines.
+#[allow(clippy::too_many_arguments)] // flat tally list mirrors the report fields
+pub(crate) fn make_report(
+    spec: KernelSpec,
+    n: usize,
+    ticks: u64,
+    work: u64,
+    reads: u64,
+    writes: u64,
+    mem_checksum: u64,
+    events_checksum: u64,
+) -> KernelReport {
+    KernelReport {
+        kernel: spec.label().to_string(),
+        n,
+        ticks,
+        work,
+        reads,
+        writes,
+        mem_checksum,
+        events_checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        let r = make_report(KernelSpec::Storm { region: 8 }, 4, 100, 100, 40, 30, 1, 2);
+        assert!(r.ok());
+        assert_eq!(KernelReport::from_json(&r.to_json()).unwrap(), r);
+        assert!(!r.summary().is_empty());
+    }
+
+    #[test]
+    fn ok_rejects_inconsistent_counts() {
+        let mut r = make_report(KernelSpec::PrivateSlots { slots: 1 }, 2, 10, 10, 6, 5, 0, 0);
+        assert!(!r.ok());
+        r.writes = 4;
+        assert!(r.ok());
+        r.work = 9;
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn stats_summary_mentions_conflicts() {
+        let s = ExecStats {
+            workers: 4,
+            windows: 10,
+            conflicts: 2,
+            serial_reruns: 2,
+        };
+        assert!(s.summary().contains("conflicts=2"));
+        assert_eq!(ExecStats::serial().workers, 1);
+    }
+}

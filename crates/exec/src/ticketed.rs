@@ -1,0 +1,598 @@
+//! The ticketed parallel engine: sequencer / speculative workers /
+//! committer.
+//!
+//! One run is processed in **windows** of schedule decisions. Processors
+//! are partitioned into contiguous groups, one worker thread per group
+//! (contiguous pid ranges touch contiguous kernel memory — see
+//! [`KernelSpec`]'s layout contract):
+//!
+//! * the **sequencer** (on the committer thread) pulls each window from
+//!   the adversary via `next_batch` — batch transparency guarantees the
+//!   decision stream is the serial engine's, bit for bit — splits it into
+//!   per-group position-stamped subsequences, and stamps the window's
+//!   **ticket**: its index and derived seed;
+//! * each **worker** owns its group's [`KernelProc`]s plus a private copy
+//!   of the whole memory image, executes its subsequence speculatively
+//!   (own writes visible immediately, cross-group writes not), and
+//!   returns its window **read-set and write-set** (address bitmaps), a
+//!   position-stamped **write log**, and a ticket-seeded spot-check
+//!   digest of that log;
+//! * the **committer** validates the window by set algebra: if no
+//!   group's read-set intersects another group's write-set, every
+//!   speculative read observed exactly the value the serial execution
+//!   would have produced (each group saw window-start state plus its own
+//!   writes, and nobody read across a group boundary that was written),
+//!   so the speculation *is* the serial execution. The write logs are
+//!   then merged in global window order — an O(1)-per-write cursor merge
+//!   — folding the event checksum and updating the authoritative image.
+//!   Any intersection ⇒ the window is rolled back on every worker (undo
+//!   logs + processor snapshots) and re-executed serially by the
+//!   committer, which then repairs the workers — guaranteed progress, no
+//!   retry loop. The set test is conservative (an already-serializable
+//!   interleaving can still be flagged), which costs only speed, never
+//!   bytes.
+//!
+//! Correctness is inductive: the image at each window boundary equals the
+//! serial engine's, so a fully validated window replays the serial
+//! timeline exactly, and a conflicted window is literally executed
+//! serially.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+use apex_sim::rng::{derive_seed, small_rng, splitmix64, STREAM_TICKET};
+use apex_sim::{AdversarySpec, ProcId, Stamped};
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use crate::fold::{fold_image, fold_write};
+use crate::kernel::{KernelOp, KernelProc, KernelSpec};
+use crate::report::{make_report, ExecStats, KernelReport};
+
+/// Minimum window length in schedule decisions; windows also never hold
+/// fewer than [`WINDOW_PER_PROC`] decisions per processor (in
+/// expectation) so the per-window costs — processor-state snapshots,
+/// set-bitmap clears, the ticket handoff — amortize to a small fraction
+/// of an op.
+const MIN_WINDOW: u64 = 4096;
+
+/// Expected decisions per processor per window (scales the window with
+/// `n` so snapshot cost per op stays constant as machines grow).
+const WINDOW_PER_PROC: u64 = 8;
+
+/// Write-log samples folded into each window's spot-check digest.
+const SPOT_SAMPLES: usize = 16;
+
+/// One speculative store, stamped with its position inside the window so
+/// the committer can merge group logs back into global order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WriteRec {
+    /// Decision index inside the window.
+    pos: u32,
+    /// Writing processor.
+    pid: u32,
+    /// Target address.
+    addr: u32,
+    /// Stored word.
+    word: Stamped,
+}
+
+/// A fixed-size address bitmap: the per-window read- and write-sets the
+/// committer intersects to validate speculation.
+#[derive(Clone, Debug, Default)]
+struct AddrSet {
+    words: Vec<u64>,
+}
+
+impl AddrSet {
+    fn new(mem_size: usize) -> Self {
+        AddrSet {
+            words: vec![0; mem_size.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, addr: usize) {
+        self.words[addr >> 6] |= 1 << (addr & 63);
+    }
+
+    fn intersects(&self, other: &AddrSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+}
+
+enum ToWorker {
+    /// Speculatively execute this group subsequence — `(window position,
+    /// pid)` pairs in window order — under the given ticket seed.
+    Window { sub: Vec<(u32, u32)>, ticket: u64 },
+    /// The window validated: apply the committed cross-group writes.
+    /// The delta holds only each address's *final* window write, tagged
+    /// with its writer's group, so replay is order-free and a worker
+    /// skips its own (already applied) writes.
+    Commit {
+        delta: Arc<Vec<(u32, Stamped, u32)>>,
+    },
+    /// The window conflicted: undo speculative writes, restore processor
+    /// snapshots, and send the restored states back.
+    Rollback,
+    /// Install serially re-executed processor states and the window's
+    /// committed writes (in order — the repair delta is not deduped).
+    Repair {
+        procs: Vec<KernelProc>,
+        delta: Arc<Vec<(usize, Stamped)>>,
+    },
+    /// End of run.
+    Shutdown,
+}
+
+enum FromWorker {
+    /// A window's speculation summary: the position-stamped write log,
+    /// the read/write address sets, the read tally, and the log's
+    /// spot-check digest.
+    Done {
+        group: usize,
+        wlog: Vec<WriteRec>,
+        rset: AddrSet,
+        wset: AddrSet,
+        reads: u64,
+        spot: u64,
+    },
+    /// Rolled-back (window-start) processor states (each
+    /// [`KernelProc`] knows its own pid).
+    States { procs: Vec<KernelProc> },
+}
+
+/// Ticket-seeded integrity digest over a sample of a write log, computed
+/// by the worker before sending and recomputed by the committer after
+/// receiving — a cheap end-to-end check that the log crossing the channel
+/// is the log that was produced. This is the ticket seed's genuine
+/// consumer; it keeps per-window randomness domain-separated from both
+/// the schedule and the processors' private sources.
+fn spot_digest(ticket: u64, group: usize, log: &[WriteRec]) -> u64 {
+    let mut rng: SmallRng = small_rng(derive_seed(ticket, STREAM_TICKET, group as u64));
+    let mut acc = ticket ^ (group as u64).rotate_left(11) ^ (log.len() as u64).rotate_left(37);
+    if log.is_empty() {
+        return acc;
+    }
+    for _ in 0..SPOT_SAMPLES {
+        let i = (rng.next_u64() % log.len() as u64) as usize;
+        let r = log[i];
+        let mut s = acc
+            ^ u64::from(r.pos)
+            ^ (i as u64).rotate_left(7)
+            ^ u64::from(r.addr).rotate_left(13)
+            ^ u64::from(r.pid).rotate_left(23)
+            ^ r.word.value.rotate_left(29)
+            ^ r.word.stamp.rotate_left(47);
+        acc = splitmix64(&mut s);
+    }
+    acc
+}
+
+/// A worker thread: owns the kernel processors of pids `[lo, hi)` and a
+/// private image of the whole memory.
+#[allow(clippy::too_many_arguments)] // one-shot thread entry point; args are the channel plumbing
+fn worker_loop(
+    group: usize,
+    lo: usize,
+    hi: usize,
+    spec: KernelSpec,
+    master: u64,
+    mem_size: usize,
+    rx: &Receiver<ToWorker>,
+    tx: &Sender<FromWorker>,
+) {
+    let mut procs: Vec<KernelProc> = (lo..hi).map(|p| KernelProc::new(spec, p, master)).collect();
+    let mut image: Vec<Stamped> = vec![Stamped::ZERO; mem_size];
+    // Window-start checkpoint of the processor states, and the undo log
+    // of this window's speculative writes (in execution order).
+    let mut snapshot: Vec<KernelProc> = Vec::new();
+    let mut undo: Vec<(u32, Stamped)> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Window { sub, ticket } => {
+                snapshot.clear();
+                snapshot.extend(procs.iter().cloned());
+                undo.clear();
+                let mut wlog: Vec<WriteRec> = Vec::new();
+                let mut rset = AddrSet::new(mem_size);
+                let mut wset = AddrSet::new(mem_size);
+                let mut nreads = 0u64;
+                for &(pos, pid) in &sub {
+                    let k = &mut procs[pid as usize - lo];
+                    match k.next_op() {
+                        KernelOp::Read(a) => {
+                            let w = image[a];
+                            k.feed(w);
+                            rset.insert(a);
+                            nreads += 1;
+                        }
+                        KernelOp::Write(a, w) => {
+                            undo.push((a as u32, image[a]));
+                            image[a] = w;
+                            wset.insert(a);
+                            wlog.push(WriteRec {
+                                pos,
+                                pid,
+                                addr: a as u32,
+                                word: w,
+                            });
+                        }
+                        KernelOp::Compute => {}
+                    }
+                }
+                let spot = spot_digest(ticket, group, &wlog);
+                let done = FromWorker::Done {
+                    group,
+                    wlog,
+                    rset,
+                    wset,
+                    reads: nreads,
+                    spot,
+                };
+                if tx.send(done).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Commit { delta } => {
+                // Cross-group finals only: own writes are already in the
+                // image, and the dedup guarantees each entry is the
+                // address's last window write, so order is irrelevant.
+                for &(a, w, src) in delta.iter() {
+                    if src != group as u32 {
+                        image[a as usize] = w;
+                    }
+                }
+            }
+            ToWorker::Rollback => {
+                for &(a, w) in undo.iter().rev() {
+                    image[a as usize] = w;
+                }
+                undo.clear();
+                procs.clear();
+                procs.extend(snapshot.iter().cloned());
+                let states = FromWorker::States {
+                    procs: procs.clone(),
+                };
+                if tx.send(states).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Repair {
+                procs: fixed,
+                delta,
+            } => {
+                procs = fixed;
+                for &(a, w) in delta.iter() {
+                    image[a] = w;
+                }
+            }
+            ToWorker::Shutdown => return,
+        }
+    }
+}
+
+/// Execute `ticks` schedule ticks of an `n`-processor kernel run on the
+/// ticketed parallel engine with (up to) `workers` worker threads.
+///
+/// The returned [`KernelReport`] is byte-identical to
+/// [`crate::run_serial`] on the same `(spec, n, ticks, schedule, seed)`
+/// for every worker count; the [`ExecStats`] describe how this particular
+/// execution went (windows, conflicts, serial re-runs).
+pub fn run_ticketed(
+    spec: KernelSpec,
+    n: usize,
+    ticks: u64,
+    schedule: &AdversarySpec,
+    seed: u64,
+    workers: usize,
+) -> (KernelReport, ExecStats) {
+    spec.validate().expect("invalid kernel spec");
+    assert!(workers >= 1, "ticketed exec needs workers >= 1");
+    let mem_size = spec.mem_size(n);
+    let chunk = n.div_ceil(workers);
+    let groups = n.div_ceil(chunk);
+    let window = MIN_WINDOW.max(WINDOW_PER_PROC * n as u64);
+    let mut sched = schedule.build(n, seed);
+
+    let mut stats = ExecStats {
+        workers: groups,
+        ..ExecStats::default()
+    };
+    let mut image: Vec<Stamped> = vec![Stamped::ZERO; mem_size];
+    // Global position (1-based tick) of the last committed write to each
+    // address — positions are unique across the run, so comparing a
+    // window write's position against this mark picks out each address's
+    // *final* write of the window (the only one workers need to see).
+    let mut wmark: Vec<u64> = vec![0; mem_size];
+    let mut events_acc = 0u64;
+    let (mut reads, mut writes) = (0u64, 0u64);
+
+    std::thread::scope(|scope| {
+        let (back_tx, back_rx) = channel::<FromWorker>();
+        let mut txs: Vec<Sender<ToWorker>> = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let (tx, rx) = channel::<ToWorker>();
+            txs.push(tx);
+            let back = back_tx.clone();
+            let (lo, hi) = (g * chunk, ((g + 1) * chunk).min(n));
+            scope.spawn(move || worker_loop(g, lo, hi, spec, seed, mem_size, &rx, &back));
+        }
+        drop(back_tx);
+
+        let mut decisions: Vec<ProcId> = Vec::new();
+        let mut done_ticks = 0u64;
+        let mut windex = 0u64;
+        while done_ticks < ticks {
+            let len = window.min(ticks - done_ticks) as usize;
+            decisions.clear();
+            decisions.resize(len, ProcId(0));
+            sched.next_batch(&mut decisions);
+            let ticket = derive_seed(seed, STREAM_TICKET, windex);
+
+            // Sequencer: split the window into position-stamped per-group
+            // subsequences and hand out the ticketed jobs.
+            let mut subs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); groups];
+            for (pos, &pid) in decisions.iter().enumerate() {
+                subs[pid.0 / chunk].push((pos as u32, pid.0 as u32));
+            }
+            for (tx, sub) in txs.iter().zip(subs) {
+                tx.send(ToWorker::Window { sub, ticket }).unwrap();
+            }
+            let mut wlogs: Vec<Vec<WriteRec>> = vec![Vec::new(); groups];
+            let mut rsets: Vec<AddrSet> = vec![AddrSet::default(); groups];
+            let mut wsets: Vec<AddrSet> = vec![AddrSet::default(); groups];
+            let mut window_reads = 0u64;
+            for _ in 0..groups {
+                match back_rx.recv().expect("worker died") {
+                    FromWorker::Done {
+                        group,
+                        wlog,
+                        rset,
+                        wset,
+                        reads,
+                        spot,
+                    } => {
+                        assert_eq!(
+                            spot,
+                            spot_digest(ticket, group, &wlog),
+                            "window {windex}: write log failed its ticket spot-check"
+                        );
+                        wlogs[group] = wlog;
+                        rsets[group] = rset;
+                        wsets[group] = wset;
+                        window_reads += reads;
+                    }
+                    FromWorker::States { .. } => unreachable!("states outside rollback"),
+                }
+            }
+
+            // Committer: the window is serializable as speculated iff no
+            // group read an address some other group wrote.
+            let conflict =
+                (0..groups).any(|g| (0..groups).any(|o| o != g && rsets[g].intersects(&wsets[o])));
+
+            if !conflict {
+                // Merge the write logs back into global window order
+                // (positions are disjoint and ascending per group), fold
+                // the event checksum, and advance the image.
+                let mut window_writes: Vec<(u32, Stamped, u32, u64)> = Vec::new();
+                let mut cur = vec![0usize; groups];
+                loop {
+                    let mut best: Option<(u32, usize)> = None;
+                    for g in 0..groups {
+                        if let Some(r) = wlogs[g].get(cur[g]) {
+                            if best.is_none_or(|(p, _)| r.pos < p) {
+                                best = Some((r.pos, g));
+                            }
+                        }
+                    }
+                    let Some((_, g)) = best else { break };
+                    let r = wlogs[g][cur[g]];
+                    cur[g] += 1;
+                    let gpos = done_ticks + u64::from(r.pos) + 1;
+                    let a = r.addr as usize;
+                    image[a] = r.word;
+                    wmark[a] = gpos;
+                    window_writes.push((r.addr, r.word, g as u32, gpos));
+                    events_acc = fold_write(events_acc, gpos, a, r.word, r.pid as usize);
+                    writes += 1;
+                }
+                reads += window_reads;
+                // Last-write-wins dedup: only each address's final window
+                // write reaches the workers.
+                let delta: Arc<Vec<(u32, Stamped, u32)>> = Arc::new(
+                    window_writes
+                        .iter()
+                        .filter(|&&(a, _, _, gpos)| wmark[a as usize] == gpos)
+                        .map(|&(a, w, src, _)| (a, w, src))
+                        .collect(),
+                );
+                for tx in &txs {
+                    tx.send(ToWorker::Commit {
+                        delta: delta.clone(),
+                    })
+                    .unwrap();
+                }
+            } else {
+                // A cross-group race: roll every worker back to the
+                // window boundary and re-execute the whole window
+                // serially against the committed image (which the
+                // committer has not touched yet this window).
+                stats.conflicts += 1;
+                stats.serial_reruns += 1;
+                for tx in &txs {
+                    tx.send(ToWorker::Rollback).unwrap();
+                }
+                let mut all: Vec<Option<KernelProc>> = (0..n).map(|_| None).collect();
+                for _ in 0..groups {
+                    match back_rx.recv().expect("worker died") {
+                        FromWorker::States { procs } => {
+                            for k in procs {
+                                let pid = k.pid();
+                                all[pid] = Some(k);
+                            }
+                        }
+                        FromWorker::Done { .. } => unreachable!("done during rollback"),
+                    }
+                }
+                let mut procs: Vec<KernelProc> =
+                    all.into_iter().map(|k| k.expect("missing pid")).collect();
+                let mut delta: Vec<(usize, Stamped)> = Vec::new();
+                for (pos, &pid) in decisions.iter().enumerate() {
+                    let k = &mut procs[pid.0];
+                    match k.next_op() {
+                        KernelOp::Read(a) => {
+                            let w = image[a];
+                            k.feed(w);
+                            reads += 1;
+                        }
+                        KernelOp::Write(a, w) => {
+                            image[a] = w;
+                            delta.push((a, w));
+                            events_acc =
+                                fold_write(events_acc, done_ticks + pos as u64 + 1, a, w, pid.0);
+                            writes += 1;
+                        }
+                        KernelOp::Compute => {}
+                    }
+                }
+                let delta = Arc::new(delta);
+                for (g, tx) in txs.iter().enumerate() {
+                    let (lo, hi) = (g * chunk, ((g + 1) * chunk).min(n));
+                    tx.send(ToWorker::Repair {
+                        procs: procs[lo..hi].to_vec(),
+                        delta: delta.clone(),
+                    })
+                    .unwrap();
+                }
+            }
+
+            done_ticks += len as u64;
+            windex += 1;
+            stats.windows += 1;
+        }
+        for tx in &txs {
+            tx.send(ToWorker::Shutdown).unwrap();
+        }
+    });
+
+    let report = make_report(
+        spec,
+        n,
+        ticks,
+        ticks, // kernels never complete: every tick is live work
+        reads,
+        writes,
+        fold_image(&image),
+        events_acc,
+    );
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::run_serial;
+    use apex_sim::ScheduleKind;
+
+    fn uniform() -> AdversarySpec {
+        ScheduleKind::Uniform.lower()
+    }
+
+    #[test]
+    fn conflict_free_kernel_matches_serial_at_every_worker_count() {
+        let spec = KernelSpec::PrivateSlots { slots: 4 };
+        let reference = run_serial(spec, 8, 20_000, &uniform(), 5, None);
+        for workers in [1, 2, 4, 8] {
+            let (r, stats) = run_ticketed(spec, 8, 20_000, &uniform(), 5, workers);
+            assert_eq!(r, reference, "workers={workers}");
+            assert_eq!(stats.conflicts, 0, "private slots cannot race");
+            assert!(stats.windows > 0);
+        }
+    }
+
+    #[test]
+    fn storm_kernel_conflicts_and_still_matches_serial() {
+        let spec = KernelSpec::Storm { region: 8 };
+        let reference = run_serial(spec, 8, 20_000, &uniform(), 9, None);
+        let (r, stats) = run_ticketed(spec, 8, 20_000, &uniform(), 9, 4);
+        assert_eq!(r, reference);
+        assert!(
+            stats.conflicts > 0,
+            "an 8-cell storm across 4 workers must race"
+        );
+        assert_eq!(stats.serial_reruns, stats.conflicts);
+    }
+
+    #[test]
+    fn shared_pulse_matches_serial_across_schedules() {
+        let spec = KernelSpec::SharedPulse {
+            slots: 2,
+            period: 16,
+        };
+        for kind in ScheduleKind::gallery() {
+            let sched = kind.lower();
+            let reference = run_serial(spec, 6, 12_000, &sched, 31, None);
+            for workers in [2, 3] {
+                let (r, _) = run_ticketed(spec, 6, 12_000, &sched, 31, workers);
+                assert_eq!(r, reference, "{} workers={workers}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_final_window_is_exact() {
+        // ticks not divisible by the window size: the tail window must
+        // cover exactly the remaining ticks.
+        let spec = KernelSpec::PrivateSlots { slots: 2 };
+        let ticks = MIN_WINDOW + MIN_WINDOW / 3;
+        let reference = run_serial(spec, 4, ticks, &uniform(), 2, None);
+        let (r, stats) = run_ticketed(spec, 4, ticks, &uniform(), 2, 2);
+        assert_eq!(r, reference);
+        assert_eq!(stats.windows, 2);
+    }
+
+    #[test]
+    fn more_workers_than_processors_is_fine() {
+        let spec = KernelSpec::SharedPulse {
+            slots: 1,
+            period: 4,
+        };
+        let reference = run_serial(spec, 3, 9_000, &uniform(), 8, None);
+        let (r, stats) = run_ticketed(spec, 3, 9_000, &uniform(), 8, 16);
+        assert_eq!(r, reference);
+        assert_eq!(stats.workers, 3, "one group per processor at most");
+    }
+
+    #[test]
+    fn addr_sets_track_intersections() {
+        let mut a = AddrSet::new(200);
+        let mut b = AddrSet::new(200);
+        a.insert(0);
+        a.insert(130);
+        b.insert(129);
+        assert!(!a.intersects(&b), "adjacent bits are not equal bits");
+        b.insert(130);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn spot_digest_is_sensitive() {
+        let rec = |pos, addr, v| WriteRec {
+            pos,
+            pid: 1,
+            addr,
+            word: Stamped::new(v, 2),
+        };
+        let log = vec![rec(0, 3, 7), rec(2, 4, 9), rec(5, 3, 11)];
+        let d = spot_digest(77, 0, &log);
+        assert_eq!(d, spot_digest(77, 0, &log));
+        let mut tampered = log.clone();
+        tampered[1] = rec(2, 4, 10);
+        assert_ne!(d, spot_digest(77, 0, &tampered));
+        assert_ne!(d, spot_digest(78, 0, &log), "ticket-dependent");
+        assert_ne!(d, spot_digest(77, 1, &log), "group-dependent");
+    }
+}

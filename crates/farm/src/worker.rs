@@ -30,7 +30,7 @@ use apex_lab::{
     CacheLookup, Cell, FaultInjector, Journal, JournalEntry, LabStore, Lease, Manifest, Suite,
     CELL_PANIC_MARKER,
 };
-use apex_scenario::{CacheStats, RunOutcome};
+use apex_scenario::{CacheStats, ExecMode, RunOutcome};
 use apex_sim::Json;
 
 use crate::queue::FarmQueue;
@@ -54,6 +54,11 @@ pub struct WorkerOpts {
     /// [`resolve_threads`]: `APEX_RUNNER_THREADS`, else all cores —
     /// identical semantics to `apex suite run --threads`).
     pub threads: Option<usize>,
+    /// Runtime execution-engine override for kernel-mode cells (intra-run
+    /// parallelism *inside* each cell, orthogonal to `threads`' across-cell
+    /// fan-out). Never changes a result byte, so workers running different
+    /// engines still converge to one record set.
+    pub exec: Option<ExecMode>,
 }
 
 impl Default for WorkerOpts {
@@ -63,6 +68,7 @@ impl Default for WorkerOpts {
             shard_cells: DEFAULT_SHARD_CELLS,
             ttl: DEFAULT_TTL,
             threads: None,
+            exec: None,
         }
     }
 }
@@ -263,7 +269,7 @@ fn drain_suite(
                     .map_err(jerr)?;
             }
             let outcomes = run_trials_threaded(&pending, threads.min(pending.len()), |cell| {
-                run_one(store.faults(), cell)
+                run_one(store.faults(), opts.exec, cell)
             });
             for (cell, outcome) in pending.iter().zip(&outcomes) {
                 commit_cell(store, digest, &journal, cell, outcome, report)?;
@@ -313,14 +319,19 @@ fn drain_suite(
     }
 }
 
-/// Run one cell (honoring an installed fault injector's panic plan).
-fn run_one(faults: Option<&std::sync::Arc<FaultInjector>>, cell: &Cell) -> RunOutcome {
+/// Run one cell (honoring an installed fault injector's panic plan and
+/// the worker's execution-engine override).
+fn run_one(
+    faults: Option<&std::sync::Arc<FaultInjector>>,
+    exec: Option<ExecMode>,
+    cell: &Cell,
+) -> RunOutcome {
     if faults.is_some_and(|f| f.panics_cell(cell.index)) {
         RunOutcome::capture_with(&cell.scenario, |_| {
             panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
         })
     } else {
-        RunOutcome::capture(&cell.scenario)
+        RunOutcome::capture_exec(&cell.scenario, exec)
     }
 }
 

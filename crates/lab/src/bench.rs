@@ -1,0 +1,395 @@
+//! Throughput telemetry: the per-run `exec-stats.json` sidecar and the
+//! committed `BENCH_*.json` scaling artifact.
+//!
+//! Both documents are **telemetry, not store identity**: they carry
+//! wall-clock timings, so they are excluded from every byte-identity
+//! comparison (`diff -r --exclude=exec-stats.json`), ignored by drift
+//! checking, and never hashed into a content address. The *result* bytes
+//! of a run stay engine- and timing-independent; these files record how
+//! fast those bytes were produced.
+//!
+//! * [`ExecStatsDoc`] — one journaled run's execution telemetry: which
+//!   engine ran, how many cells executed vs were answered from cache,
+//!   the terminal-state tally, and the measured ticks/s. Written by
+//!   `apex suite run` when timing is requested, next to `manifest.json`.
+//! * [`BenchDoc`] — a keyed collection of such measurements for one
+//!   suite, accumulated across `apex suite run --bench` invocations
+//!   (one row per `(exec, workers)` point). The committed artifact is
+//!   what CI gates regressions against via [`BenchDoc::gate_against`].
+
+use std::path::Path;
+
+use apex_sim::{Json, JsonError};
+
+/// Integer ticks-per-second from a tick count and an elapsed duration
+/// (saturating; a sub-millisecond run is counted as one millisecond so
+/// the rate stays finite).
+fn rate(ticks: u64, elapsed_ms: u64) -> u64 {
+    ticks.saturating_mul(1000) / elapsed_ms.max(1)
+}
+
+/// One journaled run's execution telemetry (`exec-stats.json`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecStatsDoc {
+    /// Engine label: `serial` or `ticketed`.
+    pub exec: String,
+    /// Worker count the engine ran with (1 for serial).
+    pub workers: u64,
+    /// Total cells in the suite expansion.
+    pub cells: u64,
+    /// Cells actually executed this run.
+    pub executed: u64,
+    /// Cells answered from verified store bytes.
+    pub skipped: u64,
+    /// Cells that exhausted their tick budget.
+    pub exhausted: u64,
+    /// Cells that poisoned (panicked).
+    pub poisoned: u64,
+    /// Machine ticks consumed by the executed cells.
+    pub ticks: u64,
+    /// Wall-clock milliseconds spent executing them.
+    pub elapsed_ms: u64,
+    /// Throughput over the executed cells, in ticks per second.
+    pub ticks_per_sec: u64,
+}
+
+impl ExecStatsDoc {
+    /// Assemble a document, deriving `ticks_per_sec` from the tick count
+    /// and elapsed time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        exec: impl Into<String>,
+        workers: u64,
+        cells: u64,
+        executed: u64,
+        skipped: u64,
+        exhausted: u64,
+        poisoned: u64,
+        ticks: u64,
+        elapsed_ms: u64,
+    ) -> Self {
+        ExecStatsDoc {
+            exec: exec.into(),
+            workers,
+            cells,
+            executed,
+            skipped,
+            exhausted,
+            poisoned,
+            ticks,
+            elapsed_ms,
+            ticks_per_sec: rate(ticks, elapsed_ms),
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} (workers {}): {} ticks in {} ms — {} ticks/s",
+            self.exec, self.workers, self.ticks, self.elapsed_ms, self.ticks_per_sec
+        )
+    }
+
+    /// Serialize (canonical field order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("exec".into(), Json::Str(self.exec.clone())),
+            ("workers".into(), Json::UInt(self.workers)),
+            ("cells".into(), Json::UInt(self.cells)),
+            ("executed".into(), Json::UInt(self.executed)),
+            ("skipped".into(), Json::UInt(self.skipped)),
+            ("exhausted".into(), Json::UInt(self.exhausted)),
+            ("poisoned".into(), Json::UInt(self.poisoned)),
+            ("ticks".into(), Json::UInt(self.ticks)),
+            ("elapsed_ms".into(), Json::UInt(self.elapsed_ms)),
+            ("ticks_per_sec".into(), Json::UInt(self.ticks_per_sec)),
+        ])
+    }
+
+    /// Deserialize an exec-stats document.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ExecStatsDoc {
+            exec: v.get("exec")?.as_str()?.to_string(),
+            workers: v.get("workers")?.as_u64()?,
+            cells: v.get("cells")?.as_u64()?,
+            executed: v.get("executed")?.as_u64()?,
+            skipped: v.get("skipped")?.as_u64()?,
+            exhausted: v.get("exhausted")?.as_u64()?,
+            poisoned: v.get("poisoned")?.as_u64()?,
+            ticks: v.get("ticks")?.as_u64()?,
+            elapsed_ms: v.get("elapsed_ms")?.as_u64()?,
+            ticks_per_sec: v.get("ticks_per_sec")?.as_u64()?,
+        })
+    }
+
+    /// Parse a complete document.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// The canonical pretty-printed document.
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+/// One measured point of a [`BenchDoc`]: how fast one `(exec, workers)`
+/// configuration pushed the suite's ticks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRun {
+    /// Engine label: `serial` or `ticketed`.
+    pub exec: String,
+    /// Worker count (1 for serial).
+    pub workers: u64,
+    /// Cells executed for this measurement.
+    pub cells: u64,
+    /// Total machine ticks executed.
+    pub ticks: u64,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: u64,
+    /// Throughput in ticks per second.
+    pub ticks_per_sec: u64,
+}
+
+impl BenchRun {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("exec".into(), Json::Str(self.exec.clone())),
+            ("workers".into(), Json::UInt(self.workers)),
+            ("cells".into(), Json::UInt(self.cells)),
+            ("ticks".into(), Json::UInt(self.ticks)),
+            ("elapsed_ms".into(), Json::UInt(self.elapsed_ms)),
+            ("ticks_per_sec".into(), Json::UInt(self.ticks_per_sec)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(BenchRun {
+            exec: v.get("exec")?.as_str()?.to_string(),
+            workers: v.get("workers")?.as_u64()?,
+            cells: v.get("cells")?.as_u64()?,
+            ticks: v.get("ticks")?.as_u64()?,
+            elapsed_ms: v.get("elapsed_ms")?.as_u64()?,
+            ticks_per_sec: v.get("ticks_per_sec")?.as_u64()?,
+        })
+    }
+}
+
+/// A suite's scaling measurements, keyed by `(exec, workers)` — the
+/// committed `BENCH_*.json` artifact and the CI regression baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchDoc {
+    /// Suite name.
+    pub suite: String,
+    /// Digest of the canonical suite document the measurements ran.
+    pub digest: String,
+    /// Measurements, sorted by `(exec, workers)` for a canonical form.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchDoc {
+    /// An empty artifact for one suite.
+    pub fn new(suite: impl Into<String>, digest: impl Into<String>) -> Self {
+        BenchDoc {
+            suite: suite.into(),
+            digest: digest.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Insert or replace the measurement for `run`'s `(exec, workers)`
+    /// key, keeping the run list sorted.
+    pub fn upsert(&mut self, run: BenchRun) {
+        self.runs
+            .retain(|r| (r.exec.as_str(), r.workers) != (run.exec.as_str(), run.workers));
+        self.runs.push(run);
+        self.runs
+            .sort_by(|a, b| (&a.exec, a.workers).cmp(&(&b.exec, b.workers)));
+    }
+
+    /// The measurement at one `(exec, workers)` key.
+    pub fn run(&self, exec: &str, workers: u64) -> Option<&BenchRun> {
+        self.runs
+            .iter()
+            .find(|r| r.exec == exec && r.workers == workers)
+    }
+
+    /// The ticketed-over-serial speedup at `workers`, when the artifact
+    /// holds both measurements (what the acceptance gate reads).
+    pub fn speedup(&self, workers: u64) -> Option<f64> {
+        let serial = self.run("serial", 1)?;
+        let ticketed = self.run("ticketed", workers)?;
+        (serial.ticks_per_sec > 0)
+            .then(|| ticketed.ticks_per_sec as f64 / serial.ticks_per_sec as f64)
+    }
+
+    /// Gate this (fresh) artifact against a committed `baseline`: every
+    /// `(exec, workers)` key present in both must be within `tolerance`
+    /// of the baseline throughput (`fresh >= baseline * (1 - tolerance)`).
+    /// Keys only one side measured are ignored — machines differ; the
+    /// gate is about regressions on comparable points.
+    pub fn gate_against(&self, baseline: &BenchDoc, tolerance: f64) -> Result<(), String> {
+        let mut failures = Vec::new();
+        for fresh in &self.runs {
+            let Some(base) = baseline.run(&fresh.exec, fresh.workers) else {
+                continue;
+            };
+            let floor = base.ticks_per_sec as f64 * (1.0 - tolerance);
+            if (fresh.ticks_per_sec as f64) < floor {
+                failures.push(format!(
+                    "{} (workers {}): {} ticks/s < floor {:.0} (baseline {} - {:.0}% tolerance)",
+                    fresh.exec,
+                    fresh.workers,
+                    fresh.ticks_per_sec,
+                    floor,
+                    base.ticks_per_sec,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("bench gate failed:\n  {}", failures.join("\n  ")))
+        }
+    }
+
+    /// Serialize (canonical field order, runs sorted by key).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".into(), Json::Str(self.suite.clone())),
+            ("digest".into(), Json::Str(self.digest.clone())),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(BenchRun::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize a bench artifact.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(BenchDoc {
+            suite: v.get("suite")?.as_str()?.to_string(),
+            digest: v.get("digest")?.as_str()?.to_string(),
+            runs: v
+                .get("runs")?
+                .as_arr()?
+                .iter()
+                .map(BenchRun::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parse a complete artifact.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// The canonical pretty-printed artifact.
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Write the artifact to `path` atomically.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        apex_scenario::atomic_write(path, &self.render_pretty())
+    }
+
+    /// Load `path` if it exists, else an empty artifact for
+    /// `(suite, digest)`. A present file naming a *different* suite
+    /// digest is an error — measurements of two different suites must
+    /// not be merged into one artifact.
+    pub fn load_or_new(path: &Path, suite: &str, digest: &str) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::new(suite, digest));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if doc.digest != digest {
+            return Err(format!(
+                "{}: artifact measures suite {} but this run is suite {digest}",
+                path.display(),
+                doc.digest
+            ));
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured(exec: &str, workers: u64, ticks_per_sec: u64) -> BenchRun {
+        BenchRun {
+            exec: exec.into(),
+            workers,
+            cells: 4,
+            ticks: ticks_per_sec,
+            elapsed_ms: 1000,
+            ticks_per_sec,
+        }
+    }
+
+    #[test]
+    fn exec_stats_round_trip_and_rate() {
+        let doc = ExecStatsDoc::new("ticketed", 4, 10, 8, 2, 1, 0, 2_000_000, 500);
+        assert_eq!(doc.ticks_per_sec, 4_000_000);
+        let back = ExecStatsDoc::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(back, doc);
+        assert!(doc.summary().contains("ticks/s"));
+        // Sub-millisecond runs stay finite.
+        assert_eq!(
+            ExecStatsDoc::new("serial", 1, 1, 1, 0, 0, 0, 100, 0).ticks_per_sec,
+            100_000
+        );
+    }
+
+    #[test]
+    fn bench_doc_upserts_by_key_and_round_trips() {
+        let mut doc = BenchDoc::new("bench-kernel", "feedfacefeedface");
+        doc.upsert(measured("ticketed", 4, 100));
+        doc.upsert(measured("serial", 1, 50));
+        doc.upsert(measured("ticketed", 4, 120)); // replaces, not appends
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.runs[0].exec, "serial"); // sorted by key
+        assert_eq!(doc.run("ticketed", 4).unwrap().ticks_per_sec, 120);
+        assert_eq!(doc.speedup(4), Some(2.4));
+        let back = BenchDoc::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn gate_flags_regressions_within_tolerance() {
+        let mut baseline = BenchDoc::new("b", "d");
+        baseline.upsert(measured("serial", 1, 1000));
+        baseline.upsert(measured("ticketed", 4, 4000));
+
+        let mut fresh = BenchDoc::new("b", "d");
+        fresh.upsert(measured("serial", 1, 900));
+        fresh.upsert(measured("ticketed", 4, 2300));
+        fresh.upsert(measured("ticketed", 8, 1)); // no baseline key — ignored
+                                                  // serial within 40%, ticketed is not (2300 < 4000 * 0.6).
+        let err = fresh.gate_against(&baseline, 0.4).unwrap_err();
+        assert!(err.contains("ticketed"), "{err}");
+        assert!(!err.contains("serial (workers 1)"), "{err}");
+        // A looser gate passes.
+        fresh.gate_against(&baseline, 0.5).unwrap();
+    }
+
+    #[test]
+    fn load_or_new_rejects_cross_suite_merges() {
+        let dir = std::env::temp_dir().join(format!("apex-bench-doc-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_test.json");
+        let mut doc = BenchDoc::new("b", "aaaaaaaaaaaaaaaa");
+        doc.upsert(measured("serial", 1, 10));
+        doc.save(&path).unwrap();
+        let loaded = BenchDoc::load_or_new(&path, "b", "aaaaaaaaaaaaaaaa").unwrap();
+        assert_eq!(loaded, doc);
+        assert!(BenchDoc::load_or_new(&path, "b", "bbbbbbbbbbbbbbbb").is_err());
+        let fresh = BenchDoc::load_or_new(&dir.join("absent.json"), "b", "cc").unwrap();
+        assert!(fresh.runs.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

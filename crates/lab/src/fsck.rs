@@ -26,7 +26,7 @@ use apex_sim::Json;
 
 use crate::digest_hex;
 use crate::journal::{read_journal, JournalEntry, JournalState, JOURNAL_FILE};
-use crate::store::{LabStore, CACHE_STATS_FILE};
+use crate::store::{LabStore, CACHE_STATS_FILE, EXEC_STATS_FILE};
 
 /// What is wrong with one file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -298,19 +298,30 @@ fn scan_suite(
             );
             continue;
         }
-        if name == CACHE_STATS_FILE {
-            // Telemetry sidecar: not store identity, but it should still
-            // parse — an unreadable one is debris worth quarantining.
+        if name == CACHE_STATS_FILE || name == EXEC_STATS_FILE {
+            // Telemetry sidecars: not store identity, but they should
+            // still parse — an unreadable one is debris worth
+            // quarantining.
             report.files_checked += 1;
             let parse = std::fs::read_to_string(&path)
                 .map_err(|e| e.to_string())
-                .and_then(|text| CacheStats::parse(&text).map_err(|e| e.to_string()));
+                .and_then(|text| {
+                    if name == CACHE_STATS_FILE {
+                        CacheStats::parse(&text)
+                            .map(drop)
+                            .map_err(|e| e.to_string())
+                    } else {
+                        crate::bench::ExecStatsDoc::parse(&text)
+                            .map(drop)
+                            .map_err(|e| e.to_string())
+                    }
+                });
             if let Err(e) = parse {
                 let quarantined = repair && quarantine(store, suite, &path)?;
                 issue(
                     &name,
                     FsckIssueKind::TornOrTruncated,
-                    format!("cache-stats sidecar unreadable: {e}"),
+                    format!("{name} sidecar unreadable: {e}"),
                     quarantined,
                 );
             }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod drift;
 pub mod fault;
 pub mod fsck;
@@ -35,6 +36,7 @@ pub mod runner;
 pub mod store;
 pub mod suite;
 
+pub use bench::{BenchDoc, BenchRun, ExecStatsDoc};
 pub use drift::{check_against_store, compare_stores, json_diff, DriftKind, DriftReport};
 pub use fault::{
     is_kill, BitFlip, FaultInjector, FaultPlan, TornWrite, TransientFault, WriteDirective,
@@ -56,7 +58,7 @@ pub use runner::{
 };
 pub use store::{
     CacheLookup, LabStore, Manifest, ManifestCell, CACHE_STATS_FILE, DEFAULT_STORE_ROOT,
-    MAX_WRITE_ATTEMPTS, QUARANTINE_DIR,
+    EXEC_STATS_FILE, MAX_WRITE_ATTEMPTS, QUARANTINE_DIR,
 };
 pub use suite::{
     Cell, Grid, OutputExpectation, SeedRange, Suite, SUITE_FORMAT_MAJOR, SUITE_FORMAT_MINOR,

@@ -5,7 +5,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use apex_bench::runner::{resolve_threads, run_trials};
-use apex_scenario::{CacheStats, ReportRecord, RunOutcome};
+use apex_scenario::{CacheStats, ExecMode, ReportRecord, RunOutcome};
+
+use crate::bench::ExecStatsDoc;
 
 use crate::fault::CELL_PANIC_MARKER;
 use crate::journal::{next_finish_seq, Journal, JournalEntry};
@@ -153,6 +155,15 @@ pub struct JournalOpts {
     /// cores; `Some(1)` forces the serial path, whose journal line order
     /// is fully deterministic).
     pub threads: Option<usize>,
+    /// Runtime execution-engine override for kernel-mode cells
+    /// ([`Scenario::run_with_exec`](apex_scenario::Scenario::run_with_exec)):
+    /// `None` honors each scenario's own engine knob. The override never
+    /// changes a result byte — records, manifests, and digests are
+    /// engine-independent.
+    pub exec: Option<ExecMode>,
+    /// Measure wall-clock execution time and write the `exec-stats.json`
+    /// sidecar (timing telemetry, excluded from byte-identity checks).
+    pub timing: bool,
 }
 
 /// The result of a journaled run: the run itself plus what resume
@@ -170,6 +181,28 @@ pub struct JournaledRun {
     /// Memoization tally (all zero unless `resume` or `cached` consulted
     /// the store).
     pub cache: CacheStats,
+    /// Wall-clock milliseconds spent executing this run's pending cells
+    /// (telemetry only — never part of any stored result byte).
+    pub elapsed_ms: u64,
+    /// Machine ticks consumed by the cells executed this run (skipped
+    /// cells contribute nothing — their ticks were paid for earlier).
+    pub executed_ticks: u64,
+}
+
+impl JournaledRun {
+    /// Cells that ended in the named terminal status.
+    pub fn status_count(&self, status: &str) -> usize {
+        self.run
+            .outcomes
+            .iter()
+            .filter(|o| o.status() == status)
+            .count()
+    }
+
+    /// Throughput over the executed cells, in ticks per second.
+    pub fn ticks_per_sec(&self) -> u64 {
+        self.executed_ticks.saturating_mul(1000) / self.elapsed_ms.max(1)
+    }
 }
 
 /// Execute `suite` with a write-ahead journal in `store`.
@@ -257,7 +290,7 @@ pub fn run_suite_journaled(
                 panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
             })
         } else {
-            RunOutcome::capture(&cell.scenario)
+            RunOutcome::capture_exec(&cell.scenario, opts.exec)
         }
     };
 
@@ -295,6 +328,7 @@ pub fn run_suite_journaled(
     };
 
     let threads = resolve_threads(opts.threads).min(pending.len().max(1));
+    let started_at = std::time::Instant::now();
     if threads <= 1 {
         for &i in &pending {
             let cell = &cells[i];
@@ -370,7 +404,13 @@ pub fn run_suite_journaled(
         }
     }
 
+    let elapsed_ms = started_at.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
     let outcomes: Vec<RunOutcome> = slots.into_iter().map(Option::unwrap).collect();
+    let executed_ticks: u64 = executed
+        .iter()
+        .filter_map(|&i| outcomes[i].record())
+        .map(|r| r.report.ticks())
+        .sum();
     let run = finish_run(suite, &cells, outcomes);
     // Records are already durable (committed incrementally above); only
     // the manifest remains.
@@ -385,6 +425,27 @@ pub fn run_suite_journaled(
             .write_cache_stats(&suite_digest, &cache)
             .map_err(|e| format!("cache-stats write failed: {e}"))?;
     }
+    if opts.timing {
+        // Same rules as cache-stats: timing telemetry beside the
+        // manifest, excluded from every byte-identity comparison.
+        let exec = opts.exec.unwrap_or_default();
+        let count =
+            |status: &str| run.outcomes.iter().filter(|o| o.status() == status).count() as u64;
+        let stats = ExecStatsDoc::new(
+            exec.label(),
+            exec.workers() as u64,
+            cells.len() as u64,
+            executed.len() as u64,
+            skipped.len() as u64,
+            count("exhausted"),
+            count("poisoned"),
+            executed_ticks,
+            elapsed_ms,
+        );
+        store
+            .write_exec_stats(&suite_digest, &stats)
+            .map_err(|e| format!("exec-stats write failed: {e}"))?;
+    }
     journal
         .append(&JournalEntry::Finished {
             ok: run.all_ok(),
@@ -397,5 +458,7 @@ pub fn run_suite_journaled(
         skipped,
         executed,
         cache,
+        elapsed_ms,
+        executed_ticks,
     })
 }

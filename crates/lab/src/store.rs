@@ -55,6 +55,13 @@ pub const MAX_WRITE_ATTEMPTS: u32 = 4;
 /// --exclude=cache-stats.json`), and drift checking ignores it.
 pub const CACHE_STATS_FILE: &str = "cache-stats.json";
 
+/// File name of the per-suite execution-stats sidecar (engine, worker
+/// count, measured ticks/s). Like `cache-stats.json`, this is per-run
+/// telemetry carrying wall-clock timings — never store identity:
+/// byte-identity comparisons exclude it (`diff -r
+/// --exclude=exec-stats.json`) and drift checking ignores it.
+pub const EXEC_STATS_FILE: &str = "exec-stats.json";
+
 /// The answer a store gives when asked for one cell's record by digest.
 ///
 /// The cache trusts *only verified bytes*: a file at the right path that
@@ -315,6 +322,33 @@ impl LabStore {
         CacheStats::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
+    /// The exec-stats sidecar path of one suite.
+    pub fn exec_stats_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest).join(EXEC_STATS_FILE)
+    }
+
+    /// Write one suite's exec-stats sidecar durably.
+    pub fn write_exec_stats(
+        &self,
+        suite_digest: &str,
+        stats: &crate::bench::ExecStatsDoc,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(self.suite_dir(suite_digest))?;
+        self.write_text(&self.exec_stats_path(suite_digest), &stats.render_pretty())
+    }
+
+    /// Load one suite's exec-stats sidecar (absent for runs that never
+    /// requested timing).
+    pub fn read_exec_stats(
+        &self,
+        suite_digest: &str,
+    ) -> Result<crate::bench::ExecStatsDoc, String> {
+        let path = self.exec_stats_path(suite_digest);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        crate::bench::ExecStatsDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
     /// Look up one cell's record by digest, trusting only verified bytes.
     ///
     /// Verification is the resume path from the journal runner: the file
@@ -535,9 +569,9 @@ impl LabStore {
     }
 
     /// The record digests present under one suite directory (sorted; the
-    /// manifest and cache-stats sidecar are excluded, and the `.jsonl`
-    /// journal never matches). Used to detect records a suite no longer
-    /// names.
+    /// manifest and the cache-stats/exec-stats sidecars are excluded, and
+    /// the `.jsonl` journal never matches). Used to detect records a
+    /// suite no longer names.
     pub fn record_digests(&self, suite_digest: &str) -> Result<Vec<String>, String> {
         let dir = self.suite_dir(suite_digest);
         let mut out = Vec::new();
@@ -550,7 +584,7 @@ impl LabStore {
             }
             if path.extension().is_some_and(|e| e == "json") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    if stem != "manifest" && stem != "cache-stats" {
+                    if stem != "manifest" && stem != "cache-stats" && stem != "exec-stats" {
                         out.push(stem.to_string());
                     }
                 }

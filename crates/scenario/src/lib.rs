@@ -36,6 +36,10 @@ mod record;
 mod report;
 mod scenario;
 
+// Re-exported so downstream crates (lab, farm, cli, synth) can name the
+// execution engine and kernel families without depending on apex-exec.
+pub use apex_exec::{ExecMode, ExecStats, KernelReport, KernelSpec};
+
 pub use cache::{CacheStats, CACHE_FORMAT_MAJOR, CACHE_FORMAT_MINOR};
 pub use outcome::{RunOutcome, OUTCOME_FORMAT_MAJOR, OUTCOME_FORMAT_MINOR};
 pub use program::{

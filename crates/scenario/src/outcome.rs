@@ -63,6 +63,12 @@ impl RunOutcome {
         Self::capture_with(scenario, ReportRecord::run)
     }
 
+    /// [`RunOutcome::capture`] with a runtime execution-engine override
+    /// (see [`Scenario::run_with_exec`]); `None` is exactly `capture`.
+    pub fn capture_exec(scenario: &Scenario, exec: Option<apex_exec::ExecMode>) -> Self {
+        Self::capture_with(scenario, move |s| ReportRecord::run_exec(s, exec))
+    }
+
     /// [`RunOutcome::capture`] with an explicit runner — the seam the
     /// lab's fault-injection harness uses to panic a chosen cell.
     pub fn capture_with(scenario: &Scenario, run: impl FnOnce(&Scenario) -> ReportRecord) -> Self {

@@ -97,6 +97,14 @@ impl ReportRecord {
         Self::from_run(scenario.clone(), scenario.run())
     }
 
+    /// [`ReportRecord::run`] with a runtime execution-engine override
+    /// (see [`Scenario::run_with_exec`]): the recorded scenario and its
+    /// digest are exactly as written — only the engine that produced the
+    /// (engine-independent) report differs.
+    pub fn run_exec(scenario: &Scenario, exec: Option<apex_exec::ExecMode>) -> Self {
+        Self::from_run(scenario.clone(), scenario.run_with_exec(exec))
+    }
+
     /// The record's content address: [`Scenario::digest`] of its scenario.
     pub fn digest(&self) -> String {
         self.scenario.digest()

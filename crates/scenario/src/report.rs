@@ -8,6 +8,7 @@
 
 use apex_core::validate::{BinCheck, TheoremOneReport};
 use apex_core::PhaseOutcome;
+use apex_exec::KernelReport;
 use apex_pram::refexec::ReplayError;
 use apex_scheme::{SchemeReport, VerifyReport};
 use apex_sim::{Json, JsonError};
@@ -74,48 +75,64 @@ pub enum ScenarioReport {
     Scheme(SchemeReport),
     /// An agreement-mode run (raw protocol phases + Theorem-1 validators).
     Agreement(AgreementRunReport),
+    /// A kernel-mode run (stress kernel under either execution engine;
+    /// the report is engine-independent by the ticketed engine's
+    /// byte-identity contract).
+    Kernel(KernelReport),
 }
 
 impl ScenarioReport {
     /// Did the run meet its mode's correctness bar (verifier clean /
-    /// Theorem 1 held every phase)?
+    /// Theorem 1 held every phase / kernel accounting consistent)?
     pub fn ok(&self) -> bool {
         match self {
             ScenarioReport::Scheme(r) => r.verify.ok(),
             ScenarioReport::Agreement(r) => r.ok(),
+            ScenarioReport::Kernel(r) => r.ok(),
         }
     }
 
     /// The scheme report.
     ///
     /// # Panics
-    /// If the scenario ran in agreement mode.
+    /// If the scenario ran in another mode.
     pub fn scheme(&self) -> &SchemeReport {
         match self {
             ScenarioReport::Scheme(r) => r,
-            ScenarioReport::Agreement(_) => panic!("scenario ran in agreement mode"),
+            _ => panic!("scenario did not run in scheme mode"),
         }
     }
 
     /// The scheme report, by value.
     ///
     /// # Panics
-    /// If the scenario ran in agreement mode.
+    /// If the scenario ran in another mode.
     pub fn into_scheme(self) -> SchemeReport {
         match self {
             ScenarioReport::Scheme(r) => r,
-            ScenarioReport::Agreement(_) => panic!("scenario ran in agreement mode"),
+            _ => panic!("scenario did not run in scheme mode"),
         }
     }
 
     /// The agreement report.
     ///
     /// # Panics
-    /// If the scenario ran in scheme mode.
+    /// If the scenario ran in another mode.
     pub fn agreement(&self) -> &AgreementRunReport {
         match self {
             ScenarioReport::Agreement(r) => r,
-            ScenarioReport::Scheme(_) => panic!("scenario ran in scheme mode"),
+            _ => panic!("scenario did not run in agreement mode"),
+        }
+    }
+
+    /// The kernel report.
+    ///
+    /// # Panics
+    /// If the scenario ran in another mode.
+    pub fn kernel(&self) -> &KernelReport {
+        match self {
+            ScenarioReport::Kernel(r) => r,
+            _ => panic!("scenario did not run in kernel mode"),
         }
     }
 
@@ -124,6 +141,7 @@ impl ScenarioReport {
         match self {
             ScenarioReport::Scheme(r) => r.ticks,
             ScenarioReport::Agreement(r) => r.ticks,
+            ScenarioReport::Kernel(r) => r.ticks,
         }
     }
 
@@ -138,6 +156,10 @@ impl ScenarioReport {
                 ("kind".into(), Json::Str("agreement".into())),
                 ("agreement".into(), r.to_json()),
             ]),
+            ScenarioReport::Kernel(r) => Json::Obj(vec![
+                ("kind".into(), Json::Str("kernel".into())),
+                ("kernel".into(), r.to_json()),
+            ]),
         }
     }
 
@@ -149,6 +171,9 @@ impl ScenarioReport {
             )?)),
             "agreement" => Ok(ScenarioReport::Agreement(AgreementRunReport::from_json(
                 v.get("agreement")?,
+            )?)),
+            "kernel" => Ok(ScenarioReport::Kernel(KernelReport::from_json(
+                v.get("kernel")?,
             )?)),
             other => Err(jerr(format!("unknown report kind {other:?}"))),
         }
@@ -180,6 +205,7 @@ impl ScenarioReport {
                 r.stability_violations,
                 if r.ok() { "Theorem 1 held" } else { "FAILED" },
             ),
+            ScenarioReport::Kernel(r) => r.summary(),
         }
     }
 }

@@ -7,6 +7,7 @@ use apex_core::{
     AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, RandomSource,
     ValueSource,
 };
+use apex_exec::{ExecMode, KernelSpec};
 use apex_pram::{Program, VarBlock};
 use apex_scheme::tasks::eval_cost;
 use apex_scheme::{ReplicaK, SchemeKind, SchemeRun, SchemeRunConfig};
@@ -121,15 +122,26 @@ pub struct EngineKnobs {
     /// Per-subphase (scheme mode) / per-phase (agreement mode) stall
     /// budget in work units (`None` derives a generous default).
     pub tick_budget: Option<u64>,
+    /// Execution engine for kernel-mode scenarios (serial reference or
+    /// ticketed parallel; see [`ExecMode`]). Scheme and agreement modes
+    /// always run on the serial engine and ignore this knob. Reports are
+    /// byte-identical across modes, so this is a pure engine choice.
+    pub exec: ExecMode,
 }
 
 impl EngineKnobs {
     fn to_json(self) -> Json {
         let opt = |v: Option<u64>| v.map_or(Json::Null, Json::UInt);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("batch".into(), opt(self.batch.map(|b| b as u64))),
             ("tick_budget".into(), opt(self.tick_budget)),
-        ])
+        ];
+        // Omitted when Serial so every pre-existing document — and with it
+        // every content digest in every store — is byte-for-byte unchanged.
+        if self.exec != ExecMode::Serial {
+            fields.push(("exec".into(), self.exec.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Self, JsonError> {
@@ -146,6 +158,10 @@ impl EngineKnobs {
                 })
                 .transpose()?,
             tick_budget: opt(v.get_opt("tick_budget"))?,
+            exec: match v.get_opt("exec") {
+                None | Some(Json::Null) => ExecMode::Serial,
+                Some(e) => ExecMode::from_json(e)?,
+            },
         })
     }
 }
@@ -175,6 +191,18 @@ pub enum Mode {
         phases: usize,
         /// Instrumentation switches.
         instrument: InstrumentOpts,
+    },
+    /// Drive a stress-kernel workload ([`KernelSpec`]) for a fixed number
+    /// of schedule ticks — the workload family the ticketed parallel
+    /// engine ([`ExecMode::Ticketed`]) can execute on multiple threads
+    /// with a byte-identical report.
+    Kernel {
+        /// The kernel family and its parameters.
+        kernel: KernelSpec,
+        /// Number of processors.
+        n: usize,
+        /// Schedule ticks to execute.
+        ticks: u64,
     },
 }
 
@@ -235,6 +263,18 @@ impl Scenario {
         }
     }
 
+    /// A kernel-mode scenario with the harness defaults (uniform
+    /// adversary, serial engine).
+    pub fn kernel(kernel: KernelSpec, n: usize, ticks: u64, seed: u64) -> Self {
+        Scenario {
+            mode: Mode::Kernel { kernel, n, ticks },
+            schedule: AdversarySpec::Base(ScheduleKind::Uniform),
+            seed,
+            agreement: None,
+            engine: EngineKnobs::default(),
+        }
+    }
+
     /// Set the adversary (accepts a legacy [`ScheduleKind`] or any
     /// [`AdversarySpec`] composition).
     pub fn schedule(mut self, s: impl Into<AdversarySpec>) -> Self {
@@ -277,11 +317,19 @@ impl Scenario {
         self
     }
 
+    /// Set the execution engine (kernel mode; other modes carry the knob
+    /// but always run serially).
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.engine.exec = exec;
+        self
+    }
+
     /// Processor count of the described machine.
     pub fn n(&self) -> usize {
         match &self.mode {
             Mode::Scheme { program, .. } => program.n_threads(),
             Mode::Agreement { n, .. } => *n,
+            Mode::Kernel { n, .. } => *n,
         }
     }
 
@@ -301,7 +349,7 @@ impl Scenario {
     pub fn io_blocks(&self) -> Option<(VarBlock, VarBlock)> {
         match &self.mode {
             Mode::Scheme { program, .. } => program.resolve_io().ok().flatten(),
-            Mode::Agreement { .. } => None,
+            Mode::Agreement { .. } | Mode::Kernel { .. } => None,
         }
     }
 
@@ -321,6 +369,7 @@ impl Scenario {
         if self.engine.batch == Some(0) {
             return fail("engine batch must be ≥ 1".into());
         }
+        self.engine.exec.validate().map_err(ScenarioError)?;
         let resolved = match &self.mode {
             Mode::Scheme {
                 program, replicas, ..
@@ -381,6 +430,19 @@ impl Scenario {
                             cfg.eval_cost
                         ));
                     }
+                }
+                None
+            }
+            Mode::Kernel { kernel, n, ticks } => {
+                if *n < 1 {
+                    return fail("kernel scenario needs ≥ 1 processor".into());
+                }
+                if *ticks < 1 {
+                    return fail("kernel scenario must run ≥ 1 tick".into());
+                }
+                kernel.validate().map_err(ScenarioError)?;
+                if self.agreement.is_some() {
+                    return fail("kernel scenarios take no agreement constants".into());
                 }
                 None
             }
@@ -475,6 +537,16 @@ impl Scenario {
     /// If [`Scenario::validate`] fails (validate first when the scenario
     /// comes from an untrusted file) or the run trips a stall budget.
     pub fn run(&self) -> ScenarioReport {
+        self.run_with_exec(None)
+    }
+
+    /// [`Scenario::run`] with a runtime engine override: `Some(mode)`
+    /// replaces the scenario's [`EngineKnobs::exec`] knob for this
+    /// execution only — the scenario document (and so its digest) is
+    /// untouched, and since reports are engine-independent the output
+    /// bytes cannot change either. `None` runs the knob as written.
+    /// Scheme and agreement modes always execute serially regardless.
+    pub fn run_with_exec(&self, exec: Option<ExecMode>) -> ScenarioReport {
         match &self.mode {
             Mode::Scheme { .. } => ScenarioReport::Scheme(self.build_scheme().run()),
             Mode::Agreement { phases, .. } => {
@@ -486,6 +558,22 @@ impl Scenario {
                     ticks: run.machine().ticks(),
                     stability_violations: run.stability_violations(),
                 })
+            }
+            Mode::Kernel { kernel, n, ticks } => {
+                if let Err(e) = self.validate() {
+                    panic!("invalid scenario: {e}");
+                }
+                let mode = exec.unwrap_or(self.engine.exec);
+                let (report, _stats) = apex_exec::run_kernel(
+                    *kernel,
+                    *n,
+                    *ticks,
+                    &self.schedule,
+                    self.seed,
+                    self.engine.batch,
+                    mode,
+                );
+                ScenarioReport::Kernel(report)
             }
         }
     }
@@ -523,6 +611,12 @@ impl Scenario {
                         ),
                     ]),
                 ),
+            ]),
+            Mode::Kernel { kernel, n, ticks } => Json::Obj(vec![
+                ("kind".into(), Json::Str("kernel".into())),
+                ("kernel".into(), kernel.to_json()),
+                ("n".into(), Json::UInt(*n as u64)),
+                ("ticks".into(), Json::UInt(*ticks)),
             ]),
         };
         Json::Obj(vec![
@@ -585,6 +679,11 @@ impl Scenario {
                     },
                 }
             }
+            "kernel" => Mode::Kernel {
+                kernel: KernelSpec::from_json(mode_v.get("kernel")?)?,
+                n: mode_v.get("n")?.as_usize()?,
+                ticks: mode_v.get("ticks")?.as_u64()?,
+            },
             other => return Err(jerr(format!("unknown scenario mode {other:?}"))),
         };
         Ok(Scenario {

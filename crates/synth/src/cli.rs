@@ -37,7 +37,9 @@ pub fn usage() -> ! {
          shrink       --file F [--out DIR] [--shrink-budget R]\n\
          replay       --file F | --dir DIR\n\
          run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]\n\
-         \x20             execute a scenario file (--cached answers from the lab store)\n\
+         \x20             [--exec serial|ticketed [--workers N]]\n\
+         \x20             execute a scenario file (--cached answers from the lab store;\n\
+         \x20             --exec overrides the kernel engine without changing a result byte)\n\
          migrate      [--dir DIR]                     rewrite artifacts at v{VERSION}\n\
          corpus-dedup [--dir DIR] [--dry-run]         drop scenario-digest duplicates"
     );
@@ -95,6 +97,31 @@ impl Args {
             }),
         }
     }
+}
+
+/// Parse the shared `--exec serial|ticketed [--workers N]` engine
+/// override used by `run`, `suite run` and `farm worker`. `--workers N`
+/// alone implies the ticketed engine; the flags never change a result
+/// byte, only which engine computes it. Invalid values abort with the
+/// usage text.
+pub fn exec_override(args: &Args) -> Option<apex_scenario::ExecMode> {
+    use apex_scenario::ExecMode;
+    let workers: usize = args.num("workers", 4);
+    let mode = match args.get("exec") {
+        None if args.has("workers") => ExecMode::Ticketed { workers },
+        None => return None,
+        Some("serial") => ExecMode::Serial,
+        Some("ticketed") => ExecMode::Ticketed { workers },
+        Some(other) => {
+            eprintln!("invalid --exec value {other:?} (expected serial or ticketed)");
+            usage();
+        }
+    };
+    if let Err(e) = mode.validate() {
+        eprintln!("{e}");
+        usage();
+    }
+    Some(mode)
 }
 
 /// Dispatch one synthesis subcommand (`argv` excludes the binary name
@@ -184,7 +211,7 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
     // Captured, not raw: a panicking or budget-exhausted scenario becomes
     // a typed outcome document and a failing exit code instead of an
     // abort, so campaign scripts can tell the failure classes apart.
-    let outcome = RunOutcome::capture(&scenario);
+    let outcome = RunOutcome::capture_exec(&scenario, exec_override(&args));
     if args.has("json") {
         // Stdout carries exactly one document (the record when the run
         // completed, the typed outcome otherwise); the summary goes to

@@ -100,7 +100,7 @@ impl Reproducer {
     pub fn scheme(&self) -> SchemeKind {
         match &self.scenario.mode {
             Mode::Scheme { scheme, .. } => *scheme,
-            Mode::Agreement { .. } => panic!("reproducer scenario is not scheme-mode"),
+            _ => panic!("reproducer scenario is not scheme-mode"),
         }
     }
 

@@ -111,6 +111,7 @@ fn worker(id: &str) -> WorkerOpts {
         shard_cells: 2,
         ttl: 8,
         threads: Some(1),
+        exec: None,
     }
 }
 
@@ -518,6 +519,7 @@ proptest! {
                     shard_cells: 1 + (seed as usize >> 3) % 2,
                     ttl: 2 + seed % 4,
                     threads: Some(1),
+                    exec: None,
                 };
                 scope.spawn(move || {
                     let faulted = match plan {

@@ -9,7 +9,9 @@
 //! scenario smoke step).
 
 use apex::core::{AgreementConfig, InstrumentOpts};
-use apex::scenario::{EngineKnobs, Mode, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR};
+use apex::scenario::{
+    EngineKnobs, ExecMode, Mode, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR,
+};
 use apex::scheme::tasks::eval_cost;
 use apex::scheme::SchemeKind;
 use apex::sim::{
@@ -205,6 +207,7 @@ fn scenario_from_seed(seed: u64) -> Scenario {
         batch: (mix(seed, 21).is_multiple_of(3)).then(|| 1 + (mix(seed, 22) as usize) % 256),
         tick_budget: (mix(seed, 23).is_multiple_of(4))
             .then(|| 1_000_000 + mix(seed, 24) % (1 << 50)),
+        exec: ExecMode::default(),
     };
     Scenario {
         mode,
