@@ -6,23 +6,27 @@
 //! apex suite expand SUITE.json                  print the deterministic cell list
 //! apex drift        SUITE.json [--store DIR]    re-run and compare against the store
 //! apex drift        --compare BASELINE CANDIDATE  byte-compare two stores
+//! apex drift report BASELINE CANDIDATE          suite-by-suite divergence matrix
 //! apex lab fsck     [--store DIR] [--repair]    integrity-scan the store
 //! apex lab gc       [--store DIR] [--keep-last N] [--dry-run]  reclaim old suites
 //! apex farm submit  SUITE.json [--queue DIR]    enqueue a suite for the workers
 //! apex farm worker  [--queue DIR] [--store DIR] [--threads N] …  drain the queue
 //! apex farm status  [--queue DIR] [--store DIR] per-suite queue progress
 //! apex farm query   SCENARIO.json [--queue DIR] [--store DIR]  answer or enqueue
+//! apex obs view     TRACE.jsonl [--scope S] …   summarize a trace file
+//! apex obs metrics  [FILE] [--merge DIR]…       render / fleet-merge metrics
 //! apex run          SCENARIO.json [--emit F] [--json]   execute one scenario
 //! apex adversary    <validate|describe|gallery> …  lint/inspect adversary specs
 //! apex synth        <gen|fuzz|shrink|replay|run|migrate|corpus-dedup> …
 //! ```
 //!
 //! `suite`/`drift`/`lab` front [`apex_lab`]; `farm` fronts
-//! [`apex_farm`]; `adversary` fronts the [`apex_sim::AdversarySpec`]
-//! algebra; `run` and `synth` delegate to [`apex_synth::cli`], so every
-//! entry point in the workspace is reachable from one binary.
+//! [`apex_farm`]; `obs` fronts the [`apex_obs`] telemetry plane;
+//! `adversary` fronts the [`apex_sim::AdversarySpec`] algebra; `run`
+//! and `synth` delegate to [`apex_synth::cli`], so every entry point
+//! in the workspace is reachable from one binary.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -31,33 +35,43 @@ use apex_lab::{
     check_against_store, compare_stores, fsck, gc, run_suite_journaled, BenchDoc, BenchRun,
     FaultInjector, FaultPlan, JournalOpts, LabStore, Suite,
 };
+use apex_obs::{read_trace, summarize, Metrics, Table};
 use apex_scenario::Scenario;
 use apex_sim::{AdversarySpec, Json};
 use apex_synth::cli::{self, Args};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: apex <suite|drift|lab|farm|run|adversary|synth> …\n\
+        "usage: apex <suite|drift|lab|farm|obs|run|adversary|synth> …\n\
          \n\
          suite run    SUITE.json [--store DIR] [--resume] [--cached] [--faults PLAN.json]\n\
          \x20            [--threads N] [--exec serial|ticketed [--workers N]] [--timing]\n\
+         \x20            [--trace [FILE]] [--metrics] [--profile]\n\
          \x20            [--bench OUT.json] [--bench-baseline BASE.json [--bench-tolerance F]]\n\
          \x20                                        journaled expand-execute-record\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
          drift        SUITE.json [--store DIR]   re-run a suite, compare against the store\n\
          drift        --compare BASE CAND        byte-compare two stores\n\
+         drift report BASE CAND                  suite-by-suite divergence matrix\n\
          lab fsck     [--store DIR] [--repair]   integrity-scan (--repair quarantines;\n\
          \x20                                        stale leases are reclaimed)\n\
          lab gc       [--store DIR] [--keep-last N] [--dry-run]  delete old suite dirs\n\
          farm submit  SUITE.json [--queue DIR]   enqueue a suite for the workers\n\
          farm worker  [--queue DIR] [--store DIR] [--threads N] [--worker ID]\n\
          \x20            [--shard N] [--ttl N] [--faults PLAN.json]\n\
-         \x20            [--exec serial|ticketed [--workers N]]  drain the queue\n\
-         farm status  [--queue DIR] [--store DIR]  per-suite queue progress\n\
+         \x20            [--exec serial|ticketed [--workers N]]\n\
+         \x20            [--trace [FILE]] [--metrics] [--profile]  drain the queue\n\
+         farm status  [--queue DIR] [--store DIR] [--metrics]  per-suite queue progress\n\
          farm query   SCENARIO.json [--queue DIR] [--store DIR] [--json]\n\
          \x20                                        answer from cache, or enqueue\n\
+         obs view     TRACE.jsonl [--scope S] [--kind K] [--label L] [--raw]\n\
+         \x20                                        summarize (or dump) a trace file\n\
+         obs metrics  [FILE] [--merge DIR]… [--result-plane] [--json]\n\
+         \x20                                        render / fleet-merge metrics documents\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
-         \x20            [--exec serial|ticketed [--workers N]]  execute one scenario\n\
+         \x20            [--exec serial|ticketed [--workers N]]\n\
+         \x20            [--trace [FILE]] [--metrics [FILE]] [--profile]\n\
+         \x20                                        execute one scenario\n\
          adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
          adversary describe SPEC.json --n N [--seed S]  compile and describe it\n\
          adversary gallery  [--n N]              print the composed-adversary gallery\n\
@@ -77,6 +91,7 @@ fn main() -> ExitCode {
         "drift" => cmd_drift(&argv[1..]),
         "lab" => cmd_lab(&argv[1..]),
         "farm" => cmd_farm(&argv[1..]),
+        "obs" => cmd_obs(&argv[1..]),
         "run" => cli::cmd_run(&argv[1..]),
         "adversary" => cmd_adversary(&argv[1..]),
         "synth" => cli::dispatch(&argv[1..]),
@@ -214,12 +229,15 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                 store = store.with_faults(Arc::new(FaultInjector::new(plan)));
             }
             let benching = args.has("bench") || args.has("bench-baseline");
+            // Bare `--trace` lands next to the suite's records.
+            let trace_default = store.trace_path(&suite.digest());
             let opts = JournalOpts {
                 resume: args.has("resume"),
                 cached: args.has("cached"),
                 threads: args.get("threads").and_then(|v| v.parse().ok()),
                 exec: cli::exec_override(&args),
                 timing: benching || args.has("timing"),
+                obs: cli::obs_override(&args, || trace_default),
             };
             let done = match run_suite_journaled(&suite, &store, &opts) {
                 Ok(d) => d,
@@ -249,10 +267,23 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
             if opts.timing {
                 let exec = opts.exec.unwrap_or_default();
                 println!(
-                    "  {exec}: {} ticks in {} ms — {} ticks/s",
+                    "  {exec}: {} ticks in {} ms — {} ticks/s ({} windows, {} conflicts, {} serial reruns)",
                     done.executed_ticks,
                     done.elapsed_ms,
-                    done.ticks_per_sec()
+                    done.ticks_per_sec(),
+                    done.exec.windows,
+                    done.exec.conflicts,
+                    done.exec.serial_reruns
+                );
+            }
+            if let Some(trace) = &opts.obs.trace {
+                println!("  trace: wrote {}", trace.display());
+            }
+            if !done.metrics.is_empty() {
+                println!(
+                    "  metrics: wrote {} ({})",
+                    store.metrics_path(&run.suite_digest).display(),
+                    done.metrics.summary()
                 );
             }
             if benching {
@@ -335,6 +366,11 @@ fn bench_gate(args: &Args, suite: &Suite, done: &apex_lab::JournaledRun) -> Resu
 }
 
 fn cmd_drift(raw: &[String]) -> ExitCode {
+    if raw.first().is_some_and(|a| a == "report") {
+        // report BASELINE CANDIDATE: per-suite divergence matrix.
+        let [base, cand] = &raw[1..] else { usage() };
+        return drift_report_matrix(&LabStore::new(base), &LabStore::new(cand));
+    }
     if raw.first().is_some_and(|a| a == "--compare") {
         // --compare BASELINE CANDIDATE: byte-compare two store roots.
         let [base, cand] = &raw[1..] else { usage() };
@@ -368,6 +404,88 @@ fn cmd_drift(raw: &[String]) -> ExitCode {
     };
     println!("{}", report.summary());
     if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `apex drift report BASE CAND` — the divergence matrix: one row per
+/// suite (one version of the experiment grid), cell-divergence counts
+/// as columns. Cells are compared byte-for-byte, records named by each
+/// store's manifest (falling back to a directory scan when a manifest
+/// is missing). Exit 0 iff every suite row is clean.
+fn drift_report_matrix(base: &LabStore, cand: &LabStore) -> ExitCode {
+    let digests = |s: &LabStore| s.suite_digests().unwrap_or_default();
+    let mut suites = digests(base);
+    for d in digests(cand) {
+        if !suites.contains(&d) {
+            suites.push(d);
+        }
+    }
+    suites.sort();
+    // Cells a store holds for a suite, preferring the manifest's list
+    // (the run's own account of itself) over a raw directory scan.
+    let cells_of = |s: &LabStore, suite: &str| -> Vec<String> {
+        match s.read_manifest(suite) {
+            Ok(m) => m.cells.iter().map(|c| c.digest.clone()).collect(),
+            Err(_) => s.record_digests(suite).unwrap_or_default(),
+        }
+    };
+    let mut table = Table::new(&[
+        "suite",
+        "cells",
+        "identical",
+        "differs",
+        "missing",
+        "extra",
+        "verdict",
+    ]);
+    let mut clean = true;
+    for suite in &suites {
+        let base_cells = cells_of(base, suite);
+        let cand_cells = cells_of(cand, suite);
+        let (mut identical, mut differs, mut missing) = (0u64, 0u64, 0u64);
+        for cell in &base_cells {
+            let b = std::fs::read_to_string(base.record_path(suite, cell)).ok();
+            let c = std::fs::read_to_string(cand.record_path(suite, cell)).ok();
+            match (b, c) {
+                (Some(b), Some(c)) if b == c => identical += 1,
+                (Some(_), Some(_)) => differs += 1,
+                _ => missing += 1,
+            }
+        }
+        let extra = cand_cells
+            .iter()
+            .filter(|c| !base_cells.contains(c))
+            .count() as u64;
+        let ok = differs == 0 && missing == 0 && extra == 0;
+        clean &= ok;
+        table.row(&[
+            suite.clone(),
+            (base_cells.len() as u64 + extra).to_string(),
+            identical.to_string(),
+            differs.to_string(),
+            missing.to_string(),
+            extra.to_string(),
+            (if ok { "ok" } else { "DRIFT" }).to_string(),
+        ]);
+    }
+    if table.is_empty() {
+        println!("drift report: no suites in either store");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", table.render());
+    println!(
+        "drift report: {} suites, {}",
+        suites.len(),
+        if clean {
+            "no divergence"
+        } else {
+            "DIVERGENCES"
+        }
+    );
+    if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -472,6 +590,10 @@ fn cmd_farm(raw: &[String]) -> ExitCode {
             opts.ttl = args.num("ttl", opts.ttl);
             opts.threads = args.get("threads").and_then(|v| v.parse().ok());
             opts.exec = cli::exec_override(&args);
+            // Bare `--trace` lands beside the store, one file per worker
+            // (a trace describes one worker's run, not the fleet's).
+            let trace_default = store.root().join(format!("trace-{}.jsonl", opts.worker));
+            opts.obs = cli::obs_override(&args, || trace_default);
             match run_worker(&queue, &store, &opts) {
                 Ok(report) => {
                     println!("{}", report.summary());
@@ -490,16 +612,36 @@ fn cmd_farm(raw: &[String]) -> ExitCode {
                 }
             }
         }
-        ("status", None) => match queue.status(&store_from(&args)) {
-            Ok(status) => {
-                println!("{}", status.summary());
-                ExitCode::SUCCESS
+        ("status", None) => {
+            let store = store_from(&args);
+            match queue.status(&store) {
+                Ok(status) => {
+                    println!("{}", status.summary());
+                    if args.has("metrics") {
+                        // Fold every metrics sidecar in the store — the
+                        // serial `metrics.json` and per-worker
+                        // `metrics-<id>.json` shards alike — into one
+                        // fleet document.
+                        match merge_metrics_under(store.root()) {
+                            Ok((merged, files)) if files > 0 => {
+                                println!("fleet metrics ({files} documents merged):");
+                                print!("{}", render_metrics_tables(&merged));
+                            }
+                            Ok(_) => println!("fleet metrics: no metrics documents in store"),
+                            Err(e) => {
+                                eprintln!("farm status --metrics: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("farm status: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("farm status: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        }
         ("query", Some(file)) => {
             let scenario = match Scenario::load(Path::new(&file)) {
                 Ok(s) => s,
@@ -549,6 +691,148 @@ fn cmd_farm(raw: &[String]) -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// `apex obs <view|metrics>` — read-side tooling for the telemetry
+/// plane. `view` replays and summarizes a JSONL trace (optionally
+/// filtered by scope/kind/label, `--raw` dumps matching lines);
+/// `metrics` renders one metrics document or fleet-merges many
+/// (`--merge DIR` scans a store for every `metrics*.json`;
+/// `--result-plane` projects onto the partition-independent subset).
+fn cmd_obs(raw: &[String]) -> ExitCode {
+    let Some(verb) = raw.first() else { usage() };
+    let (file, rest) = positional(&raw[1..]);
+    let args = Args::parse(rest);
+    match verb.as_str() {
+        "view" => {
+            let Some(file) = file else { usage() };
+            let log = match read_trace(Path::new(&file)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let keep = |field: &str, flag: &str| -> bool {
+                args.get(flag).is_none_or(|want| field == want)
+            };
+            let events: Vec<_> = log
+                .events
+                .into_iter()
+                .filter(|e| {
+                    keep(&e.scope, "scope") && keep(&e.kind, "kind") && keep(&e.label, "label")
+                })
+                .collect();
+            if args.has("raw") {
+                for e in &events {
+                    println!("{}", e.to_line());
+                }
+            } else {
+                print!("{}", summarize(&events).render());
+                println!("{} events from {file}", events.len());
+            }
+            if log.torn_tail {
+                eprintln!("warning: {file} has a torn final line (tolerated)");
+            }
+            ExitCode::SUCCESS
+        }
+        "metrics" => {
+            let mut merged = Metrics::new();
+            let mut files = 0usize;
+            let result = (|| -> Result<(), String> {
+                if let Some(file) = &file {
+                    merged.merge(&Metrics::load(Path::new(file))?)?;
+                    files += 1;
+                }
+                for dir in args.all("merge") {
+                    let (doc, n) = merge_metrics_under(Path::new(dir))?;
+                    if n == 0 {
+                        return Err(format!("{dir}: no metrics*.json documents found"));
+                    }
+                    merged.merge(&doc)?;
+                    files += n;
+                }
+                Ok(())
+            })();
+            if let Err(e) = result {
+                eprintln!("obs metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+            if files == 0 {
+                usage();
+            }
+            let doc = if args.has("result-plane") {
+                merged.result_plane()
+            } else {
+                merged
+            };
+            if args.has("json") {
+                println!("{}", doc.render_pretty());
+            } else {
+                println!("{} documents merged — {}", files, doc.summary());
+                print!("{}", render_metrics_tables(&doc));
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// Merge every `metrics*.json` under `root` (recursively — a store
+/// keeps one per suite directory, plus per-worker shards). Returns the
+/// merged document and how many files contributed.
+fn merge_metrics_under(root: &Path) -> Result<(Metrics, usize), String> {
+    let mut merged = Metrics::new();
+    let mut files = 0usize;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("metrics") && name.ends_with(".json") {
+                merged
+                    .merge(&Metrics::load(&path)?)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                files += 1;
+            }
+        }
+    }
+    Ok((merged, files))
+}
+
+/// Render a metrics document as counter/gauge/histogram tables.
+fn render_metrics_tables(m: &Metrics) -> String {
+    let mut out = String::new();
+    let mut scalars = Table::new(&["instrument", "kind", "value"]);
+    for (name, v) in m.counters() {
+        scalars.row(&[name.to_string(), "counter".into(), v.to_string()]);
+    }
+    for (name, v) in m.gauges() {
+        scalars.row(&[name.to_string(), "gauge".into(), v.to_string()]);
+    }
+    if !scalars.is_empty() {
+        out.push_str(&scalars.render());
+    }
+    for (name, hist) in m.hists() {
+        out.push('\n');
+        out.push_str(&format!("{name} ({} observations):\n", hist.total()));
+        let mut t = Table::new(&["bucket", "count"]);
+        for (i, count) in hist.counts.iter().enumerate() {
+            let bucket = match hist.bounds.get(i) {
+                Some(b) => format!("<= {b}"),
+                None => "overflow".to_string(),
+            };
+            t.row(&[bucket, count.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    out
 }
 
 /// One-line scenario description for `suite expand` listings.

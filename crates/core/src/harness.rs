@@ -211,6 +211,12 @@ impl AgreementRun {
         &self.machine
     }
 
+    /// Mutable machine access — for installing telemetry hooks before
+    /// the run (instrumentation only; hooks observe, never steer).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
     /// The phase currently in progress.
     pub fn current_phase(&self) -> u64 {
         self.current_phase

@@ -48,8 +48,9 @@ pub use kernel::{KernelOp, KernelProc, KernelSpec};
 pub use mode::ExecMode;
 pub use report::{ExecStats, KernelReport};
 pub use serial::run_serial;
-pub use ticketed::run_ticketed;
+pub use ticketed::{run_ticketed, run_ticketed_obs};
 
+use apex_obs::Obs;
 use apex_sim::AdversarySpec;
 
 /// Execute a kernel scenario under `mode`, returning the (engine
@@ -67,11 +68,41 @@ pub fn run_kernel(
     batch: Option<usize>,
     mode: ExecMode,
 ) -> (KernelReport, ExecStats) {
+    run_kernel_obs(
+        spec,
+        n,
+        ticks,
+        schedule,
+        seed,
+        batch,
+        mode,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_kernel`] with a trace sink: the ticketed engine emits its
+/// window / speculate / commit / conflict / rerun events into `obs`
+/// (all from the committer thread, in deterministic order). The serial
+/// engine emits nothing — its whole run is one self-evident timeline.
+/// Tracing never changes a byte of the returned report.
+#[allow(clippy::too_many_arguments)] // the traced twin of run_kernel's flat signature
+pub fn run_kernel_obs(
+    spec: KernelSpec,
+    n: usize,
+    ticks: u64,
+    schedule: &AdversarySpec,
+    seed: u64,
+    batch: Option<usize>,
+    mode: ExecMode,
+    obs: &Obs,
+) -> (KernelReport, ExecStats) {
     match mode {
         ExecMode::Serial => (
             run_serial(spec, n, ticks, schedule, seed, batch),
             ExecStats::serial(),
         ),
-        ExecMode::Ticketed { workers } => run_ticketed(spec, n, ticks, schedule, seed, workers),
+        ExecMode::Ticketed { workers } => {
+            run_ticketed_obs(spec, n, ticks, schedule, seed, workers, obs)
+        }
     }
 }

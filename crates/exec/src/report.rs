@@ -118,6 +118,17 @@ impl ExecStats {
             self.workers, self.windows, self.conflicts, self.serial_reruns
         )
     }
+
+    /// Fold another run's stats into this tally: window, conflict, and
+    /// rerun counts add; the worker count keeps the maximum (it is a
+    /// configuration gauge, not a volume). This is how a suite run
+    /// aggregates per-cell engine stats into one campaign-level line.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.workers = self.workers.max(other.workers);
+        self.windows += other.windows;
+        self.conflicts += other.conflicts;
+        self.serial_reruns += other.serial_reruns;
+    }
 }
 
 /// Convenience: report skeleton shared by both engines.

@@ -40,6 +40,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
+use apex_obs::Obs;
 use apex_sim::rng::{derive_seed, small_rng, splitmix64, STREAM_TICKET};
 use apex_sim::{AdversarySpec, ProcId, Stamped};
 use rand::rngs::SmallRng;
@@ -287,6 +288,25 @@ pub fn run_ticketed(
     seed: u64,
     workers: usize,
 ) -> (KernelReport, ExecStats) {
+    run_ticketed_obs(spec, n, ticks, schedule, seed, workers, &Obs::disabled())
+}
+
+/// [`run_ticketed`] with a trace sink. Every event is emitted from the
+/// committer thread in deterministic window order — ticket cuts, the
+/// per-group speculation summaries (in group index order, *after* the
+/// nondeterministically-ordered channel collection), and each window's
+/// commit / conflict / serial-rerun decision — so a trace of a run is
+/// itself a deterministic artifact.
+#[allow(clippy::too_many_arguments)] // the traced twin of run_ticketed's flat signature
+pub fn run_ticketed_obs(
+    spec: KernelSpec,
+    n: usize,
+    ticks: u64,
+    schedule: &AdversarySpec,
+    seed: u64,
+    workers: usize,
+    obs: &Obs,
+) -> (KernelReport, ExecStats) {
     spec.validate().expect("invalid kernel spec");
     assert!(workers >= 1, "ticketed exec needs workers >= 1");
     let mem_size = spec.mem_size(n);
@@ -329,6 +349,13 @@ pub fn run_ticketed(
             decisions.resize(len, ProcId(0));
             sched.next_batch(&mut decisions);
             let ticket = derive_seed(seed, STREAM_TICKET, windex);
+            obs.emit(
+                "exec",
+                "window",
+                windex,
+                "",
+                &[("len", len as u64), ("groups", groups as u64)],
+            );
 
             // Sequencer: split the window into position-stamped per-group
             // subsequences and hand out the ticketed jobs.
@@ -343,6 +370,7 @@ pub fn run_ticketed(
             let mut rsets: Vec<AddrSet> = vec![AddrSet::default(); groups];
             let mut wsets: Vec<AddrSet> = vec![AddrSet::default(); groups];
             let mut window_reads = 0u64;
+            let mut greads: Vec<u64> = vec![0; groups];
             for _ in 0..groups {
                 match back_rx.recv().expect("worker died") {
                     FromWorker::Done {
@@ -361,9 +389,28 @@ pub fn run_ticketed(
                         wlogs[group] = wlog;
                         rsets[group] = rset;
                         wsets[group] = wset;
+                        greads[group] = reads;
                         window_reads += reads;
                     }
                     FromWorker::States { .. } => unreachable!("states outside rollback"),
+                }
+            }
+            if obs.enabled() {
+                // Receive order above is a thread race; emitting the
+                // summaries here, in group index order, keeps the trace
+                // deterministic.
+                for g in 0..groups {
+                    obs.emit(
+                        "exec",
+                        "speculate",
+                        windex,
+                        "",
+                        &[
+                            ("group", g as u64),
+                            ("writes", wlogs[g].len() as u64),
+                            ("reads", greads[g]),
+                        ],
+                    );
                 }
             }
 
@@ -408,6 +455,16 @@ pub fn run_ticketed(
                         .map(|&(a, w, src, _)| (a, w, src))
                         .collect(),
                 );
+                obs.emit(
+                    "exec",
+                    "commit",
+                    windex,
+                    "",
+                    &[
+                        ("writes", window_writes.len() as u64),
+                        ("delta", delta.len() as u64),
+                    ],
+                );
                 for tx in &txs {
                     tx.send(ToWorker::Commit {
                         delta: delta.clone(),
@@ -421,6 +478,7 @@ pub fn run_ticketed(
                 // committer has not touched yet this window).
                 stats.conflicts += 1;
                 stats.serial_reruns += 1;
+                obs.emit("exec", "conflict", windex, "", &[]);
                 for tx in &txs {
                     tx.send(ToWorker::Rollback).unwrap();
                 }
@@ -458,6 +516,13 @@ pub fn run_ticketed(
                     }
                 }
                 let delta = Arc::new(delta);
+                obs.emit(
+                    "exec",
+                    "rerun",
+                    windex,
+                    "",
+                    &[("writes", delta.len() as u64)],
+                );
                 for (g, tx) in txs.iter().enumerate() {
                     let (lo, hi) = (g * chunk, ((g + 1) * chunk).min(n));
                     tx.send(ToWorker::Repair {
@@ -563,6 +628,26 @@ mod tests {
         let (r, stats) = run_ticketed(spec, 3, 9_000, &uniform(), 8, 16);
         assert_eq!(r, reference);
         assert_eq!(stats.workers, 3, "one group per processor at most");
+    }
+
+    #[test]
+    fn tracing_changes_no_bytes_and_is_itself_deterministic() {
+        let spec = KernelSpec::Storm { region: 8 };
+        let quiet = run_ticketed(spec, 8, 20_000, &uniform(), 9, 4);
+        let (obs_a, mem_a) = Obs::to_mem();
+        let traced = run_ticketed_obs(spec, 8, 20_000, &uniform(), 9, 4, &obs_a);
+        assert_eq!(traced, quiet, "observation must have no observer effect");
+
+        let (obs_b, mem_b) = Obs::to_mem();
+        run_ticketed_obs(spec, 8, 20_000, &uniform(), 9, 4, &obs_b);
+        let (ea, eb) = (mem_a.events(), mem_b.events());
+        assert_eq!(ea, eb, "committer-thread emission order is deterministic");
+        assert!(ea.iter().any(|e| e.kind == "window"));
+        assert!(ea.iter().any(|e| e.kind == "speculate"));
+        assert!(
+            ea.iter().filter(|e| e.kind == "conflict").count() as u64 == traced.1.conflicts,
+            "one conflict event per counted conflict"
+        );
     }
 
     #[test]

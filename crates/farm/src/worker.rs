@@ -30,7 +30,8 @@ use apex_lab::{
     CacheLookup, Cell, FaultInjector, Journal, JournalEntry, LabStore, Lease, Manifest, Suite,
     CELL_PANIC_MARKER,
 };
-use apex_scenario::{CacheStats, ExecMode, RunOutcome};
+use apex_obs::{Metrics, Obs, ObsOpts, POW2_BOUNDS};
+use apex_scenario::{CacheStats, ExecMode, ExecStats, RunOutcome};
 use apex_sim::Json;
 
 use crate::queue::FarmQueue;
@@ -59,6 +60,13 @@ pub struct WorkerOpts {
     /// fan-out). Never changes a result byte, so workers running different
     /// engines still converge to one record set.
     pub exec: Option<ExecMode>,
+    /// Telemetry plane ([`apex_obs::ObsOpts`]). With `metrics` on, the
+    /// worker writes a per-suite `metrics-<worker>.json` shard beside the
+    /// suite's records; `apex obs metrics --merge` folds the shards into
+    /// the same result-plane aggregate a serial run produces. With a
+    /// trace path, lease-acquire/probe/expire seams and per-cell engine
+    /// events are recorded. Telemetry never changes a stored byte.
+    pub obs: ObsOpts,
 }
 
 impl Default for WorkerOpts {
@@ -69,6 +77,7 @@ impl Default for WorkerOpts {
             ttl: DEFAULT_TTL,
             threads: None,
             exec: None,
+            obs: ObsOpts::off(),
         }
     }
 }
@@ -139,10 +148,15 @@ pub fn run_worker(
     opts: &WorkerOpts,
 ) -> Result<WorkerReport, String> {
     let mut report = WorkerReport::default();
+    let obs = opts
+        .obs
+        .open_trace()
+        .map_err(|e| format!("trace open failed: {e}"))?;
     for (digest, suite) in queue.entries()? {
         report.suites += 1;
-        drain_suite(store, &digest, &suite, opts, &mut report)?;
+        drain_suite(store, &digest, &suite, opts, &obs, &mut report)?;
     }
+    obs.flush();
     Ok(report)
 }
 
@@ -158,14 +172,121 @@ fn terminal(store: &LabStore, digest: &str, cell: &Cell, poisoned: &[u64]) -> bo
     )
 }
 
+/// Drain one suite, then (with `--metrics`) write this worker's
+/// per-suite metrics shard — `metrics-<worker>.json` beside the records,
+/// excluded from byte-identity like every telemetry sidecar.
 fn drain_suite(
     store: &LabStore,
     digest: &str,
     suite: &Suite,
     opts: &WorkerOpts,
+    obs: &Obs,
     report: &mut WorkerReport,
 ) -> Result<(), String> {
+    let mut metrics = Metrics::new();
+    drain_suite_inner(store, digest, suite, opts, obs, report, &mut metrics)?;
+    if opts.obs.metrics && !metrics.is_empty() {
+        let path = store
+            .suite_dir(digest)
+            .join(format!("metrics-{}.json", opts.worker));
+        store
+            .write_text(&path, &metrics.render_pretty())
+            .map_err(|e| format!("metrics write failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// What one executed cell contributed, held back until the journal
+/// says whether this worker *owns* the cell (see
+/// [`attribute_result_plane`]).
+struct CellTally {
+    ok: bool,
+    status: &'static str,
+    ticks: Option<u64>,
+    stats: ExecStats,
+}
+
+/// Fold the tallies of every cell this worker owns into its metrics
+/// shard. Ownership is the first terminal (`committed`/`poisoned`)
+/// journal entry per index: the journal is one totally-ordered file
+/// all workers share, so every worker computes the same attribution
+/// and a doubly-executed cell (a lease stolen from a slow-but-live
+/// holder) lands in exactly one shard. Merging the shards therefore
+/// reproduces a serial run's result plane, not the fleet's raw
+/// (duplicate-inflated) work — which is tallied separately under the
+/// coordination-plane `farm.executions` counter.
+fn attribute_result_plane(
+    store: &LabStore,
+    digest: &str,
+    worker: &str,
+    tallies: &std::collections::BTreeMap<u64, CellTally>,
+    metrics: &mut Metrics,
+) {
+    let state = read_journal(&store.journal_path(digest)).unwrap_or_default();
+    let mut seen = std::collections::BTreeSet::new();
+    for entry in &state.entries {
+        let (index, by) = match entry {
+            JournalEntry::Committed { index, by, .. } => (*index, by),
+            JournalEntry::Poisoned { index, by, .. } => (*index, by),
+            _ => continue,
+        };
+        if !seen.insert(index) || by != worker {
+            continue;
+        }
+        let Some(t) = tallies.get(&index) else {
+            continue;
+        };
+        metrics.add("cells.executed", 1);
+        if t.ok {
+            metrics.add("cells.ok", 1);
+        }
+        match t.status {
+            "exhausted" => metrics.add("cells.exhausted", 1),
+            "poisoned" => metrics.add("cells.poisoned", 1),
+            _ => {}
+        }
+        if let Some(ticks) = t.ticks {
+            metrics.add("ticks.executed", ticks);
+            metrics.observe_with("cells.ticks", &POW2_BOUNDS, ticks);
+        }
+        metrics.add("exec.windows", t.stats.windows);
+        metrics.add("exec.conflicts", t.stats.conflicts);
+        metrics.add("exec.serial_reruns", t.stats.serial_reruns);
+        metrics.gauge_max("exec.workers", t.stats.workers as u64);
+    }
+}
+
+fn drain_suite_inner(
+    store: &LabStore,
+    digest: &str,
+    suite: &Suite,
+    opts: &WorkerOpts,
+    obs: &Obs,
+    report: &mut WorkerReport,
+    metrics: &mut Metrics,
+) -> Result<(), String> {
     let cells = suite.expand()?;
+    // Seed every result-plane key so a shard that executes (or owns)
+    // nothing still merges to the exact key set a serial run writes (a
+    // missing counter and a zero counter must be the same document).
+    metrics.gauge_max("cells.total", cells.len() as u64);
+    metrics.gauge_max("exec.workers", 0);
+    for key in [
+        "cells.executed",
+        "cells.ok",
+        "cells.exhausted",
+        "cells.poisoned",
+        "ticks.executed",
+        "exec.windows",
+        "exec.conflicts",
+        "exec.serial_reruns",
+        "farm.executions",
+    ] {
+        metrics.add(key, 0);
+    }
+    // Executed-cell contributions, attributed to shards only once the
+    // journal names an owner.
+    let mut tallies = std::collections::BTreeMap::new();
     let dir = store.suite_dir(digest);
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let journal_path = store.journal_path(digest);
@@ -177,11 +298,24 @@ fn drain_suite(
 
     // First scan: the memoization tally for this visit.
     for cell in &cells {
-        match store.lookup_record(digest, &cell.digest, None) {
-            CacheLookup::Hit(..) => report.cache.hits += 1,
-            CacheLookup::Miss => report.cache.misses += 1,
-            CacheLookup::Rejected(_) => report.cache.rejected += 1,
-        }
+        let verdict = match store.lookup_record(digest, &cell.digest, None) {
+            CacheLookup::Hit(..) => {
+                report.cache.hits += 1;
+                metrics.add("cache.hits", 1);
+                "hit"
+            }
+            CacheLookup::Miss => {
+                report.cache.misses += 1;
+                metrics.add("cache.misses", 1);
+                "miss"
+            }
+            CacheLookup::Rejected(_) => {
+                report.cache.rejected += 1;
+                metrics.add("cache.rejected", 1);
+                "rejected"
+            }
+        };
+        obs.emit("farm", "cache", cell.index as u64, verdict, &[]);
     }
 
     // Fast path: already finalized. Still sweep leases so a crashed
@@ -189,6 +323,7 @@ fn drain_suite(
     if read_journal(&journal_path).is_ok_and(|s| s.finished) && store.read_manifest(digest).is_ok()
     {
         reclaim_all_leases(store, digest)?;
+        attribute_result_plane(store, digest, &opts.worker, &tallies, metrics);
         return Ok(());
     }
 
@@ -215,6 +350,7 @@ fn drain_suite(
         let state = read_journal(&journal_path).unwrap_or_default();
         if state.finished && store.read_manifest(digest).is_ok() {
             reclaim_all_leases(store, digest)?;
+            attribute_result_plane(store, digest, &opts.worker, &tallies, metrics);
             return Ok(());
         }
         let mut progress = false;
@@ -237,7 +373,22 @@ fn drain_suite(
                 Ok(text) => match Lease::parse(&text) {
                     Err(_) => true,                           // torn — reclaim
                     Ok(l) if l.worker == opts.worker => true, // already ours
-                    Ok(l) => l.expired(journal_len),          // steal only lapsed claims
+                    Ok(l) => {
+                        // Steal only lapsed claims; the takeover of a
+                        // dead worker's lease is a seam worth tracing
+                        // (op-indexed on the journal's operation clock).
+                        let lapsed = l.expired(journal_len);
+                        if lapsed {
+                            obs.emit(
+                                "farm",
+                                "expire",
+                                journal_len,
+                                &l.worker,
+                                &[("shard", shard as u64)],
+                            );
+                        }
+                        lapsed
+                    }
                 },
             };
             if !claimable {
@@ -257,6 +408,17 @@ fn drain_suite(
             store
                 .write_text(&path, &lease.render_pretty())
                 .map_err(|e| format!("lease write failed: {e}"))?;
+            obs.emit(
+                "farm",
+                "lease",
+                journal_len,
+                &opts.worker,
+                &[
+                    ("shard", shard as u64),
+                    ("start", lo as u64),
+                    ("count", (hi - lo) as u64),
+                ],
+            );
 
             // Write-ahead: claim every pending cell of the shard, then
             // run them with the shared thread fan-out, then commit.
@@ -269,11 +431,23 @@ fn drain_suite(
                     .map_err(jerr)?;
             }
             let outcomes = run_trials_threaded(&pending, threads.min(pending.len()), |cell| {
-                run_one(store.faults(), opts.exec, cell)
+                run_one(store.faults(), opts.exec, obs, cell)
             });
-            for (cell, outcome) in pending.iter().zip(&outcomes) {
-                commit_cell(store, digest, &journal, cell, outcome, report)?;
+            for (cell, (outcome, stats)) in pending.iter().zip(&outcomes) {
+                commit_cell(store, digest, &journal, cell, outcome, &opts.worker, report)?;
                 report.executed += 1;
+                // Raw work including duplicate executions of stolen
+                // cells; the result plane is attributed at drain end.
+                metrics.add("farm.executions", 1);
+                tallies.insert(
+                    cell.index as u64,
+                    CellTally {
+                        ok: outcome.ok(),
+                        status: outcome.status(),
+                        ticks: outcome.record().map(|r| r.report.ticks()),
+                        stats: *stats,
+                    },
+                );
             }
             let _ = std::fs::remove_file(&path); // release our claim
             progress = true;
@@ -289,6 +463,7 @@ fn drain_suite(
                 report.finalized.push(digest.to_string());
             }
             reclaim_all_leases(store, digest)?;
+            attribute_result_plane(store, digest, &opts.worker, &tallies, metrics);
             return Ok(());
         }
         if !progress {
@@ -311,6 +486,13 @@ fn drain_suite(
                     cell: first_pending.digest.clone(),
                 })
                 .map_err(jerr)?;
+            obs.emit(
+                "farm",
+                "probe",
+                state.entries.len() as u64,
+                &opts.worker,
+                &[("probes", probes)],
+            );
             // Bounded, probe-indexed politeness pause (real concurrent
             // workers spin less hot; in-process fault tests, which use
             // tiny ttls, barely wait).
@@ -324,14 +506,16 @@ fn drain_suite(
 fn run_one(
     faults: Option<&std::sync::Arc<FaultInjector>>,
     exec: Option<ExecMode>,
+    obs: &Obs,
     cell: &Cell,
-) -> RunOutcome {
+) -> (RunOutcome, ExecStats) {
     if faults.is_some_and(|f| f.panics_cell(cell.index)) {
-        RunOutcome::capture_with(&cell.scenario, |_| {
+        let outcome = RunOutcome::capture_with(&cell.scenario, |_| {
             panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
-        })
+        });
+        (outcome, ExecStats::default())
     } else {
-        RunOutcome::capture_exec(&cell.scenario, exec)
+        RunOutcome::capture_exec_obs(&cell.scenario, exec, obs)
     }
 }
 
@@ -345,6 +529,7 @@ fn commit_cell(
     journal: &Journal,
     cell: &Cell,
     outcome: &RunOutcome,
+    worker: &str,
     report: &mut WorkerReport,
 ) -> Result<(), String> {
     let jerr = |e: std::io::Error| format!("journal append failed: {e}");
@@ -375,6 +560,7 @@ fn commit_cell(
                     index: cell.index as u64,
                     cell: cell.digest.clone(),
                     ok: outcome.ok(),
+                    by: worker.to_string(),
                 })
                 .map_err(jerr)
         }
@@ -383,6 +569,7 @@ fn commit_cell(
                 index: cell.index as u64,
                 cell: cell.digest.clone(),
                 status: outcome.status().to_string(),
+                by: worker.to_string(),
                 message: match outcome {
                     RunOutcome::Exhausted { message, .. }
                     | RunOutcome::Poisoned { message, .. } => message.clone(),

@@ -298,7 +298,10 @@ fn scan_suite(
             );
             continue;
         }
-        if name == CACHE_STATS_FILE || name == EXEC_STATS_FILE {
+        // `metrics.json` plus the farm's per-worker `metrics-<id>.json`
+        // shards all carry the same unified document.
+        let is_metrics = name.starts_with("metrics") && name.ends_with(".json");
+        if name == CACHE_STATS_FILE || name == EXEC_STATS_FILE || is_metrics {
             // Telemetry sidecars: not store identity, but they should
             // still parse — an unreadable one is debris worth
             // quarantining.
@@ -310,8 +313,12 @@ fn scan_suite(
                         CacheStats::parse(&text)
                             .map(drop)
                             .map_err(|e| e.to_string())
-                    } else {
+                    } else if name == EXEC_STATS_FILE {
                         crate::bench::ExecStatsDoc::parse(&text)
+                            .map(drop)
+                            .map_err(|e| e.to_string())
+                    } else {
+                        apex_obs::Metrics::parse(&text)
                             .map(drop)
                             .map_err(|e| e.to_string())
                     }

@@ -35,6 +35,15 @@ fn jerr(msg: impl Into<String>) -> JsonError {
     }
 }
 
+/// An optional string field (absent reads back as `""` — how journals
+/// written before the field existed stay parseable).
+fn opt_str(v: &Json, key: &str) -> Result<String, JsonError> {
+    match v.get_opt(key) {
+        Some(s) => Ok(s.as_str()?.to_string()),
+        None => Ok(String::new()),
+    }
+}
+
 /// One journal line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JournalEntry {
@@ -65,6 +74,12 @@ pub enum JournalEntry {
         cell: String,
         /// Whether the run met its mode's correctness bar.
         ok: bool,
+        /// Which worker committed (empty for single-runner journals,
+        /// omitted on the wire). Because appends are totally ordered,
+        /// the *first* terminal entry per index attributes the cell to
+        /// exactly one worker — how farm metrics shards avoid counting
+        /// a lease-stolen, doubly-executed cell twice.
+        by: String,
     },
     /// A cell failed without a record: the scenario panicked
     /// (`status: "poisoned"`) or exhausted its tick budget
@@ -78,6 +93,9 @@ pub enum JournalEntry {
         status: String,
         /// The classified panic / exhaustion message.
         message: String,
+        /// Which worker hit the failure (empty for single-runner
+        /// journals, omitted on the wire; see [`JournalEntry::Committed`]).
+        by: String,
     },
     /// The run completed: every cell reached a terminal state and the
     /// manifest is on disk.
@@ -127,21 +145,33 @@ impl JournalEntry {
                 fields.push(("index".into(), Json::UInt(*index)));
                 fields.push(("cell".into(), Json::Str(cell.clone())));
             }
-            JournalEntry::Committed { index, cell, ok } => {
+            JournalEntry::Committed {
+                index,
+                cell,
+                ok,
+                by,
+            } => {
                 fields.push(("index".into(), Json::UInt(*index)));
                 fields.push(("cell".into(), Json::Str(cell.clone())));
                 fields.push(("ok".into(), Json::Bool(*ok)));
+                if !by.is_empty() {
+                    fields.push(("by".into(), Json::Str(by.clone())));
+                }
             }
             JournalEntry::Poisoned {
                 index,
                 cell,
                 status,
                 message,
+                by,
             } => {
                 fields.push(("index".into(), Json::UInt(*index)));
                 fields.push(("cell".into(), Json::Str(cell.clone())));
                 fields.push(("status".into(), Json::Str(status.clone())));
                 fields.push(("message".into(), Json::Str(message.clone())));
+                if !by.is_empty() {
+                    fields.push(("by".into(), Json::Str(by.clone())));
+                }
             }
             JournalEntry::Finished { ok, seq } => {
                 fields.push(("ok".into(), Json::Bool(*ok)));
@@ -181,12 +211,14 @@ impl JournalEntry {
                 index: v.get("index")?.as_u64()?,
                 cell: v.get("cell")?.as_str()?.to_string(),
                 ok: bool_field("ok")?,
+                by: opt_str(&v, "by")?,
             }),
             "poisoned" => Ok(JournalEntry::Poisoned {
                 index: v.get("index")?.as_u64()?,
                 cell: v.get("cell")?.as_str()?.to_string(),
                 status: v.get("status")?.as_str()?.to_string(),
                 message: v.get("message")?.as_str()?.to_string(),
+                by: opt_str(&v, "by")?,
             }),
             "finished" => Ok(JournalEntry::Finished {
                 ok: bool_field("ok")?,
@@ -351,6 +383,7 @@ mod tests {
                 index: 0,
                 cell: "aaaaaaaaaaaaaaaa".into(),
                 ok: true,
+                by: String::new(),
             },
             JournalEntry::Claimed {
                 index: 1,
@@ -361,6 +394,7 @@ mod tests {
                 cell: "bbbbbbbbbbbbbbbb".into(),
                 status: "poisoned".into(),
                 message: "injected fault: cell panic".into(),
+                by: "w1".into(),
             },
             JournalEntry::Finished { ok: false, seq: 7 },
         ]

@@ -5,7 +5,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use apex_bench::runner::{resolve_threads, run_trials};
-use apex_scenario::{CacheStats, ExecMode, ReportRecord, RunOutcome};
+use apex_obs::{Metrics, ObsOpts, POW2_BOUNDS};
+use apex_scenario::{CacheStats, ExecMode, ExecStats, ReportRecord, RunOutcome};
 
 use crate::bench::ExecStatsDoc;
 
@@ -163,7 +164,13 @@ pub struct JournalOpts {
     pub exec: Option<ExecMode>,
     /// Measure wall-clock execution time and write the `exec-stats.json`
     /// sidecar (timing telemetry, excluded from byte-identity checks).
+    /// Also folds `time.*` entries into the unified metrics document.
     pub timing: bool,
+    /// Telemetry plane: trace sink and metrics collection
+    /// ([`apex_obs::ObsOpts`]). Telemetry observes the run and never
+    /// steers it — with any of this on, every record, manifest, and
+    /// digest byte is identical to a dark run.
+    pub obs: ObsOpts,
 }
 
 /// The result of a journaled run: the run itself plus what resume
@@ -187,6 +194,13 @@ pub struct JournaledRun {
     /// Machine ticks consumed by the cells executed this run (skipped
     /// cells contribute nothing — their ticks were paid for earlier).
     pub executed_ticks: u64,
+    /// Aggregated execution-engine stats over the executed cells
+    /// (worker count is a max, window/conflict/rerun counts are sums —
+    /// see [`ExecStats::absorb`]). All trivial for serial-engine runs.
+    pub exec: ExecStats,
+    /// The unified metrics document written to `metrics.json` (empty
+    /// unless the run requested metrics, caching, or timing).
+    pub metrics: Metrics,
 }
 
 impl JournaledRun {
@@ -244,6 +258,16 @@ pub fn run_suite_journaled(
         journal = journal.with_faults(f.clone());
     }
 
+    // Telemetry plane. The trace sink (when requested) sees lab-scope
+    // cell-lifecycle events from this coordinator thread plus engine-
+    // and exec-scope events from inside each cell's run; with
+    // `threads = 1` the full interleaving is deterministic (the golden
+    // canonical-trace test pins it). Nothing here touches a result byte.
+    let obs = opts
+        .obs
+        .open_trace()
+        .map_err(|e| format!("trace open failed: {e}"))?;
+
     // Resume and the cache path share one rule: trust nothing but
     // verified bytes. A record is skippable only if it exists, parses
     // (which digest-verifies the embedded scenario), sits at its own
@@ -259,15 +283,24 @@ pub fn run_suite_journaled(
             None
         };
         for cell in &cells {
-            match store.lookup_record(&suite_digest, &cell.digest, manifest.as_ref()) {
+            let verdict = match store.lookup_record(&suite_digest, &cell.digest, manifest.as_ref())
+            {
                 CacheLookup::Hit(_, record) => {
                     slots[cell.index] = Some(RunOutcome::Complete(record));
                     skipped.push(cell.index);
                     cache.hits += 1;
+                    "hit"
                 }
-                CacheLookup::Miss => cache.misses += 1,
-                CacheLookup::Rejected(_) => cache.rejected += 1,
-            }
+                CacheLookup::Miss => {
+                    cache.misses += 1;
+                    "miss"
+                }
+                CacheLookup::Rejected(_) => {
+                    cache.rejected += 1;
+                    "rejected"
+                }
+            };
+            obs.emit("lab", "cache", cell.index as u64, verdict, &[]);
         }
     }
 
@@ -284,13 +317,14 @@ pub fn run_suite_journaled(
     let pending: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
     let executed = pending.clone();
 
-    let run_one = |cell: &Cell| -> RunOutcome {
+    let run_one = |cell: &Cell| -> (RunOutcome, ExecStats) {
         if store.faults().is_some_and(|f| f.panics_cell(cell.index)) {
-            RunOutcome::capture_with(&cell.scenario, |_| {
+            let outcome = RunOutcome::capture_with(&cell.scenario, |_| {
                 panic!("{CELL_PANIC_MARKER} in cell {}", cell.index)
-            })
+            });
+            (outcome, ExecStats::default())
         } else {
-            RunOutcome::capture_exec(&cell.scenario, opts.exec)
+            RunOutcome::capture_exec_obs(&cell.scenario, opts.exec, &obs)
         }
     };
 
@@ -309,24 +343,45 @@ pub fn run_suite_journaled(
                         index: cell.index as u64,
                         cell: cell.digest.clone(),
                         ok: outcome.ok(),
+                        by: String::new(),
                     })
-                    .map_err(jerr)
+                    .map_err(jerr)?;
+                obs.emit(
+                    "lab",
+                    "commit",
+                    cell.index as u64,
+                    &cell.digest,
+                    &[("ok", u64::from(outcome.ok()))],
+                );
+                Ok(())
             }
-            None => journal
-                .append(&JournalEntry::Poisoned {
-                    index: cell.index as u64,
-                    cell: cell.digest.clone(),
-                    status: outcome.status().to_string(),
-                    message: match outcome {
-                        RunOutcome::Exhausted { message, .. }
-                        | RunOutcome::Poisoned { message, .. } => message.clone(),
-                        RunOutcome::Complete(_) => unreachable!("record() is None"),
-                    },
-                })
-                .map_err(jerr),
+            None => {
+                journal
+                    .append(&JournalEntry::Poisoned {
+                        index: cell.index as u64,
+                        cell: cell.digest.clone(),
+                        status: outcome.status().to_string(),
+                        message: match outcome {
+                            RunOutcome::Exhausted { message, .. }
+                            | RunOutcome::Poisoned { message, .. } => message.clone(),
+                            RunOutcome::Complete(_) => unreachable!("record() is None"),
+                        },
+                        by: String::new(),
+                    })
+                    .map_err(jerr)?;
+                obs.emit(
+                    "lab",
+                    outcome.status(),
+                    cell.index as u64,
+                    &cell.digest,
+                    &[],
+                );
+                Ok(())
+            }
         }
     };
 
+    let mut exec = ExecStats::default();
     let threads = resolve_threads(opts.threads).min(pending.len().max(1));
     let started_at = std::time::Instant::now();
     if threads <= 1 {
@@ -338,7 +393,9 @@ pub fn run_suite_journaled(
                     cell: cell.digest.clone(),
                 })
                 .map_err(jerr)?;
-            let outcome = run_one(cell);
+            obs.emit("lab", "claim", cell.index as u64, &cell.digest, &[]);
+            let (outcome, stats) = run_one(cell);
+            exec.absorb(&stats);
             commit(&journal, cell, &outcome)?;
             slots[i] = Some(outcome);
         }
@@ -348,11 +405,12 @@ pub fn run_suite_journaled(
         #[allow(clippy::large_enum_variant)]
         enum Msg {
             Claimed(usize),
-            Done(usize, RunOutcome),
+            Done(usize, RunOutcome, ExecStats),
         }
         let stop = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<Msg>();
+        let exec = &mut exec;
         let result: Result<(), String> = std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -367,8 +425,8 @@ pub fn run_suite_journaled(
                     if tx.send(Msg::Claimed(i)).is_err() {
                         break;
                     }
-                    let outcome = run_one(&cells[i]);
-                    if tx.send(Msg::Done(i, outcome)).is_err() {
+                    let (outcome, stats) = run_one(&cells[i]);
+                    if tx.send(Msg::Done(i, outcome, stats)).is_err() {
                         break;
                     }
                 });
@@ -386,10 +444,16 @@ pub fn run_suite_journaled(
                             index: cells[i].index as u64,
                             cell: cells[i].digest.clone(),
                         })
-                        .map_err(jerr),
-                    Msg::Done(i, outcome) => commit(&journal, &cells[i], &outcome).map(|()| {
-                        slots[i] = Some(outcome);
-                    }),
+                        .map_err(jerr)
+                        .map(|()| {
+                            obs.emit("lab", "claim", cells[i].index as u64, &cells[i].digest, &[]);
+                        }),
+                    Msg::Done(i, outcome, stats) => {
+                        exec.absorb(&stats);
+                        commit(&journal, &cells[i], &outcome).map(|()| {
+                            slots[i] = Some(outcome);
+                        })
+                    }
                 };
                 if let Err(e) = step {
                     stop.store(true, Ordering::SeqCst);
@@ -421,6 +485,7 @@ pub fn run_suite_journaled(
     if opts.cached {
         // Telemetry sidecar, not store identity — written before the
         // `finished` line so a crash right after finalize still has it.
+        // Deprecated alias: the same tallies also land in metrics.json.
         store
             .write_cache_stats(&suite_digest, &cache)
             .map_err(|e| format!("cache-stats write failed: {e}"))?;
@@ -428,12 +493,13 @@ pub fn run_suite_journaled(
     if opts.timing {
         // Same rules as cache-stats: timing telemetry beside the
         // manifest, excluded from every byte-identity comparison.
-        let exec = opts.exec.unwrap_or_default();
+        // Deprecated alias: the same tallies also land in metrics.json.
+        let mode = opts.exec.unwrap_or_default();
         let count =
             |status: &str| run.outcomes.iter().filter(|o| o.status() == status).count() as u64;
         let stats = ExecStatsDoc::new(
-            exec.label(),
-            exec.workers() as u64,
+            mode.label(),
+            mode.workers() as u64,
             cells.len() as u64,
             executed.len() as u64,
             skipped.len() as u64,
@@ -446,6 +512,21 @@ pub fn run_suite_journaled(
             .write_exec_stats(&suite_digest, &stats)
             .map_err(|e| format!("exec-stats write failed: {e}"))?;
     }
+    let metrics = build_run_metrics(
+        opts,
+        &run,
+        &cache,
+        &executed,
+        executed_ticks,
+        exec,
+        elapsed_ms,
+    );
+    if !metrics.is_empty() {
+        store
+            .write_metrics(&suite_digest, &metrics)
+            .map_err(|e| format!("metrics write failed: {e}"))?;
+    }
+    obs.flush();
     journal
         .append(&JournalEntry::Finished {
             ok: run.all_ok(),
@@ -460,5 +541,58 @@ pub fn run_suite_journaled(
         cache,
         elapsed_ms,
         executed_ticks,
+        exec,
+        metrics,
     })
+}
+
+/// Assemble the unified per-run metrics document ([`apex_obs::Metrics`],
+/// written to `metrics.json`) from a finished run's tallies. Empty when
+/// no telemetry was requested.
+///
+/// Namespaces, chosen so [`Metrics::result_plane`] captures exactly the
+/// partition-independent slice: `cells.*` / `ticks.*` / `exec.*`
+/// counters and `cells.*` gauges are deterministic functions of *what*
+/// was computed (a fleet drain's merge equals the serial run's
+/// aggregate), while `cache.*` coordination tallies and wall-clock
+/// `time.*` describe *how this run* got there.
+fn build_run_metrics(
+    opts: &JournalOpts,
+    run: &SuiteRun,
+    cache: &CacheStats,
+    executed: &[usize],
+    executed_ticks: u64,
+    exec: ExecStats,
+    elapsed_ms: u64,
+) -> Metrics {
+    let mut metrics = Metrics::new();
+    if !(opts.obs.metrics || opts.obs.profile || opts.cached || opts.timing) {
+        return metrics;
+    }
+    metrics.gauge_max("cells.total", run.outcomes.len() as u64);
+    metrics.add("cells.executed", executed.len() as u64);
+    let count = |pred: &dyn Fn(&RunOutcome) -> bool| {
+        executed.iter().filter(|&&i| pred(&run.outcomes[i])).count() as u64
+    };
+    metrics.add("cells.ok", count(&|o| o.ok()));
+    metrics.add("cells.exhausted", count(&|o| o.status() == "exhausted"));
+    metrics.add("cells.poisoned", count(&|o| o.status() == "poisoned"));
+    metrics.add("ticks.executed", executed_ticks);
+    metrics.add("exec.windows", exec.windows);
+    metrics.add("exec.conflicts", exec.conflicts);
+    metrics.add("exec.serial_reruns", exec.serial_reruns);
+    metrics.gauge_max("exec.workers", exec.workers as u64);
+    metrics.add("cache.hits", cache.hits);
+    metrics.add("cache.misses", cache.misses);
+    metrics.add("cache.rejected", cache.rejected);
+    for &i in executed {
+        if let Some(record) = run.outcomes[i].record() {
+            metrics.observe_with("cells.ticks", &POW2_BOUNDS, record.report.ticks());
+        }
+    }
+    if opts.timing || opts.obs.profile {
+        // The only wall-clock entry — profiling plane, never compared.
+        metrics.add("time.elapsed_ms", elapsed_ms);
+    }
+    metrics
 }

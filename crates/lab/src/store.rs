@@ -60,7 +60,25 @@ pub const CACHE_STATS_FILE: &str = "cache-stats.json";
 /// telemetry carrying wall-clock timings — never store identity:
 /// byte-identity comparisons exclude it (`diff -r
 /// --exclude=exec-stats.json`) and drift checking ignores it.
+///
+/// **Deprecated alias**: runs that request timing now also write the
+/// unified [`apex_obs::METRICS_FILE`] sidecar, which subsumes this
+/// document; this filename is kept for one release so existing tooling
+/// keeps parsing.
 pub const EXEC_STATS_FILE: &str = "exec-stats.json";
+
+/// Every telemetry sidecar filename a suite directory may carry — the
+/// *single* source of truth for byte-identity exclusion lists (CI's
+/// `diff -r --exclude=…` flags are generated from this set; tests assert
+/// they stay in sync). Telemetry is per-run evidence about *how* a run
+/// went, never part of the store's content-addressed identity.
+pub const TELEMETRY_FILES: &[&str] = &[
+    crate::journal::JOURNAL_FILE,
+    CACHE_STATS_FILE,
+    EXEC_STATS_FILE,
+    apex_obs::METRICS_FILE,
+    apex_obs::TRACE_FILE,
+];
 
 /// The answer a store gives when asked for one cell's record by digest.
 ///
@@ -349,6 +367,33 @@ impl LabStore {
         crate::bench::ExecStatsDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
+    /// The unified metrics sidecar path of one suite
+    /// ([`apex_obs::METRICS_FILE`]).
+    pub fn metrics_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest).join(apex_obs::METRICS_FILE)
+    }
+
+    /// The trace sidecar path of one suite ([`apex_obs::TRACE_FILE`]).
+    pub fn trace_path(&self, suite_digest: &str) -> PathBuf {
+        self.suite_dir(suite_digest).join(apex_obs::TRACE_FILE)
+    }
+
+    /// Write one suite's unified metrics sidecar durably.
+    pub fn write_metrics(
+        &self,
+        suite_digest: &str,
+        metrics: &apex_obs::Metrics,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(self.suite_dir(suite_digest))?;
+        self.write_text(&self.metrics_path(suite_digest), &metrics.render_pretty())
+    }
+
+    /// Load one suite's unified metrics sidecar (absent for runs that
+    /// never requested telemetry).
+    pub fn read_metrics(&self, suite_digest: &str) -> Result<apex_obs::Metrics, String> {
+        apex_obs::Metrics::load(&self.metrics_path(suite_digest))
+    }
+
     /// Look up one cell's record by digest, trusting only verified bytes.
     ///
     /// Verification is the resume path from the journal runner: the file
@@ -569,9 +614,9 @@ impl LabStore {
     }
 
     /// The record digests present under one suite directory (sorted; the
-    /// manifest and the cache-stats/exec-stats sidecars are excluded, and
-    /// the `.jsonl` journal never matches). Used to detect records a
-    /// suite no longer names.
+    /// manifest and the cache-stats/exec-stats/metrics sidecars are
+    /// excluded, and the `.jsonl` journal and trace never match). Used to
+    /// detect records a suite no longer names.
     pub fn record_digests(&self, suite_digest: &str) -> Result<Vec<String>, String> {
         let dir = self.suite_dir(suite_digest);
         let mut out = Vec::new();
@@ -584,7 +629,11 @@ impl LabStore {
             }
             if path.extension().is_some_and(|e| e == "json") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    if stem != "manifest" && stem != "cache-stats" && stem != "exec-stats" {
+                    if stem != "manifest"
+                        && stem != "cache-stats"
+                        && stem != "exec-stats"
+                        && !stem.starts_with("metrics")
+                    {
                         out.push(stem.to_string());
                     }
                 }

@@ -69,6 +69,32 @@ impl RunOutcome {
         Self::capture_with(scenario, move |s| ReportRecord::run_exec(s, exec))
     }
 
+    /// [`RunOutcome::capture_exec`] with telemetry: trace events go to
+    /// `obs`, and the engine's [`apex_exec::ExecStats`] are returned even
+    /// though the run itself executes under `catch_unwind` (a run that
+    /// panics reports the trivial serial stats). The outcome is
+    /// byte-identical to `capture_exec`'s — telemetry never steers a run.
+    pub fn capture_exec_obs(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        obs: &apex_obs::Obs,
+    ) -> (Self, apex_exec::ExecStats) {
+        use std::sync::{Arc, Mutex};
+        // The stats ride out of the catch_unwind closure through a shared
+        // cell: on a panic the closure never reaches the store, so the
+        // cell keeps its trivial default.
+        let cell = Arc::new(Mutex::new(apex_exec::ExecStats::serial()));
+        let slot = Arc::clone(&cell);
+        let obs = obs.clone();
+        let outcome = Self::capture_with(scenario, move |s| {
+            let (record, stats) = ReportRecord::run_exec_obs(s, exec, &obs);
+            *slot.lock().unwrap() = stats;
+            record
+        });
+        let stats = *cell.lock().unwrap();
+        (outcome, stats)
+    }
+
     /// [`RunOutcome::capture`] with an explicit runner — the seam the
     /// lab's fault-injection harness uses to panic a chosen cell.
     pub fn capture_with(scenario: &Scenario, run: impl FnOnce(&Scenario) -> ReportRecord) -> Self {

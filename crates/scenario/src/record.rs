@@ -105,6 +105,21 @@ impl ReportRecord {
         Self::from_run(scenario.clone(), scenario.run_with_exec(exec))
     }
 
+    /// [`ReportRecord::run_exec`] with telemetry: routes trace events to
+    /// `obs` and returns the engine's [`apex_exec::ExecStats`] alongside
+    /// the record. The record bytes are identical to [`run_exec`]'s —
+    /// telemetry observes the run, it never participates in it.
+    ///
+    /// [`run_exec`]: ReportRecord::run_exec
+    pub fn run_exec_obs(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        obs: &apex_obs::Obs,
+    ) -> (Self, apex_exec::ExecStats) {
+        let (report, stats) = scenario.run_with_exec_obs(exec, obs);
+        (Self::from_run(scenario.clone(), report), stats)
+    }
+
     /// The record's content address: [`Scenario::digest`] of its scenario.
     pub fn digest(&self) -> String {
         self.scenario.digest()

@@ -7,7 +7,8 @@ use apex_core::{
     AgreementConfig, AgreementRun, CoinSource, InstrumentOpts, KeyedSource, RandomSource,
     ValueSource,
 };
-use apex_exec::{ExecMode, KernelSpec};
+use apex_exec::{ExecMode, ExecStats, KernelSpec};
+use apex_obs::Obs;
 use apex_pram::{Program, VarBlock};
 use apex_scheme::tasks::eval_cost;
 use apex_scheme::{ReplicaK, SchemeKind, SchemeRun, SchemeRunConfig};
@@ -547,24 +548,51 @@ impl Scenario {
     /// bytes cannot change either. `None` runs the knob as written.
     /// Scheme and agreement modes always execute serially regardless.
     pub fn run_with_exec(&self, exec: Option<ExecMode>) -> ScenarioReport {
+        self.run_with_exec_obs(exec, &Obs::disabled()).0
+    }
+
+    /// [`Scenario::run_with_exec`] with a trace sink, also returning the
+    /// engine's (telemetry-only) [`ExecStats`]. When tracing is enabled,
+    /// scheme/agreement runs emit `engine`-scope block events (labelled
+    /// with the adversary's self-description, so traces attribute ticks
+    /// per adversary combinator) and kernel runs emit the ticketed
+    /// engine's window/commit/conflict events. Telemetry never changes a
+    /// byte of the report.
+    pub fn run_with_exec_obs(
+        &self,
+        exec: Option<ExecMode>,
+        obs: &Obs,
+    ) -> (ScenarioReport, ExecStats) {
         match &self.mode {
-            Mode::Scheme { .. } => ScenarioReport::Scheme(self.build_scheme().run()),
+            Mode::Scheme { .. } => {
+                let mut run = self.build_scheme();
+                if obs.enabled() {
+                    install_block_hook(run.machine_mut(), obs);
+                }
+                (ScenarioReport::Scheme(run.run()), ExecStats::serial())
+            }
             Mode::Agreement { phases, .. } => {
                 let phases = *phases;
                 let mut run = self.build_agreement();
+                if obs.enabled() {
+                    install_block_hook(run.machine_mut(), obs);
+                }
                 let outcomes = run.run_phases(phases);
-                ScenarioReport::Agreement(AgreementRunReport {
-                    outcomes,
-                    ticks: run.machine().ticks(),
-                    stability_violations: run.stability_violations(),
-                })
+                (
+                    ScenarioReport::Agreement(AgreementRunReport {
+                        outcomes,
+                        ticks: run.machine().ticks(),
+                        stability_violations: run.stability_violations(),
+                    }),
+                    ExecStats::serial(),
+                )
             }
             Mode::Kernel { kernel, n, ticks } => {
                 if let Err(e) = self.validate() {
                     panic!("invalid scenario: {e}");
                 }
                 let mode = exec.unwrap_or(self.engine.exec);
-                let (report, _stats) = apex_exec::run_kernel(
+                let (report, stats) = apex_exec::run_kernel_obs(
                     *kernel,
                     *n,
                     *ticks,
@@ -572,8 +600,9 @@ impl Scenario {
                     self.seed,
                     self.engine.batch,
                     mode,
+                    obs,
                 );
-                ScenarioReport::Kernel(report)
+                (ScenarioReport::Kernel(report), stats)
             }
         }
     }
@@ -724,6 +753,24 @@ impl Scenario {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
+}
+
+/// Wire a machine's block boundaries into the trace: one `engine`-scope
+/// `block` event per executed block, op-indexed by the machine's tick
+/// counter and labelled with the adversary's self-description (which is
+/// what gives `apex obs view` its per-adversary tick attribution).
+fn install_block_hook(machine: &mut apex_sim::Machine, obs: &Obs) {
+    let label = machine.schedule_description();
+    let obs = obs.clone();
+    machine.set_block_hook(Box::new(move |executed, ticks, work| {
+        obs.emit(
+            "engine",
+            "block",
+            ticks,
+            &label,
+            &[("ticks", executed), ("work", work)],
+        );
+    }));
 }
 
 /// 64-bit FNV-1a over `bytes` — the workspace's content-address hash

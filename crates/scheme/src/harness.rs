@@ -172,6 +172,12 @@ impl SchemeRun {
         &self.cfg
     }
 
+    /// Mutable machine access — for installing telemetry hooks before
+    /// the run (instrumentation only; hooks observe, never steer).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
     /// Run to completion: drive the machine until the clock oracle reaches
     /// `2T`, observing each step's chosen values at its Copy-subphase
     /// boundary, then verify.

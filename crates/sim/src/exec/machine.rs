@@ -198,6 +198,7 @@ impl MachineBuilder {
             qpos: 0,
             batch: self.batch,
             live,
+            block_hook: None,
         }
     }
 }
@@ -220,7 +221,16 @@ pub struct Machine {
     batch: usize,
     /// Processors whose protocol future has not completed.
     live: usize,
+    /// Telemetry observer called after each executed block (see
+    /// [`Machine::set_block_hook`]); `None` costs one branch per block.
+    block_hook: Option<Box<BlockHook>>,
 }
+
+/// Block-boundary observer: `(executed, total_ticks, total_work)` —
+/// the ticks this block executed and the machine's cumulative tick and
+/// work counters after it. Instrumentation only: the hook sees state,
+/// it cannot change any.
+pub type BlockHook = dyn FnMut(u64, u64, u64);
 
 impl Machine {
     /// Number of processors.
@@ -403,7 +413,23 @@ impl Machine {
         let executed = (i - self.qpos) as u64;
         self.qpos = i;
         self.queue = queue;
+        if executed > 0 {
+            if let Some(hook) = &mut self.block_hook {
+                hook(executed, self.ticks, self.work.get());
+            }
+        }
         executed
+    }
+
+    /// Install a block-boundary telemetry observer (replacing any
+    /// previous one). The hook fires after every non-empty block run by
+    /// [`Machine::run_ticks`] / [`Machine::run_until`] /
+    /// [`Machine::run_to_completion`] with the executed tick count and
+    /// the cumulative tick/work counters — operation-indexed data only,
+    /// so observers stay deterministic. Per-tick stepping via
+    /// [`Machine::tick`] bypasses blocks and does not fire it.
+    pub fn set_block_hook(&mut self, hook: Box<BlockHook>) {
+        self.block_hook = Some(hook);
     }
 
     /// Execute one schedule tick: the adversary names a processor, which

@@ -4,7 +4,7 @@ mod ctx;
 mod machine;
 
 pub use ctx::Ctx;
-pub use machine::{IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
+pub use machine::{BlockHook, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 
 #[cfg(test)]
 mod tests {

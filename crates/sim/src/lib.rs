@@ -56,7 +56,7 @@ pub mod sched;
 mod word;
 
 pub use error::RunTimeout;
-pub use exec::{Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
+pub use exec::{BlockHook, Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 pub use json::{Json, JsonError};
 pub use memory::{Region, RegionAllocator, SharedMemory, WriteEvent, WriteHook};
 pub use metrics::WorkReport;

@@ -12,6 +12,7 @@
 //! shrink       --file REPRO.json [--out DIR] [--shrink-budget R]
 //! replay       --file REPRO.json | --dir DIR
 //! run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]
+//!              [--trace [FILE]] [--metrics [FILE]] [--profile]
 //! migrate      [--dir DIR]
 //! corpus-dedup [--dir DIR] [--dry-run]
 //! ```
@@ -38,8 +39,10 @@ pub fn usage() -> ! {
          replay       --file F | --dir DIR\n\
          run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]\n\
          \x20             [--exec serial|ticketed [--workers N]]\n\
+         \x20             [--trace [FILE]] [--metrics [FILE]] [--profile]\n\
          \x20             execute a scenario file (--cached answers from the lab store;\n\
-         \x20             --exec overrides the kernel engine without changing a result byte)\n\
+         \x20             --exec overrides the kernel engine, --trace/--metrics observe\n\
+         \x20             the run — neither changes a result byte)\n\
          migrate      [--dir DIR]                     rewrite artifacts at v{VERSION}\n\
          corpus-dedup [--dir DIR] [--dry-run]         drop scenario-digest duplicates"
     );
@@ -87,6 +90,16 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
+    /// Every value of a repeatable `--name VALUE` flag, in order
+    /// (occurrences without a value are skipped).
+    pub fn all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     /// The value of `--name` parsed as `T`, or `default` when absent.
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {
@@ -122,6 +135,24 @@ pub fn exec_override(args: &Args) -> Option<apex_scenario::ExecMode> {
         usage();
     }
     Some(mode)
+}
+
+/// Parse the shared `--trace [FILE] --metrics --profile` telemetry
+/// flags used by `run`, `suite run` and `farm worker`. A bare
+/// `--trace` resolves to `default_trace` (a conventional location next
+/// to the run's other artifacts); `--trace FILE` goes wherever the
+/// caller pointed. Telemetry observes the run and never changes a
+/// result byte, so these flags compose freely with `--exec`/`--cached`.
+pub fn obs_override(args: &Args, default_trace: impl FnOnce() -> PathBuf) -> apex_obs::ObsOpts {
+    apex_obs::ObsOpts {
+        trace: args.has("trace").then(|| {
+            args.get("trace")
+                .map(PathBuf::from)
+                .unwrap_or_else(default_trace)
+        }),
+        metrics: args.has("metrics"),
+        profile: args.has("profile"),
+    }
 }
 
 /// Dispatch one synthesis subcommand (`argv` excludes the binary name
@@ -211,7 +242,28 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
     // Captured, not raw: a panicking or budget-exhausted scenario becomes
     // a typed outcome document and a failing exit code instead of an
     // abort, so campaign scripts can tell the failure classes apart.
-    let outcome = RunOutcome::capture_exec(&scenario, exec_override(&args));
+    let obs_opts = obs_override(&args, || PathBuf::from(apex_obs::TRACE_FILE));
+    let obs = match obs_opts.open_trace() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("--trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stopwatch = apex_obs::Stopwatch::start();
+    let (outcome, exec_stats) = RunOutcome::capture_exec_obs(&scenario, exec_override(&args), &obs);
+    obs.flush();
+    if obs_opts.metrics || obs_opts.profile {
+        let metrics = single_run_metrics(&outcome, exec_stats, &obs_opts, &stopwatch);
+        let path = args.get("metrics").unwrap_or(apex_obs::METRICS_FILE);
+        if let Err(e) = std::fs::write(path, metrics.render_pretty()) {
+            eprintln!("--metrics: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.has("json") {
+            println!("metrics: wrote {path}");
+        }
+    }
     if args.has("json") {
         // Stdout carries exactly one document (the record when the run
         // completed, the typed outcome otherwise); the summary goes to
@@ -232,6 +284,40 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The unified metrics document for one `apex run` invocation — the
+/// same instrument names `apex suite run` records, over a suite of one
+/// cell, so `apex obs metrics --merge` folds single runs and suite runs
+/// alike.
+fn single_run_metrics(
+    outcome: &RunOutcome,
+    exec_stats: apex_scenario::ExecStats,
+    opts: &apex_obs::ObsOpts,
+    stopwatch: &apex_obs::Stopwatch,
+) -> apex_obs::Metrics {
+    let mut m = apex_obs::Metrics::new();
+    m.gauge_max("cells.total", 1);
+    m.add("cells.executed", 1);
+    m.add("cells.ok", u64::from(outcome.ok()));
+    m.add(
+        "cells.exhausted",
+        u64::from(outcome.status() == "exhausted"),
+    );
+    m.add("cells.poisoned", u64::from(outcome.status() == "poisoned"));
+    let ticks = outcome.record().map(|r| r.report.ticks()).unwrap_or(0);
+    m.add("ticks.executed", ticks);
+    m.add("exec.windows", exec_stats.windows);
+    m.add("exec.conflicts", exec_stats.conflicts);
+    m.add("exec.serial_reruns", exec_stats.serial_reruns);
+    m.gauge_max("exec.workers", exec_stats.workers as u64);
+    if outcome.record().is_some() {
+        m.observe("cells.ticks", ticks);
+    }
+    if opts.profile {
+        m.add("time.elapsed_ms", stopwatch.elapsed_ms());
+    }
+    m
 }
 
 /// Rewrite every artifact in a corpus directory in the current format

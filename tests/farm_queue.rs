@@ -25,7 +25,7 @@ use apex_farm::{query, run_worker, FarmQueue, QueryAnswer, WorkerOpts};
 use apex_lab::{
     fsck, is_kill, lease_dir, lease_path, read_journal, run_suite_journaled, FaultInjector,
     FaultPlan, FsckIssueKind, Grid, JournalOpts, LabStore, Lease, SeedRange, Suite, TornWrite,
-    CACHE_STATS_FILE, JOURNAL_FILE,
+    TELEMETRY_FILES,
 };
 use apex_scenario::{CacheStats, ProgramSource, Scenario, SourceSpec};
 use apex_scheme::SchemeKind;
@@ -78,8 +78,9 @@ fn serial() -> JournalOpts {
 }
 
 /// The suite directory's durable identity: file name → bytes, minus the
-/// telemetry (journal, cache-stats sidecar) and any `leases/` debris —
-/// exactly what must be byte-identical across runner topologies.
+/// telemetry sidecars ([`TELEMETRY_FILES`] plus per-worker
+/// `metrics-*`/`trace-*` shards) and any `leases/` debris — exactly what
+/// must be byte-identical across runner topologies.
 fn file_map(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     let mut out = BTreeMap::new();
     for entry in std::fs::read_dir(dir).unwrap() {
@@ -88,7 +89,10 @@ fn file_map(dir: &Path) -> BTreeMap<String, Vec<u8>> {
             continue;
         }
         let name = path.file_name().unwrap().to_str().unwrap().to_string();
-        if name == JOURNAL_FILE || name == CACHE_STATS_FILE {
+        if TELEMETRY_FILES.contains(&name.as_str())
+            || name.starts_with("metrics-")
+            || name.starts_with("trace-")
+        {
             continue;
         }
         out.insert(name, std::fs::read(&path).unwrap());
@@ -111,7 +115,7 @@ fn worker(id: &str) -> WorkerOpts {
         shard_cells: 2,
         ttl: 8,
         threads: Some(1),
-        exec: None,
+        ..WorkerOpts::default()
     }
 }
 
@@ -519,7 +523,7 @@ proptest! {
                     shard_cells: 1 + (seed as usize >> 3) % 2,
                     ttl: 2 + seed % 4,
                     threads: Some(1),
-                    exec: None,
+                    ..WorkerOpts::default()
                 };
                 scope.spawn(move || {
                     let faulted = match plan {
