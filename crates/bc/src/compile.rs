@@ -1,0 +1,195 @@
+//! Lowering a resolved [`Program`](apex_pram::Program) + scheme memory map
+//! into flat bytecode.
+//!
+//! The tree-walking processors re-derive everything on every task: they
+//! double-index the step/thread instruction tables, binary-search the
+//! last-write table per operand read, recompute replica addresses through
+//! asserted multiply chains, and box a fresh `dyn`-dispatched future per
+//! evaluation. The compiler hoists all of that to a single pass at
+//! machine-assembly time: one contiguous slot array indexed `step·n + i`,
+//! each slot carrying the dense opcode, the absolute address of the
+//! destination's replica 0, and both operands with their *pre-resolved*
+//! expected stamps. The VM then executes with nothing but integer adds and
+//! a dense `match`.
+
+use apex_pram::{Op, Operand};
+use apex_scheme::SchemeParts;
+
+/// A lowered operand: constants are immediate, variables carry the absolute
+/// address of replica 0 and the stamp the last-write table expects at the
+/// slot's step.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum COperand {
+    /// Immediate value (costs no ops to read).
+    Const(u64),
+    /// Replicated variable: `base + r` addresses replica `r`.
+    Var {
+        /// Absolute shared-memory address of replica 0.
+        base: u32,
+        /// Stamp that validates a replica at this slot's step.
+        expect: u64,
+    },
+}
+
+/// One lowered `(step, thread)` slot of the program table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Slot {
+    /// Whether the thread has an instruction at this step (idle otherwise).
+    pub(crate) live: bool,
+    /// The operation (dense discriminant; the VM matches on it directly).
+    pub(crate) op: Op,
+    /// Absolute address of replica 0 of the destination variable.
+    pub(crate) dst_base: u32,
+    /// First operand.
+    pub(crate) a: COperand,
+    /// Second operand.
+    pub(crate) b: COperand,
+}
+
+const IDLE: Slot = Slot {
+    live: false,
+    op: Op::Mov,
+    dst_base: 0,
+    a: COperand::Const(0),
+    b: COperand::Const(0),
+};
+
+/// Sizing counters of a lowering pass (the `compile.*` profiling-plane
+/// instrument reports these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Program steps lowered.
+    pub steps: u64,
+    /// Threads per step.
+    pub threads: u64,
+    /// Total slots in the flat table (`steps · threads`).
+    pub slots: u64,
+    /// Slots holding a live instruction (the rest are idle padding).
+    pub live_slots: u64,
+}
+
+/// A scheme run lowered to flat bytecode: the slot table plus every layout
+/// and cadence constant the VM's dispatch loop needs, pre-extracted so the
+/// hot loop touches only this one arena.
+///
+/// Compiled once per run and shared (`Rc`) by all processors — every
+/// processor executes randomly chosen threads' tasks, so the table is
+/// common, not per-processor.
+#[derive(Debug)]
+pub struct CompiledScheme {
+    pub(crate) kind: apex_scheme::SchemeKind,
+    pub(crate) n: usize,
+    pub(crate) k: usize,
+    pub(crate) done: u64,
+    pub(crate) omega: u64,
+    // Clock-interleave cadence (mirrors `SchemeProcessor::cadence`).
+    pub(crate) updates_per_item: u64,
+    pub(crate) read_period: u64,
+    pub(crate) light_update_period: u64,
+    // Phase-clock layout.
+    pub(crate) clock_base: usize,
+    pub(crate) clock_cells: u64,
+    pub(crate) clock_samples: u64,
+    pub(crate) clock_threshold: u64,
+    // Bin-array layout.
+    pub(crate) bins_base: usize,
+    pub(crate) cells_per_bin: usize,
+    pub(crate) upper_half: usize,
+    // Single-cell NewVal / proposal-matrix layout.
+    pub(crate) newval_base: usize,
+    pub(crate) proposals_base: usize,
+    // The flat program table, indexed `step · n + thread`.
+    pub(crate) slots: Vec<Slot>,
+    stats: CompileStats,
+}
+
+impl CompiledScheme {
+    /// Sizing counters of the lowering pass.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    #[inline]
+    pub(crate) fn slot(&self, step: u64, thread: usize) -> Slot {
+        self.slots[step as usize * self.n + thread]
+    }
+}
+
+/// Lower the assembled parts of a scheme run into a [`CompiledScheme`].
+pub fn compile(parts: &SchemeParts) -> CompiledScheme {
+    let program = &parts.program;
+    let map = parts.map;
+    let cfg = parts.cfg;
+    let n = program.n_threads;
+    let k = map.k;
+    let t_steps = program.n_steps() as u64;
+
+    let heavy = parts.kind.heavy_tasks();
+    let (updates_per_item, read_period) = if heavy {
+        let tasks_target = 2 * cfg.clock_read_period.max(1);
+        (
+            (cfg.clock_threshold / tasks_target).max(1),
+            cfg.clock_read_period,
+        )
+    } else {
+        (1, cfg.clock_read_period)
+    };
+    let light_update_period = if heavy { 1 } else { cfg.update_period };
+
+    let lower_operand = |o: &Operand, step: u64| match o {
+        Operand::Const(c) => COperand::Const(*c),
+        Operand::Var(v) => COperand::Var {
+            base: u32::try_from(map.vars.base + v * k).expect("address fits u32"),
+            expect: parts.lw.expected_stamp(*v, step),
+        },
+    };
+
+    let mut slots = Vec::with_capacity(t_steps as usize * n);
+    let mut live_slots = 0u64;
+    for step in 0..t_steps {
+        for i in 0..n {
+            match program.instr(step as usize, i) {
+                Some(instr) => {
+                    live_slots += 1;
+                    slots.push(Slot {
+                        live: true,
+                        op: instr.op,
+                        dst_base: u32::try_from(map.vars.base + instr.dst * k)
+                            .expect("address fits u32"),
+                        a: lower_operand(&instr.a, step),
+                        b: lower_operand(&instr.b, step),
+                    });
+                }
+                None => slots.push(IDLE),
+            }
+        }
+    }
+
+    let clock_cfg = *map.clock.config();
+    CompiledScheme {
+        kind: parts.kind,
+        n,
+        k,
+        done: 2 * t_steps,
+        omega: cfg.omega,
+        updates_per_item,
+        read_period,
+        light_update_period,
+        clock_base: map.clock.region().base,
+        clock_cells: clock_cfg.cells as u64,
+        clock_samples: clock_cfg.read_samples as u64,
+        clock_threshold: clock_cfg.threshold,
+        bins_base: map.bins.region().base,
+        cells_per_bin: map.bins.cells_per_bin(),
+        upper_half: map.bins.upper_half_start(),
+        newval_base: map.newval.base,
+        proposals_base: map.proposals.map(|r| r.base).unwrap_or(usize::MAX),
+        slots,
+        stats: CompileStats {
+            steps: t_steps,
+            threads: n as u64,
+            slots: t_steps * n as u64,
+            live_slots,
+        },
+    }
+}

@@ -46,7 +46,7 @@ fn usage() -> ! {
          \n\
          suite run    SUITE.json [--store DIR] [--resume] [--cached] [--faults PLAN.json]\n\
          \x20            [--threads N] [--exec serial|ticketed [--workers N]] [--timing]\n\
-         \x20            [--trace [FILE]] [--metrics] [--profile]\n\
+         \x20            [--engine tree|bytecode] [--trace [FILE]] [--metrics] [--profile]\n\
          \x20            [--bench OUT.json] [--bench-baseline BASE.json [--bench-tolerance F]]\n\
          \x20                                        journaled expand-execute-record\n\
          suite expand SUITE.json                 print the deterministic cell list\n\
@@ -59,7 +59,7 @@ fn usage() -> ! {
          farm submit  SUITE.json [--queue DIR]   enqueue a suite for the workers\n\
          farm worker  [--queue DIR] [--store DIR] [--threads N] [--worker ID]\n\
          \x20            [--shard N] [--ttl N] [--faults PLAN.json]\n\
-         \x20            [--exec serial|ticketed [--workers N]]\n\
+         \x20            [--exec serial|ticketed [--workers N]] [--engine tree|bytecode]\n\
          \x20            [--trace [FILE]] [--metrics] [--profile]  drain the queue\n\
          farm status  [--queue DIR] [--store DIR] [--metrics]  per-suite queue progress\n\
          farm query   SCENARIO.json [--queue DIR] [--store DIR] [--json]\n\
@@ -69,7 +69,7 @@ fn usage() -> ! {
          obs metrics  [FILE] [--merge DIR]… [--result-plane] [--json]\n\
          \x20                                        render / fleet-merge metrics documents\n\
          run          SCENARIO.json [--emit OUT.json] [--json]\n\
-         \x20            [--exec serial|ticketed [--workers N]]\n\
+         \x20            [--exec serial|ticketed [--workers N]] [--engine tree|bytecode]\n\
          \x20            [--trace [FILE]] [--metrics [FILE]] [--profile]\n\
          \x20                                        execute one scenario\n\
          adversary validate SPEC.json --n N      parse + validate a composed adversary\n\
@@ -236,6 +236,7 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
                 cached: args.has("cached"),
                 threads: args.get("threads").and_then(|v| v.parse().ok()),
                 exec: cli::exec_override(&args),
+                engine: cli::engine_override(&args),
                 timing: benching || args.has("timing"),
                 obs: cli::obs_override(&args, || trace_default),
             };
@@ -319,9 +320,14 @@ fn cmd_suite(raw: &[String]) -> ExitCode {
 /// only — nothing here touches the store's result bytes.
 fn bench_gate(args: &Args, suite: &Suite, done: &apex_lab::JournaledRun) -> Result<(), String> {
     let exec = cli::exec_override(args).unwrap_or_default();
+    let engine = cli::engine_override(args).unwrap_or_default();
     let fresh = BenchRun {
         exec: exec.label().into(),
         workers: exec.workers() as u64,
+        engine: engine.label().into(),
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0),
         cells: done.executed.len() as u64,
         ticks: done.executed_ticks,
         elapsed_ms: done.elapsed_ms,
@@ -339,6 +345,39 @@ fn bench_gate(args: &Args, suite: &Suite, done: &apex_lab::JournaledRun) -> Resu
                 "  speedup over serial at {} workers: {speedup:.2}x",
                 exec.workers()
             );
+        }
+    }
+    let engine_speedup = doc.engine_speedup(exec.label(), exec.workers() as u64);
+    if let Some(speedup) = engine_speedup {
+        println!(
+            "  bytecode speedup over tree on the {} engine: {speedup:.2}x",
+            exec.label()
+        );
+    }
+    if let Some(min) = args.get("bench-min-engine-speedup") {
+        let min: f64 = min
+            .parse()
+            .map_err(|e| format!("--bench-min-engine-speedup {min}: {e}"))?;
+        // Host-independent gate: the tree/bytecode rows come from the same
+        // machine and run back to back, so their ratio is meaningful even
+        // when absolute throughput is not comparable to the baseline's.
+        match engine_speedup {
+            Some(s) if s >= min => {
+                println!("  engine speedup gate: {s:.2}x >= {min:.2}x")
+            }
+            Some(s) => {
+                return Err(format!(
+                    "engine speedup gate failed: bytecode is {s:.2}x tree, need {min:.2}x"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "engine speedup gate needs both a tree and a bytecode row for exec {} \
+                     (workers {}) in the bench doc",
+                    exec.label(),
+                    exec.workers()
+                ))
+            }
         }
     }
     if let Some(path) = args.get("bench") {
@@ -590,6 +629,7 @@ fn cmd_farm(raw: &[String]) -> ExitCode {
             opts.ttl = args.num("ttl", opts.ttl);
             opts.threads = args.get("threads").and_then(|v| v.parse().ok());
             opts.exec = cli::exec_override(&args);
+            opts.engine = cli::engine_override(&args);
             // Bare `--trace` lands beside the store, one file per worker
             // (a trace describes one worker's run, not the fleet's).
             let trace_default = store.root().join(format!("trace-{}.jsonl", opts.worker));

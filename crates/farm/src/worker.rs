@@ -60,6 +60,10 @@ pub struct WorkerOpts {
     /// fan-out). Never changes a result byte, so workers running different
     /// engines still converge to one record set.
     pub exec: Option<ExecMode>,
+    /// Runtime interpreter-engine override for scheme-mode cells. Like
+    /// `exec`, it never changes a result byte, so workers running
+    /// different interpreters still converge to one record set.
+    pub engine: Option<apex_scenario::ProgramEngine>,
     /// Telemetry plane ([`apex_obs::ObsOpts`]). With `metrics` on, the
     /// worker writes a per-suite `metrics-<worker>.json` shard beside the
     /// suite's records; `apex obs metrics --merge` folds the shards into
@@ -77,6 +81,7 @@ impl Default for WorkerOpts {
             ttl: DEFAULT_TTL,
             threads: None,
             exec: None,
+            engine: None,
             obs: ObsOpts::off(),
         }
     }
@@ -431,7 +436,7 @@ fn drain_suite_inner(
                     .map_err(jerr)?;
             }
             let outcomes = run_trials_threaded(&pending, threads.min(pending.len()), |cell| {
-                run_one(store.faults(), opts.exec, obs, cell)
+                run_one(store.faults(), opts.exec, opts.engine, obs, cell)
             });
             for (cell, (outcome, stats)) in pending.iter().zip(&outcomes) {
                 commit_cell(store, digest, &journal, cell, outcome, &opts.worker, report)?;
@@ -476,10 +481,15 @@ fn drain_suite_inner(
                      remaining shards are leased but never complete"
                 ));
             }
-            let first_pending = cells
+            // `terminal` reads the store, so a concurrent worker may have
+            // committed the remaining cells since the `all_terminal` pass
+            // above; an empty scan just means the next loop will finalize.
+            let Some(first_pending) = cells
                 .iter()
                 .find(|c| !terminal(store, digest, c, &state.poisoned))
-                .expect("!all_terminal implies a pending cell");
+            else {
+                continue;
+            };
             journal
                 .append(&JournalEntry::Claimed {
                     index: first_pending.index as u64,
@@ -506,6 +516,7 @@ fn drain_suite_inner(
 fn run_one(
     faults: Option<&std::sync::Arc<FaultInjector>>,
     exec: Option<ExecMode>,
+    engine: Option<apex_scenario::ProgramEngine>,
     obs: &Obs,
     cell: &Cell,
 ) -> (RunOutcome, ExecStats) {
@@ -515,7 +526,7 @@ fn run_one(
         });
         (outcome, ExecStats::default())
     } else {
-        RunOutcome::capture_exec_obs(&cell.scenario, exec, obs)
+        RunOutcome::capture_engines_obs(&cell.scenario, exec, engine, obs)
     }
 }
 

@@ -133,14 +133,21 @@ impl ExecStatsDoc {
     }
 }
 
-/// One measured point of a [`BenchDoc`]: how fast one `(exec, workers)`
-/// configuration pushed the suite's ticks.
+/// One measured point of a [`BenchDoc`]: how fast one
+/// `(exec, workers, engine)` configuration pushed the suite's ticks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BenchRun {
-    /// Engine label: `serial` or `ticketed`.
+    /// Execution-engine label: `serial` or `ticketed`.
     pub exec: String,
     /// Worker count (1 for serial).
     pub workers: u64,
+    /// Scheme-interpreter engine label: `tree` or `bytecode` (kernel
+    /// suites always measure `tree` — the knob does not apply to them).
+    pub engine: String,
+    /// Logical cores available on the measuring host (0 when unknown) —
+    /// machine context for reading cross-host artifacts, never part of
+    /// the row key or the gate.
+    pub host_cores: u64,
     /// Cells executed for this measurement.
     pub cells: u64,
     /// Total machine ticks executed.
@@ -152,10 +159,17 @@ pub struct BenchRun {
 }
 
 impl BenchRun {
+    /// The row's identity within a [`BenchDoc`].
+    fn key(&self) -> (&str, u64, &str) {
+        (self.exec.as_str(), self.workers, self.engine.as_str())
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("exec".into(), Json::Str(self.exec.clone())),
             ("workers".into(), Json::UInt(self.workers)),
+            ("engine".into(), Json::Str(self.engine.clone())),
+            ("host_cores".into(), Json::UInt(self.host_cores)),
             ("cells".into(), Json::UInt(self.cells)),
             ("ticks".into(), Json::UInt(self.ticks)),
             ("elapsed_ms".into(), Json::UInt(self.elapsed_ms)),
@@ -167,6 +181,16 @@ impl BenchRun {
         Ok(BenchRun {
             exec: v.get("exec")?.as_str()?.to_string(),
             workers: v.get("workers")?.as_u64()?,
+            // Pre-engine artifacts measured the tree walker on an
+            // unrecorded host; default both fields accordingly.
+            engine: match v.get_opt("engine") {
+                None | Some(Json::Null) => "tree".to_string(),
+                Some(e) => e.as_str()?.to_string(),
+            },
+            host_cores: match v.get_opt("host_cores") {
+                None | Some(Json::Null) => 0,
+                Some(x) => x.as_u64()?,
+            },
             cells: v.get("cells")?.as_u64()?,
             ticks: v.get("ticks")?.as_u64()?,
             elapsed_ms: v.get("elapsed_ms")?.as_u64()?,
@@ -175,15 +199,16 @@ impl BenchRun {
     }
 }
 
-/// A suite's scaling measurements, keyed by `(exec, workers)` — the
-/// committed `BENCH_*.json` artifact and the CI regression baseline.
+/// A suite's scaling measurements, keyed by `(exec, workers, engine)` —
+/// the committed `BENCH_*.json` artifact and the CI regression baseline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BenchDoc {
     /// Suite name.
     pub suite: String,
     /// Digest of the canonical suite document the measurements ran.
     pub digest: String,
-    /// Measurements, sorted by `(exec, workers)` for a canonical form.
+    /// Measurements, sorted by `(exec, workers, engine)` for a canonical
+    /// form.
     pub runs: Vec<BenchRun>,
 }
 
@@ -197,30 +222,39 @@ impl BenchDoc {
         }
     }
 
-    /// Insert or replace the measurement for `run`'s `(exec, workers)`
-    /// key, keeping the run list sorted.
+    /// Insert or replace the measurement for `run`'s
+    /// `(exec, workers, engine)` key, keeping the run list sorted.
     pub fn upsert(&mut self, run: BenchRun) {
-        self.runs
-            .retain(|r| (r.exec.as_str(), r.workers) != (run.exec.as_str(), run.workers));
+        self.runs.retain(|r| r.key() != run.key());
         self.runs.push(run);
         self.runs
-            .sort_by(|a, b| (&a.exec, a.workers).cmp(&(&b.exec, b.workers)));
+            .sort_by(|a, b| (&a.exec, a.workers, &a.engine).cmp(&(&b.exec, b.workers, &b.engine)));
     }
 
-    /// The measurement at one `(exec, workers)` key.
-    pub fn run(&self, exec: &str, workers: u64) -> Option<&BenchRun> {
+    /// The measurement at one `(exec, workers, engine)` key.
+    pub fn run(&self, exec: &str, workers: u64, engine: &str) -> Option<&BenchRun> {
         self.runs
             .iter()
-            .find(|r| r.exec == exec && r.workers == workers)
+            .find(|r| r.key() == (exec, workers, engine))
     }
 
-    /// The ticketed-over-serial speedup at `workers`, when the artifact
-    /// holds both measurements (what the acceptance gate reads).
+    /// The ticketed-over-serial speedup at `workers` (tree interpreter
+    /// rows), when the artifact holds both measurements (what the
+    /// kernel-scaling acceptance gate reads).
     pub fn speedup(&self, workers: u64) -> Option<f64> {
-        let serial = self.run("serial", 1)?;
-        let ticketed = self.run("ticketed", workers)?;
+        let serial = self.run("serial", 1, "tree")?;
+        let ticketed = self.run("ticketed", workers, "tree")?;
         (serial.ticks_per_sec > 0)
             .then(|| ticketed.ticks_per_sec as f64 / serial.ticks_per_sec as f64)
+    }
+
+    /// The bytecode-over-tree interpreter speedup at one
+    /// `(exec, workers)` point, when the artifact holds both engine rows
+    /// (what the program-compile acceptance gate reads).
+    pub fn engine_speedup(&self, exec: &str, workers: u64) -> Option<f64> {
+        let tree = self.run(exec, workers, "tree")?;
+        let bytecode = self.run(exec, workers, "bytecode")?;
+        (tree.ticks_per_sec > 0).then(|| bytecode.ticks_per_sec as f64 / tree.ticks_per_sec as f64)
     }
 
     /// Gate this (fresh) artifact against a committed `baseline`: every
@@ -231,15 +265,17 @@ impl BenchDoc {
     pub fn gate_against(&self, baseline: &BenchDoc, tolerance: f64) -> Result<(), String> {
         let mut failures = Vec::new();
         for fresh in &self.runs {
-            let Some(base) = baseline.run(&fresh.exec, fresh.workers) else {
+            let Some(base) = baseline.run(&fresh.exec, fresh.workers, &fresh.engine) else {
                 continue;
             };
             let floor = base.ticks_per_sec as f64 * (1.0 - tolerance);
             if (fresh.ticks_per_sec as f64) < floor {
                 failures.push(format!(
-                    "{} (workers {}): {} ticks/s < floor {:.0} (baseline {} - {:.0}% tolerance)",
+                    "{} (workers {}, engine {}): {} ticks/s < floor {:.0} (baseline {} - {:.0}% \
+                     tolerance)",
                     fresh.exec,
                     fresh.workers,
+                    fresh.engine,
                     fresh.ticks_per_sec,
                     floor,
                     base.ticks_per_sec,
@@ -321,9 +357,15 @@ mod tests {
     use super::*;
 
     fn measured(exec: &str, workers: u64, ticks_per_sec: u64) -> BenchRun {
+        engine_measured(exec, workers, "tree", ticks_per_sec)
+    }
+
+    fn engine_measured(exec: &str, workers: u64, engine: &str, ticks_per_sec: u64) -> BenchRun {
         BenchRun {
             exec: exec.into(),
             workers,
+            engine: engine.into(),
+            host_cores: 8,
             cells: 4,
             ticks: ticks_per_sec,
             elapsed_ms: 1000,
@@ -353,10 +395,32 @@ mod tests {
         doc.upsert(measured("ticketed", 4, 120)); // replaces, not appends
         assert_eq!(doc.runs.len(), 2);
         assert_eq!(doc.runs[0].exec, "serial"); // sorted by key
-        assert_eq!(doc.run("ticketed", 4).unwrap().ticks_per_sec, 120);
+        assert_eq!(doc.run("ticketed", 4, "tree").unwrap().ticks_per_sec, 120);
         assert_eq!(doc.speedup(4), Some(2.4));
         let back = BenchDoc::parse(&doc.render_pretty()).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn engine_rows_key_separately_and_legacy_artifacts_parse() {
+        let mut doc = BenchDoc::new("bench-program", "feedfacefeedface");
+        doc.upsert(engine_measured("serial", 1, "tree", 100));
+        doc.upsert(engine_measured("serial", 1, "bytecode", 250));
+        // Same (exec, workers), different engine — two distinct rows.
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.runs[0].engine, "bytecode"); // sorted within key
+        assert_eq!(doc.engine_speedup("serial", 1), Some(2.5));
+        let back = BenchDoc::parse(&doc.render_pretty()).unwrap();
+        assert_eq!(back, doc);
+
+        // Rows written before the engine fields existed parse as tree
+        // measurements on an unrecorded host.
+        let legacy = r#"{"suite":"b","digest":"d","runs":[{"exec":"serial",
+            "workers":1,"cells":2,"ticks":10,"elapsed_ms":1,"ticks_per_sec":10000}]}"#;
+        let doc = BenchDoc::parse(legacy).unwrap();
+        assert_eq!(doc.runs[0].engine, "tree");
+        assert_eq!(doc.runs[0].host_cores, 0);
+        assert!(doc.run("serial", 1, "tree").is_some());
     }
 
     #[test]

@@ -162,6 +162,11 @@ pub struct JournalOpts {
     /// changes a result byte — records, manifests, and digests are
     /// engine-independent.
     pub exec: Option<ExecMode>,
+    /// Runtime interpreter-engine override for scheme-mode cells
+    /// ([`Scenario::run_with_engines`](apex_scenario::Scenario::run_with_engines)):
+    /// `None` honors each scenario's own engine knob. Like `exec`, the
+    /// override never changes a result byte.
+    pub engine: Option<apex_scenario::ProgramEngine>,
     /// Measure wall-clock execution time and write the `exec-stats.json`
     /// sidecar (timing telemetry, excluded from byte-identity checks).
     /// Also folds `time.*` entries into the unified metrics document.
@@ -324,7 +329,7 @@ pub fn run_suite_journaled(
             });
             (outcome, ExecStats::default())
         } else {
-            RunOutcome::capture_exec_obs(&cell.scenario, opts.exec, &obs)
+            RunOutcome::capture_engines_obs(&cell.scenario, opts.exec, opts.engine, &obs)
         }
     };
 

@@ -51,8 +51,8 @@ pub use report::{
     AgreementRunReport, ScenarioReport,
 };
 pub use scenario::{
-    agreement_config_from_json, agreement_config_to_json, fnv1a64, EngineKnobs, Mode, Scenario,
-    ScenarioError, SourceSpec, FORMAT_MAJOR, FORMAT_MINOR,
+    agreement_config_from_json, agreement_config_to_json, fnv1a64, EngineKnobs, Mode,
+    ProgramEngine, Scenario, ScenarioError, SourceSpec, FORMAT_MAJOR, FORMAT_MINOR,
 };
 
 #[cfg(test)]
@@ -236,6 +236,33 @@ mod tests {
         assert_eq!(r.final_memory, direct.final_memory);
         assert!(via_scenario.ok());
         assert!(via_scenario.summary().contains("nondet-scheme"));
+    }
+
+    #[test]
+    fn bytecode_engine_is_digest_preserving_and_report_identical() {
+        let base = Scenario::scheme(
+            SchemeKind::Nondet,
+            ProgramSource::library("coin-sum", 8, vec![32]),
+            1,
+        );
+        let bc = base.clone().program_engine(ProgramEngine::Bytecode);
+        // The Tree default is omitted from the document, so every
+        // pre-existing scenario digest is byte-for-byte unchanged …
+        assert!(!base.to_json().render().contains("program_engine"));
+        assert_eq!(
+            base.digest(),
+            base.clone().program_engine(ProgramEngine::Tree).digest()
+        );
+        // … while an explicit bytecode knob round-trips exactly.
+        assert_ne!(base.digest(), bc.digest());
+        assert_eq!(Scenario::parse(&bc.to_json().render()).unwrap(), bc);
+        // Reports are engine-independent down to the rendered bytes, both
+        // via the document knob and via the runtime override.
+        let tree = base.run();
+        let via_knob = bc.run();
+        let via_override = base.run_with_engines(None, Some(ProgramEngine::Bytecode));
+        assert_eq!(tree.to_json().render(), via_knob.to_json().render());
+        assert_eq!(tree.to_json().render(), via_override.to_json().render());
     }
 
     #[test]

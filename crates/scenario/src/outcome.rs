@@ -66,7 +66,20 @@ impl RunOutcome {
     /// [`RunOutcome::capture`] with a runtime execution-engine override
     /// (see [`Scenario::run_with_exec`]); `None` is exactly `capture`.
     pub fn capture_exec(scenario: &Scenario, exec: Option<apex_exec::ExecMode>) -> Self {
-        Self::capture_with(scenario, move |s| ReportRecord::run_exec(s, exec))
+        Self::capture_engines(scenario, exec, None)
+    }
+
+    /// [`RunOutcome::capture`] with runtime overrides for *both* engine
+    /// knobs (see [`Scenario::run_with_engines`]); `(None, None)` is
+    /// exactly `capture`.
+    pub fn capture_engines(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        engine: Option<crate::scenario::ProgramEngine>,
+    ) -> Self {
+        Self::capture_with(scenario, move |s| {
+            ReportRecord::run_engines(s, exec, engine)
+        })
     }
 
     /// [`RunOutcome::capture_exec`] with telemetry: trace events go to
@@ -79,6 +92,17 @@ impl RunOutcome {
         exec: Option<apex_exec::ExecMode>,
         obs: &apex_obs::Obs,
     ) -> (Self, apex_exec::ExecStats) {
+        Self::capture_engines_obs(scenario, exec, None, obs)
+    }
+
+    /// [`RunOutcome::capture_engines`] with telemetry (the fully general
+    /// capture; every other `capture*` entry point delegates here).
+    pub fn capture_engines_obs(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        engine: Option<crate::scenario::ProgramEngine>,
+        obs: &apex_obs::Obs,
+    ) -> (Self, apex_exec::ExecStats) {
         use std::sync::{Arc, Mutex};
         // The stats ride out of the catch_unwind closure through a shared
         // cell: on a panic the closure never reaches the store, so the
@@ -87,7 +111,7 @@ impl RunOutcome {
         let slot = Arc::clone(&cell);
         let obs = obs.clone();
         let outcome = Self::capture_with(scenario, move |s| {
-            let (record, stats) = ReportRecord::run_exec_obs(s, exec, &obs);
+            let (record, stats) = ReportRecord::run_engines_obs(s, exec, engine, &obs);
             *slot.lock().unwrap() = stats;
             record
         });

@@ -102,7 +102,19 @@ impl ReportRecord {
     /// digest are exactly as written — only the engine that produced the
     /// (engine-independent) report differs.
     pub fn run_exec(scenario: &Scenario, exec: Option<apex_exec::ExecMode>) -> Self {
-        Self::from_run(scenario.clone(), scenario.run_with_exec(exec))
+        Self::run_engines(scenario, exec, None)
+    }
+
+    /// [`ReportRecord::run`] with runtime overrides for *both* engine
+    /// knobs — `exec` for kernel scenarios, `engine` for scheme scenarios
+    /// (see [`Scenario::run_with_engines`]). The recorded scenario and its
+    /// digest are exactly as written either way.
+    pub fn run_engines(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        engine: Option<crate::scenario::ProgramEngine>,
+    ) -> Self {
+        Self::from_run(scenario.clone(), scenario.run_with_engines(exec, engine))
     }
 
     /// [`ReportRecord::run_exec`] with telemetry: routes trace events to
@@ -116,7 +128,18 @@ impl ReportRecord {
         exec: Option<apex_exec::ExecMode>,
         obs: &apex_obs::Obs,
     ) -> (Self, apex_exec::ExecStats) {
-        let (report, stats) = scenario.run_with_exec_obs(exec, obs);
+        Self::run_engines_obs(scenario, exec, None, obs)
+    }
+
+    /// [`ReportRecord::run_engines`] with telemetry (the fully general
+    /// recorder; every other `run*` constructor delegates here).
+    pub fn run_engines_obs(
+        scenario: &Scenario,
+        exec: Option<apex_exec::ExecMode>,
+        engine: Option<crate::scenario::ProgramEngine>,
+        obs: &apex_obs::Obs,
+    ) -> (Self, apex_exec::ExecStats) {
+        let (report, stats) = scenario.run_with_engines_obs(exec, engine, obs);
         (Self::from_run(scenario.clone(), report), stats)
     }
 

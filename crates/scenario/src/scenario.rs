@@ -113,6 +113,58 @@ impl SourceSpec {
     }
 }
 
+/// Interpreter engine for scheme-mode program execution.
+///
+/// Both engines perform the identical sequence of atomic operations and
+/// RNG draws per processor per tick, so schedules, work accounting, memory
+/// stamps, and reports are byte-for-byte the same — this is a pure
+/// throughput choice, like [`ExecMode`] for kernel scenarios.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProgramEngine {
+    /// The tree-walking scheme processors (`apex-scheme`): the reference
+    /// semantics and the oracle the bytecode engine is diffed against.
+    #[default]
+    Tree,
+    /// The flat bytecode compiler + VM (`apex-bc`): the program is lowered
+    /// once at assembly time into a contiguous slot table with
+    /// pre-resolved addresses and stamps, then executed by a flat VM.
+    Bytecode,
+}
+
+impl ProgramEngine {
+    /// Stable lower-case label (serialization, report rows, CLI values).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProgramEngine::Tree => "tree",
+            ProgramEngine::Bytecode => "bytecode",
+        }
+    }
+
+    /// Parse a [`ProgramEngine::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tree" => Some(ProgramEngine::Tree),
+            "bytecode" => Some(ProgramEngine::Bytecode),
+            _ => None,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Str(self.label().into())
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str()?;
+        Self::parse(s).ok_or_else(|| jerr(format!("unknown program engine {s:?}")))
+    }
+}
+
+impl std::fmt::Display for ProgramEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Engine knobs: how the machine executes, never what it computes
 /// (batching is tick-transparent; the tick budget only moves the
 /// stall-detection bar).
@@ -128,6 +180,10 @@ pub struct EngineKnobs {
     /// always run on the serial engine and ignore this knob. Reports are
     /// byte-identical across modes, so this is a pure engine choice.
     pub exec: ExecMode,
+    /// Interpreter engine for scheme-mode scenarios (tree walker or
+    /// bytecode VM; see [`ProgramEngine`]). Agreement and kernel modes
+    /// ignore this knob. Reports are byte-identical across engines.
+    pub program_engine: ProgramEngine,
 }
 
 impl EngineKnobs {
@@ -141,6 +197,10 @@ impl EngineKnobs {
         // every content digest in every store — is byte-for-byte unchanged.
         if self.exec != ExecMode::Serial {
             fields.push(("exec".into(), self.exec.to_json()));
+        }
+        // Same digest-preservation rule: omitted at the Tree default.
+        if self.program_engine != ProgramEngine::Tree {
+            fields.push(("program_engine".into(), self.program_engine.to_json()));
         }
         Json::Obj(fields)
     }
@@ -162,6 +222,10 @@ impl EngineKnobs {
             exec: match v.get_opt("exec") {
                 None | Some(Json::Null) => ExecMode::Serial,
                 Some(e) => ExecMode::from_json(e)?,
+            },
+            program_engine: match v.get_opt("program_engine") {
+                None | Some(Json::Null) => ProgramEngine::Tree,
+                Some(e) => ProgramEngine::from_json(e)?,
             },
         })
     }
@@ -325,6 +389,13 @@ impl Scenario {
         self
     }
 
+    /// Set the interpreter engine (scheme mode; other modes carry the
+    /// knob but ignore it).
+    pub fn program_engine(mut self, engine: ProgramEngine) -> Self {
+        self.engine.program_engine = engine;
+        self
+    }
+
     /// Processor count of the described machine.
     pub fn n(&self) -> usize {
         match &self.mode {
@@ -461,11 +532,24 @@ impl Scenario {
     }
 
     /// Assemble the scheme-mode run without executing it (the layered
-    /// entry point the trial runner's recipes use).
+    /// entry point the trial runner's recipes use), on the scenario's
+    /// [`EngineKnobs::program_engine`].
     ///
     /// # Panics
     /// If the scenario is invalid or not scheme-mode.
     pub fn build_scheme(&self) -> SchemeRun {
+        self.build_scheme_obs(None, &Obs::disabled())
+    }
+
+    /// [`Scenario::build_scheme`] with a runtime interpreter-engine
+    /// override (`None` assembles the knob as written) and a trace sink:
+    /// when tracing is enabled and the bytecode engine is selected, the
+    /// lowering pass emits one `compile`-scope event carrying its sizing
+    /// counters ([`apex_bc::CompileStats`]).
+    ///
+    /// # Panics
+    /// If the scenario is invalid or not scheme-mode.
+    pub fn build_scheme_obs(&self, engine: Option<ProgramEngine>, obs: &Obs) -> SchemeRun {
         let program = match self.validate_resolving() {
             Ok(Some(p)) => p,
             Ok(None) => panic!("scenario is not scheme-mode"),
@@ -482,7 +566,28 @@ impl Scenario {
         cfg.agreement = self.agreement;
         cfg.batch = self.engine.batch;
         cfg.tick_budget = self.engine.tick_budget;
-        SchemeRun::new(program, cfg)
+        match engine.unwrap_or(self.engine.program_engine) {
+            ProgramEngine::Tree => SchemeRun::new(program, cfg),
+            ProgramEngine::Bytecode => SchemeRun::new_with_factory(program, cfg, |parts| {
+                let compiled = Rc::new(apex_bc::compile(parts));
+                if obs.enabled() {
+                    let s = compiled.stats();
+                    obs.emit(
+                        "compile",
+                        "lower",
+                        0,
+                        &parts.program.name,
+                        &[
+                            ("steps", s.steps),
+                            ("threads", s.threads),
+                            ("slots", s.slots),
+                            ("live_slots", s.live_slots),
+                        ],
+                    );
+                }
+                apex_bc::factory_of(compiled, parts)
+            }),
+        }
     }
 
     /// Assemble the agreement-mode run without executing it.
@@ -551,6 +656,20 @@ impl Scenario {
         self.run_with_exec_obs(exec, &Obs::disabled()).0
     }
 
+    /// [`Scenario::run`] with runtime overrides for *both* engine knobs:
+    /// `exec` for kernel scenarios, `engine` for scheme scenarios. As with
+    /// [`Scenario::run_with_exec`], `Some(_)` replaces the corresponding
+    /// knob for this execution only — the document and its digest are
+    /// untouched, and since reports are engine-independent the output
+    /// bytes cannot change either.
+    pub fn run_with_engines(
+        &self,
+        exec: Option<ExecMode>,
+        engine: Option<ProgramEngine>,
+    ) -> ScenarioReport {
+        self.run_with_engines_obs(exec, engine, &Obs::disabled()).0
+    }
+
     /// [`Scenario::run_with_exec`] with a trace sink, also returning the
     /// engine's (telemetry-only) [`ExecStats`]. When tracing is enabled,
     /// scheme/agreement runs emit `engine`-scope block events (labelled
@@ -563,9 +682,23 @@ impl Scenario {
         exec: Option<ExecMode>,
         obs: &Obs,
     ) -> (ScenarioReport, ExecStats) {
+        self.run_with_engines_obs(exec, None, obs)
+    }
+
+    /// [`Scenario::run_with_engines`] with a trace sink (the fully general
+    /// executor every other `run*` method delegates to). In addition to
+    /// the events described on [`Scenario::run_with_exec_obs`], a scheme
+    /// run on the bytecode engine emits one `compile`-scope event with the
+    /// lowering pass's sizing counters.
+    pub fn run_with_engines_obs(
+        &self,
+        exec: Option<ExecMode>,
+        engine: Option<ProgramEngine>,
+        obs: &Obs,
+    ) -> (ScenarioReport, ExecStats) {
         match &self.mode {
             Mode::Scheme { .. } => {
-                let mut run = self.build_scheme();
+                let mut run = self.build_scheme_obs(engine, obs);
                 if obs.enabled() {
                     install_block_hook(run.machine_mut(), obs);
                 }

@@ -1,11 +1,14 @@
 //! The scheme run harness: machine assembly, phase-boundary observation,
 //! and verification.
 
+use std::future::Future;
 use std::rc::Rc;
 
 use apex_core::{new_sink, AgreementConfig, ValueSource};
 use apex_pram::{LastWriteTable, Program, Value};
-use apex_sim::{AdversarySpec, Machine, MachineBuilder, RegionAllocator, ScheduleKind, Stamped};
+use apex_sim::{
+    AdversarySpec, Ctx, Machine, MachineBuilder, RegionAllocator, ScheduleKind, Stamped,
+};
 
 use crate::drivers::{SchemeKind, SchemeProcessor};
 use crate::map::{ReplicaK, SchemeMap};
@@ -76,6 +79,27 @@ impl SchemeRunConfig {
     }
 }
 
+/// The assembled ingredients of a scheme run, handed to a processor
+/// factory (see [`SchemeRun::new_with_factory`]) so an alternative engine
+/// can build its own per-processor execution — over the *same* memory map,
+/// program tables, and event counters as the stock tree-walking
+/// processors.
+pub struct SchemeParts {
+    /// Which scheme the processors implement.
+    pub kind: SchemeKind,
+    /// The agreement constants in force (ω, clock cadence, bin sizing).
+    pub cfg: AgreementConfig,
+    /// The shared-memory layout.
+    pub map: SchemeMap,
+    /// The resolved program.
+    pub program: Rc<Program>,
+    /// Last-write table for stamp-validated operand reads.
+    pub lw: Rc<LastWriteTable>,
+    /// Shared protocol-event counters (all processors increment the same
+    /// handle; the final [`SchemeReport`] copies them out).
+    pub events: EventsHandle,
+}
+
 /// A fully assembled scheme execution.
 pub struct SchemeRun {
     machine: Machine,
@@ -90,8 +114,54 @@ pub struct SchemeRun {
 }
 
 impl SchemeRun {
-    /// Assemble machine + processors for `program` under `run_cfg`.
+    /// Assemble machine + processors for `program` under `run_cfg`, using
+    /// the stock tree-walking [`SchemeProcessor`]s.
     pub fn new(program: Program, run_cfg: SchemeRunConfig) -> Self {
+        Self::new_with_factory(program, run_cfg, |parts| {
+            let n = parts.program.n_threads;
+            let sink = (n <= 64).then(new_sink); // cycle logs only for small n
+            let source: Rc<dyn ValueSource> = Rc::new(InstrSource::new(
+                parts.program.clone(),
+                parts.lw.clone(),
+                parts.map,
+                parts.events.clone(),
+            ));
+            let proc_template = SchemeProcessor {
+                kind: parts.kind,
+                cfg: parts.cfg,
+                map: parts.map,
+                program: parts.program.clone(),
+                lw: parts.lw.clone(),
+                source,
+                events: parts.events.clone(),
+                sink,
+            };
+            move |ctx: Ctx| {
+                let p = proc_template.clone();
+                p.run(ctx)
+            }
+        })
+    }
+
+    /// Assemble machine + processors with a caller-supplied processor
+    /// factory.
+    ///
+    /// The factory receives the assembled [`SchemeParts`] and returns the
+    /// per-processor builder handed to the machine (called once per
+    /// processor). Alternative engines (the bytecode VM) use this seam to
+    /// substitute their own execution loop while the harness — memory
+    /// layout, initial pokes, phase observation, verification — stays
+    /// identical.
+    pub fn new_with_factory<F, B, Fut>(
+        program: Program,
+        run_cfg: SchemeRunConfig,
+        factory: F,
+    ) -> Self
+    where
+        F: FnOnce(&SchemeParts) -> B,
+        B: FnMut(Ctx) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
         assert!(program.n_steps() >= 1, "empty program");
         program.validate().expect("valid program");
         let n = program.n_threads;
@@ -114,25 +184,16 @@ impl SchemeRun {
         let program = Rc::new(program);
         let lw = Rc::new(program.last_write_table());
         let events = new_events();
-        let sink = (n <= 64).then(new_sink); // cycle logs only for small n
 
-        let source: Rc<dyn ValueSource> = Rc::new(InstrSource::new(
-            program.clone(),
-            lw.clone(),
-            map,
-            events.clone(),
-        ));
-
-        let proc_template = SchemeProcessor {
+        let parts = SchemeParts {
             kind: run_cfg.kind,
             cfg,
             map,
             program: program.clone(),
             lw: lw.clone(),
-            source,
             events: events.clone(),
-            sink,
         };
+        let proc_builder = factory(&parts);
 
         let mut builder = MachineBuilder::new(n, alloc.total())
             .seed(run_cfg.seed)
@@ -140,10 +201,7 @@ impl SchemeRun {
         if let Some(b) = run_cfg.batch {
             builder = builder.batch(b);
         }
-        let machine = builder.build(move |ctx| {
-            let p = proc_template.clone();
-            p.run(ctx)
-        });
+        let machine = builder.build(proc_builder);
 
         // Install the initial program-variable values into every replica
         // with stamp 0 (the "input" state of the machine).

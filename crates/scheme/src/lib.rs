@@ -46,7 +46,7 @@ pub mod tasks;
 pub mod verify;
 
 pub use drivers::{SchemeKind, SchemeProcessor};
-pub use harness::{SchemeRun, SchemeRunConfig};
+pub use harness::{SchemeParts, SchemeRun, SchemeRunConfig};
 pub use map::{ReplicaK, SchemeMap};
 pub use report::SchemeReport;
 pub use source::InstrSource;

@@ -180,6 +180,231 @@ impl std::fmt::Debug for Ctx {
     }
 }
 
+/// Synchronous gateway to the same per-processor machinery a [`Ctx`] wraps,
+/// for engines that execute many atomic operations per poll without the
+/// `async` state machine (the bytecode VM).
+///
+/// An `EngineGate` shares the processor's credit cell, op counter, shared
+/// memory, private random source, and the global work counter with the `Ctx`
+/// it was derived from, so an engine that calls [`EngineGate::take_credit`]
+/// before each effect performs the *identical* sequence of
+/// (credit, op-count, work, memory, RNG) transitions as `async` protocol
+/// code awaiting `Ctx` operations — read/write counters, write-event
+/// stamps, and the random stream all match op for op.
+///
+/// The contract is the machine's credit protocol: call `take_credit` once
+/// per atomic operation; when it returns `false`, return `Poll::Pending`
+/// from the driving future *without* performing further effects, and resume
+/// at the same operation on the next poll.
+#[derive(Clone)]
+pub struct EngineGate {
+    id: ProcId,
+    mem: Rc<RefCell<SharedMemory>>,
+    state: Rc<ProcState>,
+    rng: Rc<RefCell<SmallRng>>,
+    work: Rc<Cell<u64>>,
+}
+
+impl EngineGate {
+    /// Derive a gate from a processor's context. The gate aliases the
+    /// context's state; interleaving gated operations with `Ctx` awaits on
+    /// the same processor is well-defined (both consume the same credits).
+    pub fn new(ctx: &Ctx) -> Self {
+        EngineGate {
+            id: ctx.id,
+            mem: ctx.mem.clone(),
+            state: ctx.state.clone(),
+            rng: ctx.rng.clone(),
+            work: ctx.work.clone(),
+        }
+    }
+
+    /// This processor's identity.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Atomic operations executed so far by this processor (free to query,
+    /// like [`Ctx::ops`]).
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.state.ops.get()
+    }
+
+    /// Consume one op credit if available, advancing the op and work
+    /// counters exactly as a `Ctx` await does. Returns `false` when the
+    /// current run of credits is exhausted.
+    #[inline]
+    pub fn take_credit(&self) -> bool {
+        let credit = self.state.credit.get();
+        if credit > 0 {
+            self.state.credit.set(credit - 1);
+            self.state.ops.set(self.state.ops.get() + 1);
+            self.work.set(self.work.get() + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume up to `max` op credits at once, advancing the op and work
+    /// counters by the number consumed. Returns how many were consumed
+    /// (0 when the run is exhausted).
+    ///
+    /// Only valid for runs of *effect-free* atomic operations (busy-wait
+    /// nops, ω-padding): no shared-memory access and no RNG draw may be
+    /// attributed to the consumed credits. Within a single granted run no
+    /// other processor executes, so advancing the counters in bulk is
+    /// observably identical to consuming them one
+    /// [`take_credit`](EngineGate::take_credit) at a time — every effectful
+    /// operation before and after the run still sees the same op, work, and
+    /// stamp values.
+    #[inline]
+    pub fn take_credits(&self, max: u64) -> u64 {
+        let take = self.state.credit.get().min(max);
+        if take > 0 {
+            self.state.credit.set(self.state.credit.get() - take);
+            self.state.ops.set(self.state.ops.get() + take);
+            self.work.set(self.work.get() + take);
+        }
+        take
+    }
+
+    /// The shared-memory effect of [`Ctx::read`]. Call after `take_credit`.
+    #[inline]
+    pub fn load(&self, addr: usize) -> Stamped {
+        self.mem.borrow_mut().load(addr, self.id)
+    }
+
+    /// The shared-memory effect of [`Ctx::write`]. Call after `take_credit`.
+    #[inline]
+    pub fn store(&self, addr: usize, w: Stamped) {
+        self.mem.borrow_mut().store(addr, w, self.id);
+    }
+
+    /// The shared-memory effect of [`Ctx::cas`]. Call after `take_credit`.
+    #[inline]
+    pub fn cas(&self, addr: usize, expect: Stamped, new: Stamped) -> Stamped {
+        self.mem.borrow_mut().cas(addr, expect, new, self.id)
+    }
+
+    /// The RNG effect of [`Ctx::rand_below`]. Call after `take_credit`.
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    #[inline]
+    pub fn rand_below(&self, bound: u64) -> u64 {
+        assert!(bound > 0, "rand_below(0)");
+        self.rng.borrow_mut().gen_range(0..bound)
+    }
+}
+
+impl std::fmt::Debug for EngineGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineGate").field("id", &self.id).finish()
+    }
+}
+
+/// A borrowed fast path over an [`EngineGate`] for engines that execute
+/// many atomic operations per poll: the shared memory and the private RNG
+/// are borrowed **once per poll** instead of once per operation, removing
+/// two `RefCell` borrow handshakes from every load/store/draw.
+///
+/// Acquire with [`EngineGate::session`] at poll entry and drop before
+/// returning — the machine (and any instrumentation hooks outside the
+/// poll) must be able to reborrow. Every method is effect-identical to its
+/// `EngineGate` counterpart.
+pub struct GateSession<'a> {
+    id: ProcId,
+    mem: std::cell::RefMut<'a, SharedMemory>,
+    rng: std::cell::RefMut<'a, SmallRng>,
+    state: &'a ProcState,
+    work: &'a Cell<u64>,
+}
+
+impl EngineGate {
+    /// Borrow the shared memory and RNG for the duration of one poll. See
+    /// [`GateSession`].
+    ///
+    /// # Panics
+    /// If the memory or RNG is already borrowed (a session is still live,
+    /// or protocol code is mid-operation — neither can happen from the
+    /// machine's poll loop).
+    #[inline]
+    pub fn session(&self) -> GateSession<'_> {
+        GateSession {
+            id: self.id,
+            mem: self.mem.borrow_mut(),
+            rng: self.rng.borrow_mut(),
+            state: &self.state,
+            work: &self.work,
+        }
+    }
+}
+
+impl GateSession<'_> {
+    /// [`EngineGate::ops`].
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.state.ops.get()
+    }
+
+    /// [`EngineGate::take_credit`].
+    #[inline]
+    pub fn take_credit(&mut self) -> bool {
+        let credit = self.state.credit.get();
+        if credit > 0 {
+            self.state.credit.set(credit - 1);
+            self.state.ops.set(self.state.ops.get() + 1);
+            self.work.set(self.work.get() + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`EngineGate::take_credits`].
+    #[inline]
+    pub fn take_credits(&mut self, max: u64) -> u64 {
+        let take = self.state.credit.get().min(max);
+        if take > 0 {
+            self.state.credit.set(self.state.credit.get() - take);
+            self.state.ops.set(self.state.ops.get() + take);
+            self.work.set(self.work.get() + take);
+        }
+        take
+    }
+
+    /// [`EngineGate::load`].
+    #[inline]
+    pub fn load(&mut self, addr: usize) -> Stamped {
+        self.mem.load(addr, self.id)
+    }
+
+    /// [`EngineGate::store`].
+    #[inline]
+    pub fn store(&mut self, addr: usize, w: Stamped) {
+        self.mem.store(addr, w, self.id);
+    }
+
+    /// [`EngineGate::cas`].
+    #[inline]
+    pub fn cas(&mut self, addr: usize, expect: Stamped, new: Stamped) -> Stamped {
+        self.mem.cas(addr, expect, new, self.id)
+    }
+
+    /// [`EngineGate::rand_below`].
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    #[inline]
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "rand_below(0)");
+        self.rng.gen_range(0..bound)
+    }
+}
+
 /// Leaf future implementing the credit protocol: completes exactly when an
 /// op credit is available, consuming it; otherwise yields to the executor.
 ///

@@ -3,7 +3,7 @@
 mod ctx;
 mod machine;
 
-pub use ctx::Ctx;
+pub use ctx::{Ctx, EngineGate, GateSession};
 pub use machine::{BlockHook, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
 
 #[cfg(test)]

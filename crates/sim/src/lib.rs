@@ -56,7 +56,9 @@ pub mod sched;
 mod word;
 
 pub use error::RunTimeout;
-pub use exec::{BlockHook, Ctx, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH};
+pub use exec::{
+    BlockHook, Ctx, EngineGate, GateSession, IdlePolicy, Machine, MachineBuilder, DEFAULT_BATCH,
+};
 pub use json::{Json, JsonError};
 pub use memory::{Region, RegionAllocator, SharedMemory, WriteEvent, WriteHook};
 pub use metrics::WorkReport;

@@ -38,11 +38,12 @@ pub fn usage() -> ! {
          shrink       --file F [--out DIR] [--shrink-budget R]\n\
          replay       --file F | --dir DIR\n\
          run          SCENARIO.json [--emit OUT.json] [--json] [--cached [--store DIR]]\n\
-         \x20             [--exec serial|ticketed [--workers N]]\n\
+         \x20             [--exec serial|ticketed [--workers N]] [--engine tree|bytecode]\n\
          \x20             [--trace [FILE]] [--metrics [FILE]] [--profile]\n\
          \x20             execute a scenario file (--cached answers from the lab store;\n\
-         \x20             --exec overrides the kernel engine, --trace/--metrics observe\n\
-         \x20             the run — neither changes a result byte)\n\
+         \x20             --exec overrides the kernel engine, --engine the scheme-mode\n\
+         \x20             interpreter, --trace/--metrics observe the run — none of them\n\
+         \x20             changes a result byte)\n\
          migrate      [--dir DIR]                     rewrite artifacts at v{VERSION}\n\
          corpus-dedup [--dir DIR] [--dry-run]         drop scenario-digest duplicates"
     );
@@ -135,6 +136,22 @@ pub fn exec_override(args: &Args) -> Option<apex_scenario::ExecMode> {
         usage();
     }
     Some(mode)
+}
+
+/// Parse the shared `--engine tree|bytecode` scheme-interpreter override
+/// used by `run`, `suite run` and `farm worker`. Like `--exec`, the flag
+/// never changes a result byte — both engines produce byte-identical
+/// reports — only which interpreter computes them. Invalid values abort
+/// with the usage text.
+pub fn engine_override(args: &Args) -> Option<apex_scenario::ProgramEngine> {
+    let value = args.get("engine")?;
+    match apex_scenario::ProgramEngine::parse(value) {
+        Some(engine) => Some(engine),
+        None => {
+            eprintln!("invalid --engine value {value:?} (expected tree or bytecode)");
+            usage();
+        }
+    }
 }
 
 /// Parse the shared `--trace [FILE] --metrics --profile` telemetry
@@ -251,7 +268,12 @@ pub fn cmd_run(raw: &[String]) -> ExitCode {
         }
     };
     let stopwatch = apex_obs::Stopwatch::start();
-    let (outcome, exec_stats) = RunOutcome::capture_exec_obs(&scenario, exec_override(&args), &obs);
+    let (outcome, exec_stats) = RunOutcome::capture_engines_obs(
+        &scenario,
+        exec_override(&args),
+        engine_override(&args),
+        &obs,
+    );
     obs.flush();
     if obs_opts.metrics || obs_opts.profile {
         let metrics = single_run_metrics(&outcome, exec_stats, &obs_opts, &stopwatch);
@@ -608,9 +630,10 @@ fn cmd_replay(args: &Args) -> ExitCode {
         usage()
     };
 
+    let engine = engine_override(args);
     let mut failures = 0;
     for (path, repro) in &entries {
-        match repro.check() {
+        match repro.check_with_engine(engine) {
             Ok(verdict) => println!(
                 "ok   {} ({}, expect {:?}, violations={})",
                 path.display(),

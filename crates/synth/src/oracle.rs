@@ -94,9 +94,20 @@ impl Verdict {
 /// (including a failed [`Scenario::validate`]) is [`RunAbort::Panic`] and
 /// must be treated as a failure by callers.
 pub fn run_scenario(scenario: &Scenario) -> Result<SchemeReport, RunAbort> {
+    run_scenario_with_engine(scenario, None)
+}
+
+/// [`run_scenario`] with a runtime interpreter-engine override (`None`
+/// runs the scenario's own knob). Reports are engine-independent, so a
+/// divergence found on one engine and replayed on the other is a bug in
+/// an interpreter, not in the finding.
+pub fn run_scenario_with_engine(
+    scenario: &Scenario,
+    engine: Option<apex_scenario::ProgramEngine>,
+) -> Result<SchemeReport, RunAbort> {
     let scenario = scenario.clone();
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        scenario.run().into_scheme()
+        scenario.run_with_engines(None, engine).into_scheme()
     }))
     .map_err(|payload| {
         let msg = payload
@@ -157,7 +168,15 @@ pub fn judge(report: &SchemeReport) -> Verdict {
 /// divergence (recorded as a work anomaly so campaigns and reproducers
 /// fail loudly on engine crashes).
 pub fn check_scenario(scenario: &Scenario) -> Verdict {
-    match run_scenario(scenario) {
+    check_scenario_with_engine(scenario, None)
+}
+
+/// [`check_scenario`] with a runtime interpreter-engine override.
+pub fn check_scenario_with_engine(
+    scenario: &Scenario,
+    engine: Option<apex_scenario::ProgramEngine>,
+) -> Verdict {
+    match run_scenario_with_engine(scenario, engine) {
         Ok(report) => judge(&report),
         Err(RunAbort::ClockStall(_)) => Verdict {
             stalled: true,

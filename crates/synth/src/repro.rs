@@ -30,7 +30,7 @@ pub use apex_scenario::{
     op_from_name, op_name, program_from_json, program_to_json, scheme_from_label,
 };
 
-use crate::oracle::{check_scenario, Triple, Verdict};
+use crate::oracle::{Triple, Verdict};
 
 /// Current artifact format version.
 pub const VERSION: u64 = 2;
@@ -221,7 +221,18 @@ impl Reproducer {
 
     /// Replay the scenario and check the recorded expectation holds.
     pub fn check(&self) -> Result<Verdict, String> {
-        let verdict = check_scenario(&self.scenario);
+        self.check_with_engine(None)
+    }
+
+    /// [`Reproducer::check`] on a specific interpreter engine (`None` runs
+    /// the scenario's own knob). Corpus findings are engine-independent by
+    /// the bytecode determinism contract, so replaying the corpus under
+    /// `--engine bytecode` is a differential test of the interpreters.
+    pub fn check_with_engine(
+        &self,
+        engine: Option<apex_scenario::ProgramEngine>,
+    ) -> Result<Verdict, String> {
+        let verdict = crate::oracle::check_scenario_with_engine(&self.scenario, engine);
         match self.expected {
             Expectation::Clean if verdict.stalled => {
                 Err("expected clean run, but the clock stalled".to_string())

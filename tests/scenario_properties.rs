@@ -10,7 +10,7 @@
 
 use apex::core::{AgreementConfig, InstrumentOpts};
 use apex::scenario::{
-    EngineKnobs, ExecMode, Mode, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR,
+    EngineKnobs, ExecMode, Mode, ProgramEngine, ProgramSource, Scenario, SourceSpec, FORMAT_MAJOR,
 };
 use apex::scheme::tasks::eval_cost;
 use apex::scheme::SchemeKind;
@@ -208,6 +208,11 @@ fn scenario_from_seed(seed: u64) -> Scenario {
         tick_budget: (mix(seed, 23).is_multiple_of(4))
             .then(|| 1_000_000 + mix(seed, 24) % (1 << 50)),
         exec: ExecMode::default(),
+        program_engine: if mix(seed, 25).is_multiple_of(5) {
+            ProgramEngine::Bytecode
+        } else {
+            ProgramEngine::Tree
+        },
     };
     Scenario {
         mode,
